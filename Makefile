@@ -1,0 +1,39 @@
+# Developer entry points for the Going Wild reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench report markdown examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One iteration of every table/figure benchmark.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Full text report of every table and figure (order 17, quick).
+report:
+	$(GO) run ./cmd/wildreport -order 17 -weeks 10 -week 9
+
+# The paper-vs-measured markdown table at publication scale (slow).
+markdown:
+	$(GO) run ./cmd/wildreport -order 18 -weeks 55 -week 50 -markdown
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fingerprint
+	$(GO) run ./examples/dnssec
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,360 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// DESIGN.md's per-experiment index). Each benchmark runs the full
+// measurement for its artifact against a scaled-down world; custom
+// metrics report the domain quantities (probes/s, resolvers found) next
+// to the usual ns/op.
+package goingwild
+
+import (
+	"testing"
+
+	"goingwild/internal/analysis"
+	"goingwild/internal/churn"
+	"goingwild/internal/cluster"
+	"goingwild/internal/core"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/geodb"
+	"goingwild/internal/htmlx"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/websim"
+	"goingwild/internal/wildnet"
+)
+
+func benchStudy(b *testing.B, order uint) *core.Study {
+	b.Helper()
+	s, err := core.NewStudy(core.DefaultConfig(order))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// BenchmarkFigure1WeeklyScans regenerates E1: the weekly responder series
+// with its NOERROR/REFUSED/SERVFAIL breakdown.
+func BenchmarkFigure1WeeklyScans(b *testing.B) {
+	s := benchStudy(b, 16)
+	cfg := churn.StudyConfig{Order: 16, Seed: 42, Weeks: 4, Blacklist: s.World.ScanBlacklist()}
+	loc := func(u uint32) (string, geodb.RIR) {
+		l := s.World.Geo().LookupU32(u)
+		return l.Country, l.RIR
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := churn.RunWeekly(s.Scanner, s.Transport, loc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if series.First().Total == 0 {
+			b.Fatal("empty scan")
+		}
+		b.ReportMetric(float64(series.First().Total), "responders")
+	}
+}
+
+// BenchmarkTable1CountryFluctuation regenerates E2/E3: first and last
+// weekly scans grouped by country and registry.
+func BenchmarkTable1CountryFluctuation(b *testing.B) {
+	s := benchStudy(b, 17)
+	for i := 0; i < b.N; i++ {
+		series := endpointSeries(b, s)
+		rows := series.CountryFluctuation(10)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable2RIRFluctuation regenerates E3.
+func BenchmarkTable2RIRFluctuation(b *testing.B) {
+	s := benchStudy(b, 17)
+	for i := 0; i < b.N; i++ {
+		series := endpointSeries(b, s)
+		if len(series.RIRFluctuation()) != 5 {
+			b.Fatal("missing registries")
+		}
+	}
+}
+
+func endpointSeries(b *testing.B, s *core.Study) *churn.Series {
+	b.Helper()
+	series := &churn.Series{}
+	for _, week := range []int{0, 55} {
+		res, err := s.SweepAt(week)
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs := churn.WeekObservation{Week: week, Total: res.Total(),
+			ByRCode: res.ByRCode, ByCountry: map[string]int{}, ByRIR: map[geodb.RIR]int{}}
+		for _, r := range res.Responders {
+			l := s.World.Geo().LookupU32(r.Addr)
+			obs.ByCountry[l.Country]++
+			obs.ByRIR[l.RIR]++
+		}
+		series.Weeks = append(series.Weeks, obs)
+	}
+	return series
+}
+
+// BenchmarkTable3ChaosFingerprint regenerates E4: the CHAOS software
+// survey.
+func BenchmarkTable3ChaosFingerprint(b *testing.B) {
+	s := benchStudy(b, 17)
+	for i := 0; i < b.N; i++ {
+		survey, n, err := s.RunChaos(46)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if survey.Responded == 0 {
+			b.Fatal("no responders")
+		}
+		b.ReportMetric(float64(n), "resolvers")
+		b.ReportMetric(100*survey.VersionedShare(), "versioned_pct")
+	}
+}
+
+// BenchmarkTable4DeviceFingerprint regenerates E5: banner grabbing plus
+// the regex device database.
+func BenchmarkTable4DeviceFingerprint(b *testing.B) {
+	s := benchStudy(b, 17)
+	for i := 0; i < b.N; i++ {
+		survey, err := s.RunDevices(46)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if survey.Responsive == 0 {
+			b.Fatal("no banners")
+		}
+		b.ReportMetric(100*float64(survey.Responsive)/float64(survey.Scanned), "tcp_pct")
+	}
+}
+
+// BenchmarkFigure2IPChurn regenerates E6: the cohort survival curve.
+func BenchmarkFigure2IPChurn(b *testing.B) {
+	s := benchStudy(b, 16)
+	for i := 0; i < b.N; i++ {
+		study, err := s.RunCohortStudy(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*study.Day1Survival, "day1_pct")
+	}
+}
+
+// BenchmarkUtilizationSnooping regenerates E7: 36 hourly probes of 15
+// TLDs across the population.
+func BenchmarkUtilizationSnooping(b *testing.B) {
+	s := benchStudy(b, 15)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunUtilization(43)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*float64(res.Responded)/float64(res.Scanned), "responded_pct")
+	}
+}
+
+// BenchmarkPrefiltering regenerates E8: a domain-set scan plus the
+// three-rule prefilter.
+func BenchmarkPrefiltering(b *testing.B) {
+	s := benchStudy(b, 16)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunDomainStudy(50, []domains.Category{domains.Banking, domains.NX})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Pre.Unexpected)), "unexpected_tuples")
+	}
+}
+
+// BenchmarkTable5Classification regenerates E9: acquisition, clustering,
+// and labeling over several categories.
+func BenchmarkTable5Classification(b *testing.B) {
+	s := benchStudy(b, 16)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunDomainStudy(50, []domains.Category{
+			domains.Adult, domains.Gambling, domains.NX, domains.Banking,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Report.Clusters), "clusters")
+	}
+}
+
+// BenchmarkFigure4CensorshipGeo regenerates E10: the censorship geography
+// of the blocked trio.
+func BenchmarkFigure4CensorshipGeo(b *testing.B) {
+	s := benchStudy(b, 17)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunDomainStudy(50, []domains.Category{domains.Alexa})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Fig4.Unexpected["CN"], "cn_pct")
+	}
+}
+
+// BenchmarkCaseStudies regenerates E11: the §4.3 detectors.
+func BenchmarkCaseStudies(b *testing.B) {
+	s := benchStudy(b, 16)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunDomainStudy(50, []domains.Category{
+			domains.Ads, domains.Banking, domains.MX, domains.Misc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs := res.Report.Cases
+		b.ReportMetric(float64(cs.ProxyPlainResolvers), "proxy_resolvers")
+	}
+}
+
+// BenchmarkFullPipeline regenerates E12: the complete Figure-3 chain over
+// all 13 categories.
+func BenchmarkFullPipeline(b *testing.B) {
+	s := benchStudy(b, 16)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunDomainStudy(50, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.PairCount == 0 {
+			b.Fatal("no pairs")
+		}
+		b.ReportMetric(float64(res.StageTrace[2].Count), "probes")
+	}
+}
+
+// BenchmarkScanVerification regenerates E13: the secondary-vantage
+// verification scan.
+func BenchmarkScanVerification(b *testing.B) {
+	s := benchStudy(b, 17)
+	for i := 0; i < b.N; i++ {
+		v, err := s.RunVerification(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(v.OnlySecondary), "only_secondary")
+	}
+}
+
+// --- Component microbenchmarks ---------------------------------------
+
+// BenchmarkSweepThroughput measures raw probe throughput of the scan
+// engine over the in-memory transport.
+func BenchmarkSweepThroughput(b *testing.B) {
+	s := benchStudy(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Scanner.Sweep(16, uint32(i+1), s.World.ScanBlacklist())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(res.Probed))
+	}
+}
+
+// BenchmarkDNSPackUnpack measures the wire codec round trip.
+func BenchmarkDNSPackUnpack(b *testing.B) {
+	q := dnswire.NewQuery(7, "r1.c0a80101.scan.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN)
+	resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+	resp.AddAnswer(q.Questions[0].Name, dnswire.ClassIN, 300, dnswire.A{Addr: lfsr.U32ToAddr(0x01020304)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := resp.PackBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLFSRPermutation measures the target generator.
+func BenchmarkLFSRPermutation(b *testing.B) {
+	bl := lfsr.DefaultReserved()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := lfsr.NewTargetGenerator(20, uint32(i+1), bl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, ok := g.NextU32(); !ok {
+				break
+			}
+			n++
+		}
+		b.SetBytes(int64(n))
+	}
+}
+
+// BenchmarkFeatureDistance measures the seven-feature page distance.
+func BenchmarkFeatureDistance(b *testing.B) {
+	w := wildnet.MustNewWorld(wildnet.DefaultConfig(16))
+	srv := websim.New(w, wildnet.At(50))
+	r1, _ := srv.HTTP(w.RoleAddr(wildnet.RoleParking, 1), "ghoogle.com", false)
+	r2, _ := srv.HTTP(w.RoleAddr(wildnet.RoleSearchPage, 1), "ghoogle.com", false)
+	f1, f2 := htmlx.Extract(r1.Body), htmlx.Extract(r2.Body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := cluster.FeatureDistance(f1, f2); d <= 0 {
+			b.Fatal("degenerate distance")
+		}
+	}
+}
+
+// BenchmarkAgglomerate measures hierarchical clustering at the
+// representative counts the pipeline feeds it.
+func BenchmarkAgglomerate(b *testing.B) {
+	const n = 200
+	dist := func(i, j int) float64 {
+		if i%7 == j%7 {
+			return 0.05
+		}
+		return 0.8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := cluster.Agglomerate(n, dist, 0.4)
+		if r.Num != 7 {
+			b.Fatalf("clusters = %d", r.Num)
+		}
+	}
+}
+
+// BenchmarkHTMLExtract measures feature extraction.
+func BenchmarkHTMLExtract(b *testing.B) {
+	w := wildnet.MustNewWorld(wildnet.DefaultConfig(16))
+	srv := websim.New(w, wildnet.At(50))
+	legit, _ := w.LegitAddrs("chase.com", "US")
+	r, _ := srv.HTTP(legit[0], "chase.com", false)
+	b.SetBytes(int64(len(r.Body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := htmlx.Extract(r.Body); len(f.TagSeq) == 0 {
+			b.Fatal("no tags")
+		}
+	}
+}
+
+// BenchmarkRenderReports measures the table renderers (sanity: rendering
+// must be negligible next to measurement).
+func BenchmarkRenderReports(b *testing.B) {
+	s := benchStudy(b, 16)
+	survey, _, err := s.RunChaos(46)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := analysis.RenderTable3(survey, 10); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}

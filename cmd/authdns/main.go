@@ -1,0 +1,84 @@
+// Command authdns is the measurement team's authoritative name server:
+// it serves a zone parsed from an RFC 1035 master file over real UDP —
+// the role the authors' AuthNS plays for the ground-truth domain and the
+// hex-IP-encoded scan names (§3.2/§3.3, wildcarded in the zone).
+//
+// Usage:
+//
+//	authdns -zone zones/dnsstudy.zone -addr 127.0.0.1:5355 -verbose
+//	authdns -addr 127.0.0.1:5355          # serves the built-in study zone
+//
+// Test with any stub resolver, e.g.:
+//
+//	dig @127.0.0.1 -p 5355 gt.dnsstudy.example.edu A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"goingwild/internal/authdns"
+	"goingwild/internal/zonefile"
+)
+
+// defaultZone is the study's own zone: SOA/NS scaffolding, the
+// ground-truth name, and the wildcard that answers every hex-IP-encoded
+// scan query.
+const defaultZone = `
+$ORIGIN dnsstudy.example.edu.
+$TTL 3600
+@       IN SOA ns1 hostmaster ( 2015010101 7200 900 1209600 86400 )
+@       IN NS  ns1
+@       IN NS  ns2
+ns1     IN A   192.0.2.1
+ns2     IN A   192.0.2.2
+gt      IN A   192.0.2.10
+gt      IN TXT "going-wild ground truth"
+*.scan  IN A   192.0.2.99
+`
+
+func main() {
+	var (
+		zonePath = flag.String("zone", "", "zone master file (empty = built-in study zone)")
+		addr     = flag.String("addr", "127.0.0.1:5355", "UDP listen address")
+		verbose  = flag.Bool("verbose", false, "log each query")
+	)
+	flag.Parse()
+
+	var zone *zonefile.Zone
+	var err error
+	if *zonePath == "" {
+		zone, err = zonefile.Parse(strings.NewReader(defaultZone))
+	} else {
+		var f *os.File
+		f, err = os.Open(*zonePath)
+		if err == nil {
+			defer f.Close()
+			zone, err = zonefile.Parse(f)
+		}
+	}
+	if err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+
+	srv, err := authdns.Serve(zone, *addr)
+	if err != nil {
+		log.Fatalf("authdns: %v", err)
+	}
+	defer srv.Close()
+	if *verbose {
+		srv.Log = log.Printf
+	}
+	fmt.Printf("authdns: serving %s (%d records) on %s\n",
+		zone.Origin, len(zone.Records), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("authdns: %d queries served\n", srv.Queries())
+}

@@ -1,0 +1,212 @@
+// Command goingwild runs the full reproduction pipeline against a
+// simulated IPv4 Internet and prints the paper's tables and figures.
+//
+// Usage:
+//
+//	goingwild -order 18 -exp all
+//	goingwild -order 20 -exp fig1,table3,table5 -weeks 55
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"goingwild/internal/analysis"
+	"goingwild/internal/core"
+	"goingwild/internal/dataset"
+	"goingwild/internal/domains"
+)
+
+func main() {
+	var (
+		order  = flag.Uint("order", 18, "address-space width in bits (14–32)")
+		seed   = flag.Uint64("seed", 0x60176A11D, "world seed")
+		weeks  = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
+		exps   = flag.String("exp", "all", "comma-separated experiments: fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
+		week   = flag.Int("week", 50, "study week for the point-in-time experiments")
+		export = flag.String("export", "", "directory to export JSONL datasets into")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*order)
+	cfg.Seed = *seed
+	cfg.Weeks = *weeks
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goingwild:", err)
+		os.Exit(1)
+	}
+	defer study.Close()
+	scale := analysis.Scale(study.World.ScaleFactor())
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "goingwild:", err)
+		os.Exit(1)
+	}
+
+	if all || want["fig1"] || want["table1"] || want["table2"] {
+		series, err := study.RunWeeklySeries()
+		if err != nil {
+			fail(err)
+		}
+		if all || want["fig1"] {
+			fmt.Println(analysis.RenderFigure1(series, scale))
+		}
+		if all || want["table1"] {
+			fmt.Println(analysis.RenderTable1(series, scale, 10))
+		}
+		if all || want["table2"] {
+			fmt.Println(analysis.RenderTable2(series, scale))
+		}
+	}
+	if all || want["table3"] {
+		survey, n, err := study.RunChaos(*week)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("CHAOS scan over %d resolvers\n", n)
+		fmt.Println(analysis.RenderTable3(survey, 10))
+	}
+	if all || want["table4"] {
+		survey, err := study.RunDevices(*week)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(analysis.RenderTable4(survey))
+	}
+	if all || want["fig2"] {
+		cohort, err := study.RunCohortStudy(min(cfg.Weeks, 12))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(analysis.RenderFigure2(cohort))
+	}
+	if all || want["util"] {
+		res, err := study.RunUtilization(*week)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(analysis.RenderUtilization(res))
+	}
+	if all || want["verify"] {
+		v, err := study.RunVerification(*week)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Verification scan (§2.2): primary %d, secondary %d, only-secondary %d (missed NOERROR %.2f%%)\n\n",
+			v.Primary, v.Secondary, v.OnlySecondary, 100*v.MissedNOERRORShare)
+	}
+	if all || want["amp"] {
+		survey, n, err := study.RunAmplification(*week, "chase.com")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(analysis.RenderAmplification(survey, n))
+	}
+	if all || want["dnssec"] {
+		for _, name := range []string{"wikileaks.org", "facebook.com"} {
+			race, err := study.RunDNSSECRace(*week, "CN", name)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(analysis.RenderDNSSECRace(race))
+		}
+	}
+	if all || want["popularity"] {
+		est, err := study.RunPopularity(*week)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(analysis.RenderPopularity(est, 10))
+	}
+	if all || want["netalyzr"] {
+		fmt.Println(analysis.RenderNetalyzr(study.RunNetalyzr(*week, 500)))
+	}
+	if all || want["domains"] || want["fig4"] || want["cases"] || want["table5"] || want["pipeline"] || *export != "" {
+		res, err := study.RunDomainStudy(*week, nil)
+		if err != nil {
+			fail(err)
+		}
+		if *export != "" {
+			if err := exportDatasets(*export, study, res, *week); err != nil {
+				fail(err)
+			}
+			fmt.Printf("datasets exported to %s\n\n", *export)
+		}
+		if all || want["pipeline"] {
+			fmt.Println("Processing chain (Figure 3):")
+			for _, st := range res.StageTrace {
+				fmt.Printf("  %-26s %d\n", st.Stage, st.Count)
+			}
+			fmt.Println()
+		}
+		if all || want["domains"] {
+			fmt.Println(analysis.RenderPrefilter(res.Pre))
+		}
+		if all || want["table5"] || want["domains"] {
+			fmt.Println(analysis.RenderTable5(res.Report.Table5, domains.AllCategories))
+		}
+		if all || want["fig4"] {
+			fmt.Println(analysis.RenderFigure4(res.Fig4))
+		}
+		if all || want["cases"] {
+			fmt.Println(analysis.RenderCaseStudies(&res.Report.Cases, scale))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// exportDatasets writes the week's sweep and tuple datasets as JSONL.
+func exportDatasets(dir string, study *core.Study, res *core.DomainStudyResult, week int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := study.Cfg
+	manifest, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	if err := dataset.WriteManifest(manifest, dataset.Manifest{
+		Paper:     "Going Wild: Large-Scale Classification of Open DNS Resolvers (IMC 2015)",
+		Order:     cfg.Order,
+		Seed:      cfg.Seed,
+		ScanSeed:  cfg.ScanSeed,
+		Week:      week,
+		Generator: "goingwild",
+	}); err != nil {
+		return err
+	}
+	sweep, err := study.SweepAt(week)
+	if err != nil {
+		return err
+	}
+	sweepFile, err := os.Create(filepath.Join(dir, "sweep.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer sweepFile.Close()
+	if err := dataset.WriteSweep(sweepFile, sweep); err != nil {
+		return err
+	}
+	tupleFile, err := os.Create(filepath.Join(dir, "tuples.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer tupleFile.Close()
+	return dataset.WriteTuples(tupleFile, res.Scan, res.Pre)
+}

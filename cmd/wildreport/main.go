@@ -1,0 +1,125 @@
+// Command wildreport regenerates every table and figure of the paper and
+// emits the paper-vs-measured comparison record (the data behind
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	wildreport -order 18 -weeks 55            # full run, text output
+//	wildreport -order 18 -markdown            # markdown comparison table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goingwild/internal/analysis"
+	"goingwild/internal/core"
+	"goingwild/internal/domains"
+)
+
+func main() {
+	var (
+		order    = flag.Uint("order", 18, "address-space width in bits")
+		seed     = flag.Uint64("seed", 0x60176A11D, "world seed")
+		weeks    = flag.Int("weeks", 55, "weekly scans")
+		week     = flag.Int("week", 50, "week for point-in-time experiments")
+		markdown = flag.Bool("markdown", false, "emit the markdown comparison table only")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*order)
+	cfg.Seed = *seed
+	cfg.Weeks = *weeks
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer study.Close()
+	scale := analysis.Scale(study.World.ScaleFactor())
+
+	series, err := study.RunWeeklySeries()
+	if err != nil {
+		fatal(err)
+	}
+	chaos, _, err := study.RunChaos(*week)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := study.RunDevices(*week)
+	if err != nil {
+		fatal(err)
+	}
+	cohort, err := study.RunCohortStudy(*weeks)
+	if err != nil {
+		fatal(err)
+	}
+	cohort.ConcentrateSurvivors(study.World.ASNOf)
+	util, err := study.RunUtilization(*week)
+	if err != nil {
+		fatal(err)
+	}
+	dom, err := study.RunDomainStudy(*week, nil)
+	if err != nil {
+		fatal(err)
+	}
+	race, err := study.RunDNSSECRace(*week, "CN", "wikileaks.org")
+	if err != nil {
+		fatal(err)
+	}
+	amp, ampScanned, err := study.RunAmplification(*week, "chase.com")
+	if err != nil {
+		fatal(err)
+	}
+	pop, err := study.RunPopularity(*week)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *markdown {
+		var rows []analysis.Row
+		rows = append(rows, analysis.CompareFigure1(series, scale)...)
+		rows = append(rows, analysis.CompareTables12(series, scale)...)
+		rows = append(rows, analysis.CompareTable3(chaos)...)
+		rows = append(rows, analysis.CompareTable4(dev)...)
+		rows = append(rows, analysis.CompareFigure2(cohort)...)
+		rows = append(rows, analysis.CompareUtilization(util)...)
+		rows = append(rows, analysis.CompareClassification(dom.Report, dom.Fig4)...)
+		rows = append(rows, analysis.CompareExtensions(race, amp, pop)...)
+		fmt.Print(analysis.Markdown(rows))
+		return
+	}
+
+	fmt.Println(analysis.RenderFigure1(series, scale))
+	fmt.Println(analysis.RenderTable1(series, scale, 10))
+	fmt.Println(analysis.RenderTable2(series, scale))
+	fmt.Println(analysis.RenderTable3(chaos, 10))
+	fmt.Println(analysis.RenderTable4(dev))
+	fmt.Println(analysis.RenderFigure2(cohort))
+	fmt.Println(analysis.RenderUtilization(util))
+	fmt.Println("Processing chain (Figure 3):")
+	for _, st := range dom.StageTrace {
+		fmt.Printf("  %-26s %d\n", st.Stage, st.Count)
+	}
+	fmt.Println()
+	fmt.Println(analysis.RenderPrefilter(dom.Pre))
+	fmt.Println(analysis.RenderTable5(dom.Report.Table5, domains.AllCategories))
+	fmt.Println(analysis.RenderFigure4(dom.Fig4))
+	fmt.Println(analysis.RenderCaseStudies(&dom.Report.Cases, scale))
+	fmt.Println(analysis.RenderDNSSECRace(race))
+	fmt.Println(analysis.RenderAmplification(amp, ampScanned))
+	fmt.Println(analysis.RenderPopularity(pop, 10))
+	fmt.Println(analysis.RenderNetalyzr(study.RunNetalyzr(*week, 400)))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wildreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// DNSSEC race: the §5 discussion made executable. A client behind a
+// Chinese resolver asks for an injected domain; the forged answer always
+// arrives first. Accepting the first response yields a poisoned lookup;
+// waiting for a correctly signed response (Ed25519, RFC 8080) removes the
+// poisoning — but only turns it into unavailability unless the legitimate
+// signed answer ever arrives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goingwild"
+
+	"goingwild/internal/analysis"
+)
+
+func main() {
+	study, err := goingwild.NewStudy(goingwild.DefaultConfig(18))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	for _, name := range []string{"wikileaks.org", "facebook.com"} {
+		res, err := study.RunDNSSECRace(50, "CN", name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(analysis.RenderDNSSECRace(res))
+	}
+
+	fmt.Println("The validate-and-wait strategy only helps when the client already")
+	fmt.Println("knows the zone is signed (§5) — otherwise the unsigned fallback")
+	fmt.Println("reopens the race the injector always wins.")
+}

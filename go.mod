@@ -1,0 +1,3 @@
+module goingwild
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package ampli surveys the amplification-DDoS potential of the open
+// resolver population — the threat framing of the paper's introduction
+// and of the authors' companion study (Kührer et al., USENIX Security
+// 2014): ANY queries are sent to every resolver and the bandwidth
+// amplification factor (response bytes over request bytes) is measured.
+package ampli
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/scanner"
+)
+
+// Measurement is one resolver's amplification result.
+type Measurement struct {
+	Addr         uint32
+	RequestSize  int
+	ResponseSize int
+}
+
+// BAF returns the bandwidth amplification factor.
+func (m Measurement) BAF() float64 {
+	if m.RequestSize == 0 {
+		return 0
+	}
+	return float64(m.ResponseSize) / float64(m.RequestSize)
+}
+
+// Survey aggregates a population's amplification measurements, in the
+// BAF_all / BAF_50 / BAF_10 shape amplifier studies report.
+type Survey struct {
+	Measurements []Measurement
+	// Responded counts resolvers that answered the ANY probe.
+	Responded int
+	// Refused counts resolvers rejecting ANY queries.
+	Refused int
+}
+
+// bafs returns the sorted (ascending) amplification factors.
+func (s *Survey) bafs() []float64 {
+	out := make([]float64, 0, len(s.Measurements))
+	for _, m := range s.Measurements {
+		out = append(out, m.BAF())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// BAFAll returns the mean amplification factor over all responders.
+func (s *Survey) BAFAll() float64 {
+	b := s.bafs()
+	if len(b) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range b {
+		sum += v
+	}
+	return sum / float64(len(b))
+}
+
+// BAFTop returns the mean amplification of the worst `fraction` of
+// responders (BAF_50 = fraction 0.5, BAF_10 = fraction 0.1).
+func (s *Survey) BAFTop(fraction float64) float64 {
+	b := s.bafs()
+	if len(b) == 0 {
+		return 0
+	}
+	n := int(float64(len(b)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	top := b[len(b)-n:]
+	var sum float64
+	for _, v := range top {
+		sum += v
+	}
+	return sum / float64(len(top))
+}
+
+// CountAbove counts responders whose BAF exceeds the threshold (the
+// abuse-worthy amplifiers an attacker would harvest).
+func (s *Survey) CountAbove(threshold float64) int {
+	n := 0
+	for _, m := range s.Measurements {
+		if m.BAF() > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Run sends one ANY query for name to every resolver and measures the
+// response sizes.
+func Run(tr scanner.Transport, resolvers []uint32, name string) *Survey {
+	survey := &Survey{}
+	var mu sync.Mutex
+	sizes := make(map[uint32]Measurement, len(resolvers)/2)
+	refused := map[uint32]bool{}
+	want := make(map[uint32]struct{}, len(resolvers))
+	for _, u := range resolvers {
+		want[u] = struct{}{}
+	}
+
+	q := dnswire.NewQuery(0xA3F, name, dnswire.TypeANY, dnswire.ClassIN)
+	q.AddEDNS(4096) // amplification abuse always advertises a large buffer
+	wire, err := q.PackBytes()
+	if err != nil {
+		return survey
+	}
+	reqSize := len(wire)
+
+	tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil || !m.Header.QR {
+			return
+		}
+		u := lfsr.AddrToU32(src)
+		if _, ok := want[u]; !ok {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if m.Header.RCode == dnswire.RCodeRefused {
+			refused[u] = true
+			return
+		}
+		if _, dup := sizes[u]; !dup {
+			sizes[u] = Measurement{Addr: u, RequestSize: reqSize, ResponseSize: len(payload)}
+		}
+	})
+	for _, u := range resolvers {
+		tr.Send(lfsr.U32ToAddr(u), 53, 33001, wire)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range sizes {
+		survey.Measurements = append(survey.Measurements, m)
+	}
+	survey.Responded = len(sizes) + len(refused)
+	survey.Refused = len(refused)
+	sort.Slice(survey.Measurements, func(i, j int) bool {
+		return survey.Measurements[i].Addr < survey.Measurements[j].Addr
+	})
+	return survey
+}

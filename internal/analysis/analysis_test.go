@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/classify"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/geodb"
+	"goingwild/internal/snoop"
+)
+
+func sampleSeries() *churn.Series {
+	return &churn.Series{Weeks: []churn.WeekObservation{
+		{
+			Week: 0, Total: 1000,
+			ByRCode:   map[dnswire.RCode]int{dnswire.RCodeNoError: 860, dnswire.RCodeRefused: 80, dnswire.RCodeServFail: 60},
+			ByCountry: map[string]int{"US": 100, "CN": 80, "TR": 50},
+			ByRIR:     map[geodb.RIR]int{geodb.RIPE: 400, geodb.APNIC: 300, geodb.LACNIC: 150, geodb.ARIN: 100, geodb.AFRINIC: 50},
+		},
+		{
+			Week: 55, Total: 720,
+			ByRCode:   map[dnswire.RCode]int{dnswire.RCodeNoError: 600, dnswire.RCodeRefused: 80, dnswire.RCodeServFail: 40},
+			ByCountry: map[string]int{"US": 86, "CN": 70, "TR": 34},
+			ByRIR:     map[geodb.RIR]int{geodb.RIPE: 270, geodb.APNIC: 230, geodb.LACNIC: 100, geodb.ARIN: 85, geodb.AFRINIC: 35},
+		},
+	}}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	out := RenderFigure1(sampleSeries(), Scale(1))
+	if !strings.Contains(out, "NOERROR") || !strings.Contains(out, "860") {
+		t.Errorf("figure 1 render:\n%s", out)
+	}
+}
+
+func TestRenderTables12(t *testing.T) {
+	t1 := RenderTable1(sampleSeries(), Scale(1), 3)
+	if !strings.Contains(t1, "US") || !strings.Contains(t1, "-14.0%") {
+		t.Errorf("table 1 render:\n%s", t1)
+	}
+	t2 := RenderTable2(sampleSeries(), Scale(1))
+	for _, rir := range []string{"RIPE", "APNIC", "LACNIC", "ARIN", "AFRINIC"} {
+		if !strings.Contains(t2, rir) {
+			t.Errorf("table 2 missing %s:\n%s", rir, t2)
+		}
+	}
+}
+
+func TestScaleExtrapolation(t *testing.T) {
+	s := Scale(4096)
+	if got := s.Extrapolate(100); got != 409600 {
+		t.Errorf("extrapolate = %f", got)
+	}
+	if out := s.fmtCount(100); !strings.Contains(out, "409.6k") {
+		t.Errorf("fmtCount = %q", out)
+	}
+	if out := Scale(1).fmtCount(100); out != "100" {
+		t.Errorf("unit scale fmtCount = %q", out)
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{42, "42"}, {1500, "1.5k"}, {26.8e6, "26.8M"},
+	}
+	for _, c := range cases {
+		if got := human(c.v); got != c.want {
+			t.Errorf("human(%f) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRenderUtilization(t *testing.T) {
+	r := &snoop.Result{
+		Scanned: 100, Responded: 83, Frequent: 39,
+		Counts: map[snoop.Class]int{
+			snoop.ClassInUse: 62, snoop.ClassResetting: 20,
+			snoop.ClassEmpty: 7, snoop.ClassUnreachable: 17,
+		},
+	}
+	out := RenderUtilization(r)
+	if !strings.Contains(out, "83.0%") || !strings.Contains(out, "in-use") {
+		t.Errorf("utilization render:\n%s", out)
+	}
+}
+
+func TestRenderTable5AndMarkdown(t *testing.T) {
+	tb := classify.NewTable5()
+	tb.AddDomain(domains.Adult, "youporn.com", map[classify.Label]int{classify.LCensorship: 9, classify.LHTTPError: 1}, 10)
+	tb.Finalize()
+	out := RenderTable5(tb, []domains.Category{domains.Adult})
+	if !strings.Contains(out, "Censorship") || !strings.Contains(out, "90.0") {
+		t.Errorf("table 5 render:\n%s", out)
+	}
+	rows := []Row{{"E1", "metric", "1", "2"}}
+	md := Markdown(rows)
+	if !strings.Contains(md, "| E1 | metric | 1 | 2 |") {
+		t.Errorf("markdown = %q", md)
+	}
+}
+
+func TestCompareBuilders(t *testing.T) {
+	rows := CompareFigure1(sampleSeries(), Scale(1))
+	if len(rows) != 3 {
+		t.Errorf("figure1 rows = %d", len(rows))
+	}
+	rows = CompareTables12(sampleSeries(), Scale(1))
+	if len(rows) < 5 {
+		t.Errorf("tables12 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Paper == "" || r.Measured == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+}
+
+func TestRenderFigure4(t *testing.T) {
+	f := &classify.Figure4{
+		Domains:         []string{"facebook.com"},
+		All:             map[string]float64{"CN": 0.13, "US": 0.10},
+		Unexpected:      map[string]float64{"CN": 0.84, "IR": 0.13},
+		UnexpectedCount: 123,
+	}
+	out := RenderFigure4(f)
+	if !strings.Contains(out, "CN 84.0%") || !strings.Contains(out, "123") {
+		t.Errorf("figure 4 render:\n%s", out)
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	if bar(-0.5, 10) != "" {
+		t.Error("negative bar not clamped")
+	}
+	if len(bar(2.0, 10)) != 10 {
+		t.Error("overflow bar not clamped")
+	}
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"fmt"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/classify"
+	"goingwild/internal/devices"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/fingerprint"
+	"goingwild/internal/snoop"
+)
+
+// Row is one paper-vs-measured comparison entry.
+type Row struct {
+	Experiment string
+	Metric     string
+	Paper      string
+	Measured   string
+}
+
+// Markdown renders comparison rows as a markdown table.
+func Markdown(rows []Row) string {
+	out := "| Exp | Metric | Paper | Measured |\n|---|---|---|---|\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("| %s | %s | %s | %s |\n", r.Experiment, r.Metric, r.Paper, r.Measured)
+	}
+	return out
+}
+
+// CompareFigure1 builds E1's comparison rows.
+func CompareFigure1(series *churn.Series, scale Scale) []Row {
+	first, last := series.First(), series.Last()
+	return []Row{
+		{"E1/Fig1", "NOERROR resolvers, first scan", "26.8M",
+			human(scale.Extrapolate(first.ByRCode[dnswire.RCodeNoError]))},
+		{"E1/Fig1", "NOERROR resolvers, last scan", "17.8M",
+			human(scale.Extrapolate(last.ByRCode[dnswire.RCodeNoError]))},
+		{"E1/Fig1", "REFUSED stability (last/first)", "≈1.0",
+			fmt.Sprintf("%.2f", ratio(last.ByRCode[dnswire.RCodeRefused], first.ByRCode[dnswire.RCodeRefused]))},
+	}
+}
+
+// CompareTables12 builds E2/E3 rows.
+func CompareTables12(series *churn.Series, scale Scale) []Row {
+	rows := []Row{}
+	for _, r := range series.CountryFluctuation(3) {
+		if r.Key == "XO" {
+			continue
+		}
+		rows = append(rows, Row{"E2/Tab1", "top country " + r.Key + " fluctuation",
+			paperCountryFluct(r.Key), fmt.Sprintf("%+.1f%%", r.Percent)})
+	}
+	for _, r := range series.RIRFluctuation() {
+		rows = append(rows, Row{"E3/Tab2", r.Key + " fluctuation",
+			paperRIRFluct(r.Key), fmt.Sprintf("%+.1f%%", r.Percent)})
+	}
+	return rows
+}
+
+func paperCountryFluct(code string) string {
+	m := map[string]string{
+		"US": "-14.2%", "CN": "-13.0%", "TR": "-32.2%", "VN": "-25.4%",
+		"MX": "-14.4%", "IN": "+12.7%", "TH": "-53.5%", "IT": "-38.3%",
+		"CO": "-36.2%", "TW": "-57.3%",
+	}
+	if v, ok := m[code]; ok {
+		return v
+	}
+	return "n/a"
+}
+
+func paperRIRFluct(name string) string {
+	m := map[string]string{
+		"RIPE": "-33.2%", "APNIC": "-24.5%", "LACNIC": "-35.1%",
+		"ARIN": "-12.1%", "AFRINIC": "-8.6%",
+	}
+	if v, ok := m[name]; ok {
+		return v
+	}
+	return "n/a"
+}
+
+// CompareTable3 builds E4 rows.
+func CompareTable3(s *fingerprint.ChaosSurvey) []Row {
+	versioned := s.Outcomes[fingerprint.ChaosVersion]
+	bind982 := s.Versions["BIND 9.8.2"]
+	return []Row{
+		{"E4/Tab3", "versioned share of CHAOS responders", "33.9%",
+			fmt.Sprintf("%.1f%%", 100*s.VersionedShare())},
+		{"E4/Tab3", "error-both share", "42.7%",
+			fmt.Sprintf("%.1f%%", 100*float64(s.Outcomes[fingerprint.ChaosErrors])/float64(s.Responded))},
+		{"E4/Tab3", "hidden-string share", "18.8%",
+			fmt.Sprintf("%.1f%%", 100*float64(s.Outcomes[fingerprint.ChaosHiddenStr])/float64(s.Responded))},
+		{"E4/Tab3", "BIND 9.8.2 among versioned", "19.8%",
+			fmt.Sprintf("%.1f%%", 100*ratio(bind982, versioned))},
+		{"E4/Tab3", "BIND family among versioned", "60.2%",
+			fmt.Sprintf("%.1f%%", 100*ratio(s.VendorTotals["BIND"], versioned))},
+	}
+}
+
+// CompareTable4 builds E5 rows.
+func CompareTable4(s *fingerprint.DeviceSurvey) []Row {
+	return []Row{
+		{"E5/Tab4", "TCP-responsive share", "26.3%",
+			fmt.Sprintf("%.1f%%", 100*ratio(s.Responsive, s.Scanned))},
+		{"E5/Tab4", "router/modem/gateway share", "34.1%",
+			fmt.Sprintf("%.1f%%", 100*ratio(s.Hardware[devices.HWRouter], s.Responsive))},
+		{"E5/Tab4", "ZyNOS share", "16.6%",
+			fmt.Sprintf("%.1f%%", 100*ratio(s.OS[devices.OSZyNOS], s.Responsive))},
+		{"E5/Tab4", "unknown hardware share", "29.3%",
+			fmt.Sprintf("%.1f%%", 100*ratio(s.Hardware[devices.HWUnknown], s.Responsive))},
+	}
+}
+
+// CompareFigure2 builds E6 rows.
+func CompareFigure2(c *churn.CohortStudy) []Row {
+	week55 := c.SurvivalByWeek[len(c.SurvivalByWeek)-1]
+	return []Row{
+		{"E6/Fig2", "gone within first day", ">40%",
+			fmt.Sprintf("%.1f%%", 100*(1-c.Day1Survival))},
+		{"E6/Fig2", "gone within first week", "52.2%",
+			fmt.Sprintf("%.1f%%", 100*(1-c.SurvivalByWeek[1]))},
+		{"E6/Fig2", "still alive at final week", "4.0%",
+			fmt.Sprintf("%.1f%%", 100*week55)},
+		{"E6/Fig2", "dynamic rDNS tokens among day-1 churners", "67.4%",
+			fmt.Sprintf("%.1f%%", 100*c.DynamicRDNSShare)},
+	}
+}
+
+// CompareUtilization builds E7 rows.
+func CompareUtilization(r *snoop.Result) []Row {
+	return []Row{
+		{"E7/§2.6", "responded to ≥1 snoop", "83.2%",
+			fmt.Sprintf("%.1f%%", 100*ratio(r.Responded, r.Scanned))},
+		{"E7/§2.6", "in use (≥3 TLD refreshes)", "61.6%",
+			fmt.Sprintf("%.1f%%", 100*ratio(r.Counts[snoop.ClassInUse], r.Scanned))},
+		{"E7/§2.6", "frequently used (≤5s re-add)", "38.7%",
+			fmt.Sprintf("%.1f%%", 100*ratio(r.Frequent, r.Scanned))},
+		{"E7/§2.6", "empty NS responses", "7.3%",
+			fmt.Sprintf("%.1f%%", 100*ratio(r.Counts[snoop.ClassEmpty], r.Scanned))},
+		{"E7/§2.6", "static/zero TTL", "4.0%",
+			fmt.Sprintf("%.1f%%", 100*ratio(r.Counts[snoop.ClassStaticTTL], r.Scanned))},
+		{"E7/§2.6", "TTL resetting ahead of expiry", "19.6%",
+			fmt.Sprintf("%.1f%%", 100*ratio(r.Counts[snoop.ClassResetting], r.Scanned))},
+	}
+}
+
+// CompareClassification builds E9–E11 rows from a full domain study.
+func CompareClassification(rep *classify.Report, fig4 *classify.Figure4) []Row {
+	t5 := rep.Table5
+	rows := []Row{
+		{"E9/Tab5", "HTTP payload obtained for tuples", "88.9%",
+			fmt.Sprintf("%.1f%%", 100*rep.FetchedShare)},
+		{"E9/Tab5", "LAN addresses among no-payload", "≤65.1%",
+			fmt.Sprintf("%.1f%%", 100*rep.NoPayloadLANShare)},
+		{"E9/Tab5", "Adult censorship avg", "88.6%",
+			fmt.Sprintf("%.1f%%", 100*t5.Share(domains.Adult, classify.LCensorship).Avg)},
+		{"E9/Tab5", "Gambling censorship avg", "75.9%",
+			fmt.Sprintf("%.1f%%", 100*t5.Share(domains.Gambling, classify.LCensorship).Avg)},
+		{"E9/Tab5", "NX search avg", "35.7%",
+			fmt.Sprintf("%.1f%%", 100*t5.Share(domains.NX, classify.LSearch).Avg)},
+		{"E9/Tab5", "Banking HTTP-error avg", "55.4%",
+			fmt.Sprintf("%.1f%%", 100*t5.Share(domains.Banking, classify.LHTTPError).Avg)},
+	}
+	if fig4 != nil {
+		rows = append(rows,
+			Row{"E10/Fig4", "CN share of unexpected (FB/TW/YT)", "83.6%",
+				fmt.Sprintf("%.1f%%", 100*fig4.Unexpected["CN"])},
+			Row{"E10/Fig4", "IR share of unexpected (FB/TW/YT)", "12.9%",
+				fmt.Sprintf("%.1f%%", 100*fig4.Unexpected["IR"])})
+	}
+	cs := rep.Cases
+	rows = append(rows,
+		Row{"E11/§4.3", "HTTP-only proxy IPs", "10", fmt.Sprintf("%d", cs.ProxyPlainIPs)},
+		Row{"E11/§4.3", "proxy resolvers plain vs TLS", "10,179 vs 99",
+			fmt.Sprintf("%d vs %d", cs.ProxyPlainResolvers, cs.ProxyTLSResolvers)},
+		Row{"E11/§4.3", "PayPal phishing IPs", "16", fmt.Sprintf("%d", cs.PhishPayPalIPs)},
+		Row{"E11/§4.3", "malware-dropper IPs", "30", fmt.Sprintf("%d", cs.MalwareIPs)},
+		Row{"E11/§4.3", "mail-listening IPs", "1,135", fmt.Sprintf("%d", cs.MailListenerIPs)},
+	)
+	return rows
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"goingwild/internal/ampli"
+	"goingwild/internal/core"
+	"goingwild/internal/netalyzr"
+	"goingwild/internal/snoop"
+)
+
+func TestRenderAmplification(t *testing.T) {
+	s := &ampli.Survey{
+		Measurements: []ampli.Measurement{
+			{Addr: 1, RequestSize: 50, ResponseSize: 100},
+			{Addr: 2, RequestSize: 50, ResponseSize: 2500},
+		},
+		Responded: 2,
+		Refused:   1,
+	}
+	out := RenderAmplification(s, 10)
+	for _, want := range []string{"BAF_all", "BAF_10", "refused ANY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDNSSECRace(t *testing.T) {
+	r := &core.DNSSECRaceResult{
+		Domain: "wikileaks.org", Signed: true, Resolvers: 100,
+		FirstPoisoned: 100, ValidatedCorrect: 2, ValidatedUnavail: 98,
+	}
+	out := RenderDNSSECRace(r)
+	if !strings.Contains(out, "100.0% poisoned") || !strings.Contains(out, "98.0% unavailable") {
+		t.Errorf("race render:\n%s", out)
+	}
+	unsigned := &core.DNSSECRaceResult{Domain: "facebook.com", Resolvers: 10, FirstPoisoned: 10, ValidatedFallback: 10}
+	out = RenderDNSSECRace(unsigned)
+	if !strings.Contains(out, "zone unsigned") {
+		t.Errorf("unsigned render:\n%s", out)
+	}
+	if got := RenderDNSSECRace(&core.DNSSECRaceResult{Domain: "x"}); !strings.Contains(got, "0 resolvers") {
+		t.Errorf("empty render:\n%s", got)
+	}
+}
+
+func TestRenderPopularity(t *testing.T) {
+	est := []snoop.PopularityEstimate{
+		{Addr: 0x01020304, GapSeconds: 120, RequestsPerHour: 30, Observations: 3},
+		{Addr: 0x05060708, GapSeconds: 0, RequestsPerHour: 3600, Observations: 5},
+	}
+	out := RenderPopularity(est, 1)
+	if !strings.Contains(out, "5.6.7.8") {
+		t.Errorf("topN ordering wrong (fastest first expected):\n%s", out)
+	}
+	if strings.Contains(out, "1.2.3.4") {
+		t.Errorf("topN cap not applied:\n%s", out)
+	}
+}
+
+func TestRenderNetalyzr(t *testing.T) {
+	s := &netalyzr.Study{
+		Sessions:   make([]netalyzr.SessionResult, 200),
+		Monetizers: 22,
+		Manipul:    9,
+	}
+	out := RenderNetalyzr(s)
+	if !strings.Contains(out, "11.0%") || !strings.Contains(out, "4.5%") {
+		t.Errorf("netalyzr render:\n%s", out)
+	}
+	if RenderNetalyzr(&netalyzr.Study{}) == "" {
+		t.Error("empty study render empty")
+	}
+}
+
+func TestCompareExtensionsRows(t *testing.T) {
+	race := &core.DNSSECRaceResult{Resolvers: 10, FirstPoisoned: 10, ValidatedUnavail: 10}
+	amp := &ampli.Survey{Responded: 5, Measurements: []ampli.Measurement{{Addr: 1, RequestSize: 10, ResponseSize: 100}}}
+	est := []snoop.PopularityEstimate{{Addr: 1}}
+	rows := CompareExtensions(race, amp, est)
+	if len(rows) != 6 {
+		t.Errorf("rows = %d, want 6", len(rows))
+	}
+	if rows := CompareExtensions(nil, nil, nil); len(rows) != 0 {
+		t.Errorf("nil inputs produced %d rows", len(rows))
+	}
+}

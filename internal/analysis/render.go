@@ -1,0 +1,292 @@
+// Package analysis renders measurement results in the shape of the
+// paper's tables and figures, with raw simulated counts and their
+// extrapolation to the paper's 2^32 address space, and builds the
+// paper-vs-measured comparison rows recorded in EXPERIMENTS.md.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/classify"
+	"goingwild/internal/devices"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/fingerprint"
+	"goingwild/internal/prefilter"
+	"goingwild/internal/snoop"
+	"goingwild/internal/software"
+)
+
+// Scale carries the extrapolation factor from the simulated space to the
+// paper's Internet.
+type Scale float64
+
+// Extrapolate converts a simulated count to paper scale.
+func (s Scale) Extrapolate(n int) float64 { return float64(n) * float64(s) }
+
+// fmtCount renders a raw count with its extrapolation.
+func (s Scale) fmtCount(n int) string {
+	if s <= 1 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%d (≈%s at paper scale)", n, human(s.Extrapolate(n)))
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// RenderFigure1 prints the weekly responder series.
+func RenderFigure1(series *churn.Series, scale Scale) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — responding DNS resolvers per weekly scan\n")
+	sb.WriteString("week    ALL       NOERROR   REFUSED   SERVFAIL\n")
+	for _, w := range series.Weeks {
+		fmt.Fprintf(&sb, "%4d  %8.0f  %8.0f  %8.0f  %8.0f\n",
+			w.Week,
+			scale.Extrapolate(w.Total),
+			scale.Extrapolate(w.ByRCode[dnswire.RCodeNoError]),
+			scale.Extrapolate(w.ByRCode[dnswire.RCodeRefused]),
+			scale.Extrapolate(w.ByRCode[dnswire.RCodeServFail]))
+	}
+	return sb.String()
+}
+
+// RenderTable1 prints the country-fluctuation table.
+func RenderTable1(series *churn.Series, scale Scale, topN int) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1 — resolver fluctuation per country\n")
+	sb.WriteString("country   first-scan   last-scan   fluctuation\n")
+	for _, row := range series.CountryFluctuation(topN) {
+		fmt.Fprintf(&sb, "%-8s %11.0f %11.0f   %+8.0f (%+.1f%%)\n",
+			row.Key, scale.Extrapolate(row.Start), scale.Extrapolate(row.End),
+			scale.Extrapolate(row.Fluctuation), row.Percent)
+	}
+	return sb.String()
+}
+
+// RenderTable2 prints the RIR-fluctuation table.
+func RenderTable2(series *churn.Series, scale Scale) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2 — resolver fluctuation per Regional Internet Registry\n")
+	sb.WriteString("RIR        first-scan   last-scan   fluctuation\n")
+	for _, row := range series.RIRFluctuation() {
+		fmt.Fprintf(&sb, "%-9s %11.0f %11.0f   %+8.0f (%+.1f%%)\n",
+			row.Key, scale.Extrapolate(row.Start), scale.Extrapolate(row.End),
+			scale.Extrapolate(row.Fluctuation), row.Percent)
+	}
+	return sb.String()
+}
+
+// RenderTable3 prints the CHAOS software table with the curated CVE
+// annotations.
+func RenderTable3(s *fingerprint.ChaosSurvey, topN int) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3 — CHAOS version fingerprinting\n")
+	fmt.Fprintf(&sb, "responders: %d; error-both %.1f%%, no-version %.1f%%, hidden %.1f%%, versioned %.1f%%\n",
+		s.Responded,
+		100*float64(s.Outcomes[fingerprint.ChaosErrors])/float64(s.Responded),
+		100*float64(s.Outcomes[fingerprint.ChaosNoVersion])/float64(s.Responded),
+		100*float64(s.Outcomes[fingerprint.ChaosHiddenStr])/float64(s.Responded),
+		100*s.VersionedShare())
+	type row struct {
+		name  string
+		count int
+		meta  *software.Entry
+	}
+	versioned := s.Outcomes[fingerprint.ChaosVersion]
+	var rows []row
+	for name, n := range s.Versions {
+		r := row{name: name, count: n}
+		for i := range software.Catalog {
+			e := &software.Catalog[i]
+			if name == e.Vendor+" "+e.Version {
+				r.meta = e
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	sb.WriteString("software              share   released   deprecated   CVE classes\n")
+	for _, r := range rows {
+		released, deprecated, cves := "?", "?", ""
+		if r.meta != nil {
+			released, deprecated = r.meta.Released, r.meta.Deprecated
+			var cc []string
+			for _, v := range r.meta.Vulns {
+				cc = append(cc, string(v))
+			}
+			cves = strings.Join(cc, ", ")
+		}
+		fmt.Fprintf(&sb, "%-20s %5.1f%%   %-9s  %-10s   %s\n",
+			r.name, 100*float64(r.count)/float64(versioned), released, deprecated, cves)
+	}
+	fmt.Fprintf(&sb, "BIND family share among versioned: %.1f%%\n",
+		100*float64(s.VendorTotals["BIND"])/float64(versioned))
+	return sb.String()
+}
+
+// RenderTable4 prints the device-fingerprinting table.
+func RenderTable4(s *fingerprint.DeviceSurvey) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4 — device fingerprinting of TCP-responsive resolvers\n")
+	fmt.Fprintf(&sb, "scanned %d resolvers; %d (%.1f%%) returned TCP payload\n",
+		s.Scanned, s.Responsive, 100*float64(s.Responsive)/float64(s.Scanned))
+	sb.WriteString("hardware:")
+	hwOrder := []devices.Hardware{devices.HWRouter, devices.HWEmbedded, devices.HWFirewall,
+		devices.HWCamera, devices.HWDVR, devices.HWNAS, devices.HWDSLAM, devices.HWOther, devices.HWUnknown}
+	for _, hw := range hwOrder {
+		fmt.Fprintf(&sb, "  %s %.1f%%", hw, 100*float64(s.Hardware[hw])/float64(s.Responsive))
+	}
+	sb.WriteString("\nOS:      ")
+	osOrder := []devices.OS{devices.OSLinux, devices.OSZyNOS, devices.OSEmbedded, devices.OSUnix,
+		devices.OSWindows, devices.OSSmartWare, devices.OSRouterOS, devices.OSCentOS, devices.OSOther, devices.OSUnknown}
+	for _, os := range osOrder {
+		fmt.Fprintf(&sb, "  %s %.1f%%", os, 100*float64(s.OS[os])/float64(s.Responsive))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// RenderFigure2 prints the cohort survival curve.
+func RenderFigure2(c *churn.CohortStudy) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — IP address churn of the first-scan cohort\n")
+	fmt.Fprintf(&sb, "cohort: %d resolvers; day-1 survival %.1f%%\n",
+		len(c.Cohort), 100*c.Day1Survival)
+	for week, s := range c.SurvivalByWeek {
+		fmt.Fprintf(&sb, "week %2d: %5.1f%% %s\n", week, 100*s, bar(s, 50))
+	}
+	fmt.Fprintf(&sb, "dynamic-token rDNS among one-day churners: %.1f%% (of %d with rDNS)\n",
+		100*c.DynamicRDNSShare, c.RDNSCount)
+	if len(c.Survivors) > 0 && c.TopSurvivorNetworks > 0 {
+		fmt.Fprintf(&sb, "final survivors: %d; top-3 networks hold %.1f%% of them\n",
+			len(c.Survivors), 100*c.TopSurvivorNetworks)
+	}
+	return sb.String()
+}
+
+func bar(v float64, width int) string {
+	n := int(v * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// RenderUtilization prints the cache-snooping study.
+func RenderUtilization(r *snoop.Result) string {
+	var sb strings.Builder
+	sb.WriteString("Resolver utilization via DNS cache snooping (§2.6)\n")
+	fmt.Fprintf(&sb, "scanned %d resolvers; %d (%.1f%%) answered ≥1 probe\n",
+		r.Scanned, r.Responded, 100*float64(r.Responded)/float64(r.Scanned))
+	order := []snoop.Class{snoop.ClassInUse, snoop.ClassResetting, snoop.ClassEmpty,
+		snoop.ClassStaticTTL, snoop.ClassDecreasing, snoop.ClassSingleStop,
+		snoop.ClassInsufficient, snoop.ClassUnreachable}
+	for _, c := range order {
+		fmt.Fprintf(&sb, "  %-18s %6.1f%%\n", c, 100*float64(r.Counts[c])/float64(r.Scanned))
+	}
+	fmt.Fprintf(&sb, "  %-18s %6.1f%%  (re-cached within seconds of expiry)\n",
+		"in-use, frequent", 100*float64(r.Frequent)/float64(r.Scanned))
+	return sb.String()
+}
+
+// RenderPrefilter prints the §4.1 prefiltering summary.
+func RenderPrefilter(pre *prefilter.Result) string {
+	var sb strings.Builder
+	sb.WriteString("DNS-based prefiltering (§4.1)\n")
+	sb.WriteString("domain                                  legit   empty  unexpected  error\n")
+	for i := range pre.PerDomain {
+		d := &pre.PerDomain[i]
+		fmt.Fprintf(&sb, "%-38s %6.1f%% %6.1f%%   %6.1f%%  %6.1f%%\n",
+			d.Name,
+			100*d.Share(prefilter.ClassLegit),
+			100*d.Share(prefilter.ClassEmpty),
+			100*d.Share(prefilter.ClassUnexpected),
+			100*d.Share(prefilter.ClassErrorRCode))
+	}
+	return sb.String()
+}
+
+// RenderTable5 prints the label×category matrix.
+func RenderTable5(t *classify.Table5, cats []domains.Category) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5 — classification of unexpected (domain ∘ ip ∘ resolver) tuples\n")
+	sb.WriteString("label        ")
+	for _, cat := range cats {
+		fmt.Fprintf(&sb, " %-12s", truncate(string(cat), 12))
+	}
+	sb.WriteString("\n")
+	for _, l := range classify.TableLabels {
+		fmt.Fprintf(&sb, "%-12s ", l)
+		for _, cat := range cats {
+			st := t.Share(cat, l)
+			fmt.Fprintf(&sb, " %4.1f (%4.1f) ", 100*st.Avg, 100*st.Max)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("cells: average%% (max%% for a single domain of the category)\n")
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// RenderFigure4 prints the censorship geography figure.
+func RenderFigure4(f *classify.Figure4) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4 — resolver country distribution for %s\n", strings.Join(f.Domains, ", "))
+	sb.WriteString("(a) all responses:        ")
+	for _, e := range classify.TopCountries(f.All, 8) {
+		fmt.Fprintf(&sb, "%s %.1f%%  ", e.Country, 100*e.Share)
+	}
+	sb.WriteString("\n(b) unexpected responses: ")
+	for _, e := range classify.TopCountries(f.Unexpected, 5) {
+		fmt.Fprintf(&sb, "%s %.1f%%  ", e.Country, 100*e.Share)
+	}
+	fmt.Fprintf(&sb, "\nsuspicious resolvers: %d\n", f.UnexpectedCount)
+	return sb.String()
+}
+
+// RenderCaseStudies prints the §4.3 findings.
+func RenderCaseStudies(cs *classify.CaseStudies, scale Scale) string {
+	var sb strings.Builder
+	sb.WriteString("Case studies (§4.3)\n")
+	fmt.Fprintf(&sb, "  ad injection:        %d IPs, %s resolvers\n", cs.AdInjectIPs, scale.fmtCount(cs.AdInjectResolvers))
+	fmt.Fprintf(&sb, "  ad blocking:         %d IPs, %s resolvers\n", cs.AdBlockIPs, scale.fmtCount(cs.AdBlockResolvers))
+	fmt.Fprintf(&sb, "  fake search w/ ads:  %d IPs, %s resolvers\n", cs.AdFakeSearchIPs, scale.fmtCount(cs.AdFakeSearchResolvers))
+	fmt.Fprintf(&sb, "  TLS proxies:         %d IPs, %s resolvers\n", cs.ProxyTLSIPs, scale.fmtCount(cs.ProxyTLSResolvers))
+	fmt.Fprintf(&sb, "  HTTP-only proxies:   %d IPs, %s resolvers\n", cs.ProxyPlainIPs, scale.fmtCount(cs.ProxyPlainResolvers))
+	fmt.Fprintf(&sb, "  PayPal phishing:     %d IPs (%d self-signed TLS), %s resolvers\n",
+		cs.PhishPayPalIPs, cs.PhishPayPalTLS, scale.fmtCount(cs.PhishPayPalResolvers))
+	fmt.Fprintf(&sb, "  bank phishing:       %d IPs, %s resolvers\n", cs.PhishBankIPs, scale.fmtCount(cs.PhishBankResolvers))
+	fmt.Fprintf(&sb, "  other phishing:      %d IPs, %s resolvers\n", cs.PhishOtherIPs, scale.fmtCount(cs.PhishOtherResolvers))
+	fmt.Fprintf(&sb, "  mail interception:   %d IPs (%d banner mimics), %s resolvers\n",
+		cs.MailListenerIPs, cs.MailMimicIPs, scale.fmtCount(cs.MailRedirResolvers))
+	fmt.Fprintf(&sb, "  malware delivery:    %d IPs, %s resolvers\n", cs.MalwareIPs, scale.fmtCount(cs.MalwareResolvers))
+	fmt.Fprintf(&sb, "  GFW double responses: %s resolvers\n", scale.fmtCount(cs.DoubleResponseResolvers))
+	fmt.Fprintf(&sb, "  self-IP answers:     %s resolvers\n", scale.fmtCount(cs.SelfIPResolvers))
+	fmt.Fprintf(&sb, "  static single IP:    %s resolvers\n", scale.fmtCount(cs.StaticIPResolvers))
+	fmt.Fprintf(&sb, "  same set >1 domain:  %s resolvers\n", scale.fmtCount(cs.SameSetResolvers))
+	return sb.String()
+}

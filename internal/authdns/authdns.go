@@ -1,0 +1,145 @@
+// Package authdns is a small standalone authoritative DNS server over
+// real UDP sockets, answering from a parsed zone file — the component the
+// measurement team runs for its ground-truth and scan-base zones
+// (§3.2/§3.3). It answers exact and wildcard matches, returns NXDOMAIN
+// with the zone SOA for misses inside the zone, and REFUSED for names
+// outside it.
+package authdns
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/zonefile"
+)
+
+// Server serves one zone over UDP.
+type Server struct {
+	zone *zonefile.Zone
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+
+	queries atomic.Uint64
+	// Log receives one line per query when non-nil.
+	Log func(format string, args ...any)
+}
+
+// Serve binds addr ("127.0.0.1:0" for an ephemeral port) and starts
+// answering.
+func Serve(zone *zonefile.Zone, addr string) (*Server, error) {
+	if zone.Origin == "" {
+		return nil, fmt.Errorf("authdns: zone has no $ORIGIN")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("authdns: %w", err)
+	}
+	conn, err := net.ListenUDP("udp4", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("authdns: %w", err)
+	}
+	s := &Server{zone: zone, conn: conn}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Queries returns the number of queries handled.
+func (s *Server) Queries() uint64 { return s.queries.Load() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		resp := s.handle(buf[:n])
+		if resp == nil {
+			continue
+		}
+		wire, err := resp.PackBytes()
+		if err != nil {
+			continue
+		}
+		if msg, truncated := resp.Truncate(dnswire.MaxUDPSize); truncated {
+			if wire, err = msg.PackBytes(); err != nil {
+				continue
+			}
+		}
+		s.conn.WriteToUDP(wire, peer)
+	}
+}
+
+// Handle answers a single wire-format query (exported for tests and for
+// embedding the responder behind other transports).
+func (s *Server) Handle(wire []byte) []byte {
+	resp := s.handle(wire)
+	if resp == nil {
+		return nil
+	}
+	out, err := resp.PackBytes()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (s *Server) handle(wire []byte) *dnswire.Message {
+	q, err := dnswire.Unpack(wire)
+	if err != nil || q.Header.QR || len(q.Questions) == 0 {
+		return nil
+	}
+	s.queries.Add(1)
+	question := q.Questions[0]
+	name := dnswire.CanonicalName(question.Name)
+	if s.Log != nil {
+		s.Log("query %s %s", name, question.Type)
+	}
+	if question.Class != dnswire.ClassIN && question.Class != dnswire.ClassANY {
+		return dnswire.NewResponse(q, dnswire.RCodeNotImp)
+	}
+	if !s.zone.InZone(name) {
+		return dnswire.NewResponse(q, dnswire.RCodeRefused)
+	}
+	rrs := s.zone.Lookup(name, question.Type)
+	if len(rrs) == 0 && question.Type != dnswire.TypeCNAME {
+		// A CNAME at the name answers queries for any type.
+		rrs = s.zone.Lookup(name, dnswire.TypeCNAME)
+	}
+	resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+	resp.Header.AA = true
+	if len(rrs) == 0 {
+		// Distinguish empty answer (name exists with other types) from
+		// NXDOMAIN (name absent entirely).
+		if len(s.zone.Lookup(name, dnswire.TypeANY)) == 0 {
+			resp.Header.RCode = dnswire.RCodeNXDomain
+		}
+		if soa, ok := s.zone.SOA(); ok {
+			resp.Authority = append(resp.Authority, soa)
+		}
+		return resp
+	}
+	resp.Answers = append(resp.Answers, rrs...)
+	// Chase one CNAME hop inside the zone, as authoritative servers do.
+	for _, rr := range rrs {
+		if c, ok := rr.Data.(dnswire.CNAME); ok && question.Type != dnswire.TypeCNAME {
+			resp.Answers = append(resp.Answers, s.zone.Lookup(c.Target, question.Type)...)
+		}
+	}
+	return resp
+}

@@ -1,0 +1,160 @@
+package authdns
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/zonefile"
+)
+
+const testZone = `
+$ORIGIN dnsstudy.example.edu.
+$TTL 300
+@      IN SOA ns1 hostmaster 1 7200 900 1209600 86400
+@      IN NS  ns1
+ns1    IN A   192.0.2.1
+gt     IN A   192.0.2.10
+www    IN CNAME gt
+*.scan IN A   192.0.2.99
+`
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	z, err := zonefile.Parse(strings.NewReader(testZone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve(z, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// exchange performs one real UDP query against the server.
+func exchange(t *testing.T, s *Server, name string, typ dnswire.Type) *dnswire.Message {
+	t.Helper()
+	conn, err := net.DialUDP("udp4", nil, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(0xBEEF, name, typ, dnswire.ClassIN)
+	wire, err := q.PackBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 0xBEEF || !m.Header.QR {
+		t.Fatalf("bad response header: %+v", m.Header)
+	}
+	return m
+}
+
+func TestAuthoritativeAnswerOverRealUDP(t *testing.T) {
+	s := startServer(t)
+	m := exchange(t, s, "gt.dnsstudy.example.edu", dnswire.TypeA)
+	if m.Header.RCode != dnswire.RCodeNoError || len(m.Answers) != 1 {
+		t.Fatalf("answer = %v", m)
+	}
+	if !m.Header.AA {
+		t.Error("authoritative answer bit unset")
+	}
+	if a := m.Answers[0].Data.(dnswire.A); a.Addr.String() != "192.0.2.10" {
+		t.Errorf("A = %v", a.Addr)
+	}
+	if s.Queries() == 0 {
+		t.Error("query counter not incremented")
+	}
+}
+
+func TestWildcardOverUDP(t *testing.T) {
+	s := startServer(t)
+	m := exchange(t, s, "p1.c0a80105.scan.dnsstudy.example.edu", dnswire.TypeA)
+	if len(m.Answers) != 1 {
+		t.Fatalf("wildcard answers = %d", len(m.Answers))
+	}
+	if m.Answers[0].Name != "p1.c0a80105.scan.dnsstudy.example.edu" {
+		t.Errorf("owner = %q", m.Answers[0].Name)
+	}
+}
+
+func TestCNAMEChase(t *testing.T) {
+	s := startServer(t)
+	m := exchange(t, s, "www.dnsstudy.example.edu", dnswire.TypeA)
+	var haveCNAME, haveA bool
+	for _, rr := range m.Answers {
+		switch rr.Data.(type) {
+		case dnswire.CNAME:
+			haveCNAME = true
+		case dnswire.A:
+			haveA = true
+		}
+	}
+	if !haveCNAME || !haveA {
+		t.Errorf("CNAME chase incomplete: %v", m.Answers)
+	}
+}
+
+func TestNXDOMAINWithSOA(t *testing.T) {
+	s := startServer(t)
+	m := exchange(t, s, "missing.dnsstudy.example.edu", dnswire.TypeA)
+	if m.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v", m.Header.RCode)
+	}
+	if len(m.Authority) != 1 || m.Authority[0].Type() != dnswire.TypeSOA {
+		t.Errorf("authority = %v", m.Authority)
+	}
+}
+
+func TestEmptyAnswerVsNXDOMAIN(t *testing.T) {
+	s := startServer(t)
+	// gt exists but has no TXT: NOERROR with empty answer.
+	m := exchange(t, s, "gt.dnsstudy.example.edu", dnswire.TypeTXT)
+	if m.Header.RCode != dnswire.RCodeNoError || len(m.Answers) != 0 {
+		t.Errorf("empty-answer response = %v", m)
+	}
+}
+
+func TestRefusesOutOfZone(t *testing.T) {
+	s := startServer(t)
+	m := exchange(t, s, "google.com", dnswire.TypeA)
+	if m.Header.RCode != dnswire.RCodeRefused {
+		t.Errorf("out-of-zone rcode = %v", m.Header.RCode)
+	}
+}
+
+func TestHandleIgnoresGarbageAndResponses(t *testing.T) {
+	z, _ := zonefile.Parse(strings.NewReader(testZone))
+	s := &Server{zone: z}
+	if out := s.Handle([]byte{1, 2, 3}); out != nil {
+		t.Error("garbage answered")
+	}
+	resp := dnswire.NewResponse(dnswire.NewQuery(1, "gt.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN), dnswire.RCodeNoError)
+	wire, _ := resp.PackBytes()
+	if out := s.Handle(wire); out != nil {
+		t.Error("response packet answered (reflection loop)")
+	}
+}
+
+func TestServeRequiresOrigin(t *testing.T) {
+	if _, err := Serve(&zonefile.Zone{}, "127.0.0.1:0"); err == nil {
+		t.Error("zone without origin accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package classify
+
+import (
+	"sort"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/prefilter"
+	"goingwild/internal/scanner"
+)
+
+// Figure4 holds the per-country resolver distributions of Figure 4: for a
+// set of domains (the paper uses Facebook, Twitter, and YouTube), the
+// country mix of all answering resolvers versus the mix of resolvers with
+// unexpected answers.
+type Figure4 struct {
+	Domains    []string
+	All        map[string]float64
+	Unexpected map[string]float64
+	// UnexpectedCount is the number of distinct suspicious resolvers.
+	UnexpectedCount int
+}
+
+// TopCountries returns the n largest countries of a distribution,
+// descending.
+func TopCountries(dist map[string]float64, n int) []struct {
+	Country string
+	Share   float64
+} {
+	out := make([]struct {
+		Country string
+		Share   float64
+	}, 0, len(dist))
+	for c, s := range dist {
+		out = append(out, struct {
+			Country string
+			Share   float64
+		}{c, s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// BuildFigure4 computes the two distributions for the given domain names.
+func BuildFigure4(scan *scanner.DomainScanResult, pre *prefilter.Result, country func(resolverIdx int) string, names []string) *Figure4 {
+	nameIdx := map[int]bool{}
+	for ni, n := range scan.Names {
+		for _, want := range names {
+			if dnswire.EqualNamesFold(n, want) {
+				nameIdx[ni] = true
+			}
+		}
+	}
+	allRes := map[int]bool{}
+	unexpRes := map[int]bool{}
+	for ni := range nameIdx {
+		for ri := range scan.Resolvers {
+			if scan.Answers[ni][ri].Answered() {
+				allRes[ri] = true
+			}
+			if pre.Verdicts[ni][ri] == prefilter.ClassUnexpected {
+				unexpRes[ri] = true
+			}
+		}
+	}
+	f := &Figure4{
+		Domains:         names,
+		All:             map[string]float64{},
+		Unexpected:      map[string]float64{},
+		UnexpectedCount: len(unexpRes),
+	}
+	for ri := range allRes {
+		f.All[country(ri)]++
+	}
+	for ri := range unexpRes {
+		f.Unexpected[country(ri)]++
+	}
+	normalize(f.All)
+	normalize(f.Unexpected)
+	return f
+}
+
+// CensorCoverage measures, per country, the share of a country's
+// answering resolvers that returned unexpected answers for a domain —
+// the compliance analysis of §4.2 (99.7% of Chinese resolvers for the
+// blocked trio, 78.9% of Mongolian resolvers for adult domains, ...).
+func CensorCoverage(scan *scanner.DomainScanResult, pre *prefilter.Result, country func(resolverIdx int) string, name string) map[string]float64 {
+	ni := -1
+	for i, n := range scan.Names {
+		if dnswire.EqualNamesFold(n, name) {
+			ni = i
+			break
+		}
+	}
+	if ni < 0 {
+		return nil
+	}
+	total := map[string]int{}
+	blocked := map[string]int{}
+	for ri := range scan.Resolvers {
+		if !scan.Answers[ni][ri].Answered() {
+			continue
+		}
+		c := country(ri)
+		total[c]++
+		if pre.Verdicts[ni][ri] == prefilter.ClassUnexpected {
+			blocked[c]++
+		}
+	}
+	out := map[string]float64{}
+	for c, n := range total {
+		if n >= 5 { // require a minimal population for a stable ratio
+			out[c] = float64(blocked[c]) / float64(n)
+		}
+	}
+	return out
+}
+
+func normalize(m map[string]float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	if sum == 0 {
+		return
+	}
+	for k := range m {
+		m[k] /= sum
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+// Fine-grained clustering (§3.6, second stage): unknown responses are
+// diffed against the most similar ground-truth representation of the
+// website; the multisets of added and removed HTML tags summarize the
+// modification, and responses with similar modifications cluster together
+// via Jaccard distance. Small diffs with injected <script>/<form>/<img>
+// tags are exactly how the paper surfaces phishing and ad injection.
+
+// TagDiff computes the tags added to and removed from gt to obtain
+// unknown, using a longest-common-subsequence diff over the opening-tag
+// sequences (the `diff` utility role of §3.6).
+func TagDiff(unknown, gt []string) (added, removed map[string]int) {
+	added = map[string]int{}
+	removed = map[string]int{}
+	u, g := unknown, gt
+	if len(u) > editCap {
+		u = u[:editCap]
+	}
+	if len(g) > editCap {
+		g = g[:editCap]
+	}
+	// LCS table.
+	n, m := len(u), len(g)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if u[i] == g[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	// Walk the table emitting additions/removals.
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case u[i] == g[j]:
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			added[u[i]]++
+			i++
+		default:
+			removed[g[j]]++
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		added[u[i]]++
+	}
+	for ; j < m; j++ {
+		removed[g[j]]++
+	}
+	return added, removed
+}
+
+// Modification summarizes one unknown response's difference from its
+// nearest ground truth.
+type Modification struct {
+	Added   map[string]int
+	Removed map[string]int
+}
+
+// Size returns the total number of changed tags; zero means the page is a
+// byte-structure-identical copy (the transparent-proxy signature).
+func (m Modification) Size() int {
+	n := 0
+	for _, v := range m.Added {
+		n += v
+	}
+	for _, v := range m.Removed {
+		n += v
+	}
+	return n
+}
+
+// ModDistance is the Jaccard-multiset distance between two modifications,
+// comparing additions and removals separately and averaging.
+func ModDistance(a, b Modification) float64 {
+	return (JaccardMultiset(a.Added, b.Added) + JaccardMultiset(a.Removed, b.Removed)) / 2
+}
+
+// ClusterModifications groups modifications with agglomerative average
+// linkage at the given cutoff.
+func ClusterModifications(mods []Modification, cutoff float64) *Result {
+	return Agglomerate(len(mods), func(i, j int) float64 {
+		return ModDistance(mods[i], mods[j])
+	}, cutoff)
+}

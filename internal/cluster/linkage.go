@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Merge records one step of the agglomeration for dendrogram inspection
+// (the paper values hierarchical clustering precisely because the analyst
+// can audit the merge history, §3.6).
+type Merge struct {
+	// A and B are cluster ids being merged (initial items are clusters
+	// 0..n-1; merge k creates cluster n+k).
+	A, B int
+	// Dist is the average-linkage distance at which the merge happened.
+	Dist float64
+	// Size is the merged cluster's item count.
+	Size int
+}
+
+// Result is a finished clustering.
+type Result struct {
+	// Assign maps each item to a dense cluster index in [0, Num).
+	Assign []int
+	// Num is the number of clusters after cutting the dendrogram.
+	Num int
+	// Merges is the full merge history (n-1 entries when run to one
+	// cluster; fewer when the cutoff stops early).
+	Merges []Merge
+}
+
+// Members returns the item indices of each cluster.
+func (r *Result) Members() [][]int {
+	out := make([][]int, r.Num)
+	for item, c := range r.Assign {
+		out[c] = append(out[c], item)
+	}
+	return out
+}
+
+// Dendrogram renders the merge history as an indented text tree, largest
+// clusters first — the inspection aid hierarchical clustering buys.
+func (r *Result) Dendrogram() string {
+	var sb strings.Builder
+	members := r.Members()
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return len(members[order[i]]) > len(members[order[j]]) })
+	for _, c := range order {
+		fmt.Fprintf(&sb, "cluster %d: %d items\n", c, len(members[c]))
+	}
+	for _, m := range r.Merges {
+		fmt.Fprintf(&sb, "  merge %d+%d at %.3f -> size %d\n", m.A, m.B, m.Dist, m.Size)
+	}
+	return sb.String()
+}
+
+// Linkage selects how inter-cluster distance is updated after a merge
+// (Lance–Williams family).
+type Linkage uint8
+
+// Linkage criteria. The paper uses average linkage (§3.6: "similar
+// instances are grouped using average linkage"); the alternatives exist
+// for the linkage ablation.
+const (
+	// LinkageAverage updates to the size-weighted mean pairwise
+	// distance. Resists chaining, the paper's choice.
+	LinkageAverage Linkage = iota
+	// LinkageSingle updates to the minimum: clusters chain through
+	// border points.
+	LinkageSingle
+	// LinkageComplete updates to the maximum: compact, conservative
+	// clusters.
+	LinkageComplete
+)
+
+// Agglomerate performs agglomerative hierarchical clustering with average
+// linkage over n items whose pairwise distance is given by dist. Merging
+// stops when the closest pair of clusters is farther than cutoff; the
+// remaining clusters are the result.
+//
+// Average linkage is maintained with the Lance–Williams update: after
+// merging clusters a and b, the distance from the merge to any other
+// cluster c is the size-weighted mean of d(a,c) and d(b,c), which equals
+// the mean pairwise item distance.
+func Agglomerate(n int, dist func(i, j int) float64, cutoff float64) *Result {
+	return AgglomerateWith(n, dist, cutoff, LinkageAverage)
+}
+
+// AgglomerateWith is Agglomerate with an explicit linkage criterion.
+func AgglomerateWith(n int, dist func(i, j int) float64, cutoff float64, linkage Linkage) *Result {
+	if n == 0 {
+		return &Result{}
+	}
+	// Active cluster bookkeeping over a dense distance matrix.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(i, j)
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	size := make([]int, n)
+	active := make([]bool, n)
+	id := make([]int, n) // dendrogram id of slot i
+	for i := range size {
+		size[i] = 1
+		active[i] = true
+		id[i] = i
+	}
+	parent := make(map[int]int) // dendrogram id -> merged-into id
+	var merges []Merge
+	nextID := n
+	remaining := n
+	for remaining > 1 {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					bi, bj, best = i, j, d[i][j]
+				}
+			}
+		}
+		if bi < 0 || best > cutoff {
+			break
+		}
+		// Merge bj into bi, updating distances per the linkage.
+		na, nb := float64(size[bi]), float64(size[bj])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var v float64
+			switch linkage {
+			case LinkageSingle:
+				v = math.Min(d[bi][k], d[bj][k])
+			case LinkageComplete:
+				v = math.Max(d[bi][k], d[bj][k])
+			default:
+				v = (na*d[bi][k] + nb*d[bj][k]) / (na + nb)
+			}
+			d[bi][k], d[k][bi] = v, v
+		}
+		merges = append(merges, Merge{A: id[bi], B: id[bj], Dist: best, Size: size[bi] + size[bj]})
+		parent[id[bi]] = nextID
+		parent[id[bj]] = nextID
+		id[bi] = nextID
+		nextID++
+		size[bi] += size[bj]
+		active[bj] = false
+		remaining--
+	}
+	// Densely number the surviving clusters and resolve items to them.
+	clusterOf := map[int]int{}
+	num := 0
+	for i := 0; i < n; i++ {
+		if active[i] {
+			clusterOf[id[i]] = num
+			num++
+		}
+	}
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i
+		for {
+			p, ok := parent[c]
+			if !ok {
+				break
+			}
+			c = p
+		}
+		assign[i] = clusterOf[c]
+	}
+	return &Result{Assign: assign, Num: num, Merges: merges}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"goingwild/internal/dnssec"
+	"goingwild/internal/dnswire"
+)
+
+// DNSSECRaceResult quantifies §5's discussion: what a client relying on
+// Chinese resolvers experiences for an injected domain, under the
+// first-response strategy versus the validate-and-wait strategy.
+type DNSSECRaceResult struct {
+	Domain    string
+	Signed    bool
+	Resolvers int
+	// First-response strategy.
+	FirstPoisoned int
+	FirstCorrect  int
+	// Validate-and-wait strategy: accept only correctly signed
+	// responses; a signed domain with no valid response is a failure
+	// ("unavailable"), which §5 predicts for injectors that outrace
+	// the legitimate answer.
+	ValidatedCorrect  int
+	ValidatedUnavail  int
+	ValidatedFallback int // unsigned domain: validation cannot help
+}
+
+// RunDNSSECRace probes every resolver of a country for one domain and
+// evaluates both client strategies. The zone key is fetched through the
+// trusted path (the "previous knowledge that the domain supports DNSSEC"
+// precondition the paper spells out).
+func (s *Study) RunDNSSECRace(week int, country, name string) (*DNSSECRaceResult, error) {
+	s.SetWeek(week)
+	sweep, err := s.SweepAt(week)
+	if err != nil {
+		return nil, err
+	}
+	var resolvers []uint32
+	for _, addr := range sweep.NOERROR() {
+		if s.World.Geo().LookupU32(addr).Country == country {
+			resolvers = append(resolvers, addr)
+		}
+	}
+	if len(resolvers) == 0 {
+		return nil, fmt.Errorf("core: no NOERROR resolvers in %s", country)
+	}
+
+	// Client-side key knowledge via a trusted DNSKEY lookup.
+	var pub ed25519.PublicKey
+	signed := false
+	for _, m := range s.Scanner.Probe(s.trustedDNS, name, dnswire.TypeDNSKEY, dnswire.ClassIN) {
+		for _, rr := range m.Answers {
+			if k, ok := rr.Data.(dnswire.DNSKEY); ok {
+				pub = ed25519.PublicKey(k.PublicKey)
+				signed = true
+			}
+		}
+	}
+
+	legit, _ := s.TrustedResolve(name)
+	legitSet := map[uint32]bool{}
+	for _, a := range legit {
+		legitSet[a] = true
+	}
+	correct := func(m *dnswire.Message) bool {
+		for _, a := range m.AnswerAddrs() {
+			if legitSet[s.World.Mask(u32Of(a))] {
+				return true
+			}
+		}
+		return false
+	}
+
+	res := &DNSSECRaceResult{Domain: name, Signed: signed, Resolvers: len(resolvers)}
+	for _, r := range resolvers {
+		msgs := s.Scanner.Probe(r, name, dnswire.TypeA, dnswire.ClassIN)
+		if len(msgs) == 0 {
+			res.Resolvers--
+			continue
+		}
+		// Strategy 1: first response wins.
+		if correct(msgs[0]) {
+			res.FirstCorrect++
+		} else {
+			res.FirstPoisoned++
+		}
+		// Strategy 2: wait for a correctly signed response.
+		if !signed {
+			res.ValidatedFallback++
+			continue
+		}
+		// A cryptographically valid signature IS the correctness
+		// criterion here — CDN answers legitimately differ from the
+		// trusted vantage's, but only the zone owner can sign them.
+		validated := false
+		for _, m := range msgs {
+			if dnssec.ValidateResponse(pub, m) {
+				validated = true
+				res.ValidatedCorrect++
+				break
+			}
+		}
+		if !validated {
+			res.ValidatedUnavail++
+		}
+	}
+	return res, nil
+}
+
+func u32Of(a interface{ As4() [4]byte }) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

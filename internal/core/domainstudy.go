@@ -1,0 +1,106 @@
+package core
+
+import (
+	"goingwild/internal/classify"
+	"goingwild/internal/domains"
+	"goingwild/internal/prefilter"
+	"goingwild/internal/scanner"
+)
+
+// DomainStudyResult is the outcome of the full Figure-3 chain over one or
+// more domain categories.
+type DomainStudyResult struct {
+	// Resolvers is the NOERROR population the scan targeted.
+	Resolvers []uint32
+	Scan      *scanner.DomainScanResult
+	Pre       *prefilter.Result
+	Report    *classify.Report
+	// Fig4 is the country-distribution figure for the censored trio.
+	Fig4 *classify.Figure4
+	// StageTrace records per-stage tuple counts (the Figure-3 box
+	// flow).
+	StageTrace []StageCount
+}
+
+// StageCount is one pipeline-stage measurement.
+type StageCount struct {
+	Stage string
+	Count int
+}
+
+// RunDomainStudy executes steps ❶–❻ at the given week for the given
+// categories (nil means all 13). The ground-truth domain is always
+// appended, as in §3.3.
+func (s *Study) RunDomainStudy(week int, cats []domains.Category) (*DomainStudyResult, error) {
+	s.SetWeek(week)
+
+	// ❶ Full IPv4 scan.
+	sweep, err := s.SweepAt(week)
+	if err != nil {
+		return nil, err
+	}
+	resolvers := sweep.NOERROR()
+
+	// ❷ Domain scan for the selected categories plus the GT domain.
+	var names []string
+	if cats == nil {
+		names = domains.Names()
+	} else {
+		for _, cat := range cats {
+			for _, d := range domains.ByCategory(cat) {
+				names = append(names, d.Name)
+			}
+		}
+	}
+	names = append(names, domains.GroundTruth)
+	scan, err := s.Scanner.ScanDomains(resolvers, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// ❸ DNS-based prefiltering.
+	pre := prefilter.Run(scan, s.PrefilterEnv())
+
+	// ❹–❻ Acquisition, clustering, labeling, case studies.
+	gt := classify.BuildGroundTruth(s.Client, s.TrustedResolve, names)
+	pipe := &classify.Pipeline{
+		Client: s.Client,
+		ResolverCountry: func(ri int) string {
+			return s.World.Geo().LookupU32(resolvers[ri]).Country
+		},
+		ResolverAddr: func(ri int) uint32 { return resolvers[ri] },
+		NearResolver: func(ip uint32, ri int) bool {
+			r := resolvers[ri]
+			return ip>>8 == r>>8 || s.World.ASNOf(ip) == s.World.ASNOf(r)
+		},
+		ProbeCountryInjection: s.ProbeCountryInjection,
+	}
+	report := pipe.Run(scan, pre, gt)
+
+	res := &DomainStudyResult{
+		Resolvers: resolvers,
+		Scan:      scan,
+		Pre:       pre,
+		Report:    report,
+	}
+	res.Fig4 = classify.BuildFigure4(scan, pre, pipe.ResolverCountry,
+		[]string{"facebook.com", "twitter.com", "youtube.com"})
+
+	probes := len(resolvers) * len(names)
+	res.StageTrace = []StageCount{
+		{"1-ipv4-scan responders", sweep.Total()},
+		{"1-noerror resolvers", len(resolvers)},
+		{"2-domain-scan probes", probes},
+		{"3-unexpected tuples", len(pre.Unexpected)},
+		{"3-unexpected resolvers", len(pre.UnexpectedResolvers())},
+		{"4-fetched pairs", report.PairCount},
+		{"5-clusters", report.Clusters},
+	}
+	return res, nil
+}
+
+// CensorCoverageFor exposes the per-country compliance ratio for one
+// domain of a finished study.
+func (r *DomainStudyResult) CensorCoverageFor(country func(ri int) string, name string) map[string]float64 {
+	return classify.CensorCoverage(r.Scan, r.Pre, country, name)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"goingwild/internal/ampli"
+	"goingwild/internal/domains"
+	"goingwild/internal/netalyzr"
+	"goingwild/internal/snoop"
+)
+
+// RunAmplification surveys the population's ANY-query amplification
+// potential (the DDoS framing of §1/§3; companion to the authors' 2014
+// amplification study).
+func (s *Study) RunAmplification(week int, name string) (*ampli.Survey, int, error) {
+	res, err := s.SweepAt(week)
+	if err != nil {
+		return nil, 0, err
+	}
+	resolvers := res.NOERROR()
+	return ampli.Run(s.Transport, resolvers, name), len(resolvers), nil
+}
+
+// RunPopularity executes the fine-grained minute-resolution cache probe
+// (§2.6's suggested follow-up) over the resolvers the hourly study
+// flagged as in use.
+func (s *Study) RunPopularity(week int) ([]snoop.PopularityEstimate, error) {
+	res, err := s.SweepAt(week)
+	if err != nil {
+		return nil, err
+	}
+	cfg := snoop.DefaultPopularityConfig()
+	cfg.Week = week
+	// Index of "com" in the snooped TLD list keeps probe sequence
+	// numbers aligned with the hourly study.
+	for i, tld := range domains.SnoopedTLDs {
+		if tld == cfg.TLD {
+			cfg.TLDIdx = i
+		}
+	}
+	return snoop.EstimatePopularity(s.Scanner, s.Transport, res.NOERROR(), cfg), nil
+}
+
+// RunNetalyzr simulates the in-network volunteer-session study of Weaver
+// et al. against the world's *closed* ISP resolvers — the complementary
+// vantage §6 suggests combining with the open-resolver scans.
+func (s *Study) RunNetalyzr(week, sessions int) *netalyzr.Study {
+	s.SetWeek(week)
+	isCDNAS := func(asn uint32) bool { return asn >= 7000 && asn < 7060 }
+	return netalyzr.Run(s.World, netalyzr.Config{
+		Sessions:       sessions,
+		Seed:           s.Cfg.Seed ^ 0x4E7ABC,
+		Week:           week,
+		ProbeNX:        "ghoogle.com",
+		ProbeDomains:   []string{"chase.com", "okcupid.com", domains.GroundTruth},
+		TrustedResolve: s.TrustedResolve,
+		SameNeighborhood: func(a, b uint32) bool {
+			aa, ab := s.World.ASNOf(a), s.World.ASNOf(b)
+			return aa == ab || (isCDNAS(aa) && isCDNAS(ab))
+		},
+	})
+}

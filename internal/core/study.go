@@ -1,0 +1,383 @@
+// Package core orchestrates the complete reproduction: the longitudinal
+// resolver study of Section 2 (weekly scans, fingerprinting, churn, cache
+// snooping) and the Figure-3 processing chain of Sections 3–4 (domain
+// scans → prefiltering → data acquisition → clustering → labeling →
+// case studies).
+package core
+
+import (
+	"fmt"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/devices"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/fetch"
+	"goingwild/internal/fingerprint"
+	"goingwild/internal/geodb"
+	"goingwild/internal/prefilter"
+	"goingwild/internal/scanner"
+	"goingwild/internal/snoop"
+	"goingwild/internal/websim"
+	"goingwild/internal/wildnet"
+)
+
+// Config parameterizes a study.
+type Config struct {
+	// Order is the simulated address-space width (the paper's Internet
+	// is order 32; tests use 16–18, benches 20+).
+	Order uint
+	// Seed selects the simulated world.
+	Seed uint64
+	// ScanSeed seeds the scanner's LFSR permutations.
+	ScanSeed uint32
+	// Weeks is the longitudinal study length (the paper ran 55).
+	Weeks int
+	// Loss is the per-packet loss probability.
+	Loss float64
+	// Workers is the scanner's sender concurrency.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's setup at a reduced scale.
+func DefaultConfig(order uint) Config {
+	return Config{
+		Order:    order,
+		Seed:     0x60176A11D,
+		ScanSeed: 0x5EED,
+		Weeks:    55,
+		Loss:     0.002,
+		Workers:  8,
+	}
+}
+
+// Study owns a world and the measurement apparatus pointed at it.
+type Study struct {
+	Cfg       Config
+	World     *wildnet.World
+	Transport *wildnet.MemTransport
+	Scanner   *scanner.Scanner
+	Web       *websim.Server
+	Client    *fetch.Client
+
+	trustedDNS uint32
+	// Caches for the prefilter's measurement-channel lookups.
+	trustedCache map[string]trustedEntry
+	rdnsCache    map[uint32]rdnsEntry
+}
+
+type trustedEntry struct {
+	addrs []uint32
+	rcode dnswire.RCode
+}
+
+type rdnsEntry struct {
+	name string
+	ok   bool
+}
+
+// NewStudy builds the world and wires the measurement stack to it.
+func NewStudy(cfg Config) (*Study, error) {
+	wcfg := wildnet.DefaultConfig(cfg.Order)
+	wcfg.Seed = cfg.Seed
+	wcfg.Loss = cfg.Loss
+	w, err := wildnet.NewWorld(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
+	sc := scanner.New(tr, scanner.Options{
+		Workers:     cfg.Workers,
+		Retries:     1,
+		SettleDelay: scanner.NoSettle,
+	})
+	web := websim.New(w, wildnet.At(0))
+	s := &Study{
+		Cfg:          cfg,
+		World:        w,
+		Transport:    tr,
+		Scanner:      sc,
+		Web:          web,
+		trustedDNS:   w.RoleAddr(wildnet.RoleTrustedDNS, 0),
+		trustedCache: map[string]trustedEntry{},
+		rdnsCache:    map[uint32]rdnsEntry{},
+	}
+	s.Client = fetch.NewClient(web, s.resolveAt)
+	return s, nil
+}
+
+// Close releases the transport.
+func (s *Study) Close() error { return s.Transport.Close() }
+
+// SetWeek moves both the network and the application layer to a study
+// week.
+func (s *Study) SetWeek(week int) {
+	s.Transport.SetTime(wildnet.At(week))
+	s.Web.SetTime(wildnet.At(week))
+}
+
+// TrustedResolve performs a cached A lookup at the team's trusted
+// resolvers (a measurement channel, not world ground truth).
+func (s *Study) TrustedResolve(name string) ([]uint32, dnswire.RCode) {
+	if e, ok := s.trustedCache[name]; ok {
+		return e.addrs, e.rcode
+	}
+	addrs, rcode, ok := s.Scanner.LookupA(s.trustedDNS, name)
+	if !ok {
+		// One retry; the trusted path should be reliable.
+		addrs, rcode, ok = s.Scanner.LookupA(s.trustedDNS, name)
+		if !ok {
+			rcode = dnswire.RCodeServFail
+		}
+	}
+	s.trustedCache[name] = trustedEntry{addrs: addrs, rcode: rcode}
+	return addrs, rcode
+}
+
+// RDNS resolves an address's PTR record through the trusted resolvers.
+func (s *Study) RDNS(ip uint32) (string, bool) {
+	if e, ok := s.rdnsCache[ip]; ok {
+		return e.name, e.ok
+	}
+	name, ok := s.Scanner.LookupPTR(s.trustedDNS, ip)
+	if !ok {
+		name, ok = s.Scanner.LookupPTR(s.trustedDNS, ip)
+	}
+	s.rdnsCache[ip] = rdnsEntry{name: name, ok: ok}
+	return name, ok
+}
+
+// resolveAt resolves a name at an arbitrary resolver (redirect chasing in
+// the acquisition stage).
+func (s *Study) resolveAt(resolver uint32, name string) ([]uint32, bool) {
+	addrs, rcode, ok := s.Scanner.LookupA(resolver, name)
+	return addrs, ok && rcode == dnswire.RCodeNoError && len(addrs) > 0
+}
+
+// locator adapts the registry for the churn package.
+func (s *Study) locator() churn.Locator {
+	return func(u uint32) (string, geodb.RIR) {
+		loc := s.World.Geo().LookupU32(u)
+		return loc.Country, loc.RIR
+	}
+}
+
+// RunWeeklySeries performs the §2.2 longitudinal scans (Figure 1 and, via
+// the retained endpoints, Tables 1–2).
+func (s *Study) RunWeeklySeries() (*churn.Series, error) {
+	return churn.RunWeekly(s.Scanner, s.Transport, s.locator(), churn.StudyConfig{
+		Order:       s.Cfg.Order,
+		Seed:        s.Cfg.ScanSeed,
+		Weeks:       s.Cfg.Weeks,
+		Blacklist:   s.World.ScanBlacklist(),
+		RetainWeeks: []int{0, s.Cfg.Weeks - 1},
+	})
+}
+
+// SweepAt runs a single Internet-wide scan at a given week.
+func (s *Study) SweepAt(week int) (*scanner.SweepResult, error) {
+	s.SetWeek(week)
+	return s.Scanner.Sweep(s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919, s.World.ScanBlacklist())
+}
+
+// RunCohortStudy tracks the week-0 responders (Figure 2, §2.5).
+func (s *Study) RunCohortStudy(weeks int) (*churn.CohortStudy, error) {
+	res, err := s.SweepAt(0)
+	if err != nil {
+		return nil, err
+	}
+	cohort := make([]uint32, 0, res.Total())
+	for _, r := range res.Responders {
+		cohort = append(cohort, r.Addr)
+	}
+	return churn.RunCohort(s.Scanner, s.Transport, cohort, weeks, s.trustedDNS), nil
+}
+
+// RunChaos performs the CHAOS fingerprinting scan of §2.4 (Table 3).
+func (s *Study) RunChaos(week int) (*fingerprint.ChaosSurvey, int, error) {
+	res, err := s.SweepAt(week)
+	if err != nil {
+		return nil, 0, err
+	}
+	resolvers := res.NOERROR()
+	chaos, err := s.Scanner.ScanChaos(resolvers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fingerprint.SurveyChaos(chaos), len(resolvers), nil
+}
+
+// bannerSource adapts the world's TCP services for the fingerprinter.
+type bannerSource struct {
+	w *wildnet.World
+	t wildnet.Time
+}
+
+// Banner implements fingerprint.BannerSource.
+func (b bannerSource) Banner(addr uint32, proto devices.Proto) (string, bool) {
+	return b.w.ServiceBanner(addr, proto, b.t)
+}
+
+// RunDevices performs the device fingerprinting of §2.4 (Table 4).
+func (s *Study) RunDevices(week int) (*fingerprint.DeviceSurvey, error) {
+	res, err := s.SweepAt(week)
+	if err != nil {
+		return nil, err
+	}
+	resolvers := res.NOERROR()
+	return fingerprint.SurveyDevices(bannerSource{s.World, wildnet.At(week)}, resolvers), nil
+}
+
+// RunUtilization performs the cache-snooping study of §2.6.
+func (s *Study) RunUtilization(week int) (*snoop.Result, error) {
+	res, err := s.SweepAt(week)
+	if err != nil {
+		return nil, err
+	}
+	cfg := snoop.DefaultConfig(domains.SnoopedTLDs)
+	cfg.Week = week
+	return snoop.Run(s.Scanner, s.Transport, res.NOERROR(), cfg), nil
+}
+
+// VerificationResult compares the primary and secondary vantage scans
+// (§2.2: the secondary /8 vantage reveals networks blocking the primary).
+type VerificationResult struct {
+	Primary, Secondary   int
+	OnlySecondary        int
+	OnlySecondaryByRCode map[dnswire.RCode]int
+	MissedNOERRORShare   float64
+}
+
+// RunVerification executes the secondary-vantage verification scan.
+func (s *Study) RunVerification(week int) (*VerificationResult, error) {
+	primary, err := s.SweepAt(week)
+	if err != nil {
+		return nil, err
+	}
+	tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
+	defer tr2.Close()
+	tr2.SetTime(wildnet.At(week))
+	sc2 := scanner.New(tr2, scanner.Options{
+		Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
+	})
+	secondary, err := sc2.Sweep(s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919+1, s.World.ScanBlacklist())
+	if err != nil {
+		return nil, err
+	}
+	primarySet := make(map[uint32]bool, primary.Total())
+	for _, r := range primary.Responders {
+		primarySet[r.Addr] = true
+	}
+	out := &VerificationResult{
+		Primary:              primary.Total(),
+		Secondary:            secondary.Total(),
+		OnlySecondaryByRCode: map[dnswire.RCode]int{},
+	}
+	var missedNOERROR int
+	for _, r := range secondary.Responders {
+		if primarySet[r.Addr] {
+			continue
+		}
+		out.OnlySecondary++
+		out.OnlySecondaryByRCode[r.RCode]++
+		if r.RCode == dnswire.RCodeNoError {
+			missedNOERROR++
+		}
+	}
+	if n := primary.ByRCode[dnswire.RCodeNoError]; n > 0 {
+		out.MissedNOERRORShare = float64(missedNOERROR) / float64(n)
+	}
+	return out, nil
+}
+
+// SecondaryAliveSet probes the full space from the secondary vantage and
+// returns the responding set, for the vanished-network classification.
+func (s *Study) SecondaryAliveSet(week int) (map[uint32]bool, error) {
+	tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
+	defer tr2.Close()
+	tr2.SetTime(wildnet.At(week))
+	sc2 := scanner.New(tr2, scanner.Options{
+		Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
+	})
+	res, err := sc2.Sweep(s.Cfg.Order, s.Cfg.ScanSeed+99, s.World.ScanBlacklist())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint32]bool, res.Total())
+	for _, r := range res.Responders {
+		out[r.Addr] = true
+	}
+	return out, nil
+}
+
+// ProbeCountryInjection reproduces the §4.2 succeeding experiment: DNS
+// queries for name are sent to randomly chosen addresses of a country
+// (most of which run no resolver); responses for the probed name without
+// responses for a control name betray an in-transit injector like the
+// Great Firewall. Address sampling uses the public geographic registry.
+func (s *Study) ProbeCountryInjection(country, name string) bool {
+	const samples = 24
+	geo := s.World.Geo()
+	src := prand32(s.Cfg.Seed ^ hashString64(country) ^ hashString64(name))
+	hits := 0
+	tried := 0
+	for i := 0; tried < samples && i < samples*64; i++ {
+		u := s.World.Mask(src())
+		if geo.LookupU32(u).Country != country {
+			continue
+		}
+		tried++
+		if len(s.Scanner.Probe(u, name, dnswire.TypeA, dnswire.ClassIN)) == 0 {
+			continue
+		}
+		// Control: a name no injector cares about must stay silent
+		// from the same address (otherwise it is simply a resolver).
+		if len(s.Scanner.Probe(u, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)) == 0 {
+			hits++
+			if hits >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// prand32 returns a deterministic 32-bit stream for address sampling.
+func prand32(seed uint64) func() uint32 {
+	state := seed
+	return func() uint32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return uint32(state >> 32)
+	}
+}
+
+func hashString64(s string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// PrefilterEnv builds the prefilter's measurement environment.
+func (s *Study) PrefilterEnv() prefilter.Env {
+	return prefilter.Env{
+		TrustedResolve: s.TrustedResolve,
+		RDNS:           s.RDNS,
+		ASOf:           s.World.ASNOf,
+		CertProbe: func(ip uint32, serverName string, sni bool) (prefilter.Cert, bool) {
+			c, ok := s.Client.CertProbe(ip, serverName, sni)
+			if !ok {
+				return prefilter.Cert{}, false
+			}
+			return prefilter.Cert{
+				Valid:      c.Valid,
+				SelfSigned: c.SelfSigned,
+				CommonName: c.CommonName,
+				DNSNames:   c.DNSNames,
+			}, true
+		},
+		TrustedCDNNames: []string{"static.cdn-global.example"},
+	}
+}

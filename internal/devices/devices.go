@@ -1,0 +1,389 @@
+// Package devices catalogs the hardware/OS models behind open DNS
+// resolvers. The virtual Internet uses the catalog to emit realistic
+// FTP/HTTP/SSH/Telnet banner text; the fingerprinting pipeline compiles
+// its regular-expression database against device *tokens* the same way
+// the paper's authors manually compiled 2,245 expressions against
+// aggregated banner responses (§2.4, Table 4).
+package devices
+
+// Hardware is the coarse device category of Table 4.
+type Hardware uint8
+
+// Hardware categories.
+const (
+	HWUnknown Hardware = iota
+	HWRouter           // routers, modems, gateways
+	HWEmbedded
+	HWFirewall
+	HWCamera
+	HWDVR
+	HWNAS
+	HWDSLAM
+	HWOther
+)
+
+// String returns the category name used in Table 4.
+func (h Hardware) String() string {
+	switch h {
+	case HWRouter:
+		return "Router"
+	case HWEmbedded:
+		return "Embedded"
+	case HWFirewall:
+		return "Firewall"
+	case HWCamera:
+		return "Camera"
+	case HWDVR:
+		return "DVR"
+	case HWNAS:
+		return "NAS"
+	case HWDSLAM:
+		return "DSLAM"
+	case HWOther:
+		return "Others"
+	default:
+		return "Unknown"
+	}
+}
+
+// OS is the operating-system family of Table 4.
+type OS uint8
+
+// Operating systems.
+const (
+	OSUnknown OS = iota
+	OSLinux
+	OSZyNOS
+	OSEmbedded
+	OSUnix
+	OSWindows
+	OSSmartWare
+	OSRouterOS
+	OSCentOS
+	OSOther
+)
+
+// String returns the OS name used in Table 4.
+func (o OS) String() string {
+	switch o {
+	case OSLinux:
+		return "Linux"
+	case OSZyNOS:
+		return "ZyNOS"
+	case OSEmbedded:
+		return "EmbeddedOS"
+	case OSUnix:
+		return "Unix"
+	case OSWindows:
+		return "Windows"
+	case OSSmartWare:
+		return "SmartWare"
+	case OSRouterOS:
+		return "RouterOS"
+	case OSCentOS:
+		return "CentOS"
+	case OSOther:
+		return "Others"
+	default:
+		return "Unknown"
+	}
+}
+
+// Proto identifies one of the five banner-grabbed TCP services.
+type Proto uint8
+
+// Banner protocols (§2.4: FTP, HTTP, HTTPS, SSH, Telnet).
+const (
+	ProtoFTP Proto = iota
+	ProtoHTTP
+	ProtoHTTPS
+	ProtoSSH
+	ProtoTelnet
+	NumProtos
+)
+
+// String returns the protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoFTP:
+		return "ftp"
+	case ProtoHTTP:
+		return "http"
+	case ProtoHTTPS:
+		return "https"
+	case ProtoSSH:
+		return "ssh"
+	case ProtoTelnet:
+		return "telnet"
+	default:
+		return "unknown"
+	}
+}
+
+// Model is one concrete device model.
+type Model struct {
+	Name     string
+	Hardware Hardware
+	OS       OS
+	// Weight is the model's share among TCP-responsive resolvers;
+	// weights sum to 1 and their marginals reproduce Table 4.
+	Weight float64
+	// Banners maps protocols to the banner text served on that port.
+	// Absent protocols are closed on this model.
+	Banners map[Proto]string
+}
+
+// Catalog lists all modeled devices. The Unknown entries return payload
+// the fingerprint DB has no expression for, reproducing the paper's 29.3%
+// unknown-hardware / 23.9% unknown-OS shares.
+var Catalog = []Model{
+	// --- Routers / modems / gateways: 34.1% -------------------------
+	{
+		Name: "zyxel-p660", Hardware: HWRouter, OS: OSZyNOS, Weight: 0.100,
+		Banners: map[Proto]string{
+			ProtoFTP:    "220 P-660HN-T1A FTP version 1.0 ready",
+			ProtoHTTP:   "HTTP/1.0 401 Unauthorized\r\nWWW-Authenticate: Basic realm=\"P-660HN-T1A\"\r\nServer: RomPager/4.07 UPnP/1.0\r\n\r\nZyXEL router login",
+			ProtoTelnet: "\r\nP-660HN-T1A login: Password: ZyNOS",
+		},
+	},
+	{
+		Name: "zyxel-amg1302", Hardware: HWRouter, OS: OSZyNOS, Weight: 0.066,
+		Banners: map[Proto]string{
+			ProtoHTTP:   "HTTP/1.1 200 OK\r\nServer: ZyXEL-RomPager/3.02\r\n\r\n<html><title>AMG1302-T10B</title>ZyNOS firmware</html>",
+			ProtoTelnet: "AMG1302-T10B login: ZyNOS",
+		},
+	},
+	{
+		Name: "tplink-wr841", Hardware: HWRouter, OS: OSLinux, Weight: 0.050,
+		Banners: map[Proto]string{
+			ProtoHTTP:   "HTTP/1.1 401 N/A\r\nWWW-Authenticate: Basic realm=\"TP-LINK Wireless N Router WR841N\"\r\n\r\n",
+			ProtoTelnet: "TP-LINK(R) TL-WR841N telnet interface",
+		},
+	},
+	{
+		Name: "dlink-dsl2640", Hardware: HWRouter, OS: OSLinux, Weight: 0.036,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 401 Unauthorized\r\nWWW-Authenticate: Basic realm=\"DSL-2640B\"\r\nServer: micro_httpd\r\n\r\n",
+			ProtoFTP:  "220 DSL-2640B FTP server ready.",
+		},
+	},
+	{
+		Name: "mikrotik-rb750", Hardware: HWRouter, OS: OSRouterOS, Weight: 0.017,
+		Banners: map[Proto]string{
+			ProtoFTP:    "220 rb750 FTP server (MikroTik 5.26 RouterOS) ready",
+			ProtoSSH:    "SSH-2.0-ROSSSH",
+			ProtoTelnet: "MikroTik v5.26 Login:",
+		},
+	},
+	{
+		Name: "draytek-vigor", Hardware: HWRouter, OS: OSEmbedded, Weight: 0.024,
+		Banners: map[Proto]string{
+			ProtoHTTP:   "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic realm=\"Vigor router\"\r\nServer: DWS\r\n\r\n",
+			ProtoTelnet: "DrayTek Vigor2830 telnet",
+		},
+	},
+	{
+		Name: "huawei-hg532", Hardware: HWRouter, OS: OSEmbedded, Weight: 0.022,
+		Banners: map[Proto]string{
+			ProtoHTTP:   "HTTP/1.1 200 OK\r\nServer: mini_httpd\r\n\r\n<html><title>HG532e Home Gateway</title></html>",
+			ProtoTelnet: "HG532e login:",
+		},
+	},
+	{
+		Name: "smartax-mt880", Hardware: HWRouter, OS: OSSmartWare, Weight: 0.026,
+		Banners: map[Proto]string{
+			ProtoTelnet: "SmartAX MT880 SmartWare console login:",
+			ProtoFTP:    "220 SmartAX FTP (SmartWare build 4.1) ready",
+		},
+	},
+	// --- Embedded: 30.6% --------------------------------------------
+	{
+		Name: "goahead-generic", Hardware: HWEmbedded, OS: OSUnknown, Weight: 0.090,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\nServer: GoAhead-Webs\r\n\r\n<html>embedded device</html>",
+		},
+	},
+	{
+		Name: "rompager-cpe", Hardware: HWEmbedded, OS: OSUnknown, Weight: 0.080,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 401 Unauthorized\r\nServer: RomPager/4.51\r\nWWW-Authenticate: Basic realm=\"cpe\"\r\n\r\n",
+		},
+	},
+	{
+		Name: "serial2lan", Hardware: HWEmbedded, OS: OSEmbedded, Weight: 0.040,
+		Banners: map[Proto]string{
+			ProtoTelnet: "Serial to LAN converter CS-2000 console",
+		},
+	},
+	{
+		Name: "raspberrypi", Hardware: HWEmbedded, OS: OSLinux, Weight: 0.050,
+		Banners: map[Proto]string{
+			ProtoSSH:  "SSH-2.0-OpenSSH_6.0p1 Raspbian-4+deb7u2",
+			ProtoHTTP: "HTTP/1.1 200 OK\r\nServer: Apache/2.2.22 (Raspbian)\r\n\r\n",
+		},
+	},
+	{
+		Name: "arduino-bridge", Hardware: HWEmbedded, OS: OSEmbedded, Weight: 0.020,
+		Banners: map[Proto]string{
+			ProtoTelnet: "Arduino Yun bridge console",
+		},
+	},
+	{
+		Name: "busybox-generic", Hardware: HWEmbedded, OS: OSLinux, Weight: 0.026,
+		Banners: map[Proto]string{
+			ProtoTelnet: "BusyBox v1.19.4 built-in shell (ash)",
+		},
+	},
+	// --- Firewalls: 1.9% --------------------------------------------
+	{
+		Name: "fortigate-60", Hardware: HWFirewall, OS: OSUnix, Weight: 0.011,
+		Banners: map[Proto]string{
+			ProtoSSH:  "SSH-2.0-FortiSSH_3.0",
+			ProtoHTTP: "HTTP/1.1 302 Found\r\nServer: xxxxxxxx-xxxxx\r\nLocation: /fortigate/login\r\n\r\n",
+		},
+	},
+	{
+		Name: "sonicwall-tz", Hardware: HWFirewall, OS: OSEmbedded, Weight: 0.008,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\nServer: SonicWALL\r\n\r\nSonicWALL TZ 210 administration",
+		},
+	},
+	// --- Cameras: 1.8% ----------------------------------------------
+	{
+		Name: "hikvision-ds2", Hardware: HWCamera, OS: OSLinux, Weight: 0.010,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.1 401 Unauthorized\r\nServer: DVRDVS-Webs\r\nWWW-Authenticate: Basic realm=\"DS-2CD2032 IP CAMERA\"\r\n\r\n",
+		},
+	},
+	{
+		Name: "foscam-fi89", Hardware: HWCamera, OS: OSEmbedded, Weight: 0.008,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\nServer: Netwave IP Camera\r\n\r\nFoscam FI8918W",
+		},
+	},
+	// --- DVRs: 1.2% (the paper's dm500plus token) --------------------
+	{
+		Name: "dreambox-dm500", Hardware: HWDVR, OS: OSLinux, Weight: 0.007,
+		Banners: map[Proto]string{
+			ProtoTelnet: "dm500plus login:",
+			ProtoHTTP:   "HTTP/1.1 200 OK\r\nServer: Enigma WebInterface\r\n\r\nDreambox DM500+ PowerPC",
+		},
+	},
+	{
+		Name: "generic-dvr16", Hardware: HWDVR, OS: OSLinux, Weight: 0.005,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\nServer: thttpd\r\n\r\n<title>DVR16 Remote Viewer</title>",
+		},
+	},
+	// --- NAS: 10,962 hosts (≈0.2%) -----------------------------------
+	{
+		Name: "synology-ds", Hardware: HWNAS, OS: OSLinux, Weight: 0.002,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.1 200 OK\r\nServer: nginx\r\n\r\n<title>Synology DiskStation</title>",
+			ProtoFTP:  "220 Synology DS213 FTP server ready.",
+		},
+	},
+	// --- DSLAM: 5,061 hosts (≈0.09%) ---------------------------------
+	{
+		Name: "ecidslam", Hardware: HWDSLAM, OS: OSEmbedded, Weight: 0.001,
+		Banners: map[Proto]string{
+			ProtoTelnet: "ECI Hi-FOCuS DSLAM maintenance terminal",
+		},
+	},
+	// --- Others: ≈1.1% ------------------------------------------------
+	{
+		Name: "printer-jetdirect", Hardware: HWOther, OS: OSEmbedded, Weight: 0.006,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\nServer: HP-ChaiSOE/1.0\r\n\r\nJetDirect",
+		},
+	},
+	{
+		Name: "voip-gateway", Hardware: HWOther, OS: OSEmbedded, Weight: 0.005,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.1 200 OK\r\nServer: Grandstream GXW4008\r\n\r\n",
+		},
+	},
+	// --- Servers (recognizable OS, generic hardware) -----------------
+	{
+		Name: "linux-server", Hardware: HWUnknown, OS: OSLinux, Weight: 0.039,
+		Banners: map[Proto]string{
+			ProtoSSH:  "SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1.4",
+			ProtoHTTP: "HTTP/1.1 200 OK\r\nServer: Apache/2.2.14 (Ubuntu)\r\n\r\n",
+		},
+	},
+	{
+		Name: "centos-server", Hardware: HWUnknown, OS: OSCentOS, Weight: 0.021,
+		Banners: map[Proto]string{
+			ProtoSSH:  "SSH-2.0-OpenSSH_5.3 CentOS-5.9",
+			ProtoHTTP: "HTTP/1.1 403 Forbidden\r\nServer: Apache/2.2.3 (CentOS)\r\n\r\n",
+		},
+	},
+	{
+		Name: "freebsd-server", Hardware: HWUnknown, OS: OSUnix, Weight: 0.039,
+		Banners: map[Proto]string{
+			ProtoSSH: "SSH-2.0-OpenSSH_5.8p2 FreeBSD-20110503",
+			ProtoFTP: "220 host FTP server (Version 6.00LS) ready. FreeBSD",
+		},
+	},
+	{
+		Name: "windows-server", Hardware: HWUnknown, OS: OSWindows, Weight: 0.036,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.1 200 OK\r\nServer: Microsoft-IIS/7.5\r\n\r\n",
+			ProtoFTP:  "220 Microsoft FTP Service",
+		},
+	},
+	{
+		Name: "embedded-unknown-hw", Hardware: HWUnknown, OS: OSEmbedded, Weight: 0.079,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\nServer: eCos Embedded Web Server\r\n\r\n",
+		},
+	},
+	{
+		Name: "qnx-box", Hardware: HWUnknown, OS: OSOther, Weight: 0.015,
+		Banners: map[Proto]string{
+			ProtoTelnet: "QNX Neutrino RTOS (ttyp0) login:",
+		},
+	},
+	// --- Unrecognizable payload (Unknown/Unknown) --------------------
+	{
+		Name: "unknown-blob", Hardware: HWUnknown, OS: OSUnknown, Weight: 0.040,
+		Banners: map[Proto]string{
+			ProtoHTTP: "HTTP/1.0 200 OK\r\n\r\n<html><body>it works</body></html>",
+		},
+	},
+	{
+		Name: "unknown-telnet", Hardware: HWUnknown, OS: OSUnknown, Weight: 0.021,
+		Banners: map[Proto]string{
+			ProtoTelnet: "login:",
+		},
+	},
+}
+
+// TotalWeight returns the catalog's weight sum (≈1).
+func TotalWeight() float64 {
+	var s float64
+	for _, m := range Catalog {
+		s += m.Weight
+	}
+	return s
+}
+
+// HardwareShares aggregates the catalog weights by hardware category.
+func HardwareShares() map[Hardware]float64 {
+	out := map[Hardware]float64{}
+	total := TotalWeight()
+	for _, m := range Catalog {
+		out[m.Hardware] += m.Weight / total
+	}
+	return out
+}
+
+// OSShares aggregates the catalog weights by OS.
+func OSShares() map[OS]float64 {
+	out := map[OS]float64{}
+	total := TotalWeight()
+	for _, m := range Catalog {
+		out[m.OS] += m.Weight / total
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package devices
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightsSumToOne(t *testing.T) {
+	if got := TotalWeight(); math.Abs(got-1.0) > 0.002 {
+		t.Errorf("catalog weight sum = %.4f, want 1.0", got)
+	}
+}
+
+func TestHardwareMarginalsMatchTable4(t *testing.T) {
+	want := map[Hardware]float64{
+		HWRouter:   0.341,
+		HWEmbedded: 0.306,
+		HWFirewall: 0.019,
+		HWCamera:   0.018,
+		HWDVR:      0.012,
+		HWOther:    0.011,
+		HWUnknown:  0.290,
+	}
+	got := HardwareShares()
+	for hw, w := range want {
+		if math.Abs(got[hw]-w) > 0.005 {
+			t.Errorf("hardware %s share = %.3f, want %.3f", hw, got[hw], w)
+		}
+	}
+}
+
+func TestOSMarginalsMatchTable4(t *testing.T) {
+	want := map[OS]float64{
+		OSLinux:     0.225,
+		OSZyNOS:     0.166,
+		OSEmbedded:  0.213,
+		OSUnix:      0.050,
+		OSWindows:   0.036,
+		OSSmartWare: 0.026,
+		OSRouterOS:  0.017,
+		OSCentOS:    0.021,
+		OSUnknown:   0.231,
+	}
+	got := OSShares()
+	for os, w := range want {
+		if math.Abs(got[os]-w) > 0.006 {
+			t.Errorf("OS %s share = %.3f, want %.3f", os, got[os], w)
+		}
+	}
+}
+
+func TestEveryModelServesSomething(t *testing.T) {
+	for _, m := range Catalog {
+		if len(m.Banners) == 0 {
+			t.Errorf("model %s exposes no banners", m.Name)
+		}
+		for p, b := range m.Banners {
+			if b == "" {
+				t.Errorf("model %s has empty %s banner", m.Name, p)
+			}
+		}
+	}
+}
+
+func TestModelNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Catalog {
+		if seen[m.Name] {
+			t.Errorf("duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestDreamboxTokenPresent(t *testing.T) {
+	// The paper's worked example: "dm500plus login" identifies a
+	// PowerPC Linux DVR.
+	for _, m := range Catalog {
+		if m.Name == "dreambox-dm500" {
+			if m.Hardware != HWDVR || m.OS != OSLinux {
+				t.Errorf("dreambox classified as %s/%s", m.Hardware, m.OS)
+			}
+			if m.Banners[ProtoTelnet] != "dm500plus login:" {
+				t.Errorf("dreambox telnet banner = %q", m.Banners[ProtoTelnet])
+			}
+			return
+		}
+	}
+	t.Fatal("dreambox model missing")
+}

@@ -1,0 +1,159 @@
+// Package dnssec implements the response-authenticity machinery the
+// paper's discussion section calls for (§5 "DNS Authenticity"): zone
+// signing with Ed25519 (RFC 8080), RRset signature verification, and the
+// client-side strategies for racing an in-transit injector — accept the
+// first response (status quo) versus wait for a correctly signed answer
+// and drop unsigned or badly signed ones.
+package dnssec
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"goingwild/internal/dnswire"
+)
+
+// ZoneKey is a zone's signing key pair.
+type ZoneKey struct {
+	Zone    string
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+	KeyTag  uint16
+}
+
+// NewZoneKey derives a deterministic key for a zone from a seed — the
+// reproduction's stand-in for offline key ceremonies.
+func NewZoneKey(zone string, seed uint64) *ZoneKey {
+	var material [ed25519.SeedSize]byte
+	sum := sha256.Sum256(append(binary.BigEndian.AppendUint64(nil, seed), zone...))
+	copy(material[:], sum[:])
+	priv := ed25519.NewKeyFromSeed(material[:])
+	pub := priv.Public().(ed25519.PublicKey)
+	return &ZoneKey{
+		Zone:    dnswire.CanonicalName(zone),
+		Public:  pub,
+		private: priv,
+		KeyTag:  keyTag(pub),
+	}
+}
+
+// keyTag derives the RFC 4034 key tag (simplified: a hash fold of the
+// public key).
+func keyTag(pub ed25519.PublicKey) uint16 {
+	sum := sha256.Sum256(pub)
+	return binary.BigEndian.Uint16(sum[:2])
+}
+
+// DNSKEY renders the zone's public key record.
+func (k *ZoneKey) DNSKEY() dnswire.DNSKEY {
+	return dnswire.DNSKEY{
+		Flags:     257, // KSK
+		Protocol:  3,
+		Algorithm: dnswire.AlgoEd25519,
+		PublicKey: append([]byte(nil), k.Public...),
+	}
+}
+
+// signedData serializes an RRset canonically for signing: the RRSIG
+// header fields followed by each record in canonical form, sorted.
+func signedData(sig *dnswire.RRSIG, name string, class dnswire.Class, rrs []dnswire.ResourceRecord) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(sig.TypeCovered))
+	buf = append(buf, sig.Algorithm, sig.Labels)
+	buf = binary.BigEndian.AppendUint32(buf, sig.OrigTTL)
+	buf = binary.BigEndian.AppendUint32(buf, sig.Expiration)
+	buf = binary.BigEndian.AppendUint32(buf, sig.Inception)
+	buf = binary.BigEndian.AppendUint16(buf, sig.KeyTag)
+	buf = append(buf, dnswire.CanonicalName(sig.SignerName)...)
+	buf = append(buf, 0)
+	var wires [][]byte
+	for _, rr := range rrs {
+		m := &dnswire.Message{}
+		m.Answers = append(m.Answers, dnswire.ResourceRecord{
+			Name: dnswire.CanonicalName(name), Class: class, TTL: sig.OrigTTL, Data: rr.Data,
+		})
+		w, err := m.PackBytes()
+		if err != nil {
+			continue
+		}
+		wires = append(wires, w[12:]) // strip the header
+	}
+	sort.Slice(wires, func(i, j int) bool { return string(wires[i]) < string(wires[j]) })
+	for _, w := range wires {
+		buf = append(buf, w...)
+	}
+	return buf
+}
+
+// Sign produces an RRSIG over the A/record set of name.
+func (k *ZoneKey) Sign(name string, class dnswire.Class, ttl uint32, rrs []dnswire.ResourceRecord) dnswire.RRSIG {
+	typeCovered := dnswire.TypeA
+	if len(rrs) > 0 {
+		typeCovered = rrs[0].Type()
+	}
+	sig := dnswire.RRSIG{
+		TypeCovered: typeCovered,
+		Algorithm:   dnswire.AlgoEd25519,
+		Labels:      uint8(len(dnswire.SplitLabels(name))),
+		OrigTTL:     ttl,
+		Inception:   1420070400, // Jan 1 2015
+		Expiration:  1451606400, // Jan 1 2016
+		KeyTag:      k.KeyTag,
+		SignerName:  k.Zone,
+	}
+	data := signedData(&sig, name, class, rrs)
+	sig.Signature = ed25519.Sign(k.private, data)
+	return sig
+}
+
+// Verify checks an RRSIG over an RRset against a public key.
+func Verify(pub ed25519.PublicKey, sig *dnswire.RRSIG, name string, class dnswire.Class, rrs []dnswire.ResourceRecord) bool {
+	if sig.Algorithm != dnswire.AlgoEd25519 || len(sig.Signature) != ed25519.SignatureSize {
+		return false
+	}
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	data := signedData(sig, name, class, rrs)
+	return ed25519.Verify(pub, data, sig.Signature)
+}
+
+// SplitAnswer separates a response's answer section into the data RRset
+// and its signatures.
+func SplitAnswer(m *dnswire.Message) (rrs []dnswire.ResourceRecord, sigs []dnswire.RRSIG) {
+	for _, rr := range m.Answers {
+		if s, ok := rr.Data.(dnswire.RRSIG); ok {
+			sigs = append(sigs, s)
+			continue
+		}
+		rrs = append(rrs, rr)
+	}
+	return rrs, sigs
+}
+
+// ValidateResponse reports whether a response carries a correctly signed
+// answer RRset under the given zone key. Each signature is checked
+// against the records of exactly the type it covers.
+func ValidateResponse(pub ed25519.PublicKey, m *dnswire.Message) bool {
+	rrs, sigs := SplitAnswer(m)
+	if len(rrs) == 0 || len(sigs) == 0 {
+		return false
+	}
+	name := m.Question().Name
+	for i := range sigs {
+		var covered []dnswire.ResourceRecord
+		for _, rr := range rrs {
+			if rr.Type() == sigs[i].TypeCovered {
+				covered = append(covered, rr)
+			}
+		}
+		if len(covered) == 0 {
+			continue
+		}
+		if Verify(pub, &sigs[i], name, dnswire.ClassIN, covered) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package dnswire
+
+import (
+	"testing"
+)
+
+// FuzzUnpack hardens the wire decoder against hostile responders: no
+// input may panic, and anything that unpacks must re-pack and unpack to
+// the same structure where packable.
+func FuzzUnpack(f *testing.F) {
+	q := NewQuery(7, "r1.c0a80101.scan.dnsstudy.example.edu", TypeA, ClassIN)
+	wire, _ := q.PackBytes()
+	f.Add(wire)
+	resp := NewResponse(q, RCodeNoError)
+	resp.AddAnswer(q.Questions[0].Name, ClassIN, 300, TXT{Strings: []string{"x"}})
+	resp.AddAuthority("scan.dnsstudy.example.edu", ClassIN, 60, SOA{MName: "ns1", RName: "h"})
+	wire2, _ := resp.PackBytes()
+	f.Add(wire2)
+	f.Add([]byte{0, 1, 0, 0, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked, err := m.PackBytes()
+		if err != nil {
+			return // some decodable messages are not canonical
+		}
+		if _, err := Unpack(repacked); err != nil {
+			t.Fatalf("repacked message does not unpack: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeTargetQName guards the scan-response attribution path.
+func FuzzDecodeTargetQName(f *testing.F) {
+	f.Add("r1.c0a80101.scan.dnsstudy.example.edu")
+	f.Add("scan.dnsstudy.example.edu")
+	f.Add("..")
+	f.Fuzz(func(t *testing.T, name string) {
+		DecodeTargetQName(name, "scan.dnsstudy.example.edu")
+	})
+}

@@ -1,0 +1,330 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Header is the fixed 12-octet DNS message header with its flag bits
+// broken out.
+type Header struct {
+	ID     uint16
+	QR     bool // response flag
+	Opcode Opcode
+	AA     bool // authoritative answer
+	TC     bool // truncated
+	RD     bool // recursion desired
+	RA     bool // recursion available
+	RCode  RCode
+}
+
+// Question is a single entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// ResourceRecord is a single entry of the answer, authority, or additional
+// sections.
+type ResourceRecord struct {
+	Name  string
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record type, derived from the typed body.
+func (rr ResourceRecord) Type() Type {
+	if rr.Data == nil {
+		return TypeNone
+	}
+	return rr.Data.Type()
+}
+
+// String renders the record in zone-file style.
+func (rr ResourceRecord) String() string {
+	return fmt.Sprintf("%s. %d %s %s %s", rr.Name, rr.TTL, rr.Class, rr.Type(), rr.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []ResourceRecord
+	Authority  []ResourceRecord
+	Additional []ResourceRecord
+}
+
+// maxUDPPayload is the classic 512-octet UDP ceiling; the scanners never
+// need EDNS-sized responses, and responders truncate beyond it.
+const maxUDPPayload = 512
+
+// NewQuery builds a single-question query message with recursion desired,
+// the shape every scan in the paper sends.
+func NewQuery(id uint16, name string, typ Type, class Class) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: true, Opcode: OpcodeQuery},
+		Questions: []Question{{Name: name, Type: typ, Class: class}},
+	}
+}
+
+// NewResponse builds a response message answering q, echoing its question
+// section as resolvers do.
+func NewResponse(q *Message, rcode RCode) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:     q.Header.ID,
+			QR:     true,
+			Opcode: q.Header.Opcode,
+			RD:     q.Header.RD,
+			RA:     true,
+			RCode:  rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, q.Questions...)
+	return resp
+}
+
+// AddAnswer appends an answer record.
+func (m *Message) AddAnswer(name string, class Class, ttl uint32, data RData) {
+	m.Answers = append(m.Answers, ResourceRecord{Name: name, Class: class, TTL: ttl, Data: data})
+}
+
+// AddAuthority appends an authority-section record.
+func (m *Message) AddAuthority(name string, class Class, ttl uint32, data RData) {
+	m.Authority = append(m.Authority, ResourceRecord{Name: name, Class: class, TTL: ttl, Data: data})
+}
+
+// Question returns the first question, or a zero Question when the section
+// is empty (tolerated because broken responders exist in the wild).
+func (m *Message) Question() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// AnswerAddrs extracts all IPv4 addresses from A records in the answer
+// section, the payload the prefilter operates on.
+func (m *Message) AnswerAddrs() []netip.Addr {
+	var addrs []netip.Addr
+	for _, rr := range m.Answers {
+		if a, ok := rr.Data.(A); ok {
+			addrs = append(addrs, a.Addr)
+		}
+	}
+	return addrs
+}
+
+// flag bit positions within the 16-bit flags word.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// Pack appends the wire encoding of m to buf and returns the extended
+// slice. Name compression is applied across all sections. The message is
+// assembled in a message-local buffer (compression offsets are relative to
+// the message start) and then appended, so buf may already hold unrelated
+// framing such as a TCP length prefix.
+func (m *Message) Pack(buf []byte) ([]byte, error) {
+	msg, err := m.packLocal()
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, msg...), nil
+}
+
+func (m *Message) packLocal() ([]byte, error) {
+	buf := make([]byte, 0, 128)
+	var flags uint16
+	if m.Header.QR {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.AA {
+		flags |= flagAA
+	}
+	if m.Header.TC {
+		flags |= flagTC
+	}
+	if m.Header.RD {
+		flags |= flagRD
+	}
+	if m.Header.RA {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authority)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additional)))
+
+	cmp := make(map[string]int, 8)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, cmp); err != nil {
+			return buf, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]ResourceRecord{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if rr.Data == nil {
+				return buf, fmt.Errorf("dnswire: record %q has nil data", rr.Name)
+			}
+			if buf, err = appendName(buf, rr.Name, cmp); err != nil {
+				return buf, err
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type()))
+			buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+			buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+			// Reserve the RDLENGTH slot, then fill it after encoding.
+			lenOff := len(buf)
+			buf = append(buf, 0, 0)
+			if buf, err = rr.Data.appendTo(buf, cmp); err != nil {
+				return buf, err
+			}
+			rdlen := len(buf) - lenOff - 2
+			if rdlen > 0xFFFF {
+				return buf, fmt.Errorf("dnswire: rdata of %q exceeds 65535 bytes", rr.Name)
+			}
+			binary.BigEndian.PutUint16(buf[lenOff:], uint16(rdlen))
+		}
+	}
+	return buf, nil
+}
+
+// PackBytes packs m into a fresh slice.
+func (m *Message) PackBytes() ([]byte, error) {
+	return m.packLocal()
+}
+
+// AppendQuery appends the wire form of a single-question query with
+// recursion desired — the shape every scan probe takes — without building
+// a Message. buf may be a pooled scratch slice; the result aliases it.
+func AppendQuery(buf []byte, id uint16, name string, typ Type, class Class) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, flagRD)
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = append(buf, 0, 0, 0, 0, 0, 0)
+	var err error
+	if buf, err = appendName(buf, name, nil); err != nil {
+		return buf, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(typ))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(class))
+	return buf, nil
+}
+
+// Unpack decodes a wire-format message. It is tolerant of trailing
+// garbage after the final section (observed from broken CPE resolvers) but
+// strict about structural validity inside the declared sections.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrShortMessage
+	}
+	flags := binary.BigEndian.Uint16(msg[2:])
+	m := &Message{Header: Header{
+		ID:     binary.BigEndian.Uint16(msg[0:]),
+		QR:     flags&flagQR != 0,
+		Opcode: Opcode(flags >> 11 & 0xF),
+		AA:     flags&flagAA != 0,
+		TC:     flags&flagTC != 0,
+		RD:     flags&flagRD != 0,
+		RA:     flags&flagRA != 0,
+		RCode:  RCode(flags & 0xF),
+	}}
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+	// Each question needs ≥5 bytes, each record ≥11; reject counts that
+	// cannot fit, a cheap defense against malicious count inflation.
+	if qd*5+an*11+ns*11+ar*11 > len(msg)-12 {
+		return nil, ErrTooManyRecords
+	}
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(msg) {
+			return nil, ErrShortMessage
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	unpackSection := func(n int) ([]ResourceRecord, error) {
+		var rrs []ResourceRecord
+		for i := 0; i < n; i++ {
+			var rr ResourceRecord
+			rr.Name, off, err = unpackName(msg, off)
+			if err != nil {
+				return nil, err
+			}
+			if off+10 > len(msg) {
+				return nil, ErrShortMessage
+			}
+			typ := Type(binary.BigEndian.Uint16(msg[off:]))
+			rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+			rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+			rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+			off += 10
+			if off+rdlen > len(msg) {
+				return nil, ErrShortMessage
+			}
+			rr.Data, err = unpackRData(msg, off, rdlen, typ)
+			if err != nil {
+				return nil, err
+			}
+			off += rdlen
+			rrs = append(rrs, rr)
+		}
+		return rrs, nil
+	}
+	if m.Answers, err = unpackSection(an); err != nil {
+		return nil, err
+	}
+	if m.Authority, err = unpackSection(ns); err != nil {
+		return nil, err
+	}
+	if m.Additional, err = unpackSection(ar); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// String renders the message in dig-like presentation form, for debugging
+// and example output.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id %d %s %s qr=%v aa=%v tc=%v rd=%v ra=%v\n",
+		m.Header.ID, m.Header.Opcode, m.Header.RCode,
+		m.Header.QR, m.Header.AA, m.Header.TC, m.Header.RD, m.Header.RA)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";; question: %s. %s %s\n", q.Name, q.Class, q.Type)
+	}
+	for _, rr := range m.Answers {
+		fmt.Fprintf(&sb, "%s\n", rr)
+	}
+	for _, rr := range m.Authority {
+		fmt.Fprintf(&sb, ";; authority: %s\n", rr)
+	}
+	return sb.String()
+}

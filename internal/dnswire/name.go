@@ -1,0 +1,171 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors reported by the name codec.
+var (
+	ErrNameTooLong    = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label inside name")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName  = errors.New("dnswire: truncated name")
+	ErrReservedLabel  = errors.New("dnswire: reserved label type")
+	ErrTrailingBytes  = errors.New("dnswire: trailing bytes after message")
+	ErrShortMessage   = errors.New("dnswire: message too short")
+	ErrTooManyRecords = errors.New("dnswire: record count exceeds message size")
+)
+
+const (
+	maxNameWire  = 255
+	maxLabelWire = 63
+	// maxPointerHops bounds compression pointer chains; a legitimate
+	// message cannot need more hops than it has labels.
+	maxPointerHops = 128
+)
+
+// CanonicalName lowercases a domain name and strips a single trailing dot,
+// producing the form used as map keys throughout the pipeline. The empty
+// string denotes the DNS root.
+func CanonicalName(name string) string {
+	name = strings.TrimSuffix(name, ".")
+	// Fast path: already lower case.
+	lower := true
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; 'A' <= c && c <= 'Z' {
+			lower = false
+			break
+		}
+	}
+	if lower {
+		return name
+	}
+	return strings.ToLower(name)
+}
+
+// SplitLabels splits a canonical name into its labels. The root returns nil.
+func SplitLabels(name string) []string {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// ValidName reports whether name (with or without trailing dot) satisfies
+// the RFC 1035 length limits. It does not restrict the label alphabet:
+// scanners deliberately emit unusual octets (e.g. 0x20-mixed case).
+func ValidName(name string) bool {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return true
+	}
+	if len(name)+2 > maxNameWire { // labels + length octets + root
+		return false
+	}
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > maxLabelWire {
+			return false
+		}
+	}
+	return true
+}
+
+// appendName appends the wire encoding of name to buf, using cmp to emit
+// and record compression pointers. cmp maps canonical suffixes to their
+// wire offsets; pass nil to disable compression (required inside RDATA of
+// types that predate compression-awareness, and for root-only names).
+func appendName(buf []byte, name string, cmp map[string]int) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name)+2 > maxNameWire {
+		return buf, ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i, label := range labels {
+		if label == "" {
+			return buf, ErrEmptyLabel
+		}
+		if len(label) > maxLabelWire {
+			return buf, ErrLabelTooLong
+		}
+		if cmp != nil {
+			suffix := CanonicalName(strings.Join(labels[i:], "."))
+			if off, ok := cmp[suffix]; ok && off < 0x4000 {
+				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+			}
+			if len(buf) < 0x4000 {
+				cmp[suffix] = len(buf)
+			}
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly compressed name starting at off in msg.
+// It returns the decoded name (no trailing dot, original case preserved)
+// and the offset of the first byte after the name's direct encoding.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrSeen := 0
+	end := -1 // offset after the name at the original position
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			return sb.String(), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			ptr := int(b&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				// Pointers must point strictly backwards.
+				return "", 0, ErrBadPointer
+			}
+			ptrSeen++
+			if ptrSeen > maxPointerHops {
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, ErrReservedLabel
+		default:
+			n := int(b)
+			if off+1+n > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			if sb.Len()+n > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			sb.Write(msg[off+1 : off+1+n])
+			off += 1 + n
+		}
+	}
+}
+
+// EqualNamesFold reports whether two domain names are equal under DNS case
+// folding (ASCII case-insensitive label comparison), tolerating an optional
+// trailing dot on either side.
+func EqualNamesFold(a, b string) bool {
+	return CanonicalName(a) == CanonicalName(b)
+}

@@ -1,0 +1,81 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP framing (RFC 1035 §4.2.2): DNS over TCP prefixes each message with
+// a two-octet length. The scanner falls back to TCP when a UDP response
+// arrives truncated (TC bit set).
+
+// MaxUDPSize is the classic UDP payload ceiling for non-EDNS responders.
+const MaxUDPSize = 512
+
+// AddEDNS attaches an OPT pseudo-record advertising a UDP payload size
+// (RFC 6891: the OPT record's CLASS field carries the size).
+func (m *Message) AddEDNS(payloadSize uint16) {
+	m.Additional = append(m.Additional, ResourceRecord{
+		Name:  "",
+		Class: Class(payloadSize),
+		TTL:   0,
+		Data:  OPT{},
+	})
+}
+
+// EDNSPayloadSize returns the advertised EDNS UDP payload size of the
+// message, if it carries an OPT record.
+func (m *Message) EDNSPayloadSize() (uint16, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type() == TypeOPT {
+			return uint16(rr.Class), true
+		}
+	}
+	return 0, false
+}
+
+// PackTCP frames a message for a TCP stream.
+func (m *Message) PackTCP() ([]byte, error) {
+	wire, err := m.PackBytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(wire) > 0xFFFF {
+		return nil, fmt.Errorf("dnswire: message exceeds TCP frame limit")
+	}
+	out := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(out, uint16(len(wire)))
+	copy(out[2:], wire)
+	return out, nil
+}
+
+// UnpackTCP parses one length-prefixed message from the head of a TCP
+// stream buffer, returning the message and the bytes consumed.
+func UnpackTCP(stream []byte) (*Message, int, error) {
+	if len(stream) < 2 {
+		return nil, 0, ErrShortMessage
+	}
+	n := int(binary.BigEndian.Uint16(stream))
+	if len(stream) < 2+n {
+		return nil, 0, ErrShortMessage
+	}
+	m, err := Unpack(stream[2 : 2+n])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, 2 + n, nil
+}
+
+// Truncate returns a copy of the message fit for a UDP payload limit:
+// when the packed size exceeds limit, the answer sections are dropped and
+// the TC bit is set, inviting the client to retry over TCP.
+func (m *Message) Truncate(limit int) (*Message, bool) {
+	wire, err := m.PackBytes()
+	if err != nil || len(wire) <= limit {
+		return m, false
+	}
+	tc := &Message{Header: m.Header}
+	tc.Header.TC = true
+	tc.Questions = append(tc.Questions, m.Questions...)
+	return tc, true
+}

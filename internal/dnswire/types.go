@@ -1,0 +1,131 @@
+// Package dnswire implements the DNS wire format (RFC 1035 and friends) as
+// used by the Going Wild measurement pipeline: message packing and
+// unpacking with name compression, the record types needed for resolver
+// scanning (A, NS, CNAME, SOA, PTR, MX, TXT, AAAA, OPT), the CHAOS class
+// used for version fingerprinting, and the 0x20 query-name encoding the
+// paper uses to carry identifier bits redundantly inside a fixed domain
+// name (Dagon et al., CCS 2008; Going Wild §3.3).
+//
+// The codec is allocation-conscious: Pack appends into a caller-provided
+// buffer and Unpack decodes into value types without retaining references
+// to the input slice, so buffers can be pooled by high-rate scanners.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Record types used throughout the pipeline.
+const (
+	TypeNone  Type = 0
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone:  "NONE",
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypePTR:   "PTR",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeOPT:   "OPT",
+	TypeANY:   "ANY",
+}
+
+// String returns the conventional mnemonic for t, or TYPEn for unknown types.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class. The pipeline uses IN for resolution scans and CH
+// (CHAOS) for version.bind / version.server fingerprinting (§2.4).
+type Class uint16
+
+// Classes understood by the codec.
+const (
+	ClassIN  Class = 1
+	ClassCH  Class = 3
+	ClassANY Class = 255
+)
+
+// String returns the conventional mnemonic for c.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// RCode is a DNS response code. The weekly scans bucket resolvers by the
+// most common codes (NOERROR, REFUSED, SERVFAIL; Figure 1).
+type RCode uint8
+
+// Response codes (RFC 1035 §4.1.1, RFC 2136).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeNoError:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String returns the conventional mnemonic for rc, or RCODEn when unknown.
+func (rc RCode) String() string {
+	if s, ok := rcodeNames[rc]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint8(rc))
+}
+
+// Opcode is a DNS operation code.
+type Opcode uint8
+
+// Opcodes (only Query is used by the scanners).
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+)
+
+// String returns the conventional mnemonic for op.
+func (op Opcode) String() string {
+	switch op {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	default:
+		return fmt.Sprintf("OPCODE%d", uint8(op))
+	}
+}

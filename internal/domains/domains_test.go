@@ -1,0 +1,92 @@
+package domains
+
+import "testing"
+
+func TestListHas155Domains(t *testing.T) {
+	if len(List) != 155 {
+		t.Fatalf("domain list has %d entries, want 155 (§3.2)", len(List))
+	}
+}
+
+func TestCategorySizesMatchPaper(t *testing.T) {
+	want := map[Category]int{
+		Ads:         9,
+		Adult:       4,
+		Alexa:       20,
+		Antivirus:   15,
+		Banking:     20,
+		Dating:      3,
+		Filesharing: 5,
+		Gambling:    4,
+		Malware:     13,
+		MX:          13,
+		NX:          21, // 8 NX + 5 NX subdomains + 8 misspellings
+		Tracking:    5,
+	}
+	for cat, n := range want {
+		if got := len(ByCategory(cat)); got != n {
+			t.Errorf("category %s has %d domains, want %d", cat, got, n)
+		}
+	}
+	// Misc absorbs the remainder.
+	if got := len(ByCategory(Misc)); got != 155-132 {
+		t.Errorf("Miscellaneous has %d domains, want %d", got, 155-132)
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range List {
+		if seen[d.Name] {
+			t.Errorf("duplicate domain %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestNXDomainsAreNonexistentKind(t *testing.T) {
+	for _, d := range ByCategory(NX) {
+		if d.Kind != KindNonexistent {
+			t.Errorf("NX domain %q has kind %d", d.Name, d.Kind)
+		}
+	}
+}
+
+func TestMXDomainsAreMailHosts(t *testing.T) {
+	for _, d := range ByCategory(MX) {
+		if d.Kind != KindMailHost {
+			t.Errorf("MX domain %q has kind %d", d.Name, d.Kind)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, ok := ByName("irc.zief.pl")
+	if !ok || d.Category != Malware {
+		t.Errorf("ByName(irc.zief.pl) = %+v, %v", d, ok)
+	}
+	if _, ok := ByName("no-such-entry.example"); ok {
+		t.Error("ByName accepted unknown domain")
+	}
+}
+
+func TestSnoopedTLDCount(t *testing.T) {
+	if len(SnoopedTLDs) != 15 {
+		t.Errorf("snooped TLDs = %d, want 15 (§2.6)", len(SnoopedTLDs))
+	}
+}
+
+func TestAllCategoriesCovered(t *testing.T) {
+	counts := map[Category]int{}
+	for _, d := range List {
+		counts[d.Category]++
+	}
+	if len(counts) != 13 {
+		t.Errorf("list covers %d categories, want 13", len(counts))
+	}
+	for _, cat := range AllCategories {
+		if counts[cat] == 0 {
+			t.Errorf("category %s empty", cat)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package fetch
+
+import (
+	"strings"
+	"testing"
+
+	"goingwild/internal/websim"
+	"goingwild/internal/wildnet"
+)
+
+func testClient(t *testing.T) (*wildnet.World, *Client) {
+	t.Helper()
+	w, err := wildnet.NewWorld(wildnet.DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := websim.New(w, wildnet.At(50))
+	return w, NewClient(web, nil)
+}
+
+func TestFetchLegitContent(t *testing.T) {
+	w, c := testClient(t)
+	legit, _ := w.LegitAddrs("chase.com", "US")
+	res := c.Fetch("chase.com", legit[0], 0)
+	if !res.OK || res.Status != 200 {
+		t.Fatalf("fetch failed: %+v", res)
+	}
+	if !strings.Contains(res.Body, "Chase") {
+		t.Error("wrong content")
+	}
+}
+
+func TestFetchLANUnreachable(t *testing.T) {
+	_, c := testClient(t)
+	lan := uint32(192)<<24 | uint32(168)<<16 | uint32(1)<<8 | 1
+	res := c.Fetch("chase.com", lan, 0)
+	if res.OK || res.NoPayload != "lan" {
+		t.Errorf("LAN fetch = %+v", res)
+	}
+}
+
+func TestFetchNoService(t *testing.T) {
+	w, c := testClient(t)
+	dead := w.RoleAddr(wildnet.RoleDeadCDN, 1)
+	res := c.Fetch("facebook.com", dead, 0)
+	if res.OK || res.NoPayload != "no-service" {
+		t.Errorf("dead-CDN fetch = %+v", res)
+	}
+}
+
+func TestMailAndDetonation(t *testing.T) {
+	w, c := testClient(t)
+	sniff := w.RoleAddr(wildnet.RoleMailSniff, 20)
+	if _, ok := c.MailBanner(sniff, "smtp"); !ok {
+		t.Error("mail sniff host silent")
+	}
+	mal := w.RoleAddr(wildnet.RoleMalware, 2)
+	bad, ok := c.Detonate(mal, "/flash_update.exe")
+	if !ok || !bad {
+		t.Errorf("detonation = %v/%v", bad, ok)
+	}
+	legit, _ := w.LegitAddrs("update.adobe.example", "DE")
+	good, ok := c.Detonate(legit[0], "/flash_update.exe")
+	if ok && good {
+		t.Error("clean installer flagged")
+	}
+}
+
+func TestTLSValid(t *testing.T) {
+	w, c := testClient(t)
+	proxy := w.RoleAddr(wildnet.RoleProxyTLS, 0)
+	valid, selfSigned, ok := c.TLSValid(proxy, "chase.com")
+	if !ok || !valid || selfSigned {
+		t.Errorf("TLS proxy probe = %v/%v/%v", valid, selfSigned, ok)
+	}
+	plain := w.RoleAddr(wildnet.RoleProxyPlain, 0)
+	if _, _, ok := c.TLSValid(plain, "chase.com"); ok {
+		t.Error("HTTP-only proxy spoke TLS")
+	}
+}
+
+func TestRedirectParsing(t *testing.T) {
+	resolved := map[string][]uint32{}
+	_, c := testClient(t)
+	c.ResolveAt = func(resolver uint32, name string) ([]uint32, bool) {
+		resolved[name] = []uint32{42}
+		return []uint32{42}, true
+	}
+	host, ip, ok := c.resolveRedirect("http://next.example/path?q=1", 7)
+	if !ok || host != "next.example" || ip != 42 {
+		t.Errorf("redirect = %q/%d/%v", host, ip, ok)
+	}
+	if _, _, ok := c.resolveRedirect("", 7); ok {
+		t.Error("empty redirect accepted")
+	}
+	if _, _, ok := c.resolveRedirect("https:///nohost", 7); ok {
+		t.Error("hostless redirect accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package fingerprint classifies resolvers by DNS server software and by
+// the hardware device behind them (§2.4): CHAOS version.bind /
+// version.server responses are parsed against known software version
+// strings, and FTP/HTTP/HTTPS/SSH/Telnet banners are matched against a
+// hand-compiled regular-expression database, mirroring the paper's 2,245
+// manually curated expressions.
+package fingerprint
+
+import (
+	"regexp"
+	"strings"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/scanner"
+	"goingwild/internal/software"
+)
+
+// ChaosOutcome buckets a resolver's CHAOS behavior.
+type ChaosOutcome uint8
+
+// CHAOS outcomes (§2.4's four observed classes plus silence).
+const (
+	ChaosSilent    ChaosOutcome = iota
+	ChaosErrors                 // REFUSED/SERVFAIL on both queries
+	ChaosNoVersion              // NOERROR but no version text
+	ChaosHiddenStr              // administrator-configured junk string
+	ChaosVersion                // a parseable software version
+)
+
+// SoftwareID identifies parsed software.
+type SoftwareID struct {
+	Vendor  string
+	Version string
+	// CatalogIdx indexes software.Catalog, or -1 for versions parsed
+	// generically (not in the curated table).
+	CatalogIdx int
+}
+
+// versionPatterns parse raw version strings into (vendor, version).
+var versionPatterns = []struct {
+	re     *regexp.Regexp
+	vendor string
+}{
+	{regexp.MustCompile(`^(9\.[0-9]+\.[0-9]+)`), "BIND"},
+	{regexp.MustCompile(`^bind[ -]?(9\.[0-9.]+)`), "BIND"},
+	{regexp.MustCompile(`^dnsmasq-([0-9.]+)`), "Dnsmasq"},
+	{regexp.MustCompile(`^unbound ([0-9.]+)`), "Unbound"},
+	{regexp.MustCompile(`^powerdns recursor ([0-9.]+)`), "PowerDNS"},
+	{regexp.MustCompile(`^microsoft dns ([0-9.]+)`), "Microsoft DNS"},
+	{regexp.MustCompile(`^nominum vantio ([0-9.]+)`), "Nominum Vantio"},
+	{regexp.MustCompile(`^dnscache ([0-9.]+)`), "djbdns"},
+}
+
+// ParseChaos classifies one resolver's pair of CHAOS answers.
+func ParseChaos(a *scanner.ChaosAnswer) (ChaosOutcome, SoftwareID) {
+	if !a.BindAnswered && !a.ServerAnswered {
+		return ChaosSilent, SoftwareID{CatalogIdx: -1}
+	}
+	bindErr := !a.BindAnswered || a.BindRCode != dnswire.RCodeNoError
+	serverErr := !a.ServerAnswered || a.ServerRCode != dnswire.RCodeNoError
+	if bindErr && serverErr {
+		return ChaosErrors, SoftwareID{CatalogIdx: -1}
+	}
+	text := a.BindText
+	if text == "" {
+		text = a.ServerText
+	}
+	if strings.TrimSpace(text) == "" {
+		return ChaosNoVersion, SoftwareID{CatalogIdx: -1}
+	}
+	if id, ok := parseVersionString(text); ok {
+		return ChaosVersion, id
+	}
+	return ChaosHiddenStr, SoftwareID{CatalogIdx: -1}
+}
+
+// parseVersionString recognizes real software versions; everything else
+// counts as an operator-configured hidden string.
+func parseVersionString(text string) (SoftwareID, bool) {
+	norm := strings.ToLower(strings.TrimSpace(text))
+	// Exact catalog match first (fast path and authoritative index).
+	for i := range software.Catalog {
+		e := &software.Catalog[i]
+		if strings.EqualFold(text, e.Bind) || strings.EqualFold(text, e.Server) {
+			return SoftwareID{Vendor: e.Vendor, Version: e.Version, CatalogIdx: i}, true
+		}
+	}
+	for _, p := range versionPatterns {
+		if m := p.re.FindStringSubmatch(norm); m != nil {
+			version := m[1]
+			// Normalize BIND suffixes like "9.8.2-P1" to x.y.z.
+			if p.vendor == "BIND" {
+				if i := strings.IndexAny(version, "-+"); i > 0 {
+					version = version[:i]
+				}
+			}
+			idx := -1
+			for ci := range software.Catalog {
+				e := &software.Catalog[ci]
+				if e.Vendor == p.vendor && strings.HasPrefix(version, e.Version) {
+					idx = ci
+					break
+				}
+			}
+			return SoftwareID{Vendor: p.vendor, Version: version, CatalogIdx: idx}, true
+		}
+	}
+	return SoftwareID{CatalogIdx: -1}, false
+}
+
+// ChaosSurvey aggregates a full CHAOS scan into the Table-3 shape.
+type ChaosSurvey struct {
+	Responded int
+	Outcomes  map[ChaosOutcome]int
+	// Versions counts resolvers per (vendor, version) string.
+	Versions map[string]int
+	// VendorTotals counts resolvers per vendor among the versioned.
+	VendorTotals map[string]int
+	// CatalogCounts counts resolvers per curated catalog entry.
+	CatalogCounts map[int]int
+}
+
+// SurveyChaos parses every answer of a CHAOS scan.
+func SurveyChaos(res *scanner.ChaosResult) *ChaosSurvey {
+	s := &ChaosSurvey{
+		Outcomes:      map[ChaosOutcome]int{},
+		Versions:      map[string]int{},
+		VendorTotals:  map[string]int{},
+		CatalogCounts: map[int]int{},
+	}
+	for i := range res.Answers {
+		outcome, id := ParseChaos(&res.Answers[i])
+		if outcome == ChaosSilent {
+			continue
+		}
+		s.Responded++
+		s.Outcomes[outcome]++
+		if outcome == ChaosVersion {
+			s.Versions[id.Vendor+" "+id.Version]++
+			s.VendorTotals[id.Vendor]++
+			if id.CatalogIdx >= 0 {
+				s.CatalogCounts[id.CatalogIdx]++
+			}
+		}
+	}
+	return s
+}
+
+// VersionedShare returns the fraction of responders leaking a version
+// (the paper's 33.9%).
+func (s *ChaosSurvey) VersionedShare() float64 {
+	if s.Responded == 0 {
+		return 0
+	}
+	return float64(s.Outcomes[ChaosVersion]) / float64(s.Responded)
+}

@@ -1,0 +1,151 @@
+package fingerprint
+
+import (
+	"regexp"
+
+	"goingwild/internal/devices"
+)
+
+// BannerSource abstracts the TCP banner grabbing of §2.4: connect to a
+// host on one of the five protocols and read whatever it prints. The
+// virtual Internet satisfies this; a real deployment would dial sockets.
+type BannerSource interface {
+	Banner(addr uint32, proto devices.Proto) (string, bool)
+}
+
+// rule is one expression of the fingerprint database, compiled — like the
+// paper's 2,245 expressions — from tokens observed in aggregated banner
+// payloads plus vendor manuals (e.g. "dm500plus login" ⇒ a Linux/PowerPC
+// DVR).
+type rule struct {
+	re       *regexp.Regexp
+	hardware devices.Hardware
+	os       devices.OS
+	label    string
+}
+
+func r(pattern string, hw devices.Hardware, os devices.OS, label string) rule {
+	return rule{re: regexp.MustCompile(pattern), hardware: hw, os: os, label: label}
+}
+
+// deviceDB is ordered: earlier (more specific) rules win.
+var deviceDB = []rule{
+	// ZyXEL routers run ZyNOS; both the model banner and the OS token
+	// appear in telnet/HTTP payloads.
+	r(`P-660[A-Z0-9-]*`, devices.HWRouter, devices.OSZyNOS, "zyxel-p660"),
+	r(`AMG1302`, devices.HWRouter, devices.OSZyNOS, "zyxel-amg1302"),
+	r(`ZyXEL|ZyNOS`, devices.HWRouter, devices.OSZyNOS, "zyxel-generic"),
+	r(`TP-LINK|TL-WR[0-9]+`, devices.HWRouter, devices.OSLinux, "tplink"),
+	r(`DSL-26[0-9][0-9]B`, devices.HWRouter, devices.OSLinux, "dlink-dsl"),
+	r(`MikroTik|RouterOS|ROSSSH`, devices.HWRouter, devices.OSRouterOS, "mikrotik"),
+	r(`DrayTek|Vigor`, devices.HWRouter, devices.OSEmbedded, "draytek"),
+	r(`HG5[0-9][0-9]e? Home Gateway|HG532`, devices.HWRouter, devices.OSEmbedded, "huawei-hg"),
+	r(`SmartAX|SmartWare`, devices.HWRouter, devices.OSSmartWare, "smartax"),
+	// Embedded devices: web-server tokens without further hardware
+	// hints (the paper's Embedded category).
+	r(`GoAhead-Webs`, devices.HWEmbedded, devices.OSUnknown, "goahead"),
+	r(`RomPager/4\.5`, devices.HWEmbedded, devices.OSUnknown, "rompager-cpe"),
+	r(`Serial to LAN converter`, devices.HWEmbedded, devices.OSEmbedded, "serial2lan"),
+	r(`Raspbian`, devices.HWEmbedded, devices.OSLinux, "raspberrypi"),
+	r(`Arduino`, devices.HWEmbedded, devices.OSEmbedded, "arduino"),
+	r(`BusyBox v[0-9.]+`, devices.HWEmbedded, devices.OSLinux, "busybox"),
+	// Firewalls.
+	r(`FortiSSH|fortigate`, devices.HWFirewall, devices.OSUnix, "fortigate"),
+	r(`SonicWALL`, devices.HWFirewall, devices.OSEmbedded, "sonicwall"),
+	// Cameras.
+	r(`IP CAMERA|DVRDVS-Webs`, devices.HWCamera, devices.OSLinux, "hikvision"),
+	r(`Netwave IP Camera|Foscam`, devices.HWCamera, devices.OSEmbedded, "foscam"),
+	// DVRs — including the paper's worked example.
+	r(`dm500plus login`, devices.HWDVR, devices.OSLinux, "dreambox-dm500"),
+	r(`DVR16 Remote Viewer|Enigma WebInterface`, devices.HWDVR, devices.OSLinux, "generic-dvr"),
+	// NAS and DSLAM.
+	r(`Synology|DiskStation`, devices.HWNAS, devices.OSLinux, "synology"),
+	r(`DSLAM`, devices.HWDSLAM, devices.OSEmbedded, "dslam"),
+	// Other devices.
+	r(`JetDirect|HP-ChaiSOE`, devices.HWOther, devices.OSEmbedded, "printer"),
+	r(`Grandstream`, devices.HWOther, devices.OSEmbedded, "voip"),
+	// Servers: OS detectable, hardware not.
+	r(`Raspbian|Ubuntu|Debian`, devices.HWUnknown, devices.OSLinux, "linux-server"),
+	r(`CentOS`, devices.HWUnknown, devices.OSCentOS, "centos-server"),
+	r(`FreeBSD`, devices.HWUnknown, devices.OSUnix, "freebsd-server"),
+	r(`Microsoft-IIS|Microsoft FTP Service`, devices.HWUnknown, devices.OSWindows, "windows-server"),
+	r(`eCos`, devices.HWUnknown, devices.OSEmbedded, "ecos"),
+	r(`QNX`, devices.HWUnknown, devices.OSOther, "qnx"),
+}
+
+// RuleCount reports the size of the expression database.
+func RuleCount() int { return len(deviceDB) }
+
+// DeviceID is a fingerprinting verdict.
+type DeviceID struct {
+	Hardware devices.Hardware
+	OS       devices.OS
+	Label    string
+	// Responsive reports whether any TCP service returned payload;
+	// Unknown verdicts with Responsive=true are the paper's
+	// "Unknown" table column, not silence.
+	Responsive bool
+}
+
+// ClassifyBanners matches the collected banners of one host against the
+// database. The first matching rule (most specific first) wins.
+func ClassifyBanners(banners map[devices.Proto]string) DeviceID {
+	if len(banners) == 0 {
+		return DeviceID{}
+	}
+	for _, rule := range deviceDB {
+		for _, b := range banners {
+			if rule.re.MatchString(b) {
+				return DeviceID{Hardware: rule.hardware, OS: rule.os, Label: rule.label, Responsive: true}
+			}
+		}
+	}
+	return DeviceID{Responsive: true}
+}
+
+// Grab collects the banners of one host over all five protocols.
+func Grab(src BannerSource, addr uint32) map[devices.Proto]string {
+	var out map[devices.Proto]string
+	for p := devices.Proto(0); p < devices.NumProtos; p++ {
+		if b, ok := src.Banner(addr, p); ok {
+			if out == nil {
+				out = make(map[devices.Proto]string, 2)
+			}
+			out[p] = b
+		}
+	}
+	return out
+}
+
+// DeviceSurvey aggregates device fingerprinting over a population
+// (Table 4).
+type DeviceSurvey struct {
+	Scanned    int
+	Responsive int
+	Hardware   map[devices.Hardware]int
+	OS         map[devices.OS]int
+	Labels     map[string]int
+}
+
+// SurveyDevices fingerprints every resolver in the list.
+func SurveyDevices(src BannerSource, resolvers []uint32) *DeviceSurvey {
+	s := &DeviceSurvey{
+		Scanned:  len(resolvers),
+		Hardware: map[devices.Hardware]int{},
+		OS:       map[devices.OS]int{},
+		Labels:   map[string]int{},
+	}
+	for _, addr := range resolvers {
+		id := ClassifyBanners(Grab(src, addr))
+		if !id.Responsive {
+			continue
+		}
+		s.Responsive++
+		s.Hardware[id.Hardware]++
+		s.OS[id.OS]++
+		if id.Label != "" {
+			s.Labels[id.Label]++
+		}
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package geodb
+
+// RIR identifies a Regional Internet Registry (Table 2 groups resolver
+// fluctuation by these five registries).
+type RIR uint8
+
+// The five RIRs.
+const (
+	RIPE RIR = iota
+	APNIC
+	LACNIC
+	ARIN
+	AFRINIC
+)
+
+// String returns the registry's conventional name.
+func (r RIR) String() string {
+	switch r {
+	case RIPE:
+		return "RIPE"
+	case APNIC:
+		return "APNIC"
+	case LACNIC:
+		return "LACNIC"
+	case ARIN:
+		return "ARIN"
+	case AFRINIC:
+		return "AFRINIC"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// AllRIRs lists the registries in the paper's Table 2 order.
+var AllRIRs = []RIR{RIPE, APNIC, LACNIC, ARIN, AFRINIC}
+
+// Country describes one country's share of the open-resolver population.
+// Week0 and Week55 are responding-resolver counts in thousands at the
+// paper scale (Jan 31, 2014 and Feb 6, 2015); the Top-10 rows are taken
+// from Table 1 and the remaining entries are chosen so that the aggregate
+// matches the paper's totals (≈31.2M responders at week 0, ≈22.6M at week
+// 55), the narrated country movements (Argentina −75.0%, Great Britain
+// −63.6%, Malaysia +59.7%, Lebanon +76.7%), and the Feb-2015 country mix
+// of Figure 4-a.
+type Country struct {
+	Code   string
+	RIR    RIR
+	Week0  float64 // thousands of responders, Jan 31 2014
+	Week55 float64 // thousands of responders, Feb 6 2015
+}
+
+// Countries is the registry's country table. Order is stable (used for
+// deterministic block assignment).
+var Countries = []Country{
+	// Table 1 Top 10 (NOERROR-dominated counts; scaled to ALL below).
+	{"US", ARIN, 2958.6, 2537.3},
+	{"CN", APNIC, 2418.9, 2104.7},
+	{"TR", RIPE, 1439.7, 976.2},
+	{"VN", APNIC, 1393.6, 1039.1},
+	{"MX", LACNIC, 1372.9, 1175.3},
+	{"IN", APNIC, 1269.7, 1431.5},
+	{"TH", APNIC, 1214.0, 564.5},
+	{"IT", RIPE, 1172.0, 722.8},
+	{"CO", LACNIC, 1062.1, 677.6},
+	{"TW", APNIC, 1061.2, 453.0},
+	// Countries with narrated dynamics.
+	{"AR", LACNIC, 960.0, 240.0}, // −75.0%, dominated by one telecom AS
+	{"KR", APNIC, 880.0, 430.0},  // ISP with 434k resolvers vanished
+	{"GB", RIPE, 420.0, 152.9},   // −63.6%
+	{"MY", APNIC, 120.0, 191.6},  // +59.7%
+	{"LB", RIPE, 60.0, 106.0},    // +76.7%
+	// Figure 4-a visible countries (Feb 2015 shares).
+	{"ID", APNIC, 700.0, 640.0},
+	{"IR", RIPE, 650.0, 622.0},
+	{"EG", AFRINIC, 520.0, 498.0},
+	{"BR", LACNIC, 560.0, 480.0},
+	{"RU", RIPE, 560.0, 480.0},
+	{"PL", RIPE, 470.0, 427.0},
+	{"DZ", AFRINIC, 400.0, 391.0},
+	{"JP", APNIC, 400.0, 267.0},
+	// Censoring countries named in §4.2 case narration.
+	{"GR", RIPE, 150.0, 120.0},
+	{"BE", RIPE, 120.0, 100.0},
+	{"MN", APNIC, 40.0, 35.0},
+	{"EE", RIPE, 50.0, 40.0},
+	// Long tail, sized to bring totals near the paper's aggregates.
+	{"DE", RIPE, 350.0, 260.0},
+	{"FR", RIPE, 330.0, 250.0},
+	{"UA", RIPE, 300.0, 220.0},
+	{"ES", RIPE, 280.0, 210.0},
+	{"RO", RIPE, 240.0, 180.0},
+	{"NL", RIPE, 200.0, 150.0},
+	{"CA", ARIN, 250.0, 200.0},
+	{"AU", APNIC, 180.0, 140.0},
+	{"ZA", AFRINIC, 160.0, 130.0},
+	{"NG", AFRINIC, 120.0, 110.0},
+	{"KE", AFRINIC, 80.0, 75.0},
+	{"SA", RIPE, 150.0, 130.0},
+	{"AE", RIPE, 100.0, 90.0},
+	{"PK", APNIC, 200.0, 180.0},
+	{"BD", APNIC, 150.0, 140.0},
+	{"PH", APNIC, 180.0, 160.0},
+	{"LK", APNIC, 60.0, 55.0},
+	{"KZ", RIPE, 90.0, 80.0},
+	{"BG", RIPE, 130.0, 110.0},
+	{"CZ", RIPE, 110.0, 90.0},
+	{"HU", RIPE, 100.0, 85.0},
+	{"AT", RIPE, 90.0, 75.0},
+	{"CH", RIPE, 80.0, 70.0},
+	{"SE", RIPE, 90.0, 75.0},
+	{"PT", RIPE, 110.0, 90.0},
+	{"IL", RIPE, 80.0, 70.0},
+	{"CL", LACNIC, 150.0, 120.0},
+	{"PE", LACNIC, 130.0, 110.0},
+	{"VE", LACNIC, 140.0, 115.0},
+	{"EC", LACNIC, 90.0, 75.0},
+	{"GT", LACNIC, 45.0, 38.0},
+	{"DO", LACNIC, 40.0, 34.0},
+	{"UY", LACNIC, 40.0, 34.0},
+	{"MA", AFRINIC, 90.0, 80.0},
+	{"TN", AFRINIC, 60.0, 55.0},
+	{"IQ", RIPE, 70.0, 65.0},
+	{"SY", RIPE, 40.0, 37.0},
+	{"JO", RIPE, 35.0, 32.0},
+	{"KW", RIPE, 30.0, 28.0},
+	{"SG", APNIC, 40.0, 35.0},
+	{"HK", APNIC, 80.0, 65.0},
+	{"NZ", APNIC, 30.0, 26.0},
+	// Six tiny countries whose resolvers all vanished (§2.3 finds six
+	// countries, up to 63 hosts each, dropping to zero).
+	{"VA", RIPE, 0.05, 0.0},
+	{"TV", APNIC, 0.06, 0.0},
+	{"NR", APNIC, 0.04, 0.0},
+	{"GL", RIPE, 0.063, 0.0},
+	{"FK", LACNIC, 0.03, 0.0},
+	{"SH", AFRINIC, 0.02, 0.0},
+	// Residual bucket for everything else.
+	{"XO", RIPE, 7000.0, 4600.0},
+}
+
+// CountryIndex maps a country code to its position in Countries.
+var CountryIndex = func() map[string]int {
+	m := make(map[string]int, len(Countries))
+	for i, c := range Countries {
+		m[c.Code] = i
+	}
+	return m
+}()
+
+// RIROf returns the registry a country code belongs to (UNKNOWN codes map
+// to RIPE, the registry of the residual bucket).
+func RIROf(code string) RIR {
+	if i, ok := CountryIndex[code]; ok {
+		return Countries[i].RIR
+	}
+	return RIPE
+}

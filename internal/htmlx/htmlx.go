@@ -1,0 +1,209 @@
+// Package htmlx is a small, dependency-free HTML tokenizer that extracts
+// exactly the features the clustering distance of §3.6 consumes: the
+// sequence and multiset of opening tags, the <title> text, all JavaScript
+// bodies, and the sets of embedded resources (src attributes) and
+// outgoing links (href attributes).
+//
+// The tokenizer is forgiving by design — it processes whatever bogus
+// resolvers and broken CPE web servers return — and never allocates
+// proportionally to nesting depth.
+package htmlx
+
+import (
+	"strings"
+)
+
+// Features are the extracted page properties.
+type Features struct {
+	// BodyLen is the byte length of the raw payload.
+	BodyLen int
+	// TagSeq is the sequence of opening tag names in document order,
+	// lower-cased.
+	TagSeq []string
+	// TagSet is the multiset of opening tag names.
+	TagSet map[string]int
+	// Title is the text inside the first <title> element.
+	Title string
+	// Scripts concatenates all inline script bodies.
+	Scripts string
+	// Srcs collects the values of src attributes (embedded resources).
+	Srcs []string
+	// Hrefs collects the values of href attributes (outgoing links).
+	Hrefs []string
+}
+
+// Extract tokenizes an HTML payload.
+func Extract(body string) *Features {
+	f := &Features{BodyLen: len(body), TagSet: make(map[string]int)}
+	i := 0
+	n := len(body)
+	for i < n {
+		lt := strings.IndexByte(body[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt
+		// Comments.
+		if strings.HasPrefix(body[i:], "<!--") {
+			end := strings.Index(body[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		// Doctype and processing instructions.
+		if strings.HasPrefix(body[i:], "<!") || strings.HasPrefix(body[i:], "<?") {
+			gt := strings.IndexByte(body[i:], '>')
+			if gt < 0 {
+				break
+			}
+			i += gt + 1
+			continue
+		}
+		// Closing tags.
+		if strings.HasPrefix(body[i:], "</") {
+			gt := strings.IndexByte(body[i:], '>')
+			if gt < 0 {
+				break
+			}
+			i += gt + 1
+			continue
+		}
+		// Opening tag.
+		end := findTagEnd(body, i)
+		if end < 0 {
+			break
+		}
+		tag := body[i+1 : end]
+		name, attrs := splitTag(tag)
+		if name == "" {
+			i = end + 1
+			continue
+		}
+		f.TagSeq = append(f.TagSeq, name)
+		f.TagSet[name]++
+		if v, ok := attrValue(attrs, "src"); ok {
+			f.Srcs = append(f.Srcs, v)
+		}
+		if v, ok := attrValue(attrs, "href"); ok {
+			f.Hrefs = append(f.Hrefs, v)
+		}
+		i = end + 1
+		switch name {
+		case "title":
+			text, next := readUntilClose(body, i, "title")
+			if f.Title == "" {
+				f.Title = strings.TrimSpace(text)
+			}
+			i = next
+		case "script":
+			text, next := readUntilClose(body, i, "script")
+			f.Scripts += text
+			i = next
+		}
+	}
+	return f
+}
+
+// findTagEnd locates the '>' closing the tag that starts at i, respecting
+// quoted attribute values.
+func findTagEnd(body string, i int) int {
+	inQuote := byte(0)
+	for j := i + 1; j < len(body); j++ {
+		c := body[j]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '>':
+			return j
+		}
+	}
+	return -1
+}
+
+// splitTag separates a tag's name from its attribute text.
+func splitTag(tag string) (name, attrs string) {
+	tag = strings.TrimSuffix(strings.TrimSpace(tag), "/")
+	if tag == "" {
+		return "", ""
+	}
+	end := len(tag)
+	for k := 0; k < len(tag); k++ {
+		c := tag[k]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			end = k
+			break
+		}
+	}
+	name = strings.ToLower(tag[:end])
+	for _, c := range name {
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-') {
+			return "", ""
+		}
+	}
+	return name, tag[end:]
+}
+
+// attrValue extracts a named attribute's value from attribute text.
+func attrValue(attrs, name string) (string, bool) {
+	lower := strings.ToLower(attrs)
+	idx := 0
+	for {
+		k := strings.Index(lower[idx:], name)
+		if k < 0 {
+			return "", false
+		}
+		k += idx
+		// Must be a standalone attribute name.
+		if k > 0 {
+			prev := lower[k-1]
+			if prev != ' ' && prev != '\t' && prev != '\n' && prev != '"' && prev != '\'' {
+				idx = k + len(name)
+				continue
+			}
+		}
+		rest := strings.TrimLeft(attrs[k+len(name):], " \t")
+		if !strings.HasPrefix(rest, "=") {
+			idx = k + len(name)
+			continue
+		}
+		rest = strings.TrimLeft(rest[1:], " \t")
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == '"' || rest[0] == '\'' {
+			q := rest[0]
+			if j := strings.IndexByte(rest[1:], q); j >= 0 {
+				return rest[1 : 1+j], true
+			}
+			return rest[1:], true
+		}
+		j := strings.IndexAny(rest, " \t\n\r")
+		if j < 0 {
+			return rest, true
+		}
+		return rest[:j], true
+	}
+}
+
+// readUntilClose consumes text up to the matching closing tag and returns
+// it together with the index after the close.
+func readUntilClose(body string, i int, tag string) (string, int) {
+	lower := strings.ToLower(body)
+	needle := "</" + tag
+	j := strings.Index(lower[i:], needle)
+	if j < 0 {
+		return body[i:], len(body)
+	}
+	end := i + j
+	gt := strings.IndexByte(body[end:], '>')
+	if gt < 0 {
+		return body[i:end], len(body)
+	}
+	return body[i:end], end + gt + 1
+}

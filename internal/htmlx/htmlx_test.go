@@ -1,0 +1,140 @@
+package htmlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractBasicPage(t *testing.T) {
+	body := `<!DOCTYPE html>
+<html>
+<head><title>My Page</title><link rel="stylesheet" href="/main.css"></head>
+<body>
+<!-- a comment with <div> inside -->
+<div id="x"><img src="/logo.png"><a href="http://example.com/page">link</a></div>
+<script type="text/javascript">var a = 1; function f(){return a;}</script>
+</body>
+</html>`
+	f := Extract(body)
+	if f.Title != "My Page" {
+		t.Errorf("title = %q", f.Title)
+	}
+	wantSeq := []string{"html", "head", "title", "link", "body", "div", "img", "a", "script"}
+	if !reflect.DeepEqual(f.TagSeq, wantSeq) {
+		t.Errorf("tag sequence = %v, want %v", f.TagSeq, wantSeq)
+	}
+	if f.TagSet["div"] != 1 || f.TagSet["img"] != 1 {
+		t.Errorf("tag multiset = %v", f.TagSet)
+	}
+	if len(f.Srcs) != 1 || f.Srcs[0] != "/logo.png" {
+		t.Errorf("srcs = %v", f.Srcs)
+	}
+	if !reflect.DeepEqual(f.Hrefs, []string{"/main.css", "http://example.com/page"}) {
+		t.Errorf("hrefs = %v", f.Hrefs)
+	}
+	if !strings.Contains(f.Scripts, "function f()") {
+		t.Errorf("scripts = %q", f.Scripts)
+	}
+	if f.BodyLen != len(body) {
+		t.Errorf("body length = %d", f.BodyLen)
+	}
+}
+
+func TestExtractIgnoresCommentsAndClosers(t *testing.T) {
+	f := Extract(`<p>a</p><!-- <img src="x"> --><p>b</p>`)
+	if len(f.TagSeq) != 2 || f.TagSet["p"] != 2 {
+		t.Errorf("seq = %v set = %v", f.TagSeq, f.TagSet)
+	}
+	if len(f.Srcs) != 0 {
+		t.Errorf("commented src extracted: %v", f.Srcs)
+	}
+}
+
+func TestExtractQuotedGt(t *testing.T) {
+	f := Extract(`<a href="/x?a>b">link</a><b>t</b>`)
+	if len(f.Hrefs) != 1 || f.Hrefs[0] != "/x?a>b" {
+		t.Errorf("hrefs = %v", f.Hrefs)
+	}
+	if f.TagSet["b"] != 1 {
+		t.Errorf("tags after quoted gt lost: %v", f.TagSet)
+	}
+}
+
+func TestExtractSelfClosingAndCase(t *testing.T) {
+	f := Extract(`<IMG SRC="/a.png"/><BR/><DiV CLASS="x">y</DiV>`)
+	if f.TagSet["img"] != 1 || f.TagSet["br"] != 1 || f.TagSet["div"] != 1 {
+		t.Errorf("tags = %v", f.TagSet)
+	}
+	if len(f.Srcs) != 1 || f.Srcs[0] != "/a.png" {
+		t.Errorf("srcs = %v", f.Srcs)
+	}
+}
+
+func TestExtractUnterminated(t *testing.T) {
+	cases := []string{
+		"<div", "<div class=\"x", "text only", "", "<",
+		"<script>never closed", "<!-- never closed", "<title>no close",
+	}
+	for _, c := range cases {
+		f := Extract(c) // must not panic
+		if f == nil {
+			t.Fatalf("nil features for %q", c)
+		}
+	}
+}
+
+func TestExtractScriptWithTags(t *testing.T) {
+	f := Extract(`<script>document.write('<div id="injected">');</script><p>x</p>`)
+	if !strings.Contains(f.Scripts, "injected") {
+		t.Errorf("script body lost: %q", f.Scripts)
+	}
+	// The div inside the script string must not count as a tag... the
+	// tokenizer reads the whole script body as text.
+	if f.TagSet["div"] != 0 {
+		t.Errorf("script content parsed as tags: %v", f.TagSet)
+	}
+	if f.TagSet["p"] != 1 {
+		t.Errorf("tag after script lost: %v", f.TagSet)
+	}
+}
+
+func TestAttrValueForms(t *testing.T) {
+	cases := []struct {
+		attrs string
+		name  string
+		want  string
+		ok    bool
+	}{
+		{` src="/a"`, "src", "/a", true},
+		{` src='/b'`, "src", "/b", true},
+		{` src=/c`, "src", "/c", true},
+		{` data-src="/d"`, "src", "", false},
+		{` class="y" src = "/e"`, "src", "/e", true},
+		{` class="y"`, "src", "", false},
+	}
+	for _, c := range cases {
+		got, ok := attrValue(c.attrs, c.name)
+		if ok != c.ok || got != c.want {
+			t.Errorf("attrValue(%q, %q) = %q/%v, want %q/%v", c.attrs, c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestExtractNeverPanicsProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		Extract(string(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTitleStopsAtCloser(t *testing.T) {
+	f := Extract(`<title>Hello & Welcome</title><title>second</title>`)
+	if f.Title != "Hello & Welcome" {
+		t.Errorf("title = %q", f.Title)
+	}
+}

@@ -1,0 +1,208 @@
+package lfsr
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// TestMaximalPeriodAllOrders exhaustively verifies maximality up to order
+// 20 (a million states) and spot-checks distinctness for larger orders.
+func TestMaximalPeriodAllOrders(t *testing.T) {
+	for order := uint(3); order <= 20; order++ {
+		reg := MustNew(order, 0xDEADBEEF)
+		period := reg.Period()
+		seen := make([]bool, period+1)
+		var count uint64
+		for {
+			s := reg.Next()
+			if s == 0 {
+				t.Fatalf("order %d emitted forbidden zero state", order)
+			}
+			if seen[s] {
+				t.Fatalf("order %d repeated state %d after %d steps (period %d)", order, s, count, period)
+			}
+			seen[s] = true
+			count++
+			if reg.Wrapped() {
+				break
+			}
+		}
+		if count != period {
+			t.Errorf("order %d: cycle length %d, want %d", order, count, period)
+		}
+	}
+}
+
+func TestLargeOrderNoEarlyRepeat(t *testing.T) {
+	for _, order := range []uint{24, 28, 32} {
+		reg := MustNew(order, 1)
+		const n = 1 << 20
+		seen := make(map[uint32]struct{}, n)
+		for i := 0; i < n; i++ {
+			s := reg.Next()
+			if _, dup := seen[s]; dup {
+				t.Fatalf("order %d repeated a state within %d steps", order, n)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}
+
+func TestNewRejectsBadOrder(t *testing.T) {
+	for _, order := range []uint{0, 1, 2, 33, 64} {
+		if _, err := New(order, 1); err == nil {
+			t.Errorf("order %d accepted", order)
+		}
+	}
+}
+
+func TestZeroSeedCoerced(t *testing.T) {
+	reg := MustNew(16, 0)
+	if s := reg.Next(); s == 0 {
+		t.Error("zero seed produced zero state")
+	}
+}
+
+func TestResetRestartsSequence(t *testing.T) {
+	reg := MustNew(16, 77)
+	a := []uint32{reg.Next(), reg.Next(), reg.Next()}
+	reg.Reset()
+	b := []uint32{reg.Next(), reg.Next(), reg.Next()}
+	if a[0] != b[0] || a[1] != b[1] || a[2] != b[2] {
+		t.Errorf("reset sequence differs: %v vs %v", a, b)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	f := func(seed uint32) bool {
+		r1 := MustNew(20, seed)
+		r2 := MustNew(20, seed)
+		for i := 0; i < 100; i++ {
+			if r1.Next() != r2.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlacklistContains(t *testing.T) {
+	b := NewBlacklist()
+	if err := b.AddCIDR("198.51.100.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddAddr(netip.MustParseAddr("8.8.8.8")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		want bool
+	}{
+		{"198.51.100.0", true},
+		{"198.51.100.255", true},
+		{"198.51.101.0", false},
+		{"198.51.99.255", false},
+		{"8.8.8.8", true},
+		{"8.8.8.9", false},
+	}
+	for _, c := range cases {
+		if got := b.Contains(netip.MustParseAddr(c.addr)); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBlacklistMergesOverlaps(t *testing.T) {
+	b := NewBlacklist()
+	for _, cidr := range []string{"10.0.0.0/24", "10.0.0.128/25", "10.0.1.0/24"} {
+		if err := b.AddCIDR(cidr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 1 {
+		t.Errorf("adjacent+overlapping ranges merged into %d, want 1", b.Len())
+	}
+	if b.Size() != 512 {
+		t.Errorf("Size = %d, want 512", b.Size())
+	}
+}
+
+func TestDefaultReservedCoversKnownRanges(t *testing.T) {
+	b := DefaultReserved()
+	for _, addr := range []string{"10.1.2.3", "127.0.0.1", "192.168.1.1", "224.0.0.1", "255.255.255.255", "0.1.2.3"} {
+		if !b.Contains(netip.MustParseAddr(addr)) {
+			t.Errorf("reserved address %s not blacklisted", addr)
+		}
+	}
+	for _, addr := range []string{"8.8.8.8", "1.1.1.1", "93.184.216.34"} {
+		if b.Contains(netip.MustParseAddr(addr)) {
+			t.Errorf("public address %s blacklisted", addr)
+		}
+	}
+}
+
+func TestBlacklistRejectsIPv6(t *testing.T) {
+	b := NewBlacklist()
+	if err := b.AddCIDR("2001:db8::/32"); err == nil {
+		t.Error("IPv6 CIDR accepted")
+	}
+	if err := b.AddAddr(netip.MustParseAddr("2001:db8::1")); err == nil {
+		t.Error("IPv6 address accepted")
+	}
+}
+
+func TestTargetGeneratorFullCoverage(t *testing.T) {
+	bl := NewBlacklist()
+	if err := bl.AddCIDR("0.0.0.64/26"); err != nil { // 64 addresses inside the 2^10 space
+		t.Fatal(err)
+	}
+	g, err := NewTargetGenerator(10, 99, bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]struct{})
+	for {
+		u, ok := g.NextU32()
+		if !ok {
+			break
+		}
+		if bl.ContainsU32(u) {
+			t.Fatalf("emitted blacklisted address %d", u)
+		}
+		if _, dup := seen[u]; dup {
+			t.Fatalf("duplicate target %d", u)
+		}
+		seen[u] = struct{}{}
+	}
+	// 2^10-1 states minus 64 blacklisted ones (state 0 is never emitted
+	// and 0 is not in the blacklist's 64..127 range).
+	if want := 1023 - 64; len(seen) != want {
+		t.Errorf("coverage = %d targets, want %d", len(seen), want)
+	}
+}
+
+func TestTargetGeneratorReset(t *testing.T) {
+	g, err := NewTargetGenerator(12, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Next()
+	g.Reset()
+	b, _ := g.Next()
+	if a != b {
+		t.Errorf("reset changed first target: %v vs %v", a, b)
+	}
+}
+
+func TestU32AddrRoundTrip(t *testing.T) {
+	f := func(u uint32) bool {
+		return AddrToU32(U32ToAddr(u)) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

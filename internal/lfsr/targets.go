@@ -1,0 +1,66 @@
+package lfsr
+
+import (
+	"net/netip"
+)
+
+// TargetGenerator yields every address of an IPv4 scan space exactly once
+// in LFSR-permuted order, skipping blacklisted addresses. The space is the
+// low 2^order addresses of IPv4 when order < 32 (the scaled-down virtual
+// Internet), or all of IPv4 for order 32.
+//
+// The LFSR never emits state 0, so address 0 — which is always inside the
+// reserved 0.0.0.0/8 block — needs no special casing.
+type TargetGenerator struct {
+	reg       *LFSR
+	blacklist *Blacklist
+	emitted   uint64
+	period    uint64
+}
+
+// NewTargetGenerator builds a generator over a 2^order address space. A
+// nil blacklist skips nothing.
+func NewTargetGenerator(order uint, seed uint32, bl *Blacklist) (*TargetGenerator, error) {
+	reg, err := New(order, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &TargetGenerator{reg: reg, blacklist: bl, period: reg.Period()}, nil
+}
+
+// Next returns the next non-blacklisted target. ok is false once the full
+// permutation has been exhausted.
+func (g *TargetGenerator) Next() (addr netip.Addr, ok bool) {
+	for g.emitted < g.period {
+		u := g.reg.Next()
+		g.emitted++
+		if g.blacklist != nil && g.blacklist.ContainsU32(u) {
+			continue
+		}
+		return U32ToAddr(u), true
+	}
+	return netip.Addr{}, false
+}
+
+// NextU32 is Next without the netip conversion, for hot scan loops.
+func (g *TargetGenerator) NextU32() (u uint32, ok bool) {
+	for g.emitted < g.period {
+		v := g.reg.Next()
+		g.emitted++
+		if g.blacklist != nil && g.blacklist.ContainsU32(v) {
+			continue
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// Emitted returns how many LFSR states have been consumed (including
+// blacklisted skips).
+func (g *TargetGenerator) Emitted() uint64 { return g.emitted }
+
+// Reset rewinds the generator to the start of its permutation.
+func (g *TargetGenerator) Reset() {
+	g.reg.Reset()
+	g.emitted = 0
+}

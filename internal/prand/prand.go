@@ -1,0 +1,72 @@
+// Package prand provides the deterministic hashing primitives behind the
+// procedural virtual Internet: every property of a simulated host is a
+// pure function of (seed, ip, facet, epoch), so a population of millions
+// of hosts needs no per-host state and two runs with the same seed observe
+// exactly the same world.
+package prand
+
+// Mix64 is the splitmix64 finalizer: a fast, well-distributed 64→64-bit
+// mixing function.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Hash combines an arbitrary number of words into one well-mixed word.
+func Hash(words ...uint64) uint64 {
+	h := uint64(0x8445D61A4E774912)
+	for _, w := range words {
+		h = Mix64(h ^ w)
+	}
+	return h
+}
+
+// Float64 maps a hash word to [0, 1).
+func Float64(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// UnitOf is shorthand for Float64(Hash(words...)).
+func UnitOf(words ...uint64) float64 {
+	return Float64(Hash(words...))
+}
+
+// IntN maps a hash word to [0, n). n must be positive.
+func IntN(h uint64, n int) int {
+	return int(h % uint64(n))
+}
+
+// Pick selects an index from cumulative weights: weights[i] is the
+// probability mass of choice i; they need not sum to 1 (the remainder
+// falls on the last index). u must be in [0, 1).
+func Pick(u float64, weights []float64) int {
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Source is a tiny deterministic stream generator for places that need a
+// sequence of values rather than a keyed lookup.
+type Source struct{ state uint64 }
+
+// NewSource seeds a stream.
+func NewSource(seed uint64) *Source { return &Source{state: Mix64(seed)} }
+
+// Next returns the next 64-bit value.
+func (s *Source) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return Mix64(s.state)
+}
+
+// Float64 returns the next value in [0, 1).
+func (s *Source) Float64() float64 { return Float64(s.Next()) }
+
+// IntN returns the next value in [0, n).
+func (s *Source) IntN(n int) int { return IntN(s.Next(), n) }

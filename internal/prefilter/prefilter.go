@@ -1,0 +1,281 @@
+// Package prefilter implements step ❸ of the processing chain (§3.4):
+// sorting the billions of (domain ∘ ip ∘ resolver) tuples from the domain
+// scans into legitimate and unknown. The three rules of the paper are
+// applied in order: trusted-resolution AS matching, rDNS round-trip
+// verification, and the HTTPS certificate probe (with and without SNI)
+// that recovers CDN deployments scattered across foreign ASes.
+package prefilter
+
+import (
+	"strings"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/scanner"
+)
+
+// Class is the verdict for one tuple.
+type Class uint8
+
+// Tuple classes.
+const (
+	ClassUnanswered Class = iota
+	ClassErrorRCode       // REFUSED / SERVFAIL / other error codes
+	ClassEmpty            // NOERROR without answer addresses (incl. NXDOMAIN for NX names)
+	ClassNSOnly           // authority-only responses denying recursion
+	ClassLegit            // every returned address passed a filter rule
+	ClassUnexpected       // at least one unfiltered address
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassUnanswered:
+		return "unanswered"
+	case ClassErrorRCode:
+		return "error"
+	case ClassEmpty:
+		return "empty"
+	case ClassNSOnly:
+		return "ns-only"
+	case ClassLegit:
+		return "legitimate"
+	default:
+		return "unexpected"
+	}
+}
+
+// Cert is the certificate view the TLS probe returns.
+type Cert struct {
+	Valid      bool
+	SelfSigned bool
+	CommonName string
+	DNSNames   []string
+}
+
+// CoversName reports whether the certificate is valid for host.
+func (c Cert) CoversName(host string) bool {
+	if !c.Valid {
+		return false
+	}
+	cn := dnswire.CanonicalName(host)
+	for _, n := range c.DNSNames {
+		n = dnswire.CanonicalName(n)
+		if n == cn || (strings.HasPrefix(n, "*.") && strings.HasSuffix(cn, n[1:])) {
+			return true
+		}
+	}
+	return dnswire.CanonicalName(c.CommonName) == cn
+}
+
+// Env provides the external lookups the rules need. All of them go
+// through measurement-side channels (trusted resolvers, TLS probes) — the
+// prefilter never peeks at the world's ground truth.
+type Env struct {
+	// TrustedResolve performs an A lookup at the measurement team's
+	// trusted recursive resolvers.
+	TrustedResolve func(name string) ([]uint32, dnswire.RCode)
+	// RDNS resolves the PTR record of an address.
+	RDNS func(ip uint32) (string, bool)
+	// ASOf maps an address to its autonomous system.
+	ASOf func(ip uint32) uint32
+	// CertProbe performs the HTTPS probe against ip for serverName,
+	// with or without SNI. ok is false when no TLS service answers.
+	CertProbe func(ip uint32, serverName string, sni bool) (Cert, bool)
+	// TrustedCDNNames lists the well-known default-certificate common
+	// names of the largest CDN providers (§3.4 accepts their non-SNI
+	// certificates).
+	TrustedCDNNames []string
+}
+
+// Tuple identifies one unexpected (domain ∘ ip ∘ resolver) combination.
+type Tuple struct {
+	NameIdx     int
+	ResolverIdx int
+	IP          uint32
+}
+
+// DomainStats aggregates one scanned name's verdicts.
+type DomainStats struct {
+	Name    string
+	Counts  map[Class]int
+	Scanned int
+}
+
+// Share returns a class's share of the answered tuples.
+func (d *DomainStats) Share(c Class) float64 {
+	answered := d.Scanned - d.Counts[ClassUnanswered]
+	if answered == 0 {
+		return 0
+	}
+	return float64(d.Counts[c]) / float64(answered)
+}
+
+// Result is the prefiltering outcome for one domain-set scan.
+type Result struct {
+	PerDomain []DomainStats
+	// Unexpected lists every tuple that survived filtering, the input
+	// of the data-acquisition stage.
+	Unexpected []Tuple
+	// Verdicts[nameIdx][resolverIdx] is the tuple class.
+	Verdicts [][]Class
+	// CacheHits counts (domain, ip) pairs settled from the legitimacy
+	// cache rather than fresh rule evaluation.
+	CacheHits int
+}
+
+// UnexpectedResolvers returns the distinct resolvers with at least one
+// unexpected tuple.
+func (r *Result) UnexpectedResolvers() map[int]bool {
+	out := map[int]bool{}
+	for _, t := range r.Unexpected {
+		out[t.ResolverIdx] = true
+	}
+	return out
+}
+
+// Run prefilters a domain scan.
+func Run(scan *scanner.DomainScanResult, env Env) *Result {
+	res := &Result{
+		PerDomain: make([]DomainStats, len(scan.Names)),
+		Verdicts:  make([][]Class, len(scan.Names)),
+	}
+	// The legitimacy cache is keyed by (name, ip): rule evaluation for
+	// a pair is independent of the resolver that returned it.
+	legitCache := map[pairKey]bool{}
+
+	for ni, name := range scan.Names {
+		stats := &res.PerDomain[ni]
+		stats.Name = name
+		stats.Counts = map[Class]int{}
+		stats.Scanned = len(scan.Resolvers)
+		res.Verdicts[ni] = make([]Class, len(scan.Resolvers))
+
+		cn := dnswire.CanonicalName(name)
+		d, listed := domains.ByName(cn)
+		isNX := listed && d.Kind == domains.KindNonexistent
+
+		// Trusted resolution once per name (rule i baseline).
+		trustedAddrs, trustedRC := env.TrustedResolve(cn)
+		trustedAS := map[uint32]bool{}
+		for _, a := range trustedAddrs {
+			trustedAS[env.ASOf(a)] = true
+		}
+		_ = trustedRC
+
+		for ri := range scan.Resolvers {
+			a := &scan.Answers[ni][ri]
+			verdict := classifyTuple(a, cn, isNX, trustedAS, env, legitCache, res)
+			res.Verdicts[ni][ri] = verdict
+			stats.Counts[verdict]++
+			if verdict == ClassUnexpected {
+				for _, ip := range a.Addrs {
+					if !pairLegit(cn, ip, trustedAS, env, legitCache, res) {
+						res.Unexpected = append(res.Unexpected, Tuple{NameIdx: ni, ResolverIdx: ri, IP: ip})
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// pairKey keys the legitimacy cache.
+type pairKey struct {
+	name string
+	ip   uint32
+}
+
+func classifyTuple(a *scanner.TupleAnswer, cn string, isNX bool, trustedAS map[uint32]bool, env Env, cache map[pairKey]bool, res *Result) Class {
+	if !a.Answered() {
+		return ClassUnanswered
+	}
+	switch a.RCode {
+	case dnswire.RCodeNoError:
+	case dnswire.RCodeNXDomain:
+		if isNX {
+			return ClassEmpty // expected for nonexistent names (§3.4)
+		}
+		return ClassEmpty
+	default:
+		return ClassErrorRCode
+	}
+	if len(a.Addrs) == 0 {
+		if a.NSOnly {
+			return ClassNSOnly
+		}
+		return ClassEmpty
+	}
+	if isNX {
+		// Any address for a nonexistent name is unexpected.
+		return ClassUnexpected
+	}
+	for _, ip := range a.Addrs {
+		if !pairLegit(cn, ip, trustedAS, env, cache, res) {
+			return ClassUnexpected
+		}
+	}
+	return ClassLegit
+}
+
+// pairLegit evaluates the three filtering rules for one (name, ip) pair,
+// memoized.
+func pairLegit(cn string, ip uint32, trustedAS map[uint32]bool, env Env, cache map[pairKey]bool, res *Result) bool {
+	k := pairKey{name: cn, ip: ip}
+	if v, ok := cache[k]; ok {
+		res.CacheHits++
+		return v
+	}
+	v := evalRules(cn, ip, trustedAS, env)
+	cache[k] = v
+	return v
+}
+
+func evalRules(cn string, ip uint32, trustedAS map[uint32]bool, env Env) bool {
+	// Rule (i): the address sits in one of the ASes our own trusted
+	// resolution landed in.
+	if trustedAS[env.ASOf(ip)] {
+		return true
+	}
+	// Rule (ii): the address's rDNS resembles the domain AND the A
+	// lookup of the rDNS name returns the address (only the owner can
+	// close that loop).
+	if rdns, ok := env.RDNS(ip); ok && rdnsResembles(rdns, cn) {
+		if addrs, rc := env.TrustedResolve(dnswire.CanonicalName(rdns)); rc == dnswire.RCodeNoError {
+			for _, a := range addrs {
+				if a == ip {
+					return true
+				}
+			}
+		}
+	}
+	// Rule (iii): the HTTPS probe. Only CDN-distributed domains are
+	// expected outside their home ASes; accepting any matching cert
+	// would let transparent TLS proxies whitewash arbitrary domains.
+	d, listed := domains.ByName(cn)
+	if !listed || d.Kind != domains.KindCDN {
+		return false
+	}
+	// SNI request first: accept a valid, known certificate for the
+	// requested name.
+	if cert, ok := env.CertProbe(ip, cn, true); ok && cert.CoversName(cn) && !cert.SelfSigned {
+		return true
+	}
+	// For the largest CDN providers also accept the well-known default
+	// certificate delivered without SNI.
+	if cert, ok := env.CertProbe(ip, cn, false); ok && cert.Valid && !cert.SelfSigned {
+		for _, known := range env.TrustedCDNNames {
+			if dnswire.EqualNamesFold(cert.CommonName, known) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rdnsResembles reports whether the domain part of an rDNS record
+// resembles the requested domain (§3.4 rule ii).
+func rdnsResembles(rdns, cn string) bool {
+	r := dnswire.CanonicalName(rdns)
+	return r == cn || strings.HasSuffix(r, "."+cn) || strings.HasSuffix(cn, "."+r)
+}

@@ -1,0 +1,102 @@
+package scanner
+
+import (
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+)
+
+// ChaosAnswer is one resolver's pair of CHAOS version responses (§2.4).
+type ChaosAnswer struct {
+	// BindText and ServerText are the TXT payloads of version.bind and
+	// version.server; empty when the query errored or went unanswered.
+	BindText   string
+	ServerText string
+	// BindRCode / ServerRCode are the response codes (NoError with
+	// empty text means an empty version).
+	BindRCode   dnswire.RCode
+	ServerRCode dnswire.RCode
+	// BindAnswered / ServerAnswered distinguish silence from answers.
+	BindAnswered   bool
+	ServerAnswered bool
+}
+
+// ChaosResult is one CHAOS scan over a resolver population.
+type ChaosResult struct {
+	Resolvers []uint32
+	Answers   []ChaosAnswer
+}
+
+// Responded counts resolvers that answered at least one version query.
+func (c *ChaosResult) Responded() int {
+	n := 0
+	for i := range c.Answers {
+		if c.Answers[i].BindAnswered || c.Answers[i].ServerAnswered {
+			n++
+		}
+	}
+	return n
+}
+
+// ScanChaos issues version.bind and version.server CHAOS TXT queries to
+// every resolver. The probe identifier rides in the transaction ID
+// (CHAOS scans target an enumerated list, so 16+1 bits suffice: the
+// queried name distinguishes the two probes per resolver).
+func (s *Scanner) ScanChaos(resolvers []uint32) (*ChaosResult, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
+	res := &ChaosResult{
+		Resolvers: resolvers,
+		Answers:   make([]ChaosAnswer, len(resolvers)),
+	}
+	for pass, qname := range []string{"version.bind", "version.server"} {
+		var mu sync.Mutex
+		isBind := pass == 0
+		// Identify resolvers by transaction id chunks of 64k.
+		chunks := (len(resolvers) + 0xFFFF) / 0x10000
+		for chunk := 0; chunk < chunks; chunk++ {
+			lo := chunk * 0x10000
+			hi := lo + 0x10000
+			if hi > len(resolvers) {
+				hi = len(resolvers)
+			}
+			batch := resolvers[lo:hi]
+			s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+				m, err := dnswire.Unpack(payload)
+				if err != nil || !m.Header.QR {
+					return
+				}
+				idx := lo + int(m.Header.ID)
+				if idx >= hi {
+					return
+				}
+				text := ""
+				for _, rr := range m.Answers {
+					if txt, ok := rr.Data.(dnswire.TXT); ok {
+						text += txt.Joined()
+					}
+				}
+				mu.Lock()
+				a := &res.Answers[idx]
+				if isBind {
+					a.BindAnswered = true
+					a.BindRCode = m.Header.RCode
+					a.BindText = text
+				} else {
+					a.ServerAnswered = true
+					a.ServerRCode = m.Header.RCode
+					a.ServerText = text
+				}
+				mu.Unlock()
+			})
+			s.sendAll(len(batch), func(i int) {
+				wire := packQuery(uint16(i), qname, dnswire.TypeTXT, dnswire.ClassCH)
+				s.tr.Send(lfsr.U32ToAddr(batch[i]), 53, s.opts.BasePort, wire)
+			})
+			s.settle()
+		}
+	}
+	return res, nil
+}

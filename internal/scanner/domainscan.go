@@ -1,0 +1,163 @@
+package scanner
+
+import (
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+)
+
+// TupleAnswer is the outcome of one (domain, resolver) probe — the raw
+// material of the (domain ∘ ip ∘ resolver) tuples of §3.
+type TupleAnswer struct {
+	ResolverIdx int
+	RCode       dnswire.RCode
+	// Addrs is the A answer set (nil for empty answer sections).
+	Addrs []uint32
+	// NSOnly marks responses carrying only authority NS records.
+	NSOnly bool
+	// Responses counts how many responses arrived for the probe;
+	// values above 1 betray injected answers racing the legitimate one
+	// (the Great Firewall signature, §4.2).
+	Responses int
+	// SecondAddrs is the answer set of a second, later response.
+	SecondAddrs []uint32
+	// PortRewritten marks responses that arrived on an unexpected
+	// destination port and were recovered via the 0x20 bits.
+	PortRewritten bool
+}
+
+// Answered reports whether any response arrived.
+func (t *TupleAnswer) Answered() bool { return t.Responses > 0 }
+
+// DomainScanResult holds one domain-set scan: a row per scanned name, a
+// column per resolver.
+type DomainScanResult struct {
+	Resolvers []uint32
+	Names     []string
+	// Answers[nameIdx][resolverIdx]
+	Answers [][]TupleAnswer
+}
+
+// ScanDomains queries every resolver for every name. Each probe carries
+// the resolver's index as a 25-bit identifier: 16 bits in the DNS
+// transaction ID, 9 bits selecting the UDP source port, and the same 9
+// bits redundantly 0x20-encoded into the query name's letter casing —
+// exactly the encoding of §3.3, which survives resolvers that rewrite the
+// response's destination port.
+func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanResult, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
+	if len(resolvers) > dnswire.MaxProbeID {
+		return nil, errTooManyResolvers(len(resolvers))
+	}
+	res := &DomainScanResult{
+		Resolvers: resolvers,
+		Names:     names,
+		Answers:   make([][]TupleAnswer, len(names)),
+	}
+	for ni := range names {
+		res.Answers[ni] = make([]TupleAnswer, len(resolvers))
+		for ri := range res.Answers[ni] {
+			res.Answers[ni][ri].ResolverIdx = ri
+		}
+	}
+
+	for ni, name := range names {
+		row := res.Answers[ni]
+		var mu sync.Mutex
+		s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+			m, err := dnswire.Unpack(payload)
+			if err != nil || !m.Header.QR || len(m.Questions) == 0 {
+				return
+			}
+			// Recover the resolver identifier. The transaction ID
+			// carries the low 16 bits; the destination port names the
+			// high 9 — unless the resolver rewrote the port, in which
+			// case the 0x20 casing of the echoed question supplies
+			// them.
+			txid := m.Header.ID
+			portRewritten := false
+			var hi uint16
+			if dstPort >= s.opts.BasePort && dstPort < s.opts.BasePort+dnswire.ProbePortCount {
+				hi = dstPort - s.opts.BasePort
+			} else {
+				bits, nbits := dnswire.Decode0x20(m.Questions[0].Name, 9)
+				if nbits < 9 {
+					// Too few letters to recover; drop like the
+					// paper drops unattributable responses.
+					return
+				}
+				hi = uint16(bits)
+				portRewritten = true
+			}
+			id := dnswire.JoinProbeID(txid, hi)
+			if int(id) >= len(resolvers) {
+				return
+			}
+			ans := &row[id]
+			addrs := m.AnswerAddrs()
+			u32s := make([]uint32, len(addrs))
+			for i, a := range addrs {
+				u32s[i] = lfsr.AddrToU32(a)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			ans.Responses++
+			if ans.Responses == 1 {
+				ans.RCode = m.Header.RCode
+				ans.Addrs = u32s
+				ans.NSOnly = len(addrs) == 0 && hasNSAuthority(m)
+				ans.PortRewritten = portRewritten
+			} else if ans.SecondAddrs == nil {
+				ans.SecondAddrs = u32s
+			}
+		})
+
+		pending := make([]int, len(resolvers))
+		for i := range pending {
+			pending[i] = i
+		}
+		for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
+			batch := pending
+			s.sendAll(len(batch), func(k int) {
+				ri := batch[k]
+				id := dnswire.ProbeID(ri)
+				txid, portIdx := dnswire.SplitProbeID(id)
+				qname, _ := dnswire.Encode0x20(name, uint32(portIdx), 9)
+				wire := packQuery(txid, qname, dnswire.TypeA, dnswire.ClassIN)
+				s.tr.Send(lfsr.U32ToAddr(resolvers[ri]), 53, s.opts.BasePort+portIdx, wire)
+			})
+			s.settle()
+			if round == s.opts.Retries {
+				break
+			}
+			var miss []int
+			mu.Lock()
+			for _, ri := range batch {
+				if row[ri].Responses == 0 {
+					miss = append(miss, ri)
+				}
+			}
+			mu.Unlock()
+			pending = miss
+		}
+	}
+	return res, nil
+}
+
+func hasNSAuthority(m *dnswire.Message) bool {
+	for _, rr := range m.Authority {
+		if rr.Type() == dnswire.TypeNS {
+			return true
+		}
+	}
+	return false
+}
+
+type errTooManyResolvers int
+
+func (e errTooManyResolvers) Error() string {
+	return "scanner: resolver count exceeds the 25-bit probe identifier space"
+}

@@ -1,0 +1,86 @@
+package scanner
+
+import (
+	"fmt"
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/lfsr"
+)
+
+// ProbeAlive re-probes an explicit address list (the §2.5 churn study
+// tracks the week-0 cohort this way) and returns the set that responded
+// with any DNS answer.
+func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
+	alive := make(map[uint32]bool, len(addrs)/4)
+	var mu sync.Mutex
+	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil || !m.Header.QR || len(m.Questions) == 0 {
+			return
+		}
+		target, err := dnswire.DecodeTargetQName(m.Questions[0].Name, domains.ScanBase)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		alive[lfsr.AddrToU32(target)] = true
+		mu.Unlock()
+	})
+	pending := addrs
+	for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
+		batch := pending
+		s.sendAll(len(batch), func(i int) {
+			u := batch[i]
+			name := dnswire.EncodeTargetQName(fmt.Sprintf("c%x", u&0xFFF), lfsr.U32ToAddr(u), domains.ScanBase)
+			wire := packQuery(uint16(u), name, dnswire.TypeA, dnswire.ClassIN)
+			s.tr.Send(lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+		})
+		s.settle()
+		if round == s.opts.Retries {
+			break
+		}
+		mu.Lock()
+		var miss []uint32
+		for _, u := range batch {
+			if !alive[u] {
+				miss = append(miss, u)
+			}
+		}
+		mu.Unlock()
+		pending = miss
+	}
+	return alive
+}
+
+// LookupPTR resolves the reverse name of target through the resolver at
+// via (the churn study aggregates rDNS records of disappeared cohort
+// members through the trusted resolvers, §2.5).
+func (s *Scanner) LookupPTR(via, target uint32) (string, bool) {
+	msgs := s.Probe(via, fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa",
+		target&0xFF, target>>8&0xFF, target>>16&0xFF, target>>24), dnswire.TypePTR, dnswire.ClassIN)
+	for _, m := range msgs {
+		for _, rr := range m.Answers {
+			if ptr, ok := rr.Data.(dnswire.PTR); ok {
+				return ptr.Target, true
+			}
+		}
+	}
+	return "", false
+}
+
+// LookupA resolves an A record through the resolver at via, returning the
+// answer addresses (used by the prefilter's rDNS round-trip rule).
+func (s *Scanner) LookupA(via uint32, name string) ([]uint32, dnswire.RCode, bool) {
+	msgs := s.Probe(via, name, dnswire.TypeA, dnswire.ClassIN)
+	for _, m := range msgs {
+		addrs := m.AnswerAddrs()
+		out := make([]uint32, len(addrs))
+		for i, a := range addrs {
+			out[i] = lfsr.AddrToU32(a)
+		}
+		return out, m.Header.RCode, true
+	}
+	return nil, 0, false
+}

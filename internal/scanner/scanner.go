@@ -1,0 +1,177 @@
+// Package scanner implements the measurement engine of §2.2 and §3.3: the
+// Internet-wide UDP sweep that enumerates responding DNS resolvers (with
+// LFSR-permuted targets and the hex-IP query-name encoding), the
+// domain-set scans that probe every discovered resolver for the 155-name
+// dataset (carrying a 25-bit resolver identifier split across transaction
+// ID, UDP source port, and redundant 0x20 casing), and the CHAOS
+// version-fingerprinting scan.
+//
+// The engine is transport-agnostic: the same code drives the in-memory
+// world (millions of probes per second) and real UDP sockets through the
+// loopback gateway.
+package scanner
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+)
+
+// Transport is the packet interface the scanner drives. It is satisfied
+// by wildnet.MemTransport and wildnet.UDPTransport.
+type Transport interface {
+	Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
+	SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte))
+	Close() error
+}
+
+// Options tunes a scanner.
+type Options struct {
+	// RatePPS caps the probe rate in packets per second; 0 disables
+	// rate limiting (useful against the in-memory transport).
+	RatePPS int
+	// Workers is the number of sender goroutines (default 8).
+	Workers int
+	// Retries is how many retransmission rounds cover unanswered
+	// probes (packet loss, §5). Default 1.
+	Retries int
+	// SettleDelay is how long to wait for in-flight responses after a
+	// send round on asynchronous transports. Default 50ms; a negative
+	// value disables waiting entirely, which is correct for the
+	// in-memory transport (it delivers responses synchronously inside
+	// Send).
+	SettleDelay time.Duration
+	// BasePort is the first of the ProbePortCount UDP source ports a
+	// domain scan uses. Default 33000.
+	BasePort uint16
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.SettleDelay == 0 {
+		o.SettleDelay = 50 * time.Millisecond
+	}
+	if o.BasePort == 0 {
+		o.BasePort = 33000
+	}
+}
+
+// Scanner drives probes over a transport.
+type Scanner struct {
+	tr   Transport
+	opts Options
+	rate *rateLimiter
+}
+
+// New builds a scanner.
+func New(tr Transport, opts Options) *Scanner {
+	opts.fill()
+	return &Scanner{tr: tr, opts: opts, rate: newRateLimiter(opts.RatePPS)}
+}
+
+// ErrNoTransport is returned when the scanner was built with nil.
+var ErrNoTransport = errors.New("scanner: nil transport")
+
+// rateLimiter is a token bucket; rate 0 means unlimited.
+type rateLimiter struct {
+	interval time.Duration
+	mu       sync.Mutex
+	next     time.Time
+}
+
+func newRateLimiter(pps int) *rateLimiter {
+	if pps <= 0 {
+		return &rateLimiter{}
+	}
+	return &rateLimiter{interval: time.Second / time.Duration(pps)}
+}
+
+func (r *rateLimiter) wait() {
+	if r.interval == 0 {
+		return
+	}
+	r.mu.Lock()
+	now := time.Now()
+	if r.next.Before(now) {
+		r.next = now
+	}
+	sleep := r.next.Sub(now)
+	r.next = r.next.Add(r.interval)
+	r.mu.Unlock()
+	// Sleep only when meaningfully ahead of schedule: timer resolution
+	// is ~1ms, so sub-millisecond pacing is achieved by micro-bursts.
+	if sleep > 2*time.Millisecond {
+		time.Sleep(sleep)
+	}
+}
+
+// sendAll distributes jobs across worker goroutines. Each job sends one
+// probe; the rate limiter is shared.
+func (s *Scanner) sendAll(n int, send func(i int)) {
+	workers := s.opts.Workers
+	if n < workers {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			s.rate.wait()
+			send(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s.rate.wait()
+				send(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// settle waits for late responses on asynchronous transports. A negative
+// SettleDelay (synchronous transport) skips the wait.
+func (s *Scanner) settle() {
+	if s.opts.SettleDelay > 0 {
+		time.Sleep(s.opts.SettleDelay)
+	}
+}
+
+// NoSettle is the SettleDelay value for synchronous transports.
+const NoSettle = -1 * time.Millisecond
+
+// netip4 abbreviates the address type in receiver callbacks.
+type netip4 = netip.Addr
+
+// addrU32 converts for the hot path.
+func addrU32(a netip.Addr) uint32 { return lfsr.AddrToU32(a) }
+
+// packQuery builds and packs a query, panicking only on programmer error
+// (static names are always packable).
+func packQuery(id uint16, name string, typ dnswire.Type, class dnswire.Class) []byte {
+	q := dnswire.NewQuery(id, name, typ, class)
+	wire, err := q.PackBytes()
+	if err != nil {
+		panic("scanner: unpackable query: " + err.Error())
+	}
+	return wire
+}

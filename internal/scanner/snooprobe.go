@@ -1,0 +1,72 @@
+package scanner
+
+import (
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+)
+
+// SnoopObs is one cache-snooping observation (§2.6): the resolver's view
+// of a TLD's NS entry at probe time.
+type SnoopObs struct {
+	Answered bool
+	// Empty marks NOERROR responses without records.
+	Empty bool
+	// Cached marks an NS answer being present.
+	Cached bool
+	// TTL is the remaining TTL of the cached entry.
+	TTL uint32
+}
+
+// SnoopRound sends one non-recursive NS query for tld to every resolver.
+// seq is the per-round sequence number; a stateful resolver sees it as
+// the transaction ID, which is how often it has been probed so far.
+// Responses are attributed by source address, so the handful of resolvers
+// answering from foreign addresses drop out — the same attrition the
+// paper tolerates for this experiment.
+func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uint32]SnoopObs {
+	out := make(map[uint32]SnoopObs, len(resolvers)/2)
+	want := make(map[uint32]struct{}, len(resolvers))
+	for _, u := range resolvers {
+		want[u] = struct{}{}
+	}
+	var mu sync.Mutex
+	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil || !m.Header.QR {
+			return
+		}
+		u := addrU32(src)
+		if _, ok := want[u]; !ok {
+			return
+		}
+		obs := SnoopObs{Answered: true}
+		for _, rr := range m.Answers {
+			if rr.Type() == dnswire.TypeNS {
+				obs.Cached = true
+				obs.TTL = rr.TTL
+				break
+			}
+		}
+		if !obs.Cached {
+			obs.Empty = true
+		}
+		mu.Lock()
+		if _, dup := out[u]; !dup {
+			out[u] = obs
+		}
+		mu.Unlock()
+	})
+	s.sendAll(len(resolvers), func(i int) {
+		q := dnswire.NewQuery(seq, tld, dnswire.TypeNS, dnswire.ClassIN)
+		q.Header.RD = false // snooping must not trigger recursion
+		wire, err := q.PackBytes()
+		if err != nil {
+			return
+		}
+		s.tr.Send(lfsr.U32ToAddr(resolvers[i]), 53, s.opts.BasePort, wire)
+	})
+	s.settle()
+	return out
+}

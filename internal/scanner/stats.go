@@ -1,0 +1,107 @@
+package scanner
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts a scanner's traffic, for operator dashboards and the
+// abuse-avoidance reporting the paper's operators practiced (rate
+// limiting, opt-out handling, §2.2/§5).
+type Stats struct {
+	sent      atomic.Uint64
+	received  atomic.Uint64
+	bytesOut  atomic.Uint64
+	bytesIn   atomic.Uint64
+	startedAt time.Time
+}
+
+// Snapshot is a point-in-time view of the counters.
+type Snapshot struct {
+	Sent, Received    uint64
+	BytesOut, BytesIn uint64
+	Elapsed           time.Duration
+}
+
+// Rate returns the send rate in packets per second.
+func (s Snapshot) Rate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Sent) / s.Elapsed.Seconds()
+}
+
+// ResponseRatio returns responses per probe.
+func (s Snapshot) ResponseRatio() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Received) / float64(s.Sent)
+}
+
+// String renders the snapshot for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("sent=%d recv=%d (%.1f%%) rate=%.0f pps out=%dB in=%dB",
+		s.Sent, s.Received, 100*s.ResponseRatio(), s.Rate(), s.BytesOut, s.BytesIn)
+}
+
+// statsTransport wraps a Transport with counting.
+type statsTransport struct {
+	inner Transport
+	stats *Stats
+}
+
+// WithStats wraps a transport so that all traffic through it is counted.
+// It returns the wrapped transport and the live counters.
+func WithStats(inner Transport) (Transport, *Stats) {
+	st := &Stats{startedAt: time.Now()}
+	return &statsTransport{inner: inner, stats: st}, st
+}
+
+// Snapshot reads the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Sent:     s.sent.Load(),
+		Received: s.received.Load(),
+		BytesOut: s.bytesOut.Load(),
+		BytesIn:  s.bytesIn.Load(),
+		Elapsed:  time.Since(s.startedAt),
+	}
+}
+
+// Send implements Transport.
+func (t *statsTransport) Send(dst netip4, dstPort, srcPort uint16, payload []byte) error {
+	t.stats.sent.Add(1)
+	t.stats.bytesOut.Add(uint64(len(payload)))
+	return t.inner.Send(dst, dstPort, srcPort, payload)
+}
+
+// SetReceiver implements Transport, interposing the counters.
+func (t *statsTransport) SetReceiver(f func(src netip4, srcPort, dstPort uint16, payload []byte)) {
+	t.inner.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+		t.stats.received.Add(1)
+		t.stats.bytesIn.Add(uint64(len(payload)))
+		f(src, srcPort, dstPort, payload)
+	})
+}
+
+// Close implements Transport.
+func (t *statsTransport) Close() error { return t.inner.Close() }
+
+// QueryTCP forwards DNS-over-TCP when the wrapped transport supports it,
+// keeping the wrapper transparent for truncation fallback.
+func (t *statsTransport) QueryTCP(dst netip4, payload []byte) ([]byte, bool) {
+	tq, ok := t.inner.(TCPQuerier)
+	if !ok {
+		return nil, false
+	}
+	t.stats.sent.Add(1)
+	t.stats.bytesOut.Add(uint64(len(payload)))
+	resp, ok := tq.QueryTCP(dst, payload)
+	if ok {
+		t.stats.received.Add(1)
+		t.stats.bytesIn.Add(uint64(len(resp)))
+	}
+	return resp, ok
+}

@@ -1,0 +1,175 @@
+package scanner
+
+import (
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/lfsr"
+)
+
+// Responder is one host that answered the Internet-wide sweep.
+type Responder struct {
+	// Addr is the probed target address (recovered from the hex-IP
+	// query name, not the packet source, §2.2).
+	Addr uint32
+	// Source is the address the response actually came from; differing
+	// from Addr marks multi-homed hosts and DNS proxies.
+	Source uint32
+	RCode  dnswire.RCode
+	// Answered reports a non-empty A answer section.
+	Answered bool
+}
+
+// MisSourced reports whether the response came from a different host than
+// probed.
+func (r Responder) MisSourced() bool { return r.Addr != r.Source }
+
+// SweepResult aggregates one Internet-wide scan.
+type SweepResult struct {
+	// Probed is the number of targets probed (after blacklisting).
+	Probed uint64
+	// Responders lists every answering host, by target address.
+	Responders []Responder
+	// ByRCode counts responders per status code (Figure 1 series).
+	ByRCode map[dnswire.RCode]int
+}
+
+// Total returns the count of responding hosts.
+func (r *SweepResult) Total() int { return len(r.Responders) }
+
+// NOERROR returns the addresses of resolvers that answered NOERROR — the
+// population every follow-up experiment starts from.
+func (r *SweepResult) NOERROR() []uint32 {
+	var out []uint32
+	for _, resp := range r.Responders {
+		if resp.RCode == dnswire.RCodeNoError {
+			out = append(out, resp.Addr)
+		}
+	}
+	return out
+}
+
+// MisSourcedCount counts responders replying from foreign addresses.
+func (r *SweepResult) MisSourcedCount() int {
+	n := 0
+	for _, resp := range r.Responders {
+		if resp.MisSourced() {
+			n++
+		}
+	}
+	return n
+}
+
+// cachePrefix derives the per-target random label that defeats caching
+// (§2.2), without fmt on the hot path.
+func cachePrefix(u uint32) string {
+	v := uint16(uint64(u) * 2654435761 >> 8)
+	const hexdigits = "0123456789abcdef"
+	return string([]byte{'r', hexdigits[v>>12], hexdigits[v>>8&0xF], hexdigits[v>>4&0xF], hexdigits[v&0xF]})
+}
+
+// sweepState collects responses during a sweep keyed by target address.
+type sweepState struct {
+	mu        sync.Mutex
+	responses map[uint32]Responder
+}
+
+// Sweep probes every address of a 2^order space once, in LFSR-permuted
+// order, skipping the blacklist. Each probe is a DNS A query for
+// prefix.hex-ip.scanbase, so responses are attributed to the probed
+// target regardless of their source address.
+func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResult, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
+	gen, err := lfsr.NewTargetGenerator(order, seed, bl)
+	if err != nil {
+		return nil, err
+	}
+	var targets []uint32
+	for {
+		u, ok := gen.NextU32()
+		if !ok {
+			break
+		}
+		targets = append(targets, u)
+	}
+	st := &sweepState{responses: make(map[uint32]Responder, len(targets)/64)}
+	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil || !m.Header.QR || len(m.Questions) == 0 {
+			return
+		}
+		target, err := dnswire.DecodeTargetQName(m.Questions[0].Name, domains.ScanBase)
+		if err != nil {
+			return
+		}
+		r := Responder{
+			Addr:     lfsr.AddrToU32(target),
+			Source:   addrU32(src),
+			RCode:    m.Header.RCode,
+			Answered: len(m.AnswerAddrs()) > 0,
+		}
+		st.mu.Lock()
+		if _, dup := st.responses[r.Addr]; !dup {
+			st.responses[r.Addr] = r
+		}
+		st.mu.Unlock()
+	})
+
+	// A census sends exactly one probe per target: retransmitting to
+	// the silent majority (non-resolvers) would double the scan for a
+	// fraction-of-a-percent gain. Loss is accounted for by the
+	// secondary-vantage verification scan instead (§2.2).
+	//
+	// Probe construction is the hot path: queries are assembled into
+	// pooled buffers without a Message allocation. Transports must not
+	// retain payloads after Send returns.
+	var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+	s.sendAll(len(targets), func(i int) {
+		u := targets[i]
+		name := dnswire.EncodeTargetQName(cachePrefix(u), lfsr.U32ToAddr(u), domains.ScanBase)
+		bp := bufPool.Get().(*[]byte)
+		wire, err := dnswire.AppendQuery((*bp)[:0], uint16(u)^uint16(u>>16), name, dnswire.TypeA, dnswire.ClassIN)
+		if err == nil {
+			s.tr.Send(lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+		}
+		*bp = wire[:0]
+		bufPool.Put(bp)
+	})
+	s.settle()
+
+	res := &SweepResult{
+		Probed:  uint64(len(targets)),
+		ByRCode: make(map[dnswire.RCode]int),
+	}
+	st.mu.Lock()
+	for _, r := range st.responses {
+		res.Responders = append(res.Responders, r)
+		res.ByRCode[r.RCode]++
+	}
+	st.mu.Unlock()
+	return res, nil
+}
+
+// Probe sends a single query toward one resolver and returns all
+// responses that arrive before the settle deadline (the GFW study needs
+// to observe response races, §4.2).
+func (s *Scanner) Probe(addr uint32, name string, typ dnswire.Type, class dnswire.Class) []*dnswire.Message {
+	var mu sync.Mutex
+	var out []*dnswire.Message
+	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+		if m, err := dnswire.Unpack(payload); err == nil && m.Header.QR {
+			mu.Lock()
+			out = append(out, m)
+			mu.Unlock()
+		}
+	})
+	wire := packQuery(0x5157, name, typ, class)
+	s.tr.Send(lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
+	s.settle()
+	mu.Lock()
+	defer mu.Unlock()
+	return out
+}

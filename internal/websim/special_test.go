@@ -1,0 +1,141 @@
+package websim
+
+import (
+	"strings"
+	"testing"
+
+	"goingwild/internal/htmlx"
+	"goingwild/internal/wildnet"
+)
+
+func TestCountryNameFallback(t *testing.T) {
+	if countryName("ZZ") != "ZZ" {
+		t.Error("unknown code not passed through")
+	}
+	if countryName("TR") != "Turkish" {
+		t.Error("known code not expanded")
+	}
+}
+
+func TestCensorPageVariants(t *testing.T) {
+	court := censorPage("TR", 0)
+	authority := censorPage("TR", 1)
+	if !strings.Contains(court, "court") || !strings.Contains(authority, "authority") {
+		t.Error("authority/court variants missing")
+	}
+	if court == authority {
+		t.Error("slots produce identical pages")
+	}
+}
+
+func TestParkingPageDeterministicPerHostAndSlot(t *testing.T) {
+	a := parkingPage("ghoogle.com", 3)
+	b := parkingPage("ghoogle.com", 3)
+	c := parkingPage("amason.com", 3)
+	d := parkingPage("ghoogle.com", 4)
+	if a != b {
+		t.Error("parking page not deterministic")
+	}
+	if a == c || a == d {
+		t.Error("parking page ignores host or slot")
+	}
+	if !strings.Contains(a, "Buy this domain") {
+		t.Error("parking marker missing")
+	}
+}
+
+func TestErrorPageVariantsParse(t *testing.T) {
+	statuses := map[int]bool{}
+	for slot := 0; slot < 7; slot++ {
+		status, body := errorPage(slot)
+		statuses[status] = true
+		f := htmlx.Extract(body)
+		if f.Title == "" {
+			t.Errorf("error variant %d has no title", slot)
+		}
+	}
+	if len(statuses) < 5 {
+		t.Errorf("only %d distinct statuses", len(statuses))
+	}
+}
+
+func TestPhishGenericInjectsCollector(t *testing.T) {
+	gt := bankingPage("unicredit.it", 0xF00D)
+	ph := phishGeneric("unicredit.it", 7)
+	if ph == gt {
+		t.Fatal("phish identical to GT")
+	}
+	if !strings.Contains(ph, "collector-7.example") {
+		t.Error("collector injection missing")
+	}
+	// The modification must be small: same tag structure plus a script.
+	fg := htmlx.Extract(gt)
+	fp := htmlx.Extract(ph)
+	if len(fp.TagSeq) != len(fg.TagSeq)+1 {
+		t.Errorf("tag counts %d vs %d, want +1 script", len(fp.TagSeq), len(fg.TagSeq))
+	}
+}
+
+func TestDeviceRealmExtraction(t *testing.T) {
+	if got := deviceRealm(`HTTP/1.0 401 Unauthorized\r\nWWW-Authenticate: Basic realm="P-660HN-T1A"`, "fb"); got != "P-660HN-T1A" {
+		t.Errorf("realm = %q", got)
+	}
+	if got := deviceRealm("no realm here", "fallback"); got != "fallback" {
+		t.Errorf("fallback = %q", got)
+	}
+}
+
+func TestMalwarePageMentionsProduct(t *testing.T) {
+	flash := malwareUpdatePage("update.adobe.example", 1)
+	java := malwareUpdatePage("update.oracle.example", 1)
+	if !strings.Contains(flash, "Flash") || !strings.Contains(java, "Java") {
+		t.Error("product names missing")
+	}
+	if !strings.Contains(flash, "flash_update.exe") || !strings.Contains(java, "jre_setup.exe") {
+		t.Error("download links missing")
+	}
+}
+
+func TestAdVariants(t *testing.T) {
+	inj := adInjectHTML("ads.doubleclick.example", 2)
+	if !strings.Contains(inj, "adswapper") {
+		t.Error("HTML injection missing banner host")
+	}
+	js := adInjectJS("ads.doubleclick.example", 2)
+	f := htmlx.Extract(js)
+	if f.Scripts == "" {
+		t.Error("JS injection has no script")
+	}
+	blk := adBlockEmpty()
+	if len(blk) > 300 {
+		t.Errorf("ad-block placeholder too large: %d bytes", len(blk))
+	}
+	fake := fakeSearchWithAds(1)
+	if !strings.Contains(fake, "banner") || !strings.Contains(fake, "Search") {
+		t.Error("fake search page incomplete")
+	}
+}
+
+func TestGenericSiteVariants(t *testing.T) {
+	seen := map[string]bool{}
+	for slot := 0; slot < 10; slot++ {
+		body := genericSite(slot)
+		f := htmlx.Extract(body)
+		seen[f.Title] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("generic sites too uniform: %d titles", len(seen))
+	}
+}
+
+func TestSiteDomainIdentifiesHostedSlot(t *testing.T) {
+	s, w := testServer(t)
+	legit, _ := w.LegitAddrs("chase.com", "DE")
+	if got := s.siteDomain(legit[0], 0); got != "chase.com" {
+		t.Errorf("siteDomain = %q", got)
+	}
+	// Censor slots host no scan domain.
+	if got := s.siteDomain(w.RoleAddr(wildnet.RoleCensorPage, 3), 3); got != "" {
+		t.Errorf("censor slot claimed domain %q", got)
+	}
+}

@@ -1,0 +1,165 @@
+package wildnet
+
+import (
+	"strings"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/prand"
+)
+
+// Amplification modeling: the paper repeatedly frames open resolvers as
+// DDoS amplifiers (§1, §3, the authors' own USENIX Security 2014 study).
+// ANY queries elicit responses whose size depends on how much the
+// resolver is willing to stuff into a UDP answer; the survey in
+// internal/ampli measures the resulting bandwidth amplification factors.
+
+// AmpClass buckets resolvers by ANY-response behavior.
+type AmpClass uint8
+
+// Amplifier classes.
+const (
+	// AmpMinimal answers ANY with the A record only.
+	AmpMinimal AmpClass = iota
+	// AmpModerate adds NS and SOA records.
+	AmpModerate
+	// AmpLarge additionally returns bulky TXT records — the
+	// monlist-grade amplifiers ripe for abuse.
+	AmpLarge
+	// AmpRefusesANY rejects ANY queries outright (the hardened
+	// minority).
+	AmpRefusesANY
+)
+
+// ampClassOf draws a resolver's amplifier class: roughly 10% large, 40%
+// moderate, 45% minimal, 5% refusing — the long-tailed shape amplifier
+// surveys report.
+func ampClassOf(id uint64) AmpClass {
+	v := prand.UnitOf(id, 0xA3B)
+	switch {
+	case v < 0.10:
+		return AmpLarge
+	case v < 0.50:
+		return AmpModerate
+	case v < 0.95:
+		return AmpMinimal
+	default:
+		return AmpRefusesANY
+	}
+}
+
+// AmpClassAt exposes the planted class for verification.
+func (w *World) AmpClassAt(u uint32, t Time) (AmpClass, bool) {
+	p, ok := w.ProfileAt(w.Mask(u), t)
+	if !ok {
+		return 0, false
+	}
+	return ampClassOf(p.Identity), true
+}
+
+// UDPPayloadLimit returns the largest UDP response the resolver at u
+// sends for the given query (RFC 6891): without an EDNS OPT record in
+// the query, everything truncates at the classic 512 octets; with one,
+// EDNS-capable resolvers honor the advertised size up to their own
+// buffer. Large amplifiers are exactly the EDNS-capable ones — which is
+// why real amplification attacks always send EDNS queries.
+func (w *World) UDPPayloadLimit(u uint32, q *dnswire.Message, t Time) int {
+	advertised, hasEDNS := 0, false
+	if q != nil {
+		if size, ok := q.EDNSPayloadSize(); ok {
+			advertised, hasEDNS = int(size), true
+		}
+	}
+	if !hasEDNS || advertised <= dnswire.MaxUDPSize {
+		return dnswire.MaxUDPSize
+	}
+	p, ok := w.ProfileAt(w.Mask(u), t)
+	if !ok {
+		return dnswire.MaxUDPSize
+	}
+	if ampClassOf(p.Identity) != AmpLarge {
+		return dnswire.MaxUDPSize
+	}
+	if advertised > 4096 {
+		return 4096
+	}
+	return advertised
+}
+
+// HandleDNSTCP answers a query over TCP: no size limit and — because
+// injecting into an established TCP stream is much harder than spoofing
+// UDP — no in-transit injection. Only resolvers offering TCP service
+// answer (about two thirds of the population).
+func (w *World) HandleDNSTCP(v Vantage, dst uint32, q *dnswire.Message, t Time) *dnswire.Message {
+	dst = w.Mask(dst)
+	p, ok := w.ProfileAt(dst, t)
+	if !ok || !w.VisibleFrom(dst, v, t) {
+		return nil
+	}
+	if prand.UnitOf(p.Identity, 0x7C9) > 0.67 {
+		return nil // no DNS-over-TCP service
+	}
+	// TCP answers skip the injector: the CensorGFW mode degrades to the
+	// resolver's own (possibly cache-poisoned) answer, which the
+	// double-response minority has correct.
+	resps := w.HandleDNS(v, 53, dst, q, t)
+	if len(resps) == 0 {
+		return nil
+	}
+	return resps[len(resps)-1].Msg
+}
+
+// answerANY builds the resolver's response to an ANY query.
+func (w *World) answerANY(p *Profile, q *dnswire.Message, qname string) *dnswire.Message {
+	switch ampClassOf(p.Identity) {
+	case AmpRefusesANY:
+		return dnswire.NewResponse(q, dnswire.RCodeRefused)
+	case AmpMinimal:
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		addrs, rc := w.LegitAddrs(qname, p.Country)
+		resp.Header.RCode = rc
+		for _, a := range addrs {
+			resp.AddAnswer(q.Questions[0].Name, dnswire.ClassIN, answerTTL, dnswire.A{Addr: w.Addr(a)})
+		}
+		return resp
+	case AmpModerate:
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		addrs, rc := w.LegitAddrs(qname, p.Country)
+		resp.Header.RCode = rc
+		name := q.Questions[0].Name
+		for _, a := range addrs {
+			resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.A{Addr: w.Addr(a)})
+		}
+		resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.NS{Host: "ns1." + qname})
+		resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.NS{Host: "ns2." + qname})
+		resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.SOA{
+			MName: "ns1." + qname, RName: "hostmaster." + qname,
+			Serial: 2015010100, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 3600,
+		})
+		// A quarter of the moderates hold more data than fits in 512
+		// octets but do not speak EDNS: their UDP answers truncate and
+		// clients must retry over TCP — the hardened non-amplifiers.
+		if prand.UnitOf(p.Identity, 0xA3C) < 0.25 {
+			blob := strings.Repeat("descriptive-policy-text ", 28)
+			resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.TXT{Strings: []string{blob}})
+		}
+		return resp
+	default: // AmpLarge
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		name := q.Questions[0].Name
+		addrs, _ := w.LegitAddrs(qname, p.Country)
+		for _, a := range addrs {
+			resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.A{Addr: w.Addr(a)})
+		}
+		// Bulky TXT padding, the classic amplification payload.
+		blob := strings.Repeat("v=spf1 include:_spf."+qname+" ", 8)
+		for i := 0; i < 4; i++ {
+			resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.TXT{Strings: []string{blob}})
+		}
+		resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.NS{Host: "ns1." + qname})
+		resp.AddAnswer(name, dnswire.ClassIN, answerTTL, dnswire.SOA{
+			MName: "ns1." + qname, RName: "hostmaster." + qname,
+			Serial: 2015010100, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 3600,
+		})
+		return resp
+	}
+}

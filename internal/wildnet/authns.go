@@ -1,0 +1,286 @@
+package wildnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/geodb"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/prand"
+)
+
+// This file models the authoritative side of the DNS hierarchy: the
+// legitimate A records for every scan domain (including the geo-dependent
+// answers of CDN-hosted domains that make prefiltering hard, §3.4), the
+// ground-truth zone the measurement team operates, and reverse DNS.
+
+// cdnRegions is the number of distinct answer regions a CDN serves.
+const cdnRegions = 8
+
+// RegionOf maps a country to its CDN answer region.
+func RegionOf(country string) int {
+	if i, ok := geodb.CountryIndex[country]; ok {
+		return i % cdnRegions
+	}
+	return 0
+}
+
+// vantageCountry is where the measurement host (and its trusted
+// resolvers) sit; the authors scanned from a German university network.
+const vantageCountry = "DE"
+
+// LegitAddrs returns the legitimate A-record set for a scan-list domain as
+// observed from the given requester country, plus the response code. For
+// CDN domains the answer differs per region; for nonexistent domains the
+// rcode is NXDOMAIN with no addresses.
+func (w *World) LegitAddrs(name string, requesterCountry string) ([]uint32, dnswire.RCode) {
+	cn := dnswire.CanonicalName(name)
+	if cn == domains.GroundTruth || strings.HasSuffix(cn, "."+domains.GroundTruth) {
+		return []uint32{w.infra.addrOf(RoleSiteHost, 0)}, dnswire.RCodeNoError
+	}
+	if strings.HasSuffix(cn, "."+domains.ScanBase) || cn == domains.ScanBase {
+		// Any name under the scan base resolves; the A record carries
+		// the encoded target back (the zone is wildcarded).
+		if target, err := dnswire.DecodeTargetQName(cn, domains.ScanBase); err == nil {
+			return []uint32{w.Mask(lfsr.AddrToU32(target))}, dnswire.RCodeNoError
+		}
+		return []uint32{w.infra.addrOf(RoleSiteHost, 1)}, dnswire.RCodeNoError
+	}
+	if ip, ok := w.rdnsRoundTrip(cn); ok {
+		return []uint32{ip}, dnswire.RCodeNoError
+	}
+	d, ok := domains.ByName(cn)
+	if !ok {
+		// Unlisted names (sub-resolutions from redirects) hash onto a
+		// stable site-host slot.
+		h := prand.Hash(w.cfg.Seed, facetInfra, hashString(cn))
+		return []uint32{w.infra.addrOf(RoleSiteHost, 2+prand.IntN(h, nSiteHost-2))}, dnswire.RCodeNoError
+	}
+	switch d.Kind {
+	case domains.KindNonexistent:
+		return nil, dnswire.RCodeNXDomain
+	case domains.KindMailHost:
+		return w.mailLegitAddrs(cn), dnswire.RCodeNoError
+	case domains.KindCDN:
+		return w.cdnAddrs(cn, RegionOf(requesterCountry)), dnswire.RCodeNoError
+	default:
+		return w.ordinaryAddrs(cn), dnswire.RCodeNoError
+	}
+}
+
+// TrustedResolve performs the lookup the measurement team's own trusted
+// recursive resolvers would, i.e. from the vantage region (§3.4 rule i).
+func (w *World) TrustedResolve(name string) ([]uint32, dnswire.RCode) {
+	return w.LegitAddrs(name, vantageCountry)
+}
+
+// ordinaryAddrs returns the fixed 1–3 hosting addresses of a non-CDN
+// domain, all within one owner network.
+func (w *World) ordinaryAddrs(cn string) []uint32 {
+	h := prand.Hash(w.cfg.Seed, facetInfra, hashString(cn), 1)
+	n := 1 + prand.IntN(h, 3)
+	base := 8 + prand.IntN(prand.Mix64(h), nSiteHost-16)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = w.infra.addrOf(RoleSiteHost, base+i)
+	}
+	return out
+}
+
+// cdnAddrs returns a CDN domain's deployment addresses for one region.
+// A small share of slots point at currently-dead content nodes, which is
+// what leaves some tuples without HTTP payload (§4.2).
+func (w *World) cdnAddrs(cn string, region int) []uint32 {
+	h := prand.Hash(w.cfg.Seed, facetRegion, hashString(cn), uint64(region))
+	n := 2 + prand.IntN(h, 3)
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		hi := prand.Hash(h, uint64(i))
+		if prand.Float64(hi) < 0.003 {
+			out = append(out, w.infra.addrOf(RoleDeadCDN, prand.IntN(hi, nDeadCDN)))
+			continue
+		}
+		out = append(out, w.infra.addrOf(RoleCDNNode, prand.IntN(hi, nCDNNode)))
+	}
+	return out
+}
+
+// mailLegitAddrs returns the provider's real mail host addresses.
+func (w *World) mailLegitAddrs(cn string) []uint32 {
+	provider := mailProviderOf(cn)
+	slot := provider*4 + mailProtoOf(cn)
+	return []uint32{w.infra.addrOf(RoleMailLegit, slot)}
+}
+
+// mailProviderOf maps an MX-set hostname to its provider index (6
+// providers: Aim, Gmail, Mail.me, Outlook, Yahoo, Yandex).
+func mailProviderOf(cn string) int {
+	switch {
+	case strings.Contains(cn, "aim.com"):
+		return 0
+	case strings.Contains(cn, "gmail.com"):
+		return 1
+	case strings.Contains(cn, "mail.me.com"):
+		return 2
+	case strings.Contains(cn, "outlook.com"):
+		return 3
+	case strings.Contains(cn, "yahoo.com"):
+		return 4
+	default:
+		return 5 // yandex
+	}
+}
+
+// mailProtoOf maps a hostname to its protocol slot (imap/pop/smtp).
+func mailProtoOf(cn string) int {
+	switch {
+	case strings.HasPrefix(cn, "imap"):
+		return 0
+	case strings.HasPrefix(cn, "pop"):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MailProto names the mail protocol a hostname stands for.
+func MailProto(cn string) string {
+	switch mailProtoOf(dnswire.CanonicalName(cn)) {
+	case 0:
+		return "imap"
+	case 1:
+		return "pop3"
+	default:
+		return "smtp"
+	}
+}
+
+// RDNS returns the PTR target of an address, or "" when none exists.
+// Infrastructure addresses carry role-appropriate names; about half the
+// ordinary-domain site hosts publish a PTR equal to the domain they host,
+// which is what prefilter rule (ii) keys on.
+func (w *World) RDNS(u uint32) string {
+	u = w.Mask(u)
+	role, idx := w.infra.roleParam(u)
+	switch role {
+	case RoleNone:
+		return w.geo.RDNSName(w.cfg.Seed, u)
+	case RoleSiteHost:
+		if d := w.siteHostDomain(idx); d != "" {
+			if prand.UnitOf(w.cfg.Seed, facetInfra, 0x7D45, uint64(idx)) < 0.5 {
+				return d
+			}
+			return fmt.Sprintf("web%d.hosting-%02d.example", idx, idx%7)
+		}
+		return fmt.Sprintf("web%d.hosting-%02d.example", idx, idx%7)
+	case RoleCDNNode, RoleDeadCDN:
+		return fmt.Sprintf("a%d.deploy.static.cdn-global.example", idx)
+	case RoleMailLegit:
+		return fmt.Sprintf("mail%d.provider%d.example", idx%4, idx/4)
+	case RoleAuthNS:
+		return fmt.Sprintf("ns%d.dnsstudy.example.edu", idx)
+	case RoleTrustedDNS:
+		return fmt.Sprintf("resolver%d.dnsstudy.example.edu", idx)
+	case RoleCensorPage:
+		return "" // censorship landing pages publish no rDNS
+	case RoleParking:
+		return fmt.Sprintf("park%d.parking-pages.example", idx)
+	case RoleErrorPage:
+		return fmt.Sprintf("srv%d.shared-hosting.example", idx)
+	case RoleLoginPortal:
+		return fmt.Sprintf("portal%d.access.example", idx)
+	default:
+		return ""
+	}
+}
+
+// siteHostDomain returns the ordinary scan domain hosted at a site-host
+// slot, or "" when the slot hosts no scan-list domain. Slot assignment
+// mirrors ordinaryAddrs.
+func (w *World) siteHostDomain(idx int) string {
+	for _, d := range domains.List {
+		if d.Kind != domains.KindOrdinary {
+			continue
+		}
+		h := prand.Hash(w.cfg.Seed, facetInfra, hashString(d.Name), 1)
+		n := 1 + prand.IntN(h, 3)
+		base := 8 + prand.IntN(prand.Mix64(h), nSiteHost-16)
+		if idx >= base && idx < base+n {
+			return d.Name
+		}
+	}
+	return ""
+}
+
+// rdnsRoundTrip recognizes the A-lookup of an rDNS name and returns the
+// address it refers to, closing the verification loop of prefilter rule
+// (ii): only the true owner can make A(rdns) come back to the IP.
+func (w *World) rdnsRoundTrip(cn string) (uint32, bool) {
+	// Resolver-space names: "<tok>-a-b-c-d.<as>.example" or
+	// "a-b-c-d.<tok>.<as>.example".
+	if !strings.HasSuffix(cn, ".example") {
+		return 0, false
+	}
+	first := cn
+	if i := strings.IndexByte(cn, '.'); i > 0 {
+		first = cn[:i]
+	}
+	parts := strings.Split(first, "-")
+	if len(parts) < 4 {
+		return 0, false
+	}
+	// The last four dash-separated fields are the octets.
+	oct := parts[len(parts)-4:]
+	var u uint32
+	for _, s := range oct {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 || v > 255 {
+			return 0, false
+		}
+		u = u<<8 | uint32(v)
+	}
+	u = w.Mask(u)
+	// Verify this really is the address's rDNS name.
+	if w.RDNS(u) == cn {
+		return u, true
+	}
+	return 0, false
+}
+
+// PTRName builds the in-addr.arpa name for an address.
+func PTRName(u uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", u&0xFF, u>>8&0xFF, u>>16&0xFF, u>>24)
+}
+
+// ParsePTRName extracts the address from an in-addr.arpa name.
+func ParsePTRName(name string) (uint32, bool) {
+	cn := dnswire.CanonicalName(name)
+	if !strings.HasSuffix(cn, ".in-addr.arpa") {
+		return 0, false
+	}
+	parts := strings.Split(strings.TrimSuffix(cn, ".in-addr.arpa"), ".")
+	if len(parts) != 4 {
+		return 0, false
+	}
+	var u uint32
+	for i := 3; i >= 0; i-- {
+		v, err := strconv.Atoi(parts[i])
+		if err != nil || v < 0 || v > 255 {
+			return 0, false
+		}
+		u = u<<8 | uint32(v)
+	}
+	return u, true
+}
+
+func hashString(s string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}

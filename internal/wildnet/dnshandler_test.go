@@ -1,0 +1,362 @@
+package wildnet
+
+import (
+	"net/netip"
+	"testing"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/lfsr"
+)
+
+// findResolver locates an address with the wanted property.
+func findResolver(t *testing.T, w *World, tt Time, want func(Profile) bool) (uint32, Profile) {
+	t.Helper()
+	for u := uint32(0); u < uint32(w.SpaceSize()); u++ {
+		p, ok := w.ProfileAt(u, tt)
+		if ok && want(p) {
+			return u, p
+		}
+	}
+	t.Fatal("no resolver with wanted profile found")
+	return 0, Profile{}
+}
+
+func query(name string, typ dnswire.Type, class dnswire.Class) *dnswire.Message {
+	return dnswire.NewQuery(4242, name, typ, class)
+}
+
+func TestHonestResolverAnswersGT(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && !p.MisSourced
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query(domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN), At(0))
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses, want 1", len(resps))
+	}
+	m := resps[0].Msg
+	if m.Header.RCode != dnswire.RCodeNoError || len(m.Answers) == 0 {
+		t.Fatalf("GT answer = %v", m)
+	}
+	want, _ := w.TrustedResolve(domains.GroundTruth)
+	got := lfsr.AddrToU32(m.Answers[0].Data.(dnswire.A).Addr)
+	if got != want[0] {
+		t.Errorf("GT A = %d, want %d", got, want[0])
+	}
+}
+
+func TestRefusedAndServfailClasses(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool { return p.RCode == RCRefused })
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("example.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	if len(resps) != 1 || resps[0].Msg.Header.RCode != dnswire.RCodeRefused {
+		t.Errorf("refused resolver answered %v", resps)
+	}
+	u2, _ := findResolver(t, w, At(0), func(p Profile) bool { return p.RCode == RCServFail })
+	resps = w.HandleDNS(VantagePrimary, 4000, u2, query("example.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	if len(resps) != 1 || resps[0].Msg.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("servfail resolver answered %v", resps)
+	}
+}
+
+func TestChaosVersionResponses(t *testing.T) {
+	w := testWorld(t, 16)
+	u, p := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Chaos == ChaosVersioned
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("version.bind", dnswire.TypeTXT, dnswire.ClassCH), At(0))
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	txt, ok := resps[0].Msg.Answers[0].Data.(dnswire.TXT)
+	if !ok || txt.Joined() == "" {
+		t.Fatalf("CHAOS answer = %v", resps[0].Msg)
+	}
+	_ = p
+	// Hidden-string class must not leak a real version.
+	u2, p2 := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Chaos == ChaosHidden
+	})
+	resps = w.HandleDNS(VantagePrimary, 4000, u2, query("version.bind", dnswire.TypeTXT, dnswire.ClassCH), At(0))
+	txt = resps[0].Msg.Answers[0].Data.(dnswire.TXT)
+	if txt.Joined() == "" {
+		t.Error("hidden class returned empty string")
+	}
+	_ = p2
+	// Error class returns REFUSED or SERVFAIL.
+	u3, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Chaos == ChaosError
+	})
+	resps = w.HandleDNS(VantagePrimary, 4000, u3, query("version.bind", dnswire.TypeTXT, dnswire.ClassCH), At(0))
+	rc := resps[0].Msg.Header.RCode
+	if rc != dnswire.RCodeRefused && rc != dnswire.RCodeServFail {
+		t.Errorf("CHAOS error class returned %v", rc)
+	}
+}
+
+func TestStaticIPResolverConsistent(t *testing.T) {
+	w := testWorld(t, 19)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipStaticIP
+	})
+	var first netip.Addr
+	for i, name := range []string{"google.com", "paypal.com", domains.GroundTruth} {
+		resps := w.HandleDNS(VantagePrimary, 4000, u, query(name, dnswire.TypeA, dnswire.ClassIN), At(0))
+		if len(resps) != 1 || len(resps[0].Msg.Answers) != 1 {
+			t.Fatalf("static resolver gave %v", resps)
+		}
+		a := resps[0].Msg.Answers[0].Data.(dnswire.A).Addr
+		if i == 0 {
+			first = a
+		} else if a != first {
+			t.Errorf("static resolver returned %v then %v", first, a)
+		}
+	}
+}
+
+func TestSelfIPResolver(t *testing.T) {
+	w := testWorld(t, 19)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipSelfIP
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("chase.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	got := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	if got != u {
+		t.Errorf("self-IP resolver returned %d, want %d", got, u)
+	}
+}
+
+func TestNXMonetizerRedirectsOnlyNX(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipNXMonetize && p.Country == "US"
+	})
+	// NX domain: must return an address instead of NXDOMAIN.
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("ghoogle.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	if resps[0].Msg.Header.RCode != dnswire.RCodeNoError || len(resps[0].Msg.Answers) == 0 {
+		t.Errorf("monetizer did not monetize NX: %v", resps[0].Msg)
+	}
+	// Existing non-malware domain: honest answer.
+	resps = w.HandleDNS(VantagePrimary, 4000, u, query("chase.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	want, _ := w.LegitAddrs("chase.com", "US")
+	got := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	found := false
+	for _, a := range want {
+		if a == got {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("monetizer mangled existing domain: got %d, want one of %v", got, want)
+	}
+}
+
+func TestHonestNXDomainIsNXOrEmpty(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && p.Country == "US"
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("amason.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	m := resps[0].Msg
+	if m.Header.RCode == dnswire.RCodeNXDomain {
+		return
+	}
+	if m.Header.RCode == dnswire.RCodeNoError && len(m.Answers) == 0 {
+		return
+	}
+	t.Errorf("honest resolver returned %v for NX domain", m)
+}
+
+func TestChineseGFWInjection(t *testing.T) {
+	w := testWorld(t, 18)
+	u, p := findResolver(t, w, At(50), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && p.Country == "CN" && !p.GFWDouble
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("facebook.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	if len(resps) != 1 {
+		t.Fatalf("CN resolver sent %d responses, want 1 (poisoned)", len(resps))
+	}
+	poisoned := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	legit, _ := w.LegitAddrs("facebook.com", "CN")
+	for _, a := range legit {
+		if a == poisoned {
+			t.Error("GFW answer matches legitimate address")
+		}
+	}
+	_ = p
+	// Double-response resolvers race the legitimate answer.
+	u2, _ := findResolver(t, w, At(50), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && p.Country == "CN" && p.GFWDouble
+	})
+	resps = w.HandleDNS(VantagePrimary, 4000, u2, query("twitter.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	if len(resps) != 2 {
+		t.Fatalf("double-response resolver sent %d responses", len(resps))
+	}
+	if resps[0].DelayMS >= resps[1].DelayMS {
+		t.Error("injected response does not arrive first")
+	}
+	// Non-GFW domains resolve normally from CN.
+	resps = w.HandleDNS(VantagePrimary, 4000, u, query("chase.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	if len(resps) != 1 || len(resps[0].Msg.Answers) == 0 {
+		t.Errorf("CN resolver broke non-censored domain: %v", resps)
+	}
+}
+
+func TestGFWInjectionWithoutResolver(t *testing.T) {
+	w := testWorld(t, 18)
+	// Find a Chinese address hosting no resolver.
+	var u uint32
+	found := false
+	for v := uint32(0); v < 1<<18; v++ {
+		if w.geo.LookupU32(v).Country == "CN" && !w.ResolverAt(v, At(50)) && w.infra.roleOf(v) == RoleNone {
+			u, found = v, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no empty Chinese address at this order")
+	}
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("youtube.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	if len(resps) != 1 || len(resps[0].Msg.Answers) == 0 {
+		t.Errorf("injector silent for non-resolver Chinese address: %v", resps)
+	}
+	resps = w.HandleDNS(VantagePrimary, 4000, u, query("chase.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	if len(resps) != 0 {
+		t.Errorf("non-GFW domain triggered response from empty address: %v", resps)
+	}
+}
+
+func TestCensorshipLandingPages(t *testing.T) {
+	w := testWorld(t, 18)
+	u, _ := findResolver(t, w, At(50), func(p Profile) bool {
+		if p.RCode != RCNoError || p.Manip != ManipHonest || p.Country != "ID" {
+			return false
+		}
+		mode, _ := w.CensorDecision(&p, "adultfinder.com")
+		return mode == CensorLanding
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("adultfinder.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	got := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	role, slot := w.RoleOf(got)
+	if role != RoleCensorPage {
+		t.Fatalf("censored answer role = %v", role)
+	}
+	if CensorPageCountry(slot) != "ID" {
+		t.Errorf("landing page country = %s, want ID", CensorPageCountry(slot))
+	}
+}
+
+func TestEstonianResolversUseRussianLanding(t *testing.T) {
+	w := testWorld(t, 21)
+	u, _ := findResolver(t, w, At(50), func(p Profile) bool {
+		if p.RCode != RCNoError || p.Manip != ManipHonest || p.Country != "EE" {
+			return false
+		}
+		mode, _ := w.CensorDecision(&p, "bet-at-home.com")
+		return mode == CensorLanding
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("bet-at-home.com", dnswire.TypeA, dnswire.ClassIN), At(50))
+	got := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	_, slot := w.RoleOf(got)
+	if CensorPageCountry(slot) != "RU" {
+		t.Errorf("Estonian landing country = %s, want RU (§6: Russian censorship)", CensorPageCountry(slot))
+	}
+}
+
+func TestPTRLookups(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest
+	})
+	// Find an address with rDNS.
+	var target uint32
+	for v := uint32(100); v < 1<<16; v++ {
+		if w.RDNS(v) != "" {
+			target = v
+			break
+		}
+	}
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query(PTRName(target), dnswire.TypePTR, dnswire.ClassIN), At(0))
+	if len(resps) != 1 {
+		t.Fatalf("PTR got %d responses", len(resps))
+	}
+	ptr, ok := resps[0].Msg.Answers[0].Data.(dnswire.PTR)
+	if !ok || ptr.Target != w.RDNS(target) {
+		t.Errorf("PTR = %v, want %q", resps[0].Msg.Answers[0].Data, w.RDNS(target))
+	}
+}
+
+func TestRDNSRoundTripRule(t *testing.T) {
+	w := testWorld(t, 16)
+	// For any resolver-space address with rDNS, the A lookup of that
+	// name must return the address (prefilter rule ii).
+	n := 0
+	for v := uint32(0); v < 1<<16 && n < 50; v += 13 {
+		if w.infra.roleOf(v) != RoleNone {
+			continue
+		}
+		name := w.RDNS(v)
+		if name == "" {
+			continue
+		}
+		got, ok := w.rdnsRoundTrip(name)
+		if !ok || got != v {
+			t.Errorf("round trip of %q = %d/%v, want %d", name, got, ok, v)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no rDNS names found")
+	}
+}
+
+func TestMailRedirectOnlyMX(t *testing.T) {
+	w := testWorld(t, 19)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipMailRedir
+	})
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query("imap.gmail.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	got := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	if role, _ := w.RoleOf(got); role != RoleMailSniff {
+		t.Errorf("MX answer role = %v, want mail-sniff", role)
+	}
+	resps = w.HandleDNS(VantagePrimary, 4000, u, query("chase.com", dnswire.TypeA, dnswire.ClassIN), At(0))
+	got = lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	if role, _ := w.RoleOf(got); role == RoleMailSniff {
+		t.Error("non-MX domain redirected to mail sniffer")
+	}
+}
+
+func TestSnoopSequenceStopsSingleResponders(t *testing.T) {
+	w := testWorld(t, 18)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Util == UtilSingleStop
+	})
+	q0 := dnswire.NewQuery(0, "com", dnswire.TypeNS, dnswire.ClassIN)
+	q0.Header.RD = false
+	if resps := w.HandleDNS(VantagePrimary, 4000, u, q0, At(0)); len(resps) != 1 {
+		t.Fatalf("first snoop probe got %d responses", len(resps))
+	}
+	q1 := dnswire.NewQuery(1, "com", dnswire.TypeNS, dnswire.ClassIN)
+	q1.Header.RD = false
+	if resps := w.HandleDNS(VantagePrimary, 4000, u, q1, At(0)); len(resps) != 0 {
+		t.Errorf("single-stop resolver answered probe #2")
+	}
+}
+
+func TestScanQNameEncodingAnswered(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest
+	})
+	name := dnswire.EncodeTargetQName("p1", w.Addr(u), domains.ScanBase)
+	resps := w.HandleDNS(VantagePrimary, 4000, u, query(name, dnswire.TypeA, dnswire.ClassIN), At(0))
+	if len(resps) != 1 || len(resps[0].Msg.Answers) == 0 {
+		t.Fatalf("scan qname unanswered: %v", resps)
+	}
+	got := lfsr.AddrToU32(resps[0].Msg.Answers[0].Data.(dnswire.A).Addr)
+	if got != u {
+		t.Errorf("scan answer = %d, want encoded target %d", got, u)
+	}
+}

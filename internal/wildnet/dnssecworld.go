@@ -1,0 +1,124 @@
+package wildnet
+
+import (
+	"crypto/ed25519"
+	"sync"
+
+	"goingwild/internal/dnssec"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/prand"
+)
+
+// DNSSEC deployment in the world (§5): as of the study period, global
+// coverage was marginal (<0.6% of .net domains), so only a handful of
+// scan-list zones are signed — including one the Chinese injector reacts
+// to, which is exactly the configuration the paper's discussion section
+// reasons about.
+var signedZoneList = []string{
+	domains.GroundTruth,
+	"wikileaks.org", // signed AND injected: the §5 race scenario
+	"paypal.com",
+	"wikipedia.org",
+	"accounts.google.com",
+}
+
+// dnssecState lazily holds zone keys and signature caches.
+type dnssecState struct {
+	mu   sync.Mutex
+	once sync.Once
+	keys map[string]*dnssec.ZoneKey
+	sigs map[string]dnswire.RRSIG // cache key: zone + packed answer identity
+}
+
+func (w *World) dnssecStateOf() *dnssecState {
+	w.dnssec.once.Do(func() {
+		w.dnssec.keys = map[string]*dnssec.ZoneKey{}
+		w.dnssec.sigs = map[string]dnswire.RRSIG{}
+	})
+	return &w.dnssec
+}
+
+// SignedZone reports whether a name belongs to a DNSSEC-signed zone, and
+// returns the zone apex.
+func (w *World) SignedZone(name string) (string, bool) {
+	cn := dnswire.CanonicalName(name)
+	for _, z := range signedZoneList {
+		if cn == z {
+			return z, true
+		}
+	}
+	// A ~1% tail of other zones is signed, seeded per world.
+	if _, listed := domains.ByName(cn); listed {
+		if prand.UnitOf(w.cfg.Seed, 0xD5EC, hashString(cn)) < 0.01 {
+			return cn, true
+		}
+	}
+	return "", false
+}
+
+// ZoneKeyOf returns (building if necessary) the signing key of a zone.
+func (w *World) ZoneKeyOf(zone string) *dnssec.ZoneKey {
+	st := w.dnssecStateOf()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if k, ok := st.keys[zone]; ok {
+		return k
+	}
+	k := dnssec.NewZoneKey(zone, w.cfg.Seed)
+	st.keys[zone] = k
+	return k
+}
+
+// ZonePublicKey exposes the public key the client-side validator fetches
+// via a DNSKEY lookup.
+func (w *World) ZonePublicKey(zone string) (ed25519.PublicKey, bool) {
+	if _, signed := w.SignedZone(zone); !signed {
+		return nil, false
+	}
+	return w.ZoneKeyOf(dnswire.CanonicalName(zone)).Public, true
+}
+
+// signAnswer appends an RRSIG over the answer RRset when the queried
+// zone is signed. Signatures are cached per (zone, answer identity).
+func (w *World) signAnswer(m *dnswire.Message, qname string) {
+	zone, signed := w.SignedZone(qname)
+	if !signed || len(m.Answers) == 0 {
+		return
+	}
+	key := w.ZoneKeyOf(zone)
+	cacheKey := zone + "|" + answerIdentity(m)
+	st := w.dnssecStateOf()
+	st.mu.Lock()
+	sig, ok := st.sigs[cacheKey]
+	st.mu.Unlock()
+	if !ok {
+		sig = key.Sign(qname, dnswire.ClassIN, answerTTL, m.Answers)
+		st.mu.Lock()
+		st.sigs[cacheKey] = sig
+		st.mu.Unlock()
+	}
+	m.AddAnswer(qname, dnswire.ClassIN, answerTTL, sig)
+}
+
+func answerIdentity(m *dnswire.Message) string {
+	var b []byte
+	for _, rr := range m.Answers {
+		if a, ok := rr.Data.(dnswire.A); ok {
+			v := a.Addr.As4()
+			b = append(b, v[:]...)
+		}
+	}
+	return string(b)
+}
+
+// answerDNSKEY serves the zone's public key record.
+func (w *World) answerDNSKEY(q *dnswire.Message, qname string) *dnswire.Message {
+	zone, signed := w.SignedZone(qname)
+	if !signed {
+		return dnswire.NewResponse(q, dnswire.RCodeNoError)
+	}
+	resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+	resp.AddAnswer(q.Questions[0].Name, dnswire.ClassIN, 3600, w.ZoneKeyOf(zone).DNSKEY())
+	return resp
+}

@@ -1,0 +1,112 @@
+package wildnet
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+)
+
+// TestUDPGatewayDomainScanParity drives a small domain scan through real
+// UDP sockets and checks it observes the same answers as the in-memory
+// transport — the two transports must be behaviorally identical.
+func TestUDPGatewayDomainScanParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	w := testWorld(t, 16)
+	// Collect a handful of resolvers with distinct behaviors.
+	var targets []uint32
+	var wanted = []Manip{ManipHonest, ManipStaticIP, ManipNXMonetize}
+	for _, m := range wanted {
+		for u := uint32(0); u < 1<<16; u++ {
+			p, ok := w.ProfileAt(u, At(0))
+			if ok && p.RCode == RCNoError && p.Manip == m && !p.MisSourced {
+				targets = append(targets, u)
+				break
+			}
+		}
+	}
+	if len(targets) < 2 {
+		t.Skip("not enough distinct resolvers at this order")
+	}
+
+	gw, err := StartGateway(w, VantagePrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	udp, err := DialGateway(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+
+	collect := func(tr interface {
+		Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
+		SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte))
+	}, wait time.Duration) map[uint32][]uint32 {
+		out := map[uint32][]uint32{}
+		var mu sync.Mutex
+		tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte) {
+			m, err := dnswire.Unpack(payload)
+			if err != nil || !m.Header.QR {
+				return
+			}
+			var addrs []uint32
+			for _, a := range m.AnswerAddrs() {
+				b := a.As4()
+				addrs = append(addrs, uint32(b[0])<<24|uint32(b[1])<<16|uint32(b[2])<<8|uint32(b[3]))
+			}
+			mu.Lock()
+			out[uint32(m.Header.ID)] = addrs
+			mu.Unlock()
+		})
+		for round := 0; round < 3; round++ { // ride over the 0.2% loss model
+			for i, u := range targets {
+				q := dnswire.NewQuery(uint16(i), domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
+				wire, _ := q.PackBytes()
+				tr.Send(U32ToAddrExported(u), 53, 42000, wire)
+			}
+		}
+		time.Sleep(wait)
+		mu.Lock()
+		defer mu.Unlock()
+		cp := map[uint32][]uint32{}
+		for k, v := range out {
+			cp[k] = v
+		}
+		return cp
+	}
+
+	mem := NewMemTransport(w, VantagePrimary)
+	defer mem.Close()
+	memOut := collect(mem, 0)
+	udpOut := collect(udp, 500*time.Millisecond)
+
+	for id, addrs := range memOut {
+		got, ok := udpOut[id]
+		if !ok {
+			t.Errorf("probe %d missing over UDP", id)
+			continue
+		}
+		if len(got) != len(addrs) {
+			t.Errorf("probe %d answers differ: mem=%v udp=%v", id, addrs, got)
+			continue
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				t.Errorf("probe %d answer %d: mem=%d udp=%d", id, i, addrs[i], got[i])
+			}
+		}
+	}
+}
+
+// U32ToAddrExported mirrors lfsr.U32ToAddr without the import cycle risk
+// in this test file.
+func U32ToAddrExported(u uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)})
+}

@@ -1,0 +1,166 @@
+package wildnet
+
+import (
+	"goingwild/internal/geodb"
+	"goingwild/internal/prand"
+)
+
+// Stability classes model the IP-address churn of §2.5: more than 40% of
+// the week-0 cohort disappears within a day, 52.2% within a week, and only
+// 4.0% still answer at the same address after 55 weeks, while the total
+// population stays within the gradual world decline — resolvers move to
+// new addresses rather than vanishing.
+type Stability uint8
+
+// Churn classes.
+const (
+	// StabilityDaily hosts sit on very short DHCP leases; their address
+	// changes essentially every day.
+	StabilityDaily Stability = iota
+	// StabilityWeekly hosts rotate addresses with probability
+	// weeklyRotateProb per week.
+	StabilityWeekly
+	// StabilityStatic hosts keep their address for the whole study.
+	StabilityStatic
+)
+
+// rotateProbOf draws an address's weekly lease-rotation probability.
+// Rates are heterogeneous (0.06–0.46, quadratically skewed toward low
+// values) because a single geometric rate cannot reproduce Figure 2's
+// shape: a steep first-weeks drop together with a ≈4% tail still alive
+// after 55 weeks.
+func (w *World) rotateProbOf(u uint32) float64 {
+	v := prand.UnitOf(w.cfg.Seed, facetRotate, uint64(u), 0xA77E)
+	return 0.10 + 0.38*v*v
+}
+
+// stabilityOf draws the churn class of an address. The mix depends on the
+// owning network: consumer broadband pools are almost entirely dynamic.
+func (w *World) stabilityOf(u uint32) Stability {
+	as := w.geo.LookupU32(u).AS
+	v := prand.UnitOf(w.cfg.Seed, facetStability, uint64(u))
+	if as.DynamicPool {
+		switch {
+		case v < 0.56:
+			return StabilityDaily
+		case v < 0.98:
+			return StabilityWeekly
+		default:
+			return StabilityStatic
+		}
+	}
+	switch {
+	case v < 0.10:
+		return StabilityDaily
+	case v < 0.80:
+		return StabilityWeekly
+	default:
+		return StabilityStatic
+	}
+}
+
+// leaseEpoch identifies the tenancy of an address at a given time: a new
+// epoch means a (statistically) new tenant behind the address. The epoch
+// doubles as the identity key for all behavioral draws, so a host keeps
+// its personality for exactly one lease.
+func (w *World) leaseEpoch(u uint32, t Time) uint64 {
+	switch w.stabilityOf(u) {
+	case StabilityDaily:
+		// Leases expire at a per-host phase within the day, so a
+		// population identified at some hour thins gradually over the
+		// following 24 hours (the cache-snooping study observes this
+		// as its unreachable share, §2.6).
+		phase := int(prand.Hash(w.cfg.Seed, facetSnoopHour, uint64(u)) % 24)
+		return uint64((t.AbsHour()+phase)/24) + 1
+	case StabilityWeekly:
+		// Count rotations up to this week: rotation happens at week k
+		// when the per-(address, week) draw fires.
+		rot := w.rotateProbOf(u)
+		var epoch uint64
+		for k := 1; k <= t.Week; k++ {
+			if prand.UnitOf(w.cfg.Seed, facetRotate, uint64(u), uint64(k)) < rot {
+				epoch = uint64(k)
+			}
+		}
+		return epoch
+	default:
+		return 0
+	}
+}
+
+// densityAt returns the probability that an address hosts a responding
+// resolver at time t, combining the base density, the AS's density
+// multiplier, the country's interpolated decline, and any AS collapse or
+// fate event.
+func (w *World) densityAt(u uint32, t Time) float64 {
+	loc := w.geo.LookupU32(u)
+	d := w.cfg.BaseDensity * loc.AS.DensityMul * geodb.CountryDeclineAt(loc.Country, t.Week)
+	if c := loc.AS.Collapse; c != nil && t.Week >= c.Week {
+		d *= c.Survive
+	}
+	if loc.AS.Fate != geodb.FateNone && t.Week >= loc.AS.FateWeek {
+		switch loc.AS.Fate {
+		case geodb.FateFiltering, geodb.FateShutdown:
+			return 0
+		case geodb.FateBlocksScanner:
+			// Hosts still run resolvers; visibility is a per-vantage
+			// question handled by the DNS handler.
+		}
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// ResolverAt reports whether address u hosts a responding DNS server at
+// time t. "Responding" spans all rcode classes of Figure 1 (NOERROR,
+// REFUSED, SERVFAIL); use ProfileAt for the class.
+func (w *World) ResolverAt(u uint32, t Time) bool {
+	u = w.Mask(u)
+	if w.infra.roleOf(u) != RoleNone {
+		return false // infrastructure addresses are servers, not resolvers
+	}
+	if _, ok := w.stations[u]; ok {
+		return true // rare-behavior stations are always-on resolvers
+	}
+	d := w.densityAt(u, t)
+	if d == 0 {
+		return false
+	}
+	epoch := w.leaseEpoch(u, t)
+	return prand.UnitOf(w.cfg.Seed, facetSlot, uint64(u), epoch) < d
+}
+
+// identity returns the behavioral identity key of the resolver at u at
+// time t (valid only when ResolverAt holds).
+func (w *World) identity(u uint32, t Time) uint64 {
+	return prand.Hash(w.cfg.Seed, uint64(u), w.leaseEpoch(u, t))
+}
+
+// VisibleFrom reports whether the resolver's network lets packets from the
+// given scan vantage through at time t. The 21 FateBlocksScanner networks
+// drop the primary vantage's probes after their fate week but still answer
+// the secondary /8 vantage used by the verification scan (§2.2).
+func (w *World) VisibleFrom(u uint32, v Vantage, t Time) bool {
+	as := w.geo.LookupU32(w.Mask(u)).AS
+	if as.Fate == geodb.FateBlocksScanner && t.Week >= as.FateWeek && v == VantagePrimary {
+		return false
+	}
+	return true
+}
+
+// Vantage identifies which of the two scan hosts a probe originates from.
+type Vantage uint8
+
+// The two vantage points of §2.2.
+const (
+	VantagePrimary Vantage = iota
+	VantageSecondary
+)
+
+// ExpectedPopulation returns the expected number of responding resolvers
+// at time t, for sizing rare-behavior quotas and sanity checks.
+func (w *World) ExpectedPopulation(t Time) float64 {
+	return w.cfg.BaseDensity * float64(w.SpaceSize()) * geodb.WorldDeclineAt(t.Week)
+}

@@ -1,0 +1,111 @@
+package wildnet
+
+import (
+	"goingwild/internal/prand"
+)
+
+// This file models resolver cache state for the DNS cache snooping study
+// (§2.6): non-recursive NS queries for 15 TLDs observe the remaining TTL
+// of cached entries; entries re-added after expiry betray real client
+// activity behind the resolver.
+
+// SnoopTTLBase is the NS-record TTL the simulated TLD zones publish. Real
+// TLD NS TTLs are 48h; the simulation uses 6h so several expiry cycles fit
+// into the 36-hour monitoring window (documented in EXPERIMENTS.md).
+const SnoopTTLBase = 6 * 3600
+
+// snoopLongTTL is the TTL of the UtilDecreasing class, long enough that
+// no expiry is observed within the window.
+const snoopLongTTL = 48 * 3600
+
+// SnoopAnswer is the result of one cache-snooping probe.
+type SnoopAnswer struct {
+	Responded bool
+	// Cached is false when the resolver has no entry for the TLD at the
+	// moment of the probe (answer section empty, authority referral).
+	Cached bool
+	// TTL is the remaining TTL of the cached NS entry.
+	TTL uint32
+	// Empty mirrors the 7.3% of resolvers that answer with empty
+	// responses instead of NS records.
+	Empty bool
+}
+
+// snoopState computes the cache view of resolver profile p for TLD index
+// tldIdx at absolute second s. seq is the probe sequence number the
+// prober has sent to this (resolver, TLD) pair so far, which a stateful
+// host would know (it distinguishes the single-response-then-stop class).
+func snoopState(p *Profile, tldIdx int, s int64, seq int) SnoopAnswer {
+	id := prand.Hash(p.Identity, facetCacheSeed, uint64(tldIdx))
+	phase := int64(prand.Hash(id, 1) % SnoopTTLBase)
+	switch p.Util {
+	case UtilEmptyNS:
+		return SnoopAnswer{Responded: true, Empty: true}
+	case UtilSingleStop:
+		if seq > 0 {
+			return SnoopAnswer{}
+		}
+		return SnoopAnswer{Responded: true, Cached: true, TTL: uint32(prand.Hash(id, 2) % SnoopTTLBase)}
+	case UtilStaticTTL:
+		ttl := uint32(0)
+		if prand.Hash(p.Identity, facetCacheSeed)%2 == 0 {
+			ttl = SnoopTTLBase / 2
+		}
+		return SnoopAnswer{Responded: true, Cached: true, TTL: ttl}
+	case UtilInUseFast:
+		// ~80% of TLDs in active use; refresh within 5 seconds of
+		// expiry, so the entry is effectively always cached.
+		if prand.Float64(prand.Hash(id, 3)) > 0.80 {
+			return coldEntry(id, s)
+		}
+		rem := SnoopTTLBase - (s+phase)%SnoopTTLBase
+		return SnoopAnswer{Responded: true, Cached: true, TTL: uint32(rem)}
+	case UtilInUseSlow:
+		// ~50% of TLDs used; after expiry the entry stays cold for a
+		// client-dependent gap before a lookup re-adds it.
+		if prand.Float64(prand.Hash(id, 3)) > 0.50 {
+			return coldEntry(id, s)
+		}
+		gap := int64(60 + prand.Hash(id, 4)%(3*3600))
+		cycle := int64(SnoopTTLBase) + gap
+		pos := (s + phase) % cycle
+		if pos >= int64(SnoopTTLBase) {
+			return SnoopAnswer{Responded: true, Cached: false} // cold gap
+		}
+		return SnoopAnswer{Responded: true, Cached: true, TTL: uint32(int64(SnoopTTLBase) - pos)}
+	case UtilDecreasing:
+		rem := snoopLongTTL - (s+phase)%snoopLongTTL
+		return SnoopAnswer{Responded: true, Cached: true, TTL: uint32(rem)}
+	default: // UtilResetting
+		// Proactive refresh or load-balanced pools: every probe sees a
+		// near-maximum TTL.
+		jitter := prand.Hash(id, uint64(s/3600)) % 600
+		return SnoopAnswer{Responded: true, Cached: true, TTL: uint32(SnoopTTLBase - int64(jitter))}
+	}
+}
+
+// PlantedSnoopGap exposes the ground-truth re-caching gap (seconds) of a
+// resolver for one snooped TLD — what the fine-grained popularity probe
+// must recover. ok is false when the resolver's class or TLD usage gives
+// no periodic gap (fast refreshers have an effective gap of ~0).
+func (w *World) PlantedSnoopGap(u uint32, t Time, tldIdx int) (int64, bool) {
+	p, ok := w.ProfileAt(w.Mask(u), t)
+	if !ok || p.Util != UtilInUseSlow {
+		return 0, false
+	}
+	id := prand.Hash(p.Identity, facetCacheSeed, uint64(tldIdx))
+	if prand.Float64(prand.Hash(id, 3)) > 0.50 {
+		return 0, false // TLD unused by this resolver's clients
+	}
+	return int64(60 + prand.Hash(id, 4)%(3*3600)), true
+}
+
+// coldEntry models a TLD the resolver's clients never look up: usually no
+// cache entry at all, occasionally a leftover with a stale remaining TTL.
+func coldEntry(id uint64, s int64) SnoopAnswer {
+	if prand.Float64(prand.Hash(id, 5)) < 0.7 {
+		return SnoopAnswer{Responded: true, Cached: false}
+	}
+	rem := snoopLongTTL - (s+int64(prand.Hash(id, 6)%snoopLongTTL))%snoopLongTTL
+	return SnoopAnswer{Responded: true, Cached: true, TTL: uint32(rem)}
+}

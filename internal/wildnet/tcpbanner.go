@@ -1,0 +1,42 @@
+package wildnet
+
+import (
+	"goingwild/internal/devices"
+	"goingwild/internal/prand"
+)
+
+// ServiceBanner models a TCP connection to addr on one of the five
+// fingerprinting protocols (§2.4). It returns the banner payload and
+// whether the port accepted the connection at all. Only resolvers with an
+// exposed device (26.3% of the population) serve anything.
+func (w *World) ServiceBanner(u uint32, proto devices.Proto, t Time) (string, bool) {
+	u = w.Mask(u)
+	if w.infra.roleOf(u) != RoleNone {
+		return "", false // infrastructure fingerprinting is out of scope
+	}
+	p, ok := w.ProfileAt(u, t)
+	if !ok || p.DeviceIdx < 0 {
+		return "", false
+	}
+	m := devices.Catalog[p.DeviceIdx]
+	banner, served := m.Banners[proto]
+	if !served {
+		return "", false
+	}
+	// Individual ports flap: a small share of connections fail even on
+	// served protocols.
+	if prand.UnitOf(p.Identity, facetTCPSvc, uint64(proto)) < 0.05 {
+		return "", false
+	}
+	return banner, true
+}
+
+// DeviceAt exposes the device model behind a resolver, or nil: this is
+// the planted ground truth the fingerprinting experiment must recover.
+func (w *World) DeviceAt(u uint32, t Time) *devices.Model {
+	p, ok := w.ProfileAt(w.Mask(u), t)
+	if !ok || p.DeviceIdx < 0 {
+		return nil
+	}
+	return &devices.Catalog[p.DeviceIdx]
+}

@@ -1,0 +1,157 @@
+package wildnet
+
+import (
+	"errors"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/prand"
+)
+
+// Transport is the scanner's view of the network: fire-and-forget UDP
+// datagrams toward virtual addresses, with responses delivered to a
+// receiver callback. Two implementations exist: the in-memory transport
+// below, which scales to millions of hosts, and the loopback UDP gateway
+// (udpgate.go), which drives the same world over real sockets.
+type Transport interface {
+	// Send transmits one datagram from the scanner's srcPort to
+	// dst:dstPort. Delivery is not guaranteed (packet loss is part of
+	// the model, §5 "Completeness").
+	Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
+	// SetReceiver registers the response callback. It must be called
+	// before the first Send. The callback may run concurrently.
+	SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte))
+	// Close releases resources; no callbacks run after Close returns.
+	Close() error
+}
+
+// ErrTransportClosed is returned by Send after Close.
+var ErrTransportClosed = errors.New("wildnet: transport closed")
+
+// MemTransport delivers packets synchronously through the world model.
+// Responses are invoked on the caller's goroutine in delay order, so a
+// scan's concurrency model is exercised without real timers.
+type MemTransport struct {
+	world   *World
+	vantage Vantage
+	recv    atomic.Pointer[func(src netip.Addr, srcPort, dstPort uint16, payload []byte)]
+	closed  atomic.Bool
+	lossCtr atomic.Uint64
+
+	mu    sync.Mutex
+	clock Time
+}
+
+// NewMemTransport wires a scanner vantage to the world.
+func NewMemTransport(w *World, v Vantage) *MemTransport {
+	return &MemTransport{world: w, vantage: v}
+}
+
+// SetTime moves the transport's simulation clock; subsequent queries are
+// answered as of t.
+func (m *MemTransport) SetTime(t Time) {
+	m.mu.Lock()
+	m.clock = t
+	m.mu.Unlock()
+}
+
+// Time returns the current simulation clock.
+func (m *MemTransport) Time() Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock
+}
+
+// SetReceiver implements Transport.
+func (m *MemTransport) SetReceiver(f func(src netip.Addr, srcPort, dstPort uint16, payload []byte)) {
+	m.recv.Store(&f)
+}
+
+// Send implements Transport: the query is processed by the world and all
+// surviving responses are delivered to the receiver before Send returns.
+func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+	if m.closed.Load() {
+		return ErrTransportClosed
+	}
+	if !dst.Is4() {
+		return errors.New("wildnet: transport is IPv4-only")
+	}
+	// Independent loss on the query packet.
+	if m.drop() {
+		return nil
+	}
+	q, err := dnswire.Unpack(payload)
+	if err != nil {
+		return nil // malformed packets vanish, as on the real Internet
+	}
+	if dstPort != 53 {
+		return nil
+	}
+	t := m.Time()
+	resps := m.world.HandleDNS(m.vantage, srcPort, lfsr.AddrToU32(dst), q, t)
+	if len(resps) == 0 {
+		return nil
+	}
+	sort.SliceStable(resps, func(i, j int) bool { return resps[i].DelayMS < resps[j].DelayMS })
+	recv := m.recv.Load()
+	if recv == nil {
+		return nil
+	}
+	limit := m.world.UDPPayloadLimit(lfsr.AddrToU32(dst), q, t)
+	for _, r := range resps {
+		if m.drop() {
+			continue
+		}
+		msg, _ := r.Msg.Truncate(limit)
+		wire, err := msg.PackBytes()
+		if err != nil {
+			continue
+		}
+		if m.closed.Load() {
+			return ErrTransportClosed
+		}
+		(*recv)(m.world.Addr(r.Src), 53, r.ToPort, wire)
+	}
+	return nil
+}
+
+// QueryTCP performs a synchronous DNS-over-TCP exchange with the resolver
+// at dst, for truncated-response fallback. ok is false when the resolver
+// offers no TCP service.
+func (m *MemTransport) QueryTCP(dst netip.Addr, payload []byte) ([]byte, bool) {
+	if m.closed.Load() || !dst.Is4() {
+		return nil, false
+	}
+	q, err := dnswire.Unpack(payload)
+	if err != nil {
+		return nil, false
+	}
+	resp := m.world.HandleDNSTCP(m.vantage, lfsr.AddrToU32(dst), q, m.Time())
+	if resp == nil {
+		return nil, false
+	}
+	wire, err := resp.PackBytes()
+	if err != nil {
+		return nil, false
+	}
+	return wire, true
+}
+
+// drop applies the configured loss rate deterministically.
+func (m *MemTransport) drop() bool {
+	if m.world.cfg.Loss <= 0 {
+		return false
+	}
+	n := m.lossCtr.Add(1)
+	return prand.UnitOf(m.world.cfg.Seed, facetLoss, n) < m.world.cfg.Loss
+}
+
+// Close implements Transport.
+func (m *MemTransport) Close() error {
+	m.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,124 @@
+package wildnet
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+)
+
+func TestMemTransportRoundTrip(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && !p.MisSourced
+	})
+	tr := NewMemTransport(w, VantagePrimary)
+	defer tr.Close()
+	var got []*dnswire.Message
+	tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil {
+			t.Errorf("bad response: %v", err)
+			return
+		}
+		got = append(got, m)
+	})
+	q := dnswire.NewQuery(99, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
+	wire, _ := q.PackBytes()
+	// Loss is 0.2%; retry a few times for determinism.
+	for i := 0; i < 10 && len(got) == 0; i++ {
+		if err := tr.Send(w.Addr(u), 53, 40000, wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no response through mem transport")
+	}
+	if got[0].Header.ID != 99 || len(got[0].Answers) == 0 {
+		t.Errorf("response = %v", got[0])
+	}
+}
+
+func TestMemTransportClosed(t *testing.T) {
+	w := testWorld(t, 16)
+	tr := NewMemTransport(w, VantagePrimary)
+	tr.Close()
+	if err := tr.Send(w.Addr(1), 53, 40000, []byte{0}); err != ErrTransportClosed {
+		t.Errorf("Send after Close = %v, want ErrTransportClosed", err)
+	}
+}
+
+func TestMemTransportIgnoresGarbage(t *testing.T) {
+	w := testWorld(t, 16)
+	tr := NewMemTransport(w, VantagePrimary)
+	defer tr.Close()
+	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) {
+		t.Error("garbage produced a response")
+	})
+	if err := tr.Send(w.Addr(12345), 53, 40000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(netip.MustParseAddr("2001:db8::1"), 53, 40000, []byte{1}); err == nil {
+		t.Error("IPv6 destination accepted")
+	}
+}
+
+func TestUDPGatewayRoundTrip(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && !p.MisSourced
+	})
+	gw, err := StartGateway(w, VantagePrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	tr, err := DialGateway(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var mu sync.Mutex
+	responses := make(chan *dnswire.Message, 4)
+	tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if src != w.Addr(u) && srcPort != 53 {
+			t.Errorf("unexpected source %v:%d", src, srcPort)
+		}
+		m, err := dnswire.Unpack(payload)
+		if err == nil {
+			responses <- m
+		}
+	})
+	q := dnswire.NewQuery(7, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
+	wire, _ := q.PackBytes()
+	if err := tr.Send(w.Addr(u), 53, 41000, wire); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-responses:
+		if m.Header.ID != 7 || len(m.Answers) == 0 {
+			t.Errorf("gateway response = %v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no response through UDP gateway")
+	}
+}
+
+func TestUDPGatewayTimeAdvances(t *testing.T) {
+	w := testWorld(t, 16)
+	gw, err := StartGateway(w, VantagePrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gw.SetTime(At(30))
+	if got := gw.time(); got.Week != 30 {
+		t.Errorf("gateway clock = %+v", got)
+	}
+}

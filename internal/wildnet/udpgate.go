@@ -1,0 +1,216 @@
+package wildnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+)
+
+// The loopback UDP gateway exposes the whole virtual Internet behind one
+// real UDP socket, so the scanner's socket handling, timeouts, and rate
+// limiting run against the kernel's network stack. Because a single
+// loopback listener cannot own four billion addresses, datagrams carry an
+// 8-byte tunnel header naming the virtual endpoint:
+//
+//	bytes 0..3  virtual peer IPv4 address (big endian)
+//	bytes 4..5  virtual peer port
+//	bytes 6..7  scanner-side virtual port
+//
+// On the way in, the header names the destination resolver; on the way
+// out, the virtual source. This mirrors the paper's own trick of encoding
+// the probed target inside the request so responses can be attributed
+// (§2.2) — here it is the substrate's addressing, there it was the
+// measurement's.
+
+// tunnelHeaderLen is the length of the tunnel header.
+const tunnelHeaderLen = 8
+
+// Gateway is the server side: it terminates tunnel datagrams, runs them
+// through the world, and returns the responses.
+type Gateway struct {
+	world   *World
+	vantage Vantage
+	conn    *net.UDPConn
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	clock Time
+}
+
+// StartGateway binds a loopback UDP socket and serves the world on it.
+func StartGateway(w *World, v Vantage) (*Gateway, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("wildnet: gateway listen: %w", err)
+	}
+	// High-rate scans burst far beyond the default socket buffers.
+	conn.SetReadBuffer(8 << 20)
+	conn.SetWriteBuffer(8 << 20)
+	g := &Gateway{world: w, vantage: v, conn: conn}
+	g.wg.Add(1)
+	go g.serve()
+	return g, nil
+}
+
+// Addr returns the gateway's real UDP address.
+func (g *Gateway) Addr() *net.UDPAddr { return g.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetTime moves the gateway's simulation clock.
+func (g *Gateway) SetTime(t Time) {
+	g.mu.Lock()
+	g.clock = t
+	g.mu.Unlock()
+}
+
+func (g *Gateway) time() Time {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.clock
+}
+
+// Close stops the gateway.
+func (g *Gateway) Close() error {
+	err := g.conn.Close()
+	g.wg.Wait()
+	return err
+}
+
+func (g *Gateway) serve() {
+	defer g.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, peer, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if n < tunnelHeaderLen {
+			continue
+		}
+		dst := binary.BigEndian.Uint32(buf[0:])
+		dstPort := binary.BigEndian.Uint16(buf[4:])
+		srcPort := binary.BigEndian.Uint16(buf[6:])
+		if dstPort != 53 {
+			continue
+		}
+		q, err := dnswire.Unpack(buf[tunnelHeaderLen:n])
+		if err != nil {
+			continue
+		}
+		resps := g.world.HandleDNS(g.vantage, srcPort, dst, q, g.time())
+		limit := g.world.UDPPayloadLimit(dst, q, g.time())
+		for _, r := range resps {
+			msg, _ := r.Msg.Truncate(limit)
+			wire, err := msg.PackBytes()
+			if err != nil {
+				continue
+			}
+			out := make([]byte, tunnelHeaderLen+len(wire))
+			binary.BigEndian.PutUint32(out[0:], r.Src)
+			binary.BigEndian.PutUint16(out[4:], 53)
+			binary.BigEndian.PutUint16(out[6:], r.ToPort)
+			copy(out[tunnelHeaderLen:], wire)
+			if r.DelayMS > 0 {
+				// Deliver injected-vs-legit races in order without
+				// blocking the read loop.
+				resp := out
+				delay := time.Duration(r.DelayMS) * time.Millisecond
+				to := *peer
+				g.wg.Add(1)
+				go func() {
+					defer g.wg.Done()
+					time.Sleep(delay / 10) // compressed timescale
+					g.conn.WriteToUDP(resp, &to)
+				}()
+				continue
+			}
+			g.conn.WriteToUDP(out, peer)
+		}
+	}
+}
+
+// UDPTransport is the client side of the tunnel, implementing Transport
+// over a real socket.
+type UDPTransport struct {
+	conn    *net.UDPConn
+	gateway *net.UDPAddr
+	recv    func(src netip.Addr, srcPort, dstPort uint16, payload []byte)
+	mu      sync.Mutex
+	started bool
+	wg      sync.WaitGroup
+}
+
+// DialGateway connects a transport to a running gateway.
+func DialGateway(gw *net.UDPAddr) (*UDPTransport, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("wildnet: transport listen: %w", err)
+	}
+	conn.SetReadBuffer(8 << 20)
+	conn.SetWriteBuffer(8 << 20)
+	return &UDPTransport{conn: conn, gateway: gw}, nil
+}
+
+// SetReceiver implements Transport and starts the read loop.
+func (u *UDPTransport) SetReceiver(f func(src netip.Addr, srcPort, dstPort uint16, payload []byte)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.recv = f
+	if u.started {
+		return
+	}
+	u.started = true
+	u.wg.Add(1)
+	go u.readLoop()
+}
+
+func (u *UDPTransport) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < tunnelHeaderLen {
+			continue
+		}
+		src := binary.BigEndian.Uint32(buf[0:])
+		srcPort := binary.BigEndian.Uint16(buf[4:])
+		dstPort := binary.BigEndian.Uint16(buf[6:])
+		payload := make([]byte, n-tunnelHeaderLen)
+		copy(payload, buf[tunnelHeaderLen:n])
+		u.mu.Lock()
+		f := u.recv
+		u.mu.Unlock()
+		if f != nil {
+			f(lfsr.U32ToAddr(src), srcPort, dstPort, payload)
+		}
+	}
+}
+
+// Send implements Transport.
+func (u *UDPTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+	if !dst.Is4() {
+		return fmt.Errorf("wildnet: transport is IPv4-only")
+	}
+	out := make([]byte, tunnelHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(out[0:], lfsr.AddrToU32(dst))
+	binary.BigEndian.PutUint16(out[4:], dstPort)
+	binary.BigEndian.PutUint16(out[6:], srcPort)
+	copy(out[tunnelHeaderLen:], payload)
+	_, err := u.conn.WriteToUDP(out, u.gateway)
+	return err
+}
+
+// Close implements Transport.
+func (u *UDPTransport) Close() error {
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}

@@ -1,0 +1,373 @@
+// Package zonefile parses and serializes RFC 1035 master files — the
+// format the measurement team's authoritative zones (the ground-truth
+// domain and the scan base, §3.2/§3.3) are maintained in. The parser
+// supports $ORIGIN and $TTL directives, comments, parenthesized
+// multi-line records (SOA), quoted TXT strings, relative and absolute
+// owner names, and wildcard owners.
+package zonefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"goingwild/internal/dnswire"
+)
+
+// Zone is a parsed authoritative zone.
+type Zone struct {
+	Origin  string
+	TTL     uint32
+	Records []dnswire.ResourceRecord
+}
+
+// Parse reads a master file.
+func Parse(r io.Reader) (*Zone, error) {
+	z := &Zone{TTL: 3600}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	prevOwner := ""
+	var pending []string // tokens accumulated across parenthesized lines
+	parens := 0
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		if strings.TrimSpace(line) == "" && parens == 0 {
+			continue
+		}
+		toks, opens, closes := tokenize(line)
+		parens += opens - closes
+		if parens < 0 {
+			return nil, fmt.Errorf("zonefile:%d: unbalanced parentheses", lineNo)
+		}
+		startsWithSpace := len(line) > 0 && (line[0] == ' ' || line[0] == '\t')
+		if len(pending) == 0 && startsWithSpace && len(toks) > 0 {
+			// Continuation of the previous owner.
+			toks = append([]string{prevOwner}, toks...)
+		}
+		pending = append(pending, toks...)
+		if parens > 0 {
+			continue
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		if err := z.consume(pending, &prevOwner, lineNo); err != nil {
+			return nil, err
+		}
+		pending = nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("zonefile: %w", err)
+	}
+	if parens != 0 {
+		return nil, fmt.Errorf("zonefile: unclosed parenthesis at end of file")
+	}
+	return z, nil
+}
+
+// stripComment removes a ; comment outside quoted strings.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// tokenize splits a line into tokens, handling quoted strings and
+// counting parentheses (which are token separators, not tokens).
+func tokenize(line string) (toks []string, opens, closes int) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(':
+			opens++
+			i++
+		case c == ')':
+			closes++
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			toks = append(toks, line[i:minInt(j+1, len(line))])
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '(' && line[j] != ')' {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, opens, closes
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// consume interprets one logical record (or directive).
+func (z *Zone) consume(toks []string, prevOwner *string, lineNo int) error {
+	switch strings.ToUpper(toks[0]) {
+	case "$ORIGIN":
+		if len(toks) < 2 {
+			return fmt.Errorf("zonefile:%d: $ORIGIN needs a name", lineNo)
+		}
+		z.Origin = dnswire.CanonicalName(toks[1])
+		return nil
+	case "$TTL":
+		if len(toks) < 2 {
+			return fmt.Errorf("zonefile:%d: $TTL needs a value", lineNo)
+		}
+		v, err := parseTTL(toks[1])
+		if err != nil {
+			return fmt.Errorf("zonefile:%d: %w", lineNo, err)
+		}
+		z.TTL = v
+		return nil
+	}
+
+	owner := z.absName(toks[0])
+	*prevOwner = toks[0]
+	rest := toks[1:]
+
+	ttl := z.TTL
+	if len(rest) > 0 {
+		if v, err := parseTTL(rest[0]); err == nil {
+			ttl = v
+			rest = rest[1:]
+		}
+	}
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("zonefile:%d: record without type", lineNo)
+	}
+	typ := strings.ToUpper(rest[0])
+	args := rest[1:]
+	data, err := z.parseRData(typ, args)
+	if err != nil {
+		return fmt.Errorf("zonefile:%d: %w", lineNo, err)
+	}
+	z.Records = append(z.Records, dnswire.ResourceRecord{
+		Name: owner, Class: dnswire.ClassIN, TTL: ttl, Data: data,
+	})
+	return nil
+}
+
+// absName resolves an owner token against the origin.
+func (z *Zone) absName(tok string) string {
+	switch {
+	case tok == "@":
+		return z.Origin
+	case strings.HasSuffix(tok, "."):
+		return dnswire.CanonicalName(tok)
+	case z.Origin == "":
+		return dnswire.CanonicalName(tok)
+	default:
+		return dnswire.CanonicalName(tok + "." + z.Origin)
+	}
+}
+
+// parseTTL parses numeric TTLs with optional s/m/h/d/w unit suffixes.
+func parseTTL(tok string) (uint32, error) {
+	mult := uint32(1)
+	t := strings.ToLower(tok)
+	if len(t) > 1 {
+		switch t[len(t)-1] {
+		case 's':
+			t = t[:len(t)-1]
+		case 'm':
+			mult, t = 60, t[:len(t)-1]
+		case 'h':
+			mult, t = 3600, t[:len(t)-1]
+		case 'd':
+			mult, t = 86400, t[:len(t)-1]
+		case 'w':
+			mult, t = 604800, t[:len(t)-1]
+		}
+	}
+	v, err := strconv.ParseUint(t, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad TTL %q", tok)
+	}
+	return uint32(v) * mult, nil
+}
+
+func (z *Zone) parseRData(typ string, args []string) (dnswire.RData, error) {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d fields, got %d", typ, n, len(args))
+		}
+		return nil
+	}
+	switch typ {
+	case "A":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(args[0])
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad A address %q", args[0])
+		}
+		return dnswire.A{Addr: addr}, nil
+	case "AAAA":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(args[0])
+		if err != nil || !addr.Is6() {
+			return nil, fmt.Errorf("bad AAAA address %q", args[0])
+		}
+		return dnswire.AAAA{Addr: addr}, nil
+	case "NS":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.NS{Host: z.absName(args[0])}, nil
+	case "CNAME":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.CNAME{Target: z.absName(args[0])}, nil
+	case "PTR":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.PTR{Target: z.absName(args[0])}, nil
+	case "MX":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(args[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", args[0])
+		}
+		return dnswire.MX{Preference: uint16(pref), Host: z.absName(args[1])}, nil
+	case "TXT":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		var strs []string
+		for _, a := range args {
+			strs = append(strs, strings.Trim(a, "\""))
+		}
+		return dnswire.TXT{Strings: strs}, nil
+	case "SOA":
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		nums := make([]uint32, 5)
+		for i := 0; i < 5; i++ {
+			v, err := parseTTL(args[2+i])
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA field %q", args[2+i])
+			}
+			nums[i] = v
+		}
+		return dnswire.SOA{
+			MName: z.absName(args[0]), RName: z.absName(args[1]),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2],
+			Expire: nums[3], Minimum: nums[4],
+		}, nil
+	default:
+		return nil, fmt.Errorf("unsupported record type %q", typ)
+	}
+}
+
+// Lookup returns the records matching a name and type, applying wildcard
+// owners (*.zone) when no exact match exists. ANY matches all types.
+func (z *Zone) Lookup(name string, typ dnswire.Type) []dnswire.ResourceRecord {
+	cn := dnswire.CanonicalName(name)
+	match := func(owner string) []dnswire.ResourceRecord {
+		var out []dnswire.ResourceRecord
+		for _, rr := range z.Records {
+			if rr.Name != owner {
+				continue
+			}
+			if typ == dnswire.TypeANY || rr.Type() == typ {
+				out = append(out, rr)
+			}
+		}
+		return out
+	}
+	if out := match(cn); len(out) > 0 {
+		return out
+	}
+	// Wildcard (RFC 1034 §4.3.3): a "*.<suffix>" owner matches any
+	// descendant of <suffix>; try each ancestor, closest first.
+	rest := cn
+	for {
+		i := strings.IndexByte(rest, '.')
+		if i < 0 {
+			break
+		}
+		rest = rest[i+1:]
+		if out := match("*." + rest); len(out) > 0 {
+			// Answer with the queried name as owner.
+			res := make([]dnswire.ResourceRecord, len(out))
+			for k, rr := range out {
+				rr.Name = cn
+				res[k] = rr
+			}
+			return res
+		}
+	}
+	return nil
+}
+
+// SOA returns the zone's SOA record, if present.
+func (z *Zone) SOA() (dnswire.ResourceRecord, bool) {
+	for _, rr := range z.Records {
+		if rr.Type() == dnswire.TypeSOA {
+			return rr, true
+		}
+	}
+	return dnswire.ResourceRecord{}, false
+}
+
+// InZone reports whether a name falls under the zone origin.
+func (z *Zone) InZone(name string) bool {
+	cn := dnswire.CanonicalName(name)
+	return cn == z.Origin || strings.HasSuffix(cn, "."+z.Origin)
+}
+
+// Serialize writes the zone back out in master-file format.
+func (z *Zone) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$ORIGIN %s.\n$TTL %d\n", z.Origin, z.TTL)
+	recs := append([]dnswire.ResourceRecord(nil), z.Records...)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Name != recs[j].Name {
+			return recs[i].Name < recs[j].Name
+		}
+		return recs[i].Type() < recs[j].Type()
+	})
+	for _, rr := range recs {
+		fmt.Fprintf(bw, "%-30s %6d IN %-6s %s\n", rr.Name+".", rr.TTL, rr.Type(), rr.Data)
+	}
+	return bw.Flush()
+}

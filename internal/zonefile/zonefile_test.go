@@ -1,0 +1,214 @@
+package zonefile
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"goingwild/internal/dnswire"
+)
+
+const sampleZone = `
+$ORIGIN dnsstudy.example.edu.
+$TTL 1h
+@       IN SOA ns1 hostmaster (
+            2015010101 ; serial
+            2h         ; refresh
+            15m        ; retry
+            2w         ; expire
+            1d )       ; minimum
+@       IN NS  ns1
+@       IN NS  ns2.other.example.
+ns1     IN A   192.0.2.1
+gt      300 IN A 192.0.2.10
+gt      IN TXT "ground truth" "second string"
+www     IN CNAME gt
+mail    IN MX  10 mx1
+mx1     IN A   192.0.2.20
+*.scan  IN A   192.0.2.99   ; wildcard for encoded scan names
+6h-ttl  21600 IN A 192.0.2.30
+`
+
+func parseSample(t *testing.T) *Zone {
+	t.Helper()
+	z, err := Parse(strings.NewReader(sampleZone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestParseDirectives(t *testing.T) {
+	z := parseSample(t)
+	if z.Origin != "dnsstudy.example.edu" {
+		t.Errorf("origin = %q", z.Origin)
+	}
+	if z.TTL != 3600 {
+		t.Errorf("default TTL = %d", z.TTL)
+	}
+}
+
+func TestParseSOAAcrossLines(t *testing.T) {
+	z := parseSample(t)
+	soaRR, ok := z.SOA()
+	if !ok {
+		t.Fatal("no SOA")
+	}
+	soa := soaRR.Data.(dnswire.SOA)
+	if soa.Serial != 2015010101 {
+		t.Errorf("serial = %d", soa.Serial)
+	}
+	if soa.Refresh != 7200 || soa.Retry != 900 || soa.Expire != 1209600 || soa.Minimum != 86400 {
+		t.Errorf("SOA timers = %+v", soa)
+	}
+	if soa.MName != "ns1.dnsstudy.example.edu" {
+		t.Errorf("mname = %q", soa.MName)
+	}
+}
+
+func TestRelativeAndAbsoluteNames(t *testing.T) {
+	z := parseSample(t)
+	ns := z.Lookup("dnsstudy.example.edu", dnswire.TypeNS)
+	if len(ns) != 2 {
+		t.Fatalf("NS records = %d", len(ns))
+	}
+	hosts := map[string]bool{}
+	for _, rr := range ns {
+		hosts[rr.Data.(dnswire.NS).Host] = true
+	}
+	if !hosts["ns1.dnsstudy.example.edu"] || !hosts["ns2.other.example"] {
+		t.Errorf("NS hosts = %v", hosts)
+	}
+}
+
+func TestPerRecordTTL(t *testing.T) {
+	z := parseSample(t)
+	a := z.Lookup("gt.dnsstudy.example.edu", dnswire.TypeA)
+	if len(a) != 1 || a[0].TTL != 300 {
+		t.Errorf("gt A = %+v", a)
+	}
+	b := z.Lookup("6h-ttl.dnsstudy.example.edu", dnswire.TypeA)
+	if len(b) != 1 || b[0].TTL != 21600 {
+		t.Errorf("6h A = %+v", b)
+	}
+}
+
+func TestQuotedTXT(t *testing.T) {
+	z := parseSample(t)
+	txt := z.Lookup("gt.dnsstudy.example.edu", dnswire.TypeTXT)
+	if len(txt) != 1 {
+		t.Fatalf("TXT records = %d", len(txt))
+	}
+	strs := txt[0].Data.(dnswire.TXT).Strings
+	if len(strs) != 2 || strs[0] != "ground truth" || strs[1] != "second string" {
+		t.Errorf("TXT = %v", strs)
+	}
+}
+
+func TestWildcardLookup(t *testing.T) {
+	z := parseSample(t)
+	a := z.Lookup("r7.c0a80101.scan.dnsstudy.example.edu", dnswire.TypeA)
+	if len(a) != 1 {
+		t.Fatalf("wildcard match = %d records", len(a))
+	}
+	if a[0].Name != "r7.c0a80101.scan.dnsstudy.example.edu" {
+		t.Errorf("wildcard owner rewritten to %q", a[0].Name)
+	}
+	if a[0].Data.(dnswire.A).Addr.String() != "192.0.2.99" {
+		t.Errorf("wildcard A = %v", a[0].Data)
+	}
+	// Exact matches beat wildcards.
+	if got := z.Lookup("gt.dnsstudy.example.edu", dnswire.TypeA); len(got) != 1 ||
+		got[0].Data.(dnswire.A).Addr.String() != "192.0.2.10" {
+		t.Error("exact match shadowed by wildcard")
+	}
+}
+
+func TestLookupANY(t *testing.T) {
+	z := parseSample(t)
+	all := z.Lookup("gt.dnsstudy.example.edu", dnswire.TypeANY)
+	if len(all) != 2 { // A + TXT
+		t.Errorf("ANY records = %d", len(all))
+	}
+}
+
+func TestInZone(t *testing.T) {
+	z := parseSample(t)
+	if !z.InZone("deep.sub.dnsstudy.example.edu") || !z.InZone("dnsstudy.example.edu") {
+		t.Error("in-zone names rejected")
+	}
+	if z.InZone("other.example.edu") || z.InZone("evil-dnsstudy.example.edu") {
+		t.Error("out-of-zone names accepted")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	z := parseSample(t)
+	var buf bytes.Buffer
+	if err := z.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(z2.Records) != len(z.Records) {
+		t.Errorf("record count %d → %d", len(z.Records), len(z2.Records))
+	}
+	if z2.Origin != z.Origin {
+		t.Errorf("origin %q → %q", z.Origin, z2.Origin)
+	}
+	a := z2.Lookup("gt.dnsstudy.example.edu", dnswire.TypeA)
+	if len(a) != 1 || a[0].TTL != 300 {
+		t.Errorf("round-tripped gt A = %+v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad type":    "$ORIGIN x.\n@ IN BOGUS data\n",
+		"bad A":       "$ORIGIN x.\n@ IN A not-an-ip\n",
+		"bad MX":      "$ORIGIN x.\n@ IN MX ten mx1\n",
+		"short SOA":   "$ORIGIN x.\n@ IN SOA ns1 host 1 2\n",
+		"unbalanced":  "$ORIGIN x.\n@ IN SOA ns1 host ( 1 2 3 4 5\n",
+		"no type":     "$ORIGIN x.\nname 300 IN\n",
+		"bare origin": "$ORIGIN\n",
+	}
+	for name, input := range cases {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTTLUnits(t *testing.T) {
+	cases := map[string]uint32{"30": 30, "45s": 45, "2m": 120, "3h": 10800, "1d": 86400, "2w": 1209600}
+	for tok, want := range cases {
+		got, err := parseTTL(tok)
+		if err != nil || got != want {
+			t.Errorf("parseTTL(%q) = %d/%v, want %d", tok, got, err, want)
+		}
+	}
+	if _, err := parseTTL("xx"); err == nil {
+		t.Error("bad TTL accepted")
+	}
+}
+
+func TestShippedZoneFileParses(t *testing.T) {
+	f, err := os.Open("../../zones/dnsstudy.zone")
+	if err != nil {
+		t.Skipf("zone asset not present: %v", err)
+	}
+	defer f.Close()
+	z, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin != "dnsstudy.example.edu" || len(z.Records) < 8 {
+		t.Errorf("shipped zone parsed as %q with %d records", z.Origin, len(z.Records))
+	}
+	if got := z.Lookup("p1.c0a80105.scan.dnsstudy.example.edu", dnswire.TypeA); len(got) != 1 {
+		t.Error("shipped wildcard not matching scan names")
+	}
+}
