@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench report markdown examples clean
+.PHONY: all build vet lint test test-short race fuzz-smoke bench report markdown examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis (internal/lint): determinism,
+# maporder, gohygiene, errdrop. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/wildlint ./...
+
 test:
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent subsystems (the stress tests in
+# scanner and wildnet exist for this target).
+race:
+	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns .
+
+# A few seconds of coverage-guided fuzzing per wire-format fuzz target.
+# `go test -fuzz` accepts one target per invocation, hence three runs.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzUnpack -fuzztime=5s ./internal/dnswire
+	$(GO) test -fuzz=FuzzDecodeTargetQName -fuzztime=5s ./internal/dnswire
+	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/zonefile
 
 # One iteration of every table/figure benchmark.
 bench:

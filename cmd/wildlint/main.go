@@ -1,0 +1,98 @@
+// Command wildlint runs the project's static-analysis pass (see
+// internal/lint) over the module: determinism, maporder, gohygiene, and
+// errdrop.
+//
+// Usage:
+//
+//	wildlint [./...|dir ...]
+//
+// With no arguments (or the literal ./...) it analyzes every package in
+// the module containing the current directory. Findings print one per
+// line as `file:line: [rule] message`; the exit status is 1 when any
+// finding survives, 2 on load errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"goingwild/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		return 2
+	}
+	modRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		return 2
+	}
+
+	dirs, err := expandArgs(args, modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig(loader.ModPath)
+	status := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wildlint:", err)
+			status = 2
+			continue
+		}
+		for _, f := range cfg.Analyze(pkg) {
+			f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+			fmt.Println(f)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
+// expandArgs turns the command-line patterns into package directories.
+// The only pattern understood is ./... (the whole module); anything else
+// is taken as a directory holding one package.
+func expandArgs(args []string, modRoot string) ([]string, error) {
+	if len(args) == 0 {
+		return lint.PackageDirs(modRoot)
+	}
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			more, err := lint.PackageDirs(modRoot)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, more...)
+			continue
+		}
+		dirs = append(dirs, a)
+	}
+	return dirs, nil
+}
+
+// relPath shortens p relative to base when that makes it shorter.
+func relPath(base, p string) string {
+	if rel, err := filepath.Rel(base, p); err == nil && len(rel) < len(p) {
+		return rel
+	}
+	return p
+}

@@ -51,7 +51,12 @@ func RenderPopularity(estimates []snoop.PopularityEstimate, topN int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Fine-grained popularity estimation (%d resolvers with gap observations)\n", len(estimates))
 	sorted := append([]snoop.PopularityEstimate(nil), estimates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RequestsPerHour > sorted[j].RequestsPerHour })
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].RequestsPerHour != sorted[j].RequestsPerHour {
+			return sorted[i].RequestsPerHour > sorted[j].RequestsPerHour
+		}
+		return sorted[i].Addr < sorted[j].Addr
+	})
 	if len(sorted) > topN {
 		sorted = sorted[:topN]
 	}

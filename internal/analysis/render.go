@@ -116,7 +116,14 @@ func RenderTable3(s *fingerprint.ChaosSurvey, topN int) string {
 		}
 		rows = append(rows, r)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].count > rows[j].count })
+	// rows came out of a map: break count ties by name so the table is
+	// byte-stable across runs.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
 	if len(rows) > topN {
 		rows = rows[:topN]
 	}

@@ -112,7 +112,13 @@ func (s *Series) CountryFluctuation(topN int) []FluctuationRow {
 		}
 		rows = append(rows, row)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Start > rows[j].Start })
+	// rows came out of a map: break start-count ties by country code.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Start != rows[j].Start {
+			return rows[i].Start > rows[j].Start
+		}
+		return rows[i].Key < rows[j].Key
+	})
 	if topN > 0 && len(rows) > topN {
 		rows = rows[:topN]
 	}
@@ -289,6 +295,12 @@ func ClassifyVanished(first, last []scanner.Responder, secondary map[uint32]bool
 		}
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start > out[j].Start })
+	// out came out of a map: break start-count ties by ASN.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start > out[j].Start
+		}
+		return out[i].ASN < out[j].ASN
+	})
 	return out
 }

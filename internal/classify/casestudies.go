@@ -236,17 +236,8 @@ func (p *Pipeline) runCaseStudies(scan *scanner.DomainScanResult, pre *prefilter
 			continue
 		}
 		sets := map[string]int{}
-		single := true
-		var firstKey string
-		first := true
 		for _, key := range byName {
 			sets[key]++
-			if first {
-				firstKey = key
-				first = false
-			} else if key != firstKey {
-				single = false
-			}
 		}
 		for _, n := range sets {
 			if n >= 2 {
@@ -254,7 +245,7 @@ func (p *Pipeline) runCaseStudies(scan *scanner.DomainScanResult, pre *prefilter
 				break
 			}
 		}
-		if single && len(byName) >= 5 {
+		if len(sets) == 1 && len(byName) >= 5 {
 			cs.StaticIPResolvers++
 		}
 	}

@@ -36,7 +36,13 @@ func TopCountries(dist map[string]float64, n int) []struct {
 			Share   float64
 		}{c, s})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	// dist is a map: break share ties by country code for stable output.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Country < out[j].Country
+	})
 	if len(out) > n {
 		out = out[:n]
 	}

@@ -199,9 +199,15 @@ func (p *Pipeline) Run(scan *scanner.DomainScanResult, pre *prefilter.Result, gt
 		for _, m := range members {
 			votes[LabelPage(reps[m].res.Status, reps[m].res.Body, reps[m].features)]++
 		}
+		// Break vote ties by label value, not map order.
+		labels := make([]Label, 0, len(votes))
+		for l := range votes {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 		best, bestN := LMisc, -1
-		for l, n := range votes {
-			if n > bestN {
+		for _, l := range labels {
+			if n := votes[l]; n > bestN {
 				best, bestN = l, n
 			}
 		}

@@ -1,6 +1,8 @@
 package classify
 
 import (
+	"sort"
+
 	"goingwild/internal/domains"
 )
 
@@ -49,12 +51,19 @@ func (t *Table5) AddDomain(cat domains.Category, name string, counts map[Label]i
 // Finalize computes per-category averages and maxima.
 func (t *Table5) Finalize() {
 	for cat, byDomain := range t.perDomain {
+		// Visit domains in name order so MaxDomain is stable when two
+		// domains tie on share.
+		names := make([]string, 0, len(byDomain))
+		for name := range byDomain {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		cell := map[Label]Stat{}
 		for _, l := range TableLabels {
 			var sum float64
 			st := Stat{}
-			for name, shares := range byDomain {
-				v := shares[l]
+			for _, name := range names {
+				v := byDomain[name][l]
 				sum += v
 				if v > st.Max {
 					st.Max = v

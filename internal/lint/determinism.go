@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkDeterminism forbids wall-clock reads and ambient randomness in
+// the seed-deterministic packages. Every output of those packages must
+// be reproducible from (seed, epoch) alone; time.Now, time.Since, and
+// the process-seeded global math/rand state all smuggle in state that
+// differs between runs.
+//
+// Explicitly-seeded constructors (rand.New, rand.NewSource, ...) stay
+// legal: a *rand.Rand built from a seed the caller controls is exactly
+// the kind of randomness the contract wants.
+func checkDeterminism(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	if !contains(cfg.Deterministic, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if name := sel.Sel.Name; name == "Now" || name == "Since" {
+					emit(sel.Pos(), RuleDeterminism,
+						"time."+name+" leaks wall-clock state into a seed-deterministic package; use the simulated clock or an injected Clock")
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true // types like rand.Rand, rand.Source are fine
+				}
+				if randConstructor(sel.Sel.Name) {
+					return true
+				}
+				emit(sel.Pos(), RuleDeterminism,
+					"global rand."+sel.Sel.Name+" draws from process-seeded state; build a *rand.Rand from an explicit seed (or use internal/prand)")
+			}
+			return true
+		})
+	}
+}
+
+// randConstructor reports whether a math/rand package-level function
+// builds an explicitly-seeded generator rather than touching the global
+// source.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

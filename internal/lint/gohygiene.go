@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoHygiene flags `go` statements inside loops that show no join
+// and no bound. A per-iteration goroutine is fine at test scale and a
+// bomb at 2^24 targets; the rule demands the launch site make its
+// lifecycle visible through one of the idioms the codebase already
+// uses:
+//
+//   - a sync.WaitGroup Add/Done pair reachable from the loop (the Wait
+//     may live elsewhere, e.g. in Close);
+//   - a result channel: the goroutine sends, the enclosing function
+//     receives;
+//   - a semaphore: the loop acquires a channel slot around the launch.
+func checkGoHygiene(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			loop := enclosingLoop(stack)
+			if loop == nil {
+				return true
+			}
+			fnBody := enclosingFuncBody(stack)
+			if hasWaitGroupAccounting(p, loop) ||
+				hasResultChannelJoin(p, g, loop, fnBody) ||
+				hasSemaphoreBound(p, g, loop, fnBody) {
+				return true
+			}
+			emit(g.Pos(), RuleGoHygiene,
+				"goroutine launched per loop iteration with no visible join or bound; track it with a WaitGroup, collect over a result channel, or gate it with a semaphore")
+			return true
+		})
+	}
+}
+
+// hasWaitGroupAccounting reports an Add or Done call on a sync.WaitGroup
+// anywhere in the loop body (including inside the launched closure).
+func hasWaitGroupAccounting(p *Package, loop ast.Stmt) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name := sel.Sel.Name; name != "Add" && name != "Done" {
+			return true
+		}
+		if isWaitGroup(p.Info.Types[sel.X].Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// hasResultChannelJoin reports that the launched closure sends on a
+// channel declared outside the loop and the enclosing function receives
+// from (or ranges over) the same channel.
+func hasResultChannelJoin(p *Package, g *ast.GoStmt, loop ast.Stmt, fnBody *ast.BlockStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	for _, ch := range channelsIn(p, lit.Body, sendOps, loop) {
+		if receivesFrom(p, fnBody, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSemaphoreBound reports a channel send in the loop outside the
+// goroutine (the acquire) whose matching receive appears in the closure
+// or the function (the release).
+func hasSemaphoreBound(p *Package, g *ast.GoStmt, loop ast.Stmt, fnBody *ast.BlockStmt) bool {
+	for _, ch := range channelsInExcept(p, loop, sendOps, g, loop) {
+		if receivesFrom(p, fnBody, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+type chanOp int
+
+const (
+	sendOps chanOp = iota
+	recvOps
+)
+
+// channelsIn collects the objects of channels used in send (or receive)
+// position under root, keeping only those declared outside scope.
+func channelsIn(p *Package, root ast.Node, op chanOp, scope ast.Stmt) []types.Object {
+	return channelsInExcept(p, root, op, nil, scope)
+}
+
+// channelsInExcept is channelsIn skipping the subtree rooted at skip.
+func channelsInExcept(p *Package, root ast.Node, op chanOp, skip ast.Node, scope ast.Stmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || seen[obj] || within(obj.Pos(), scope) {
+			return
+		}
+		seen[obj] = true
+		out = append(out, obj)
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if skip != nil && n == skip {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			if op == sendOps {
+				add(s.Chan)
+			}
+		case *ast.UnaryExpr:
+			if op == recvOps && s.Op == token.ARROW {
+				add(s.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivesFrom reports a receive expression or channel range over obj
+// anywhere in body.
+func receivesFrom(p *Package, body *ast.BlockStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	matches := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && p.Info.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && matches(s.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if matches(s.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

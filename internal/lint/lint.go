@@ -1,0 +1,254 @@
+// Package lint is the project's static-analysis pass: four analyzers
+// that enforce the correctness contracts the measurement pipeline relies
+// on but the compiler cannot check.
+//
+// The wildnet substitution (DESIGN.md) makes every table and figure a
+// pure function of (seed, epoch). That contract survives only as long as
+// no ambient state leaks into the measurement paths, which is exactly
+// what these rules police:
+//
+//   - determinism: forbids time.Now, time.Since, and global math/rand
+//     state in the seed-deterministic packages. Wall-clock reads and
+//     process-seeded randomness make two runs with the same seed observe
+//     different Internets.
+//   - maporder: flags `for range` over a map whose body appends to an
+//     outer slice without a later sort, writes rendered output, builds a
+//     string, or leaks the iteration variables into outer state — the
+//     patterns that make a report depend on Go's randomized map order.
+//   - gohygiene: flags goroutines launched inside loops with no visible
+//     join (WaitGroup-style counter or result channel) and no bound —
+//     the shape that turns a 2^24-target scan into an unbounded
+//     goroutine bomb.
+//   - errdrop: flags discarded error returns from internal/dnswire
+//     encode/decode and internal/zonefile parse calls, where a swallowed
+//     malformed-packet error silently corrupts measurement counts.
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//lint:allow <rule> <reason>
+//
+// on the offending line or the line directly above it. An allow comment
+// without a reason is itself a finding.
+//
+// The pass uses only the standard library (go/parser, go/ast, go/types);
+// the module stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule names, as they appear in findings and //lint:allow comments.
+const (
+	RuleDeterminism = "determinism"
+	RuleMapOrder    = "maporder"
+	RuleGoHygiene   = "gohygiene"
+	RuleErrDrop     = "errdrop"
+	// ruleAllow tags malformed //lint:allow comments themselves.
+	ruleAllow = "allow"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the canonical `file:line: [rule] message` form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Config names the package sets each rule applies to. Paths are full
+// import paths.
+type Config struct {
+	// ModulePath is the module being analyzed (for locating the dnswire
+	// and zonefile packages the errdrop rule watches).
+	ModulePath string
+	// Deterministic lists the packages whose outputs must be pure
+	// functions of (seed, epoch); the determinism rule applies here.
+	Deterministic []string
+	// Rendering lists the packages that produce tables, reports, and
+	// result sets; the maporder rule applies here.
+	Rendering []string
+}
+
+// DefaultConfig returns the repository's contract: which packages are
+// seed-deterministic and which render results. DESIGN.md ("Determinism
+// contract") documents the same sets.
+func DefaultConfig(modulePath string) Config {
+	ip := func(names ...string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = modulePath + "/internal/" + n
+		}
+		return out
+	}
+	return Config{
+		ModulePath: modulePath,
+		Deterministic: ip("wildnet", "prand", "lfsr", "cluster", "classify",
+			"analysis", "churn", "scanner"),
+		Rendering: ip("analysis", "classify", "snoop", "churn", "scanner"),
+	}
+}
+
+func contains(paths []string, p string) bool {
+	for _, x := range paths {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs every analyzer over one loaded package and returns the
+// surviving findings sorted by position.
+func (c *Config) Analyze(p *Package) []Finding {
+	var raw []Finding
+	emit := func(pos token.Pos, rule, msg string) {
+		raw = append(raw, Finding{Pos: p.Fset.Position(pos), Rule: rule, Msg: msg})
+	}
+	checkDeterminism(p, c, emit)
+	checkMapOrder(p, c, emit)
+	checkGoHygiene(p, c, emit)
+	checkErrDrop(p, c, emit)
+
+	allows, bad := collectAllows(p)
+	var out []Finding
+	for _, f := range raw {
+		if f.Rule != ruleAllow && allows.covers(f.Pos, f.Rule) {
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	// A multi-assign statement can trip the same rule once per operand;
+	// one report per line and rule is enough.
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f.Pos.Filename == out[i-1].Pos.Filename &&
+			f.Pos.Line == out[i-1].Pos.Line && f.Rule == out[i-1].Rule {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
+}
+
+// allowSet maps file -> line -> rules allowed on that line.
+type allowSet map[string]map[int][]string
+
+// covers reports whether an allow for rule sits on the finding's line or
+// the line directly above it.
+func (a allowSet) covers(pos token.Position, rule string) bool {
+	lines := a[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range lines[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //lint:allow comment in the package.
+// Malformed comments (missing rule or reason) come back as findings so
+// the escape hatch cannot silently rot.
+func collectAllows(p *Package) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Pos: pos, Rule: ruleAllow,
+						Msg: "malformed //lint:allow: need a rule name and a reason"})
+					continue
+				}
+				m := set[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					set[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[0])
+			}
+		}
+	}
+	return set, bad
+}
+
+// inspectStack walks root calling fn with each node and its ancestor
+// chain (root first, node last). Returning false prunes the subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// enclosing returns the innermost node of kind K on the stack strictly
+// above the last element.
+func enclosingLoop(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			return s
+		case *ast.RangeStmt:
+			return s
+		case *ast.FuncLit, *ast.FuncDecl:
+			// A loop outside the nearest function doesn't iterate this
+			// statement.
+			return nil
+		}
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function containing
+// the last stack element.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// within reports whether pos falls inside node's source range.
+func within(pos token.Pos, node ast.Node) bool {
+	return node != nil && node.Pos() <= pos && pos <= node.End()
+}

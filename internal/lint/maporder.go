@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkMapOrder flags `for range` over maps in the rendering packages
+// when the loop body does something Go's randomized iteration order can
+// corrupt:
+//
+//   - appends to a slice declared outside the loop with no later sort of
+//     that slice in the same function (table rows in random order);
+//   - writes output through fmt.Fprint*/Print* or a Builder/Buffer/Writer
+//     method (report lines in random order);
+//   - concatenates onto an outer string with += (same, unsortable);
+//   - assigns the iteration key or value to outer state outside an
+//     append (the argmax-with-ties pattern: the winner depends on which
+//     key the runtime happens to visit first).
+//
+// Writes keyed by the iteration variable (m2[k] = ..., hist[k] = append(
+// hist[k], ...)) are per-key buckets and commute, so they pass.
+func checkMapOrder(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	if !contains(cfg.Rendering, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fnBody := enclosingFuncBody(append(stack, rs.Body))
+			c := &mapOrderCheck{
+				p:      p,
+				rs:     rs,
+				fnBody: fnBody,
+				emit:   emit,
+				iter:   iterObjects(p, rs),
+			}
+			c.run()
+			return true
+		})
+	}
+}
+
+// iterObjects collects the objects bound to the range statement's key
+// and value variables.
+func iterObjects(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				out[obj] = true // `for k = range` with pre-declared k
+			}
+		}
+	}
+	return out
+}
+
+type mapOrderCheck struct {
+	p      *Package
+	rs     *ast.RangeStmt
+	fnBody *ast.BlockStmt
+	emit   func(token.Pos, string, string)
+	iter   map[types.Object]bool
+}
+
+func (c *mapOrderCheck) run() {
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			c.assign(s)
+		case *ast.CallExpr:
+			if name, ok := c.outputCall(s); ok {
+				c.emit(s.Pos(), RuleMapOrder,
+					"map iteration writes output via "+name+"; iterate sorted keys so the report is deterministic")
+			}
+		}
+		return true
+	})
+}
+
+// assign classifies one assignment inside the loop body.
+func (c *mapOrderCheck) assign(s *ast.AssignStmt) {
+	if s.Tok == token.ADD_ASSIGN {
+		// Building a string piece by piece in map order. Numeric +=
+		// commutes and stays legal.
+		lhs := s.Lhs[0]
+		if t, ok := c.p.Info.Types[lhs]; ok && isString(t.Type) && c.outerTarget(lhs) {
+			c.emit(s.Pos(), RuleMapOrder,
+				"map iteration concatenates onto an outer string; iterate sorted keys instead")
+		}
+		return
+	}
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if s.Tok == token.DEFINE || !c.outerTarget(lhs) {
+			continue
+		}
+		if i < len(s.Rhs) || len(s.Rhs) == 1 {
+			rhs := s.Rhs[0]
+			if len(s.Rhs) > 1 {
+				rhs = s.Rhs[i]
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && c.isAppend(call) {
+				// Order still matters, but a sort after the loop
+				// repairs it; only flag when none follows.
+				if obj := c.baseObject(lhs); obj != nil && !c.sortedAfter(obj) {
+					c.emit(s.Pos(), RuleMapOrder,
+						"map iteration appends to "+obj.Name()+" with no later sort in this function; sort it (or iterate sorted keys)")
+				}
+				continue
+			}
+			if c.mentionsIter(rhs) {
+				c.emit(s.Pos(), RuleMapOrder,
+					"map iteration key/value escapes to outer state; with ties the result depends on map order — iterate sorted keys")
+			}
+		}
+	}
+}
+
+// outputCall reports whether call renders output (fmt printing or a
+// writer method), returning a display name for the message.
+func (c *mapOrderCheck) outputCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := c.p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			if strings.HasPrefix(sel.Sel.Name, "Fprint") || strings.HasPrefix(sel.Sel.Name, "Print") {
+				return "fmt." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+	default:
+		return "", false
+	}
+	// A builder declared inside the loop is per-iteration scratch; only
+	// writers that outlive the loop leak iteration order.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := c.p.Info.Uses[id]; obj != nil && within(obj.Pos(), c.rs) {
+			return "", false
+		}
+	}
+	t := c.p.Info.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch ts := t.String(); ts {
+	case "strings.Builder", "bytes.Buffer":
+		return ts + "." + sel.Sel.Name, true
+	}
+	if isIOWriter(t) {
+		return "io.Writer." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// outerTarget reports whether the assignment target's base variable was
+// declared outside the range statement (so the write survives the loop),
+// and is not a per-key bucket (indexed by an iteration variable).
+func (c *mapOrderCheck) outerTarget(lhs ast.Expr) bool {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			if c.mentionsIter(e.Index) {
+				return false // per-key bucket, commutative
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			obj := c.p.Info.Uses[e]
+			if obj == nil {
+				obj = c.p.Info.Defs[e]
+			}
+			return obj != nil && !within(obj.Pos(), c.rs)
+		default:
+			return false
+		}
+	}
+}
+
+// baseObject returns the root variable of an assignment target.
+func (c *mapOrderCheck) baseObject(lhs ast.Expr) types.Object {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			if obj := c.p.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return c.p.Info.Defs[e]
+		default:
+			return nil
+		}
+	}
+}
+
+// isAppend reports a call to the append builtin.
+func (c *mapOrderCheck) isAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// mentionsIter reports whether expr references an iteration variable.
+func (c *mapOrderCheck) mentionsIter(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.p.Info.Uses[id]; obj != nil && c.iter[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether, later in the enclosing function, a
+// sort.*/slices.* call mentions obj — the canonical collect-then-sort
+// shape.
+func (c *mapOrderCheck) sortedAfter(obj types.Object) bool {
+	if c.fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := c.p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if c.mentionsObj(arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *mapOrderCheck) mentionsObj(expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isIOWriter reports whether t is or embeds the io.Writer interface.
+func isIOWriter(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Name() == "Write" && m.Pkg() != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+// Corpus for the determinism rule. Loaded by lint_test.go under the
+// import path of a seed-deterministic package.
+package corpus
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadNow reads the wall clock.
+func BadNow() time.Time {
+	return time.Now() // want determinism
+}
+
+// BadSince reads the wall clock through Since.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism
+}
+
+// BadGlobalRand draws from the process-seeded global source.
+func BadGlobalRand() int {
+	return rand.Intn(10) // want determinism
+}
+
+// OKSeeded uses an explicitly-seeded generator: legal.
+func OKSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// OKTypes only mentions time/rand types, not state.
+func OKTypes(r *rand.Rand, d time.Duration) time.Duration {
+	return d * time.Duration(r.Intn(3)+1)
+}
+
+// AllowedNow is suppressed with a well-formed allow comment.
+func AllowedNow() time.Time {
+	return time.Now() //lint:allow determinism corpus fixture for the escape hatch
+}
+
+// AllowedAbove is suppressed from the line above.
+func AllowedAbove() time.Time {
+	//lint:allow determinism corpus fixture, comment-above form
+	return time.Now()
+}
+
+// MalformedAllow has no reason: the comment itself is a finding and does
+// not suppress.
+func MalformedAllow() time.Time {
+	//lint:allow determinism
+	return time.Now() // want determinism + allow
+}

@@ -1,0 +1,54 @@
+// Corpus for the errdrop rule. Imports the real dnswire and zonefile
+// packages so the callee resolution under test is the production one.
+package corpus
+
+import (
+	"io"
+	"strings"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/zonefile"
+)
+
+// BadStatement drops the error (and the message) on the floor.
+func BadStatement(payload []byte) {
+	dnswire.Unpack(payload) // want errdrop
+}
+
+// BadBlank keeps the message but blanks the error.
+func BadBlank(payload []byte) *dnswire.Message {
+	m, _ := dnswire.Unpack(payload) // want errdrop
+	return m
+}
+
+// BadZonefile drops a parse error.
+func BadZonefile(r io.Reader) {
+	zonefile.Parse(r) // want errdrop
+}
+
+// BadDefer defers a call whose error nobody will see.
+func BadDefer(z *zonefile.Zone, w io.Writer) {
+	defer z.Serialize(w) // want errdrop
+}
+
+// OKPropagated returns the error to the caller.
+func OKPropagated(payload []byte) (*dnswire.Message, error) {
+	return dnswire.Unpack(payload)
+}
+
+// OKHandled checks the error.
+func OKHandled(payload []byte) bool {
+	_, err := dnswire.Unpack(payload)
+	return err == nil
+}
+
+// OKOtherPackage: dropped errors from unwatched packages are vet's
+// problem, not this rule's.
+func OKOtherPackage(r *strings.Reader) {
+	io.ReadAll(r)
+}
+
+// AllowedDrop is suppressed.
+func AllowedDrop(payload []byte) {
+	dnswire.Unpack(payload) //lint:allow errdrop corpus fixture
+}

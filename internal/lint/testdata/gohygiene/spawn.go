@@ -1,0 +1,72 @@
+// Corpus for the gohygiene rule.
+package corpus
+
+import "sync"
+
+func work(int) {}
+
+// BadFireAndForget launches one goroutine per item with no join and no
+// bound.
+func BadFireAndForget(items []int) {
+	for _, it := range items {
+		go func() { work(it) }() // want gohygiene
+	}
+}
+
+// BadNamed spawns a named function per iteration, equally unaccounted.
+func BadNamed(items []int) {
+	for _, it := range items {
+		go work(it) // want gohygiene
+	}
+}
+
+// OKWaitGroup joins through a WaitGroup.
+func OKWaitGroup(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// OKResultChannel joins by collecting one result per spawn.
+func OKResultChannel(items []int) []int {
+	ch := make(chan int)
+	for _, it := range items {
+		go func() { ch <- it * 2 }()
+	}
+	var out []int
+	for range items {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// OKSemaphore bounds concurrency with a channel slot per goroutine.
+func OKSemaphore(items []int) {
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			work(it)
+		}()
+	}
+}
+
+// OKSingle is a lone goroutine outside any loop: not this rule's
+// business.
+func OKSingle() {
+	go work(0)
+}
+
+// AllowedSpawn is suppressed.
+func AllowedSpawn(items []int) {
+	for _, it := range items {
+		go func() { work(it) }() //lint:allow gohygiene corpus fixture
+	}
+}

@@ -1,0 +1,106 @@
+// Corpus for the maporder rule. Loaded by lint_test.go under the import
+// path of a rendering package.
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadAppend collects map keys with no sort: random row order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// OKAppendSorted repairs the order after the loop.
+func OKAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BadPrint renders lines in map order.
+func BadPrint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder
+	}
+}
+
+// BadBuilder assembles a report string in map order.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want maporder
+	}
+	return b.String()
+}
+
+// OKInnerBuilder uses per-iteration scratch; nothing escapes unordered.
+func OKInnerBuilder(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k, v := range m {
+		var b strings.Builder
+		for i := 0; i < v; i++ {
+			b.WriteString(k)
+		}
+		out[k] = b.String()
+	}
+	return out
+}
+
+// BadConcat concatenates onto an outer string.
+func BadConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want maporder
+	}
+	return s
+}
+
+// BadArgmax: on ties the winner is whichever key the runtime visits
+// first.
+func BadArgmax(m map[string]int) string {
+	best, bestN := "", -1
+	for k, n := range m {
+		if n > bestN {
+			best, bestN = k, n // want maporder
+		}
+	}
+	return best
+}
+
+// OKBucket writes keyed by the iteration variable: commutative.
+func OKBucket(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// OKReduce accumulates a commutative numeric reduction.
+func OKReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// AllowedAppend is suppressed.
+func AllowedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder corpus fixture
+	}
+	return out
+}

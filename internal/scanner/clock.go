@@ -1,0 +1,28 @@
+package scanner
+
+import "time"
+
+// Clock abstracts the scanner's view of time. Rate pacing, settle
+// delays, and traffic statistics all go through it, so tests can drive
+// the engine with a fake clock and assert on timing-derived numbers
+// (QPS, elapsed) deterministically. Production code uses SystemClock.
+//
+// This is the single seam through which wall-clock time enters the
+// package; everything else must take a Clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+// SystemClock is the process wall-clock, the default when no Clock is
+// injected.
+var SystemClock Clock = sysClock{}
+
+type sysClock struct{}
+
+//lint:allow determinism sole wall-clock entry point; every other site injects a Clock
+func (sysClock) Now() time.Time { return time.Now() }
+
+func (sysClock) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,117 @@
+package scanner
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced Clock; Sleep jumps time forward
+// instead of blocking, so pacing logic runs instantly and exactly.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) Advance(d time.Duration) { c.Sleep(d) }
+
+// nullTransport swallows sends and hands the receiver back to the test.
+type nullTransport struct {
+	recv func(src netip.Addr, srcPort, dstPort uint16, payload []byte)
+}
+
+func (n *nullTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+	return nil
+}
+
+func (n *nullTransport) SetReceiver(f func(src netip.Addr, srcPort, dstPort uint16, payload []byte)) {
+	n.recv = f
+}
+
+func (n *nullTransport) Close() error { return nil }
+
+func TestStatsWithFakeClock(t *testing.T) {
+	fc := newFakeClock()
+	inner := &nullTransport{}
+	tr, stats := WithStatsClock(inner, fc)
+	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) {})
+
+	payload := make([]byte, 10)
+	for i := 0; i < 20; i++ {
+		if err := tr.Send(netip.MustParseAddr("192.0.2.1"), 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		inner.recv(netip.MustParseAddr("192.0.2.1"), 53, 40000, payload[:4])
+	}
+	fc.Advance(2 * time.Second)
+
+	snap := stats.Snapshot()
+	if snap.Sent != 20 || snap.Received != 5 {
+		t.Errorf("sent=%d recv=%d, want 20/5", snap.Sent, snap.Received)
+	}
+	if snap.BytesOut != 200 || snap.BytesIn != 20 {
+		t.Errorf("bytesOut=%d bytesIn=%d, want 200/20", snap.BytesOut, snap.BytesIn)
+	}
+	if snap.Elapsed != 2*time.Second {
+		t.Errorf("Elapsed = %v, want exactly 2s", snap.Elapsed)
+	}
+	if got := snap.Rate(); got != 10 {
+		t.Errorf("Rate() = %v pps, want exactly 10", got)
+	}
+	if got := snap.ResponseRatio(); got != 0.25 {
+		t.Errorf("ResponseRatio() = %v, want 0.25", got)
+	}
+}
+
+func TestRateLimiterWithFakeClock(t *testing.T) {
+	fc := newFakeClock()
+	start := fc.Now()
+	rl := newRateLimiter(1000, fc) // 1ms interval
+	for i := 0; i < 50; i++ {
+		rl.wait()
+	}
+	// 50 tokens at 1k pps ≈ 50ms of virtual time; the 2ms burst
+	// allowance trims a few ms off the tail.
+	elapsed := fc.Now().Sub(start)
+	if elapsed < 40*time.Millisecond || elapsed > 50*time.Millisecond {
+		t.Errorf("50 tokens advanced the fake clock by %v, want ≈48ms", elapsed)
+	}
+
+	unlimited := newRateLimiter(0, fc)
+	before := fc.Now()
+	for i := 0; i < 1000; i++ {
+		unlimited.wait()
+	}
+	if fc.Now() != before {
+		t.Error("unlimited rate limiter consumed virtual time")
+	}
+}
+
+func TestSettleUsesInjectedClock(t *testing.T) {
+	fc := newFakeClock()
+	s := New(&nullTransport{}, Options{SettleDelay: 5 * time.Millisecond, Clock: fc})
+	before := fc.Now()
+	s.settle()
+	if got := fc.Now().Sub(before); got != 5*time.Millisecond {
+		t.Errorf("settle advanced fake clock by %v, want 5ms", got)
+	}
+}

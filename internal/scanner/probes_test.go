@@ -76,7 +76,7 @@ func TestLookupAForNXDomain(t *testing.T) {
 }
 
 func TestRateLimiterPacing(t *testing.T) {
-	rl := newRateLimiter(1000) // 1k pps → 1ms interval
+	rl := newRateLimiter(1000, nil) // 1k pps → 1ms interval
 	start := time.Now()
 	for i := 0; i < 50; i++ {
 		rl.wait()
@@ -87,7 +87,7 @@ func TestRateLimiterPacing(t *testing.T) {
 	if elapsed < 20*time.Millisecond {
 		t.Errorf("50 tokens at 1k pps took %v", elapsed)
 	}
-	unlimited := newRateLimiter(0)
+	unlimited := newRateLimiter(0, nil)
 	start = time.Now()
 	for i := 0; i < 10000; i++ {
 		unlimited.wait()

@@ -49,6 +49,10 @@ type Options struct {
 	// BasePort is the first of the ProbePortCount UDP source ports a
 	// domain scan uses. Default 33000.
 	BasePort uint16
+	// Clock supplies time to the rate limiter and settle delays.
+	// Default SystemClock; tests inject a fake to exercise pacing
+	// deterministically.
+	Clock Clock
 }
 
 func (o *Options) fill() {
@@ -64,6 +68,9 @@ func (o *Options) fill() {
 	if o.BasePort == 0 {
 		o.BasePort = 33000
 	}
+	if o.Clock == nil {
+		o.Clock = SystemClock
+	}
 }
 
 // Scanner drives probes over a transport.
@@ -76,7 +83,7 @@ type Scanner struct {
 // New builds a scanner.
 func New(tr Transport, opts Options) *Scanner {
 	opts.fill()
-	return &Scanner{tr: tr, opts: opts, rate: newRateLimiter(opts.RatePPS)}
+	return &Scanner{tr: tr, opts: opts, rate: newRateLimiter(opts.RatePPS, opts.Clock)}
 }
 
 // ErrNoTransport is returned when the scanner was built with nil.
@@ -85,15 +92,19 @@ var ErrNoTransport = errors.New("scanner: nil transport")
 // rateLimiter is a token bucket; rate 0 means unlimited.
 type rateLimiter struct {
 	interval time.Duration
+	clock    Clock
 	mu       sync.Mutex
 	next     time.Time
 }
 
-func newRateLimiter(pps int) *rateLimiter {
-	if pps <= 0 {
-		return &rateLimiter{}
+func newRateLimiter(pps int, clock Clock) *rateLimiter {
+	if clock == nil {
+		clock = SystemClock
 	}
-	return &rateLimiter{interval: time.Second / time.Duration(pps)}
+	if pps <= 0 {
+		return &rateLimiter{clock: clock}
+	}
+	return &rateLimiter{interval: time.Second / time.Duration(pps), clock: clock}
 }
 
 func (r *rateLimiter) wait() {
@@ -101,7 +112,7 @@ func (r *rateLimiter) wait() {
 		return
 	}
 	r.mu.Lock()
-	now := time.Now()
+	now := r.clock.Now()
 	if r.next.Before(now) {
 		r.next = now
 	}
@@ -111,7 +122,7 @@ func (r *rateLimiter) wait() {
 	// Sleep only when meaningfully ahead of schedule: timer resolution
 	// is ~1ms, so sub-millisecond pacing is achieved by micro-bursts.
 	if sleep > 2*time.Millisecond {
-		time.Sleep(sleep)
+		r.clock.Sleep(sleep)
 	}
 }
 
@@ -152,7 +163,7 @@ func (s *Scanner) sendAll(n int, send func(i int)) {
 // SettleDelay (synchronous transport) skips the wait.
 func (s *Scanner) settle() {
 	if s.opts.SettleDelay > 0 {
-		time.Sleep(s.opts.SettleDelay)
+		s.opts.Clock.Sleep(s.opts.SettleDelay)
 	}
 }
 

@@ -14,6 +14,7 @@ type Stats struct {
 	received  atomic.Uint64
 	bytesOut  atomic.Uint64
 	bytesIn   atomic.Uint64
+	clock     Clock
 	startedAt time.Time
 }
 
@@ -53,9 +54,19 @@ type statsTransport struct {
 }
 
 // WithStats wraps a transport so that all traffic through it is counted.
-// It returns the wrapped transport and the live counters.
+// It returns the wrapped transport and the live counters. Elapsed time
+// is measured against SystemClock; tests use WithStatsClock.
 func WithStats(inner Transport) (Transport, *Stats) {
-	st := &Stats{startedAt: time.Now()}
+	return WithStatsClock(inner, SystemClock)
+}
+
+// WithStatsClock is WithStats with an injected clock, so tests can
+// assert on Elapsed and Rate exactly.
+func WithStatsClock(inner Transport, clock Clock) (Transport, *Stats) {
+	if clock == nil {
+		clock = SystemClock
+	}
+	st := &Stats{clock: clock, startedAt: clock.Now()}
 	return &statsTransport{inner: inner, stats: st}, st
 }
 
@@ -66,7 +77,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Received: s.received.Load(),
 		BytesOut: s.bytesOut.Load(),
 		BytesIn:  s.bytesIn.Load(),
-		Elapsed:  time.Since(s.startedAt),
+		Elapsed:  s.clock.Now().Sub(s.startedAt),
 	}
 }
 

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"sort"
 	"sync"
 
 	"goingwild/internal/dnswire"
@@ -150,6 +151,11 @@ func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResu
 		res.ByRCode[r.RCode]++
 	}
 	st.mu.Unlock()
+	// st.responses is a map; sort so the responder list (and everything
+	// derived from it, e.g. NOERROR ordering) is reproducible.
+	sort.Slice(res.Responders, func(i, j int) bool {
+		return res.Responders[i].Addr < res.Responders[j].Addr
+	})
 	return res, nil
 }
 

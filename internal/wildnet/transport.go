@@ -40,7 +40,6 @@ type MemTransport struct {
 	vantage Vantage
 	recv    atomic.Pointer[func(src netip.Addr, srcPort, dstPort uint16, payload []byte)]
 	closed  atomic.Bool
-	lossCtr atomic.Uint64
 
 	mu    sync.Mutex
 	clock Time
@@ -80,8 +79,9 @@ func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []b
 	if !dst.Is4() {
 		return errors.New("wildnet: transport is IPv4-only")
 	}
+	t := m.Time()
 	// Independent loss on the query packet.
-	if m.drop() {
+	if m.drop(dirQuery, lfsr.AddrToU32(dst), dstPort, srcPort, payload, t) {
 		return nil
 	}
 	q, err := dnswire.Unpack(payload)
@@ -91,7 +91,6 @@ func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []b
 	if dstPort != 53 {
 		return nil
 	}
-	t := m.Time()
 	resps := m.world.HandleDNS(m.vantage, srcPort, lfsr.AddrToU32(dst), q, t)
 	if len(resps) == 0 {
 		return nil
@@ -103,12 +102,12 @@ func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []b
 	}
 	limit := m.world.UDPPayloadLimit(lfsr.AddrToU32(dst), q, t)
 	for _, r := range resps {
-		if m.drop() {
-			continue
-		}
 		msg, _ := r.Msg.Truncate(limit)
 		wire, err := msg.PackBytes()
 		if err != nil {
+			continue
+		}
+		if m.drop(dirResponse, r.Src, 53, r.ToPort, wire, t) {
 			continue
 		}
 		if m.closed.Load() {
@@ -141,13 +140,38 @@ func (m *MemTransport) QueryTCP(dst netip.Addr, payload []byte) ([]byte, bool) {
 	return wire, true
 }
 
-// drop applies the configured loss rate deterministically.
-func (m *MemTransport) drop() bool {
+// Loss-draw direction tags, so a query and its response get independent
+// fates even when their bytes coincide.
+const (
+	dirQuery    = 0
+	dirResponse = 1
+)
+
+// drop applies the configured loss rate as a pure function of the
+// datagram and the simulation clock, never of arrival order: the same
+// packet at the same simulated minute always shares one fate, no matter
+// how many goroutines race to send, so seeded runs are byte-identical
+// regardless of scheduling. The flip side is that an identical
+// retransmission within the same simulated minute is pointless — advance
+// the clock (as the weekly/hourly experiments do) to redraw.
+func (m *MemTransport) drop(dir uint64, addr uint32, aPort, bPort uint16, payload []byte, t Time) bool {
 	if m.world.cfg.Loss <= 0 {
 		return false
 	}
-	n := m.lossCtr.Add(1)
-	return prand.UnitOf(m.world.cfg.Seed, facetLoss, n) < m.world.cfg.Loss
+	h := prand.Hash(m.world.cfg.Seed, facetLoss, dir, uint64(addr),
+		uint64(aPort)<<16|uint64(bPort), hashBytes(payload),
+		uint64(t.AbsHour()*60+t.Minute))
+	return prand.Float64(h) < m.world.cfg.Loss
+}
+
+// hashBytes folds a payload into one word (FNV-1a).
+func hashBytes(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
 }
 
 // Close implements Transport.

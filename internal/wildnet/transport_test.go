@@ -28,8 +28,11 @@ func TestMemTransportRoundTrip(t *testing.T) {
 	})
 	q := dnswire.NewQuery(99, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
 	wire, _ := q.PackBytes()
-	// Loss is 0.2%; retry a few times for determinism.
+	// Loss is 0.2% and drawn per (packet, simulated minute), so a bare
+	// retransmission shares the original's fate; advance the clock a
+	// minute between attempts to redraw.
 	for i := 0; i < 10 && len(got) == 0; i++ {
+		tr.SetTime(Time{Minute: i})
 		if err := tr.Send(w.Addr(u), 53, 40000, wire); err != nil {
 			t.Fatal(err)
 		}
