@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race fuzz-smoke bench report markdown examples clean
+.PHONY: all build vet lint test test-short race fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -35,8 +35,19 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeTargetQName -fuzztime=5s ./internal/dnswire
 	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/zonefile
 
-# One iteration of every table/figure benchmark.
+# Hot-path benchmark: order-20 sweep throughput/allocations and the
+# clustering scaling curve, written to BENCH_scan.json (the committed
+# copy is the performance baseline).
 bench:
+	$(GO) run ./cmd/benchscan -out BENCH_scan.json
+
+# CI smoke variant: order-16 sweep, smaller cluster sizes, seconds not
+# minutes. Does not overwrite the committed baseline.
+bench-quick:
+	$(GO) run ./cmd/benchscan -quick -out /tmp/bench_quick.json
+
+# One iteration of every table/figure benchmark.
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Full text report of every table and figure (order 17, quick).

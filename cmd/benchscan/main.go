@@ -1,0 +1,162 @@
+// Command benchscan measures the two measurement hot paths — the sweep
+// engine and hierarchical clustering — and writes the results as JSON
+// (BENCH_scan.json by default). The committed copy of that file is the
+// performance baseline; `make bench` regenerates it and CI runs the
+// -quick variant as a smoke test so the harness itself cannot rot.
+//
+// The JSON layout is fixed (struct-ordered keys, no timestamps or host
+// details), so two runs differ only in the measured numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"goingwild/internal/cluster"
+	"goingwild/internal/core"
+)
+
+type sweepBench struct {
+	Order       uint    `json:"order"`
+	Probes      uint64  `json:"probes"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	ProbesPerS  float64 `json:"probes_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type clusterBench struct {
+	N          int     `json:"n"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	ItemsPerS  float64 `json:"items_per_sec"`
+	MergeCount int     `json:"merges"`
+}
+
+type report struct {
+	Sweep   sweepBench     `json:"sweep"`
+	Cluster []clusterBench `json:"cluster"`
+	// ClusterScalingRatio is time(2n)/time(n) for the two cluster sizes:
+	// ~4 for the O(n²) chain, ~6-8 for the old O(n³) scan at these sizes.
+	ClusterScalingRatio float64 `json:"cluster_scaling_ratio"`
+}
+
+// synthDist is a deterministic, hash-flavored distance in (0, 1] so the
+// clustering benchmark sees realistic unequal distances rather than a
+// handful of tied values.
+func synthDist(i, j int) float64 {
+	h := uint64(i*2654435761) ^ uint64(j)*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return float64(h%1000000+1) / 1000000
+}
+
+func benchSweep(order uint) (sweepBench, error) {
+	s, err := core.NewStudy(core.DefaultConfig(order))
+	if err != nil {
+		return sweepBench{}, err
+	}
+	defer s.Close()
+	var probed uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Scanner.Sweep(order, uint32(i+1), s.World.ScanBlacklist())
+			if err != nil {
+				b.Fatal(err)
+			}
+			probed = res.Probed
+		}
+	})
+	ns := r.NsPerOp()
+	return sweepBench{
+		Order:       order,
+		Probes:      probed,
+		NsPerOp:     ns,
+		ProbesPerS:  float64(probed) / (float64(ns) / 1e9),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func benchCluster(n int) clusterBench {
+	var merges int
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := cluster.Agglomerate(n, synthDist, 0.6)
+			merges = len(res.Merges)
+		}
+	})
+	ns := r.NsPerOp()
+	return clusterBench{
+		N:          n,
+		NsPerOp:    ns,
+		ItemsPerS:  float64(n) / (float64(ns) / 1e9),
+		MergeCount: merges,
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_scan.json", "output JSON path")
+	order := flag.Uint("order", 20, "sweep order (2^order probe targets)")
+	quick := flag.Bool("quick", false, "CI smoke mode: order 16 sweep, smaller cluster sizes")
+	flag.Parse()
+
+	// testing.Benchmark honors the -test.benchtime flag; register the
+	// testing flags and pin a small fixed iteration count so a run costs
+	// seconds, not minutes (one sweep iteration is the dominant cost).
+	testing.Init()
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan:", err)
+		os.Exit(1)
+	}
+
+	sweepOrder := *order
+	clusterSizes := []int{400, 800}
+	if *quick {
+		sweepOrder = 16
+		clusterSizes = []int{200, 400}
+	}
+
+	sw, err := benchSweep(sweepOrder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan: sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sweep order=%d: %d probes in %.3fs  %.2fM probes/s  %d allocs/op  %.1f MB/op\n",
+		sw.Order, sw.Probes, float64(sw.NsPerOp)/1e9, sw.ProbesPerS/1e6,
+		sw.AllocsPerOp, float64(sw.BytesPerOp)/(1<<20))
+
+	// Clustering is cheap enough for a few iterations; median out noise.
+	if err := flag.Set("test.benchtime", "3x"); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan:", err)
+		os.Exit(1)
+	}
+	rep := report{Sweep: sw}
+	for _, n := range clusterSizes {
+		cb := benchCluster(n)
+		rep.Cluster = append(rep.Cluster, cb)
+		fmt.Printf("cluster n=%d: %.3fms/op  %.0f items/s  %d merges\n",
+			cb.N, float64(cb.NsPerOp)/1e6, cb.ItemsPerS, cb.MergeCount)
+	}
+	if len(rep.Cluster) == 2 && rep.Cluster[0].NsPerOp > 0 {
+		rep.ClusterScalingRatio = float64(rep.Cluster[1].NsPerOp) / float64(rep.Cluster[0].NsPerOp)
+		fmt.Printf("cluster scaling time(%d)/time(%d) = %.2fx (4x = quadratic)\n",
+			rep.Cluster[1].N, rep.Cluster[0].N, rep.ClusterScalingRatio)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The nearest-neighbor-chain implementation must be exact, not approximate:
+// for every linkage criterion it has to produce the same partition as the
+// exhaustive closest-pair search it replaced. These differential tests pit
+// agglomerateChain (via AgglomerateWith) against agglomerateExhaustive on
+// seeded random instances.
+
+// randDistMatrix builds a symmetric matrix of pairwise distances. With
+// distinct=true every off-diagonal value is unique (a shuffled ladder of
+// (k+1)/(np+1)); otherwise values are drawn from a small set so ties are
+// common and the tie-breaking rules get exercised.
+func randDistMatrix(r *detRand, n int, distinct bool) [][]float64 {
+	np := n * (n - 1) / 2
+	vals := make([]float64, np)
+	if distinct {
+		for k := range vals {
+			vals[k] = float64(k+1) / float64(np+1)
+		}
+		for k := np - 1; k > 0; k-- {
+			j := r.intn(k + 1)
+			vals[k], vals[j] = vals[j], vals[k]
+		}
+	} else {
+		for k := range vals {
+			vals[k] = float64(1+r.intn(5)) / 8
+		}
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m[i][j] = vals[k]
+			m[j][i] = vals[k]
+			k++
+		}
+	}
+	return m
+}
+
+func samePartition(t *testing.T, got, want *Result, ctx string) {
+	t.Helper()
+	if got.Num != want.Num {
+		t.Fatalf("%s: Num = %d, exhaustive = %d", ctx, got.Num, want.Num)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("%s: Assign[%d] = %d, exhaustive = %d\nchain:      %v\nexhaustive: %v",
+				ctx, i, got.Assign[i], want.Assign[i], got.Assign, want.Assign)
+		}
+	}
+}
+
+// validResult checks the structural invariants every clustering must
+// satisfy regardless of tie resolution: a dense assignment, a merge count
+// consistent with the cluster count, and a monotone merge history capped
+// at the cutoff with coherent sizes.
+func validResult(t *testing.T, r *Result, n int, cutoff float64, ctx string) {
+	t.Helper()
+	if len(r.Assign) != n {
+		t.Fatalf("%s: len(Assign) = %d want %d", ctx, len(r.Assign), n)
+	}
+	if r.Num != n-len(r.Merges) {
+		t.Fatalf("%s: Num = %d with %d merges over %d items", ctx, r.Num, len(r.Merges), n)
+	}
+	used := make([]bool, r.Num)
+	for i, c := range r.Assign {
+		if c < 0 || c >= r.Num {
+			t.Fatalf("%s: Assign[%d] = %d outside [0,%d)", ctx, i, c, r.Num)
+		}
+		used[c] = true
+	}
+	for c, u := range used {
+		if !u {
+			t.Fatalf("%s: cluster %d empty (numbering not dense)", ctx, c)
+		}
+	}
+	size := map[int]int{}
+	for i := 0; i < n; i++ {
+		size[i] = 1
+	}
+	prev := 0.0
+	for k, m := range r.Merges {
+		if m.Dist > cutoff {
+			t.Fatalf("%s: merge %d at %g beyond cutoff %g", ctx, k, m.Dist, cutoff)
+		}
+		if m.Dist < prev {
+			t.Fatalf("%s: merge %d at %g after one at %g (not monotone)", ctx, k, m.Dist, prev)
+		}
+		prev = m.Dist
+		sa, oka := size[m.A]
+		sb, okb := size[m.B]
+		if !oka || !okb {
+			t.Fatalf("%s: merge %d references unknown cluster ids %d/%d", ctx, k, m.A, m.B)
+		}
+		if m.Size != sa+sb {
+			t.Fatalf("%s: merge %d size %d, operands total %d", ctx, k, m.Size, sa+sb)
+		}
+		delete(size, m.A)
+		delete(size, m.B)
+		size[n+k] = m.Size
+	}
+}
+
+func TestChainMatchesExhaustive(t *testing.T) {
+	linkages := []struct {
+		name string
+		l    Linkage
+	}{
+		{"average", LinkageAverage},
+		{"single", LinkageSingle},
+		{"complete", LinkageComplete},
+	}
+	for seed := int64(1); seed <= 60; seed++ {
+		r := newDetRand(seed)
+		n := 2 + r.intn(40)
+		distinct := seed%3 != 0 // every third instance is tie-heavy
+		m := randDistMatrix(r, n, distinct)
+		dist := func(i, j int) float64 { return m[i][j] }
+		// Cutoffs span "merge nothing" through "merge everything".
+		cutoffs := []float64{0, r.unit(), r.unit(), 1.5}
+		for _, lk := range linkages {
+			for _, cut := range cutoffs {
+				ctx := fmt.Sprintf("seed=%d n=%d distinct=%v linkage=%s cutoff=%g",
+					seed, n, distinct, lk.name, cut)
+				got := AgglomerateWith(n, dist, cut, lk.l)
+				want := agglomerateExhaustive(n, dist, cut, lk.l)
+				// Exact partition equality is guaranteed when the
+				// dendrogram is unique: always for distinct distances, and
+				// for single linkage even under ties (its cutoff partition
+				// is the threshold graph's connected components, however
+				// the ties resolve). Tie-heavy average/complete instances
+				// may legally differ from the oracle, so those only get
+				// the structural checks below.
+				if distinct || lk.l == LinkageSingle {
+					samePartition(t, got, want, ctx)
+				}
+				validResult(t, got, n, cut, ctx)
+				if distinct {
+					// With no ties the whole merge history is forced, so
+					// the dendrograms must agree merge for merge. Average
+					// linkage gets an ULP-scale tolerance on the distance:
+					// the chain discovers merges in a different temporal
+					// order than the global closest-pair search, so the
+					// Lance-Williams weighted averages nest differently in
+					// floating point. Min and max are order-exact.
+					if len(got.Merges) != len(want.Merges) {
+						t.Fatalf("%s: %d merges, exhaustive %d", ctx, len(got.Merges), len(want.Merges))
+					}
+					for k := range want.Merges {
+						g, w := got.Merges[k], want.Merges[k]
+						dOK := g.Dist == w.Dist
+						if lk.l == LinkageAverage {
+							dOK = math.Abs(g.Dist-w.Dist) <= 1e-12*math.Max(1, w.Dist)
+						}
+						if g.A != w.A || g.B != w.B || g.Size != w.Size || !dOK {
+							t.Fatalf("%s: merge %d = %+v, exhaustive %+v",
+								ctx, k, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChainMatchesExhaustiveDegenerate covers the shapes property loops
+// rarely hit: all-identical distances, and a matrix where one item is far
+// from everything.
+func TestChainMatchesExhaustiveDegenerate(t *testing.T) {
+	n := 9
+	flat := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		return 0.25
+	}
+	outlier := func(i, j int) float64 {
+		if i == j {
+			return 0
+		}
+		if i == n-1 || j == n-1 {
+			return 0.9
+		}
+		return 0.1
+	}
+	for _, lk := range []Linkage{LinkageAverage, LinkageSingle, LinkageComplete} {
+		for _, cut := range []float64{0.05, 0.25, 0.5, 0.95} {
+			for name, dist := range map[string]func(i, j int) float64{"flat": flat, "outlier": outlier} {
+				ctx := fmt.Sprintf("%s linkage=%d cutoff=%g", name, lk, cut)
+				got := AgglomerateWith(n, dist, cut, lk)
+				want := agglomerateExhaustive(n, dist, cut, lk)
+				samePartition(t, got, want, ctx)
+			}
+		}
+	}
+}

@@ -142,7 +142,16 @@ func (m *Message) Pack(buf []byte) ([]byte, error) {
 }
 
 func (m *Message) packLocal() ([]byte, error) {
-	buf := make([]byte, 0, 128)
+	return m.PackInto(make([]byte, 0, 128), make(map[string]int, 8))
+}
+
+// PackInto packs m from offset 0 of buf (truncated first) using the
+// caller-supplied compression map (cleared first), so a pooled buffer and
+// map serve many packs without per-message allocations. The result aliases
+// buf's storage when capacity suffices.
+func (m *Message) PackInto(buf []byte, cmp map[string]int) ([]byte, error) {
+	buf = buf[:0]
+	clear(cmp)
 	var flags uint16
 	if m.Header.QR {
 		flags |= flagQR
@@ -169,7 +178,6 @@ func (m *Message) packLocal() ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authority)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additional)))
 
-	cmp := make(map[string]int, 8)
 	var err error
 	for _, q := range m.Questions {
 		if buf, err = appendName(buf, q.Name, cmp); err != nil {
@@ -227,15 +235,64 @@ func AppendQuery(buf []byte, id uint16, name string, typ Type, class Class) ([]b
 	return buf, nil
 }
 
+// EncodeNameWire returns the uncompressed wire encoding of name, for
+// precomputing the constant suffix of streamed scan queries.
+func EncodeNameWire(name string) ([]byte, error) {
+	return appendName(nil, name, nil)
+}
+
+// AppendTargetQuery appends the wire form of one sweep probe — a
+// recursion-desired query for prefix.hex-ip.base — writing labels straight
+// into buf with no name assembly or Message. prefix is one raw label (its
+// bytes, no length octet, ≤63 bytes of it used); baseWire is the scan
+// base's precomputed encoding from EncodeNameWire, whose terminating root
+// label closes the name. This is the sweep's per-target send cost, so it
+// must not allocate when buf has capacity.
+func AppendTargetQuery(buf []byte, id uint16, prefix []byte, target uint32, baseWire []byte, typ Type, class Class) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, flagRD)
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = append(buf, 0, 0, 0, 0, 0, 0)
+	if len(prefix) > maxLabelWire {
+		prefix = prefix[:maxLabelWire]
+	}
+	buf = append(buf, byte(len(prefix)))
+	buf = append(buf, prefix...)
+	const hexdigits = "0123456789abcdef"
+	buf = append(buf, 8,
+		hexdigits[target>>28], hexdigits[target>>24&0xF],
+		hexdigits[target>>20&0xF], hexdigits[target>>16&0xF],
+		hexdigits[target>>12&0xF], hexdigits[target>>8&0xF],
+		hexdigits[target>>4&0xF], hexdigits[target&0xF])
+	buf = append(buf, baseWire...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(typ))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(class))
+	return buf
+}
+
 // Unpack decodes a wire-format message. It is tolerant of trailing
 // garbage after the final section (observed from broken CPE resolvers) but
 // strict about structural validity inside the declared sections.
 func Unpack(msg []byte) (*Message, error) {
+	m := new(Message)
+	if err := UnpackInto(msg, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackInto is Unpack decoding into a caller-owned (typically pooled)
+// Message: section slices are truncated and their capacity reused, so a
+// message of steady shape — e.g. the single-question query the in-memory
+// transport decodes per probe — settles to near-zero slice allocations.
+// All sections are parsed; EDNS payload sniffing reads the additional
+// section even on queries. On error m is left partially filled.
+func UnpackInto(msg []byte, m *Message) error {
 	if len(msg) < 12 {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	flags := binary.BigEndian.Uint16(msg[2:])
-	m := &Message{Header: Header{
+	m.Header = Header{
 		ID:     binary.BigEndian.Uint16(msg[0:]),
 		QR:     flags&flagQR != 0,
 		Opcode: Opcode(flags >> 11 & 0xF),
@@ -244,7 +301,11 @@ func Unpack(msg []byte) (*Message, error) {
 		RD:     flags&flagRD != 0,
 		RA:     flags&flagRA != 0,
 		RCode:  RCode(flags & 0xF),
-	}}
+	}
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
 	qd := int(binary.BigEndian.Uint16(msg[4:]))
 	an := int(binary.BigEndian.Uint16(msg[6:]))
 	ns := int(binary.BigEndian.Uint16(msg[8:]))
@@ -252,7 +313,7 @@ func Unpack(msg []byte) (*Message, error) {
 	// Each question needs ≥5 bytes, each record ≥11; reject counts that
 	// cannot fit, a cheap defense against malicious count inflation.
 	if qd*5+an*11+ns*11+ar*11 > len(msg)-12 {
-		return nil, ErrTooManyRecords
+		return ErrTooManyRecords
 	}
 	off := 12
 	var err error
@@ -260,26 +321,25 @@ func Unpack(msg []byte) (*Message, error) {
 		var q Question
 		q.Name, off, err = unpackName(msg, off)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if off+4 > len(msg) {
-			return nil, ErrShortMessage
+			return ErrShortMessage
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	unpackSection := func(n int) ([]ResourceRecord, error) {
-		var rrs []ResourceRecord
+	unpackSection := func(rrs []ResourceRecord, n int) ([]ResourceRecord, error) {
 		for i := 0; i < n; i++ {
 			var rr ResourceRecord
 			rr.Name, off, err = unpackName(msg, off)
 			if err != nil {
-				return nil, err
+				return rrs, err
 			}
 			if off+10 > len(msg) {
-				return nil, ErrShortMessage
+				return rrs, ErrShortMessage
 			}
 			typ := Type(binary.BigEndian.Uint16(msg[off:]))
 			rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
@@ -287,27 +347,27 @@ func Unpack(msg []byte) (*Message, error) {
 			rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
 			off += 10
 			if off+rdlen > len(msg) {
-				return nil, ErrShortMessage
+				return rrs, ErrShortMessage
 			}
 			rr.Data, err = unpackRData(msg, off, rdlen, typ)
 			if err != nil {
-				return nil, err
+				return rrs, err
 			}
 			off += rdlen
 			rrs = append(rrs, rr)
 		}
 		return rrs, nil
 	}
-	if m.Answers, err = unpackSection(an); err != nil {
-		return nil, err
+	if m.Answers, err = unpackSection(m.Answers, an); err != nil {
+		return err
 	}
-	if m.Authority, err = unpackSection(ns); err != nil {
-		return nil, err
+	if m.Authority, err = unpackSection(m.Authority, ns); err != nil {
+		return err
 	}
-	if m.Additional, err = unpackSection(ar); err != nil {
-		return nil, err
+	if m.Additional, err = unpackSection(m.Additional, ar); err != nil {
+		return err
 	}
-	return m, nil
+	return nil
 }
 
 // String renders the message in dig-like presentation form, for debugging

@@ -113,54 +113,15 @@ func appendName(buf []byte, name string, cmp map[string]int) ([]byte, error) {
 // It returns the decoded name (no trailing dot, original case preserved)
 // and the offset of the first byte after the name's direct encoding.
 func unpackName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
-	ptrSeen := 0
-	end := -1 // offset after the name at the original position
-	for {
-		if off >= len(msg) {
-			return "", 0, ErrTruncatedName
-		}
-		b := msg[off]
-		switch {
-		case b == 0:
-			if end < 0 {
-				end = off + 1
-			}
-			return sb.String(), end, nil
-		case b&0xC0 == 0xC0:
-			if off+1 >= len(msg) {
-				return "", 0, ErrTruncatedName
-			}
-			ptr := int(b&0x3F)<<8 | int(msg[off+1])
-			if end < 0 {
-				end = off + 2
-			}
-			if ptr >= off {
-				// Pointers must point strictly backwards.
-				return "", 0, ErrBadPointer
-			}
-			ptrSeen++
-			if ptrSeen > maxPointerHops {
-				return "", 0, ErrPointerLoop
-			}
-			off = ptr
-		case b&0xC0 != 0:
-			return "", 0, ErrReservedLabel
-		default:
-			n := int(b)
-			if off+1+n > len(msg) {
-				return "", 0, ErrTruncatedName
-			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
-			}
-			if sb.Len()+n > maxNameWire {
-				return "", 0, ErrNameTooLong
-			}
-			sb.Write(msg[off+1 : off+1+n])
-			off += 1 + n
-		}
+	// Decode into a stack buffer and convert once: one allocation per
+	// name instead of one per strings.Builder growth. The buffer never
+	// reallocates because appendNameBytes enforces maxNameWire.
+	var scratch [maxNameWire]byte
+	b, end, err := appendNameBytes(scratch[:0], msg, off)
+	if err != nil {
+		return "", 0, err
 	}
+	return string(b), end, nil
 }
 
 // EqualNamesFold reports whether two domain names are equal under DNS case

@@ -55,6 +55,24 @@ func (g *TargetGenerator) NextU32() (u uint32, ok bool) {
 	return 0, false
 }
 
+// NextBatch fills dst with the next non-blacklisted targets and reports
+// how many it produced. A short (or zero) count only happens at the end of
+// the permutation. Streaming senders pull batches under a shared lock so
+// the generator is touched once per batch, not once per probe.
+func (g *TargetGenerator) NextBatch(dst []uint32) int {
+	n := 0
+	for n < len(dst) && g.emitted < g.period {
+		u := g.reg.Next()
+		g.emitted++
+		if g.blacklist != nil && g.blacklist.ContainsU32(u) {
+			continue
+		}
+		dst[n] = u
+		n++
+	}
+	return n
+}
+
 // Emitted returns how many LFSR states have been consumed (including
 // blacklisted skips).
 func (g *TargetGenerator) Emitted() uint64 { return g.emitted }

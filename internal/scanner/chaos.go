@@ -1,8 +1,6 @@
 package scanner
 
 import (
-	"sync"
-
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
 )
@@ -51,8 +49,10 @@ func (s *Scanner) ScanChaos(resolvers []uint32) (*ChaosResult, error) {
 		Resolvers: resolvers,
 		Answers:   make([]ChaosAnswer, len(resolvers)),
 	}
+	// Answer slots are addressed by resolver index, so a striped lock set
+	// replaces the single scan-wide mutex.
+	var locks stripedMutex
 	for pass, qname := range []string{"version.bind", "version.server"} {
-		var mu sync.Mutex
 		isBind := pass == 0
 		// Identify resolvers by transaction id chunks of 64k.
 		chunks := (len(resolvers) + 0xFFFF) / 0x10000
@@ -64,29 +64,26 @@ func (s *Scanner) ScanChaos(resolvers []uint32) (*ChaosResult, error) {
 			}
 			batch := resolvers[lo:hi]
 			s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
-				m, err := dnswire.Unpack(payload)
-				if err != nil || !m.Header.QR {
+				v := dnswire.GetView()
+				defer dnswire.PutView(v)
+				if err := v.Reset(payload); err != nil || !v.QR() {
 					return
 				}
-				idx := lo + int(m.Header.ID)
+				idx := lo + int(v.ID())
 				if idx >= hi {
 					return
 				}
-				text := ""
-				for _, rr := range m.Answers {
-					if txt, ok := rr.Data.(dnswire.TXT); ok {
-						text += txt.Joined()
-					}
-				}
+				text := string(v.AppendAnswerTXT(nil))
+				mu := locks.of(uint32(idx))
 				mu.Lock()
 				a := &res.Answers[idx]
 				if isBind {
 					a.BindAnswered = true
-					a.BindRCode = m.Header.RCode
+					a.BindRCode = v.RCode()
 					a.BindText = text
 				} else {
 					a.ServerAnswered = true
-					a.ServerRCode = m.Header.RCode
+					a.ServerRCode = v.RCode()
 					a.ServerText = text
 				}
 				mu.Unlock()

@@ -1,8 +1,6 @@
 package scanner
 
 import (
-	"sync"
-
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
 )
@@ -64,12 +62,16 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 		}
 	}
 
+	// One striped lock set serves every name round: answers are addressed
+	// by resolver index, so receivers for different resolvers proceed in
+	// parallel instead of convoying on a per-name mutex.
+	var locks stripedMutex
 	for ni, name := range names {
 		row := res.Answers[ni]
-		var mu sync.Mutex
 		s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
-			m, err := dnswire.Unpack(payload)
-			if err != nil || !m.Header.QR || len(m.Questions) == 0 {
+			v := dnswire.GetView()
+			defer dnswire.PutView(v)
+			if err := v.Reset(payload); err != nil || !v.QR() || v.QDCount() == 0 {
 				return
 			}
 			// Recover the resolver identifier. The transaction ID
@@ -77,13 +79,13 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 			// high 9 — unless the resolver rewrote the port, in which
 			// case the 0x20 casing of the echoed question supplies
 			// them.
-			txid := m.Header.ID
+			txid := v.ID()
 			portRewritten := false
 			var hi uint16
 			if dstPort >= s.opts.BasePort && dstPort < s.opts.BasePort+dnswire.ProbePortCount {
 				hi = dstPort - s.opts.BasePort
 			} else {
-				bits, nbits := dnswire.Decode0x20(m.Questions[0].Name, 9)
+				bits, nbits := dnswire.Decode0x20Bytes(v.QName(), 9)
 				if nbits < 9 {
 					// Too few letters to recover; drop like the
 					// paper drops unattributable responses.
@@ -97,21 +99,20 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 				return
 			}
 			ans := &row[id]
-			addrs := m.AnswerAddrs()
-			u32s := make([]uint32, len(addrs))
-			for i, a := range addrs {
-				u32s[i] = lfsr.AddrToU32(a)
-			}
+			mu := locks.of(uint32(id))
 			mu.Lock()
 			defer mu.Unlock()
 			ans.Responses++
+			// The answer set is materialized only for the responses that
+			// are actually recorded; duplicate and late responses cost no
+			// allocation.
 			if ans.Responses == 1 {
-				ans.RCode = m.Header.RCode
-				ans.Addrs = u32s
-				ans.NSOnly = len(addrs) == 0 && hasNSAuthority(m)
+				ans.RCode = v.RCode()
+				ans.Addrs = v.AppendAnswerA(nil)
+				ans.NSOnly = len(ans.Addrs) == 0 && v.HasAuthorityNS()
 				ans.PortRewritten = portRewritten
-			} else if ans.SecondAddrs == nil {
-				ans.SecondAddrs = u32s
+			} else if ans.Responses == 2 {
+				ans.SecondAddrs = v.AppendAnswerA(nil)
 			}
 		})
 
@@ -134,26 +135,19 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 				break
 			}
 			var miss []int
-			mu.Lock()
 			for _, ri := range batch {
-				if row[ri].Responses == 0 {
+				mu := locks.of(uint32(ri))
+				mu.Lock()
+				n := row[ri].Responses
+				mu.Unlock()
+				if n == 0 {
 					miss = append(miss, ri)
 				}
 			}
-			mu.Unlock()
 			pending = miss
 		}
 	}
 	return res, nil
-}
-
-func hasNSAuthority(m *dnswire.Message) bool {
-	for _, rr := range m.Authority {
-		if rr.Type() == dnswire.TypeNS {
-			return true
-		}
-	}
-	return false
 }
 
 type errTooManyResolvers int

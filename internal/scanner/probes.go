@@ -2,7 +2,6 @@ package scanner
 
 import (
 	"fmt"
-	"sync"
 
 	"goingwild/internal/dnswire"
 	"goingwild/internal/domains"
@@ -13,20 +12,19 @@ import (
 // tracks the week-0 cohort this way) and returns the set that responded
 // with any DNS answer.
 func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
-	alive := make(map[uint32]bool, len(addrs)/4)
-	var mu sync.Mutex
+	collected := newShardedMap[bool](len(addrs) / 4)
+	base := dnswire.CanonicalName(domains.ScanBase)
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
-		m, err := dnswire.Unpack(payload)
-		if err != nil || !m.Header.QR || len(m.Questions) == 0 {
+		v := dnswire.GetView()
+		defer dnswire.PutView(v)
+		if err := v.Reset(payload); err != nil || !v.QR() || v.QDCount() == 0 {
 			return
 		}
-		target, err := dnswire.DecodeTargetQName(m.Questions[0].Name, domains.ScanBase)
-		if err != nil {
+		target, ok := dnswire.DecodeTargetQNameU32(v.QName(), base)
+		if !ok {
 			return
 		}
-		mu.Lock()
-		alive[lfsr.AddrToU32(target)] = true
-		mu.Unlock()
+		collected.InsertOnce(target, true)
 	})
 	pending := addrs
 	for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
@@ -41,16 +39,18 @@ func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
 		if round == s.opts.Retries {
 			break
 		}
-		mu.Lock()
 		var miss []uint32
 		for _, u := range batch {
-			if !alive[u] {
+			if _, ok := collected.Get(u); !ok {
 				miss = append(miss, u)
 			}
 		}
-		mu.Unlock()
 		pending = miss
 	}
+	alive := make(map[uint32]bool, collected.Len())
+	collected.Collect(func(u uint32, _ bool) {
+		alive[u] = true
+	})
 	return alive
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package scanner
+
+const raceEnabled = false

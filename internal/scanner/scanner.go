@@ -159,6 +159,73 @@ func (s *Scanner) sendAll(n int, send func(i int)) {
 	wg.Wait()
 }
 
+// streamBatch is how many targets a sender worker pulls from the shared
+// generator per lock acquisition. 256 keeps the generator lock at well
+// under 1% of each worker's time while bounding how far ahead of the
+// others any worker can run.
+const streamBatch = 256
+
+// streamAll drives one probe per generator target across the worker pool
+// without materializing the permutation (a full order-32 sweep would
+// otherwise stage 16 GiB of targets). Workers pull batches from the
+// generator under a shared lock; send receives each target plus a pooled
+// scratch buffer for query assembly (reslice it, leave the grown buffer
+// behind). Returns the number of targets sent.
+//
+// The set of probes sent is exactly the generator's permutation no matter
+// how batches interleave, so scan results stay schedule-independent.
+func (s *Scanner) streamAll(gen *lfsr.TargetGenerator, send func(u uint32, scratch *[]byte)) uint64 {
+	workers := s.opts.Workers
+	if workers <= 1 {
+		scratch := sweepBufPool.Get().(*[]byte)
+		defer sweepBufPool.Put(scratch)
+		var n uint64
+		for {
+			u, ok := gen.NextU32()
+			if !ok {
+				return n
+			}
+			s.rate.wait()
+			send(u, scratch)
+			n++
+		}
+	}
+	var (
+		genMu sync.Mutex
+		total atomic.Uint64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := sweepBufPool.Get().(*[]byte)
+			defer sweepBufPool.Put(scratch)
+			var batch [streamBatch]uint32
+			for {
+				genMu.Lock()
+				n := gen.NextBatch(batch[:])
+				genMu.Unlock()
+				if n == 0 {
+					return
+				}
+				total.Add(uint64(n))
+				for _, u := range batch[:n] {
+					s.rate.wait()
+					send(u, scratch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// sweepBufPool recycles probe assembly buffers. It lives at package scope
+// so the pool carries warm buffers across scans instead of draining when
+// each Sweep call returns.
+var sweepBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
 // settle waits for late responses on asynchronous transports. A negative
 // SettleDelay (synchronous transport) skips the wait.
 func (s *Scanner) settle() {

@@ -1,8 +1,6 @@
 package scanner
 
 import (
-	"sync"
-
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
 )
@@ -26,15 +24,16 @@ type SnoopObs struct {
 // answering from foreign addresses drop out — the same attrition the
 // paper tolerates for this experiment.
 func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uint32]SnoopObs {
-	out := make(map[uint32]SnoopObs, len(resolvers)/2)
+	collected := newShardedMap[SnoopObs](len(resolvers) / 2)
+	// want is written before the sends and only read by receivers.
 	want := make(map[uint32]struct{}, len(resolvers))
 	for _, u := range resolvers {
 		want[u] = struct{}{}
 	}
-	var mu sync.Mutex
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
-		m, err := dnswire.Unpack(payload)
-		if err != nil || !m.Header.QR {
+		v := dnswire.GetView()
+		defer dnswire.PutView(v)
+		if err := v.Reset(payload); err != nil || !v.QR() {
 			return
 		}
 		u := addrU32(src)
@@ -42,21 +41,13 @@ func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uin
 			return
 		}
 		obs := SnoopObs{Answered: true}
-		for _, rr := range m.Answers {
-			if rr.Type() == dnswire.TypeNS {
-				obs.Cached = true
-				obs.TTL = rr.TTL
-				break
-			}
-		}
-		if !obs.Cached {
+		if ttl, ok := v.FirstAnswerNS(); ok {
+			obs.Cached = true
+			obs.TTL = ttl
+		} else {
 			obs.Empty = true
 		}
-		mu.Lock()
-		if _, dup := out[u]; !dup {
-			out[u] = obs
-		}
-		mu.Unlock()
+		collected.InsertOnce(u, obs)
 	})
 	s.sendAll(len(resolvers), func(i int) {
 		q := dnswire.NewQuery(seq, tld, dnswire.TypeNS, dnswire.ClassIN)
@@ -68,5 +59,9 @@ func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uin
 		s.tr.Send(lfsr.U32ToAddr(resolvers[i]), 53, s.opts.BasePort, wire)
 	})
 	s.settle()
+	out := make(map[uint32]SnoopObs, collected.Len())
+	collected.Collect(func(u uint32, obs SnoopObs) {
+		out[u] = obs
+	})
 	return out
 }

@@ -40,9 +40,20 @@ type SweepResult struct {
 func (r *SweepResult) Total() int { return len(r.Responders) }
 
 // NOERROR returns the addresses of resolvers that answered NOERROR — the
-// population every follow-up experiment starts from.
+// population every follow-up experiment starts from. The result is sized
+// exactly in one pass before filling, since at the 27M-responder scale of
+// §2.2 append-doubling would copy the slice ~25 times.
 func (r *SweepResult) NOERROR() []uint32 {
-	var out []uint32
+	n := 0
+	for _, resp := range r.Responders {
+		if resp.RCode == dnswire.RCodeNoError {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, n)
 	for _, resp := range r.Responders {
 		if resp.RCode == dnswire.RCodeNoError {
 			out = append(out, resp.Addr)
@@ -63,23 +74,55 @@ func (r *SweepResult) MisSourcedCount() int {
 }
 
 // cachePrefix derives the per-target random label that defeats caching
-// (§2.2), without fmt on the hot path.
-func cachePrefix(u uint32) string {
+// (§2.2), written into a fixed-size array so the send path never converts
+// through a string.
+func cachePrefix(u uint32) [5]byte {
 	v := uint16(uint64(u) * 2654435761 >> 8)
 	const hexdigits = "0123456789abcdef"
-	return string([]byte{'r', hexdigits[v>>12], hexdigits[v>>8&0xF], hexdigits[v>>4&0xF], hexdigits[v&0xF]})
+	return [5]byte{'r', hexdigits[v>>12], hexdigits[v>>8&0xF], hexdigits[v>>4&0xF], hexdigits[v&0xF]}
 }
 
-// sweepState collects responses during a sweep keyed by target address.
-type sweepState struct {
-	mu        sync.Mutex
-	responses map[uint32]Responder
+// sweepCollector accumulates sweep responses in a sharded map keyed by
+// target address. Its receive method is the hot receiver callback: one
+// pooled wire view, no Message, no allocation at steady state.
+type sweepCollector struct {
+	base      string // canonical scan base the qname must end in
+	responses *shardedMap[Responder]
+}
+
+func newSweepCollector(base string, hint int) *sweepCollector {
+	return &sweepCollector{
+		base:      dnswire.CanonicalName(base),
+		responses: newShardedMap[Responder](hint),
+	}
+}
+
+// receive handles one response datagram. First response per target wins,
+// as with the old single-map collector.
+func (st *sweepCollector) receive(src netip4, srcPort, dstPort uint16, payload []byte) {
+	v := dnswire.GetView()
+	defer dnswire.PutView(v)
+	if err := v.Reset(payload); err != nil || !v.QR() || v.QDCount() == 0 {
+		return
+	}
+	target, ok := dnswire.DecodeTargetQNameU32(v.QName(), st.base)
+	if !ok {
+		return
+	}
+	st.responses.InsertOnce(target, Responder{
+		Addr:     target,
+		Source:   addrU32(src),
+		RCode:    v.RCode(),
+		Answered: v.HasAnswerA(),
+	})
 }
 
 // Sweep probes every address of a 2^order space once, in LFSR-permuted
 // order, skipping the blacklist. Each probe is a DNS A query for
 // prefix.hex-ip.scanbase, so responses are attributed to the probed
-// target regardless of their source address.
+// target regardless of their source address. Targets stream from the
+// generator straight to the sender workers — the permutation is never
+// materialized.
 func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResult, error) {
 	if s.tr == nil {
 		return nil, ErrNoTransport
@@ -88,71 +131,43 @@ func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResu
 	if err != nil {
 		return nil, err
 	}
-	var targets []uint32
-	for {
-		u, ok := gen.NextU32()
-		if !ok {
-			break
-		}
-		targets = append(targets, u)
+	hint := int(uint64(1) << order / 64)
+	st := newSweepCollector(domains.ScanBase, hint)
+	s.tr.SetReceiver(st.receive)
+	baseWire, err := dnswire.EncodeNameWire(st.base)
+	if err != nil {
+		return nil, err
 	}
-	st := &sweepState{responses: make(map[uint32]Responder, len(targets)/64)}
-	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
-		m, err := dnswire.Unpack(payload)
-		if err != nil || !m.Header.QR || len(m.Questions) == 0 {
-			return
-		}
-		target, err := dnswire.DecodeTargetQName(m.Questions[0].Name, domains.ScanBase)
-		if err != nil {
-			return
-		}
-		r := Responder{
-			Addr:     lfsr.AddrToU32(target),
-			Source:   addrU32(src),
-			RCode:    m.Header.RCode,
-			Answered: len(m.AnswerAddrs()) > 0,
-		}
-		st.mu.Lock()
-		if _, dup := st.responses[r.Addr]; !dup {
-			st.responses[r.Addr] = r
-		}
-		st.mu.Unlock()
-	})
 
 	// A census sends exactly one probe per target: retransmitting to
 	// the silent majority (non-resolvers) would double the scan for a
 	// fraction-of-a-percent gain. Loss is accounted for by the
 	// secondary-vantage verification scan instead (§2.2).
 	//
-	// Probe construction is the hot path: queries are assembled into
-	// pooled buffers without a Message allocation. Transports must not
-	// retain payloads after Send returns.
-	var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
-	s.sendAll(len(targets), func(i int) {
-		u := targets[i]
-		name := dnswire.EncodeTargetQName(cachePrefix(u), lfsr.U32ToAddr(u), domains.ScanBase)
-		bp := bufPool.Get().(*[]byte)
-		wire, err := dnswire.AppendQuery((*bp)[:0], uint16(u)^uint16(u>>16), name, dnswire.TypeA, dnswire.ClassIN)
-		if err == nil {
-			s.tr.Send(lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
-		}
-		*bp = wire[:0]
-		bufPool.Put(bp)
+	// Probe construction is the hot path: queries are written label by
+	// label into pooled buffers without a name or Message allocation.
+	// Transports must not retain payloads after Send returns.
+	probed := s.streamAll(gen, func(u uint32, scratch *[]byte) {
+		prefix := cachePrefix(u)
+		wire := dnswire.AppendTargetQuery((*scratch)[:0], uint16(u)^uint16(u>>16),
+			prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
+		s.tr.Send(lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+		*scratch = wire[:0]
 	})
 	s.settle()
 
 	res := &SweepResult{
-		Probed:  uint64(len(targets)),
-		ByRCode: make(map[dnswire.RCode]int),
+		Probed:     probed,
+		ByRCode:    make(map[dnswire.RCode]int),
+		Responders: make([]Responder, 0, st.responses.Len()),
 	}
-	st.mu.Lock()
-	for _, r := range st.responses {
+	st.responses.Collect(func(_ uint32, r Responder) {
 		res.Responders = append(res.Responders, r)
 		res.ByRCode[r.RCode]++
-	}
-	st.mu.Unlock()
-	// st.responses is a map; sort so the responder list (and everything
-	// derived from it, e.g. NOERROR ordering) is reproducible.
+	})
+	// Shard maps iterate in unspecified order; sort so the responder list
+	// (and everything derived from it, e.g. NOERROR ordering) is
+	// reproducible.
 	sort.Slice(res.Responders, func(i, j int) bool {
 		return res.Responders[i].Addr < res.Responders[j].Addr
 	})

@@ -23,7 +23,9 @@ type Transport interface {
 	// the model, §5 "Completeness").
 	Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
 	// SetReceiver registers the response callback. It must be called
-	// before the first Send. The callback may run concurrently.
+	// before the first Send. The callback may run concurrently, and must
+	// not retain payload after returning: the in-memory transport packs
+	// responses into pooled buffers that are reused for later deliveries.
 	SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte))
 	// Close releases resources; no callbacks run after Close returns.
 	Close() error
@@ -70,8 +72,27 @@ func (m *MemTransport) SetReceiver(f func(src netip.Addr, srcPort, dstPort uint1
 	m.recv.Store(&f)
 }
 
+// queryPool recycles the per-Send query Message. HandleDNS never retains
+// the query (responses copy the question section), so the Message and its
+// section slices can be reused across sends.
+var queryPool = sync.Pool{New: func() any { return new(dnswire.Message) }}
+
+// packScratch is one response-packing workspace: the wire buffer and the
+// name-compression map PackInto fills.
+type packScratch struct {
+	buf []byte
+	cmp map[string]int
+}
+
+var packPool = sync.Pool{New: func() any {
+	return &packScratch{buf: make([]byte, 0, 512), cmp: make(map[string]int, 8)}
+}}
+
 // Send implements Transport: the query is processed by the world and all
 // surviving responses are delivered to the receiver before Send returns.
+// This is the hot path of every simulated scan — one call per probe — so
+// the query parse, the response packing, and the two-response common case
+// of the sort all run against pooled storage.
 func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
 	if m.closed.Load() {
 		return ErrTransportClosed
@@ -84,8 +105,9 @@ func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []b
 	if m.drop(dirQuery, lfsr.AddrToU32(dst), dstPort, srcPort, payload, t) {
 		return nil
 	}
-	q, err := dnswire.Unpack(payload)
-	if err != nil {
+	q := queryPool.Get().(*dnswire.Message)
+	defer queryPool.Put(q)
+	if err := dnswire.UnpackInto(payload, q); err != nil {
 		return nil // malformed packets vanish, as on the real Internet
 	}
 	if dstPort != 53 {
@@ -95,17 +117,40 @@ func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []b
 	if len(resps) == 0 {
 		return nil
 	}
-	sort.SliceStable(resps, func(i, j int) bool { return resps[i].DelayMS < resps[j].DelayMS })
+	// Deliver in delay order. Almost every exchange yields one or two
+	// responses (the second being an injected racer, §4.2); swap those in
+	// place instead of paying sort.SliceStable's interface overhead.
+	switch {
+	case len(resps) == 2:
+		if resps[1].DelayMS < resps[0].DelayMS {
+			resps[0], resps[1] = resps[1], resps[0]
+		}
+	case len(resps) > 2:
+		sort.SliceStable(resps, func(i, j int) bool { return resps[i].DelayMS < resps[j].DelayMS })
+	}
 	recv := m.recv.Load()
 	if recv == nil {
 		return nil
 	}
 	limit := m.world.UDPPayloadLimit(lfsr.AddrToU32(dst), q, t)
+	ps := packPool.Get().(*packScratch)
+	defer packPool.Put(ps)
 	for _, r := range resps {
-		msg, _ := r.Msg.Truncate(limit)
-		wire, err := msg.PackBytes()
+		// Pack once; oversized responses are re-packed as an empty
+		// TC-bit reply (the Truncate contract) rather than packed twice.
+		wire, err := r.Msg.PackInto(ps.buf, ps.cmp)
 		if err != nil {
 			continue
+		}
+		ps.buf = wire[:0]
+		if len(wire) > limit {
+			tc := dnswire.Message{Header: r.Msg.Header, Questions: r.Msg.Questions}
+			tc.Header.TC = true
+			wire, err = tc.PackInto(ps.buf, ps.cmp)
+			if err != nil {
+				continue
+			}
+			ps.buf = wire[:0]
 		}
 		if m.drop(dirResponse, r.Src, 53, r.ToPort, wire, t) {
 			continue
