@@ -13,7 +13,7 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (internal/lint): determinism,
-# maporder, gohygiene, errdrop. Exits nonzero on any finding.
+# maporder, gohygiene, errdrop, ctxhygiene. Exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/wildlint ./...
 
@@ -26,7 +26,7 @@ test-short:
 # Race-detector pass over the concurrent subsystems (the stress tests in
 # scanner and wildnet exist for this target).
 race:
-	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns .
+	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns ./internal/pipeline .
 
 # A few seconds of coverage-guided fuzzing per wire-format fuzz target.
 # `go test -fuzz` accepts one target per invocation, hence three runs.

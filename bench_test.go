@@ -6,6 +6,7 @@
 package goingwild
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -43,7 +44,7 @@ func BenchmarkFigure1WeeklyScans(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series, err := churn.RunWeekly(s.Scanner, s.Transport, loc, cfg)
+		series, err := churn.RunWeekly(context.Background(), s.Scanner, s.Transport, loc, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

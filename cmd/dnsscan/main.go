@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"goingwild/internal/dnswire"
@@ -35,6 +37,11 @@ func main() {
 		rate     = flag.Int("rate", 0, "probe rate limit in packets/s (0 = unlimited)")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the sweep within one send batch; the partial tally
+	// still prints, so an interrupted scan reports what it saw.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	wcfg := wildnet.DefaultConfig(*order)
 	wcfg.Seed = *seed
@@ -75,7 +82,7 @@ func main() {
 	sc := scanner.New(counted, scanner.Options{Workers: 8, Retries: 1, SettleDelay: settle, RatePPS: *rate})
 	defer func() { fmt.Printf("traffic: %s\n", stats.Snapshot()) }()
 	start := time.Now()
-	sweep, err := sc.Sweep(*order, uint32(*scanSeed), world.ScanBlacklist())
+	sweep, err := sc.SweepContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist())
 	if err != nil {
 		fatal(err)
 	}
@@ -92,7 +99,7 @@ func main() {
 	case "sweep":
 	case "chaos":
 		resolvers := sweep.NOERROR()
-		res, err := sc.ScanChaos(resolvers)
+		res, err := sc.ScanChaosContext(ctx, resolvers)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,7 +116,7 @@ func main() {
 		}
 		names = append(names, domains.GroundTruth)
 		resolvers := sweep.NOERROR()
-		res, err := sc.ScanDomains(resolvers, names)
+		res, err := sc.ScanDomainsContext(ctx, resolvers, names)
 		if err != nil {
 			fatal(err)
 		}

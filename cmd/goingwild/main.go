@@ -5,12 +5,15 @@
 //
 //	goingwild -order 18 -exp all
 //	goingwild -order 20 -exp fig1,table3,table5 -weeks 55
+//	goingwild -order 20 -exp all -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -18,18 +21,25 @@ import (
 	"goingwild/internal/core"
 	"goingwild/internal/dataset"
 	"goingwild/internal/domains"
+	"goingwild/internal/pipeline"
 )
 
 func main() {
 	var (
-		order  = flag.Uint("order", 18, "address-space width in bits (14–32)")
-		seed   = flag.Uint64("seed", 0x60176A11D, "world seed")
-		weeks  = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
-		exps   = flag.String("exp", "all", "comma-separated experiments: fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
-		week   = flag.Int("week", 50, "study week for the point-in-time experiments")
-		export = flag.String("export", "", "directory to export JSONL datasets into")
+		order    = flag.Uint("order", 18, "address-space width in bits (14–32)")
+		seed     = flag.Uint64("seed", 0x60176A11D, "world seed")
+		weeks    = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
+		week     = flag.Int("week", 50, "study week for the point-in-time experiments")
+		export   = flag.String("export", "", "directory to export JSONL datasets into")
+		progress = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the context; every study checkpoint honors it, so a
+	// Ctrl-C stops the run at the next stage boundary or send batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := core.DefaultConfig(*order)
 	cfg.Seed = *seed
@@ -40,6 +50,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer study.Close()
+	if *progress {
+		// Stage events go to stderr so stdout stays byte-identical with
+		// and without -progress (the observer is a side channel only).
+		study.Observer = stageProgress("goingwild")
+	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
 	want := map[string]bool{}
@@ -53,7 +68,7 @@ func main() {
 	}
 
 	if all || want["fig1"] || want["table1"] || want["table2"] {
-		series, err := study.RunWeeklySeries()
+		series, err := study.RunWeeklySeriesContext(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -68,7 +83,7 @@ func main() {
 		}
 	}
 	if all || want["table3"] {
-		survey, n, err := study.RunChaos(*week)
+		survey, n, err := study.RunChaosContext(ctx, *week)
 		if err != nil {
 			fail(err)
 		}
@@ -76,28 +91,28 @@ func main() {
 		fmt.Println(analysis.RenderTable3(survey, 10))
 	}
 	if all || want["table4"] {
-		survey, err := study.RunDevices(*week)
+		survey, err := study.RunDevicesContext(ctx, *week)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(analysis.RenderTable4(survey))
 	}
 	if all || want["fig2"] {
-		cohort, err := study.RunCohortStudy(min(cfg.Weeks, 12))
+		cohort, err := study.RunCohortStudyContext(ctx, min(cfg.Weeks, 12))
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(analysis.RenderFigure2(cohort))
 	}
 	if all || want["util"] {
-		res, err := study.RunUtilization(*week)
+		res, err := study.RunUtilizationContext(ctx, *week)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(analysis.RenderUtilization(res))
 	}
 	if all || want["verify"] {
-		v, err := study.RunVerification(*week)
+		v, err := study.RunVerificationContext(ctx, *week)
 		if err != nil {
 			fail(err)
 		}
@@ -105,7 +120,7 @@ func main() {
 			v.Primary, v.Secondary, v.OnlySecondary, 100*v.MissedNOERRORShare)
 	}
 	if all || want["amp"] {
-		survey, n, err := study.RunAmplification(*week, "chase.com")
+		survey, n, err := study.RunAmplificationContext(ctx, *week, "chase.com")
 		if err != nil {
 			fail(err)
 		}
@@ -113,7 +128,7 @@ func main() {
 	}
 	if all || want["dnssec"] {
 		for _, name := range []string{"wikileaks.org", "facebook.com"} {
-			race, err := study.RunDNSSECRace(*week, "CN", name)
+			race, err := study.RunDNSSECRaceContext(ctx, *week, "CN", name)
 			if err != nil {
 				fail(err)
 			}
@@ -121,7 +136,7 @@ func main() {
 		}
 	}
 	if all || want["popularity"] {
-		est, err := study.RunPopularity(*week)
+		est, err := study.RunPopularityContext(ctx, *week)
 		if err != nil {
 			fail(err)
 		}
@@ -131,12 +146,12 @@ func main() {
 		fmt.Println(analysis.RenderNetalyzr(study.RunNetalyzr(*week, 500)))
 	}
 	if all || want["domains"] || want["fig4"] || want["cases"] || want["table5"] || want["pipeline"] || *export != "" {
-		res, err := study.RunDomainStudy(*week, nil)
+		res, err := study.RunDomainStudyContext(ctx, *week, nil)
 		if err != nil {
 			fail(err)
 		}
 		if *export != "" {
-			if err := exportDatasets(*export, study, res, *week); err != nil {
+			if err := exportDatasets(ctx, *export, study, res, *week); err != nil {
 				fail(err)
 			}
 			fmt.Printf("datasets exported to %s\n\n", *export)
@@ -163,6 +178,24 @@ func main() {
 	}
 }
 
+// stageProgress renders pipeline events as one stderr line per edge.
+func stageProgress(prog string) pipeline.Observer {
+	return func(ev pipeline.StageEvent) {
+		switch ev.Kind {
+		case pipeline.StageStart:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s start\n", prog, ev.Stage)
+		case pipeline.StageDone:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s done  (%s)", prog, ev.Stage, ev.Elapsed)
+			for _, c := range ev.Counts {
+				fmt.Fprintf(os.Stderr, "  %s=%d", c.Name, c.Value)
+			}
+			fmt.Fprintln(os.Stderr)
+		case pipeline.StageFailed:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s failed: %v\n", prog, ev.Stage, ev.Err)
+		}
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a
@@ -171,7 +204,7 @@ func min(a, b int) int {
 }
 
 // exportDatasets writes the week's sweep and tuple datasets as JSONL.
-func exportDatasets(dir string, study *core.Study, res *core.DomainStudyResult, week int) error {
+func exportDatasets(ctx context.Context, dir string, study *core.Study, res *core.DomainStudyResult, week int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -191,7 +224,7 @@ func exportDatasets(dir string, study *core.Study, res *core.DomainStudyResult, 
 	}); err != nil {
 		return err
 	}
-	sweep, err := study.SweepAt(week)
+	sweep, err := study.SweepAtContext(ctx, week)
 	if err != nil {
 		return err
 	}

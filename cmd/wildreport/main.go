@@ -6,16 +6,20 @@
 //
 //	wildreport -order 18 -weeks 55            # full run, text output
 //	wildreport -order 18 -markdown            # markdown comparison table
+//	wildreport -order 20 -progress            # stage events on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"goingwild/internal/analysis"
 	"goingwild/internal/core"
 	"goingwild/internal/domains"
+	"goingwild/internal/pipeline"
 )
 
 func main() {
@@ -25,8 +29,15 @@ func main() {
 		weeks    = flag.Int("weeks", 55, "weekly scans")
 		week     = flag.Int("week", 50, "week for point-in-time experiments")
 		markdown = flag.Bool("markdown", false, "emit the markdown comparison table only")
+		progress = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
 	)
 	flag.Parse()
+
+	// SIGINT cancels the context; every study checkpoint honors it, so a
+	// Ctrl-C lands between stages (or mid-sweep) instead of being ignored
+	// for the rest of an order-24 run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := core.DefaultConfig(*order)
 	cfg.Seed = *seed
@@ -36,42 +47,47 @@ func main() {
 		fatal(err)
 	}
 	defer study.Close()
+	if *progress {
+		// Progress goes to stderr: stdout stays byte-identical with and
+		// without -progress (the observer is a side channel only).
+		study.Observer = stageProgress("wildreport")
+	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
-	series, err := study.RunWeeklySeries()
+	series, err := study.RunWeeklySeriesContext(ctx)
 	if err != nil {
 		fatal(err)
 	}
-	chaos, _, err := study.RunChaos(*week)
+	chaos, _, err := study.RunChaosContext(ctx, *week)
 	if err != nil {
 		fatal(err)
 	}
-	dev, err := study.RunDevices(*week)
+	dev, err := study.RunDevicesContext(ctx, *week)
 	if err != nil {
 		fatal(err)
 	}
-	cohort, err := study.RunCohortStudy(*weeks)
+	cohort, err := study.RunCohortStudyContext(ctx, *weeks)
 	if err != nil {
 		fatal(err)
 	}
 	cohort.ConcentrateSurvivors(study.World.ASNOf)
-	util, err := study.RunUtilization(*week)
+	util, err := study.RunUtilizationContext(ctx, *week)
 	if err != nil {
 		fatal(err)
 	}
-	dom, err := study.RunDomainStudy(*week, nil)
+	dom, err := study.RunDomainStudyContext(ctx, *week, nil)
 	if err != nil {
 		fatal(err)
 	}
-	race, err := study.RunDNSSECRace(*week, "CN", "wikileaks.org")
+	race, err := study.RunDNSSECRaceContext(ctx, *week, "CN", "wikileaks.org")
 	if err != nil {
 		fatal(err)
 	}
-	amp, ampScanned, err := study.RunAmplification(*week, "chase.com")
+	amp, ampScanned, err := study.RunAmplificationContext(ctx, *week, "chase.com")
 	if err != nil {
 		fatal(err)
 	}
-	pop, err := study.RunPopularity(*week)
+	pop, err := study.RunPopularityContext(ctx, *week)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +126,24 @@ func main() {
 	fmt.Println(analysis.RenderAmplification(amp, ampScanned))
 	fmt.Println(analysis.RenderPopularity(pop, 10))
 	fmt.Println(analysis.RenderNetalyzr(study.RunNetalyzr(*week, 400)))
+}
+
+// stageProgress renders pipeline events as one stderr line per edge.
+func stageProgress(prog string) pipeline.Observer {
+	return func(ev pipeline.StageEvent) {
+		switch ev.Kind {
+		case pipeline.StageStart:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s start\n", prog, ev.Stage)
+		case pipeline.StageDone:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s done  (%s)", prog, ev.Stage, ev.Elapsed)
+			for _, c := range ev.Counts {
+				fmt.Fprintf(os.Stderr, "  %s=%d", c.Name, c.Value)
+			}
+			fmt.Fprintln(os.Stderr)
+		case pipeline.StageFailed:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s failed: %v\n", prog, ev.Stage, ev.Err)
+		}
+	}
 }
 
 func minInt(a, b int) int {

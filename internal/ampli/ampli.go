@@ -6,6 +6,7 @@
 package ampli
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 	"sync"
@@ -95,8 +96,9 @@ func (s *Survey) CountAbove(threshold float64) int {
 }
 
 // Run sends one ANY query for name to every resolver and measures the
-// response sizes.
-func Run(tr scanner.Transport, resolvers []uint32, name string) *Survey {
+// response sizes. A cancelled ctx stops the send loop; the survey then
+// covers the resolvers probed before the abort.
+func Run(ctx context.Context, tr scanner.Transport, resolvers []uint32, name string) *Survey {
 	survey := &Survey{}
 	var mu sync.Mutex
 	sizes := make(map[uint32]Measurement, len(resolvers)/2)
@@ -134,7 +136,10 @@ func Run(tr scanner.Transport, resolvers []uint32, name string) *Survey {
 		}
 	})
 	for _, u := range resolvers {
-		tr.Send(lfsr.U32ToAddr(u), 53, 33001, wire)
+		if ctx.Err() != nil {
+			break
+		}
+		tr.Send(ctx, lfsr.U32ToAddr(u), 53, 33001, wire)
 	}
 
 	mu.Lock()

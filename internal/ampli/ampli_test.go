@@ -1,6 +1,7 @@
 package ampli
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ func runSurvey(t *testing.T, order uint) (*Survey, *wildnet.World, []uint32) {
 		t.Fatal(err)
 	}
 	resolvers := sweep.NOERROR()
-	return Run(tr, resolvers, "chase.com"), w, resolvers
+	return Run(context.Background(), tr, resolvers, "chase.com"), w, resolvers
 }
 
 func TestSurveyShape(t *testing.T) {

@@ -5,6 +5,7 @@
 package churn
 
 import (
+	"context"
 	"sort"
 
 	"goingwild/internal/dnswire"
@@ -52,18 +53,22 @@ type StudyConfig struct {
 }
 
 // RunWeekly performs cfg.Weeks weekly scans, advancing the clock before
-// each.
-func RunWeekly(sc *scanner.Scanner, clock Clock, loc Locator, cfg StudyConfig) (*Series, error) {
+// each. Cancellation checkpoints sit between weeks; a cancelled run
+// returns the weeks measured so far together with ctx.Err().
+func RunWeekly(ctx context.Context, sc *scanner.Scanner, clock Clock, loc Locator, cfg StudyConfig) (*Series, error) {
 	retain := map[int]bool{}
 	for _, w := range cfg.RetainWeeks {
 		retain[w] = true
 	}
 	series := &Series{}
 	for week := 0; week < cfg.Weeks; week++ {
+		if err := ctx.Err(); err != nil {
+			return series, err
+		}
 		clock.SetTime(wildnet.At(week))
-		res, err := sc.Sweep(cfg.Order, cfg.Seed+uint32(week), cfg.Blacklist)
+		res, err := sc.SweepContext(ctx, cfg.Order, cfg.Seed+uint32(week), cfg.Blacklist)
 		if err != nil {
-			return nil, err
+			return series, err
 		}
 		obs := WeekObservation{
 			Week:      week,
@@ -191,15 +196,20 @@ func (c *CohortStudy) ConcentrateSurvivors(asOf func(u uint32) uint32) {
 
 // RunCohort probes the cohort weekly for `weeks` weeks and measures the
 // day-1 churn plus the rDNS token analysis, resolving PTR records through
-// the trusted resolver at trustedDNS.
-func RunCohort(sc *scanner.Scanner, clock Clock, cohort []uint32, weeks int, trustedDNS uint32) *CohortStudy {
+// the trusted resolver at trustedDNS. Cancellation checkpoints sit
+// between weekly rounds; a cancelled run returns the partially filled
+// study together with ctx.Err().
+func RunCohort(ctx context.Context, sc *scanner.Scanner, clock Clock, cohort []uint32, weeks int, trustedDNS uint32) (*CohortStudy, error) {
 	study := &CohortStudy{Cohort: cohort, SurvivalByWeek: make([]float64, weeks+1)}
 	study.SurvivalByWeek[0] = 1.0
 	n := float64(len(cohort))
 
 	// Day 1.
 	clock.SetTime(wildnet.Time{Week: 0, Day: 1})
-	aliveDay1 := sc.ProbeAlive(cohort)
+	aliveDay1, err := sc.ProbeAliveContext(ctx, cohort)
+	if err != nil {
+		return study, err
+	}
 	study.Day1Survival = float64(len(aliveDay1)) / n
 
 	// rDNS analysis of one-day churners.
@@ -225,8 +235,14 @@ func RunCohort(sc *scanner.Scanner, clock Clock, cohort []uint32, weeks int, tru
 	// Weekly survival.
 	remaining := cohort
 	for week := 1; week <= weeks; week++ {
+		if err := ctx.Err(); err != nil {
+			return study, err
+		}
 		clock.SetTime(wildnet.At(week))
-		alive := sc.ProbeAlive(remaining)
+		alive, err := sc.ProbeAliveContext(ctx, remaining)
+		if err != nil {
+			return study, err
+		}
 		study.SurvivalByWeek[week] = float64(len(alive)) / n
 		// Only re-probe survivors: disappearing-and-returning hosts
 		// are a different tenant behind a recycled address, exactly
@@ -240,7 +256,7 @@ func RunCohort(sc *scanner.Scanner, clock Clock, cohort []uint32, weeks int, tru
 		remaining = next
 	}
 	study.Survivors = append([]uint32(nil), remaining...)
-	return study
+	return study, nil
 }
 
 // VanishedNetworks finds the networks (grouped by AS) that operated at

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -37,7 +38,7 @@ func (r *rig) locator() Locator {
 func TestWeeklySeriesDeclines(t *testing.T) {
 	r := newRig(t, 17)
 	defer r.tr.Close()
-	series, err := RunWeekly(r.sc, r.tr, r.locator(), StudyConfig{
+	series, err := RunWeekly(context.Background(), r.sc, r.tr, r.locator(), StudyConfig{
 		Order: 17, Seed: 11, Weeks: 8, Blacklist: r.w.ScanBlacklist(),
 		RetainWeeks: []int{0, 7},
 	})
@@ -126,7 +127,10 @@ func TestCohortStudyMatchesFigure2(t *testing.T) {
 		cohort = append(cohort, resp.Addr)
 	}
 	trusted := r.w.RoleAddr(wildnet.RoleTrustedDNS, 0)
-	study := RunCohort(r.sc, r.tr, cohort, 10, trusted)
+	study, err := RunCohort(context.Background(), r.sc, r.tr, cohort, 10, trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if study.Day1Survival > 0.62 || study.Day1Survival < 0.40 {
 		t.Errorf("day-1 survival = %.2f, want ≈ 0.55 (>40%% gone within a day)", study.Day1Survival)
 	}

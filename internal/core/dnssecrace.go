@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"crypto/ed25519"
 	"fmt"
 
 	"goingwild/internal/dnssec"
 	"goingwild/internal/dnswire"
+	"goingwild/internal/pipeline"
 )
 
 // DNSSECRaceResult quantifies §5's discussion: what a client relying on
@@ -27,84 +29,130 @@ type DNSSECRaceResult struct {
 	ValidatedFallback int // unsigned domain: validation cannot help
 }
 
-// RunDNSSECRace probes every resolver of a country for one domain and
-// evaluates both client strategies. The zone key is fetched through the
-// trusted path (the "previous knowledge that the domain supports DNSSEC"
-// precondition the paper spells out).
+// RunDNSSECRace probes every resolver of a country for one domain; it
+// is the ctx-less wrapper over RunDNSSECRaceContext.
 func (s *Study) RunDNSSECRace(week int, country, name string) (*DNSSECRaceResult, error) {
+	return s.RunDNSSECRaceContext(bgCtx, week, country, name)
+}
+
+// RunDNSSECRaceContext probes every resolver of a country for one domain
+// and evaluates both client strategies: census stage, trusted key-fetch
+// stage, then the per-resolver race probes. The zone key is fetched
+// through the trusted path (the "previous knowledge that the domain
+// supports DNSSEC" precondition the paper spells out).
+func (s *Study) RunDNSSECRaceContext(ctx context.Context, week int, country, name string) (*DNSSECRaceResult, error) {
 	s.SetWeek(week)
-	sweep, err := s.SweepAt(week)
-	if err != nil {
+	var (
+		resolvers []uint32
+		pub       ed25519.PublicKey
+		signed    bool
+		res       *DNSSECRaceResult
+	)
+	eng := s.engine()
+	eng.MustAdd(pipeline.Stage{
+		Name: "ipv4-scan",
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			sweep, err := s.SweepAtContext(ctx, week)
+			if err != nil {
+				return nil, err
+			}
+			for _, addr := range sweep.NOERROR() {
+				if s.World.Geo().LookupU32(addr).Country == country {
+					resolvers = append(resolvers, addr)
+				}
+			}
+			if len(resolvers) == 0 {
+				return nil, fmt.Errorf("core: no NOERROR resolvers in %s", country)
+			}
+			return []pipeline.Count{{Name: "country resolvers", Value: len(resolvers)}}, nil
+		},
+	})
+	eng.MustAdd(pipeline.Stage{
+		Name:  "key-fetch",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			// Client-side key knowledge via a trusted DNSKEY lookup.
+			msgs, err := s.Scanner.ProbeContext(ctx, s.trustedDNS, name, dnswire.TypeDNSKEY, dnswire.ClassIN)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range msgs {
+				for _, rr := range m.Answers {
+					if k, ok := rr.Data.(dnswire.DNSKEY); ok {
+						pub = ed25519.PublicKey(k.PublicKey)
+						signed = true
+					}
+				}
+			}
+			return nil, nil
+		},
+	})
+	eng.MustAdd(pipeline.Stage{
+		Name:  "race-probes",
+		Needs: []string{"key-fetch"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			legit, _ := s.TrustedResolve(name)
+			legitSet := map[uint32]bool{}
+			for _, a := range legit {
+				legitSet[a] = true
+			}
+			correct := func(m *dnswire.Message) bool {
+				for _, a := range m.AnswerAddrs() {
+					if legitSet[s.World.Mask(u32Of(a))] {
+						return true
+					}
+				}
+				return false
+			}
+
+			res = &DNSSECRaceResult{Domain: name, Signed: signed, Resolvers: len(resolvers)}
+			for _, r := range resolvers {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				msgs, err := s.Scanner.ProbeContext(ctx, r, name, dnswire.TypeA, dnswire.ClassIN)
+				if err != nil {
+					return nil, err
+				}
+				if len(msgs) == 0 {
+					res.Resolvers--
+					continue
+				}
+				// Strategy 1: first response wins.
+				if correct(msgs[0]) {
+					res.FirstCorrect++
+				} else {
+					res.FirstPoisoned++
+				}
+				// Strategy 2: wait for a correctly signed response.
+				if !signed {
+					res.ValidatedFallback++
+					continue
+				}
+				// A cryptographically valid signature IS the correctness
+				// criterion here — CDN answers legitimately differ from
+				// the trusted vantage's, but only the zone owner can
+				// sign them.
+				validated := false
+				for _, m := range msgs {
+					if dnssec.ValidateResponse(pub, m) {
+						validated = true
+						res.ValidatedCorrect++
+						break
+					}
+				}
+				if !validated {
+					res.ValidatedUnavail++
+				}
+			}
+			return []pipeline.Count{
+				{Name: "first-response poisoned", Value: res.FirstPoisoned},
+				{Name: "validated correct", Value: res.ValidatedCorrect},
+			}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
 		return nil, err
-	}
-	var resolvers []uint32
-	for _, addr := range sweep.NOERROR() {
-		if s.World.Geo().LookupU32(addr).Country == country {
-			resolvers = append(resolvers, addr)
-		}
-	}
-	if len(resolvers) == 0 {
-		return nil, fmt.Errorf("core: no NOERROR resolvers in %s", country)
-	}
-
-	// Client-side key knowledge via a trusted DNSKEY lookup.
-	var pub ed25519.PublicKey
-	signed := false
-	for _, m := range s.Scanner.Probe(s.trustedDNS, name, dnswire.TypeDNSKEY, dnswire.ClassIN) {
-		for _, rr := range m.Answers {
-			if k, ok := rr.Data.(dnswire.DNSKEY); ok {
-				pub = ed25519.PublicKey(k.PublicKey)
-				signed = true
-			}
-		}
-	}
-
-	legit, _ := s.TrustedResolve(name)
-	legitSet := map[uint32]bool{}
-	for _, a := range legit {
-		legitSet[a] = true
-	}
-	correct := func(m *dnswire.Message) bool {
-		for _, a := range m.AnswerAddrs() {
-			if legitSet[s.World.Mask(u32Of(a))] {
-				return true
-			}
-		}
-		return false
-	}
-
-	res := &DNSSECRaceResult{Domain: name, Signed: signed, Resolvers: len(resolvers)}
-	for _, r := range resolvers {
-		msgs := s.Scanner.Probe(r, name, dnswire.TypeA, dnswire.ClassIN)
-		if len(msgs) == 0 {
-			res.Resolvers--
-			continue
-		}
-		// Strategy 1: first response wins.
-		if correct(msgs[0]) {
-			res.FirstCorrect++
-		} else {
-			res.FirstPoisoned++
-		}
-		// Strategy 2: wait for a correctly signed response.
-		if !signed {
-			res.ValidatedFallback++
-			continue
-		}
-		// A cryptographically valid signature IS the correctness
-		// criterion here — CDN answers legitimately differ from the
-		// trusted vantage's, but only the zone owner can sign them.
-		validated := false
-		for _, m := range msgs {
-			if dnssec.ValidateResponse(pub, m) {
-				validated = true
-				res.ValidatedCorrect++
-				break
-			}
-		}
-		if !validated {
-			res.ValidatedUnavail++
-		}
 	}
 	return res, nil
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"goingwild/internal/classify"
 	"goingwild/internal/domains"
+	"goingwild/internal/pipeline"
 	"goingwild/internal/prefilter"
 	"goingwild/internal/scanner"
 )
@@ -18,7 +21,9 @@ type DomainStudyResult struct {
 	// Fig4 is the country-distribution figure for the censored trio.
 	Fig4 *classify.Figure4
 	// StageTrace records per-stage tuple counts (the Figure-3 box
-	// flow).
+	// flow). The counts are emitted by the pipeline stages themselves
+	// and collected from the engine's trace — there is no separate
+	// accounting to fall out of sync.
 	StageTrace []StageCount
 }
 
@@ -28,20 +33,20 @@ type StageCount struct {
 	Count int
 }
 
-// RunDomainStudy executes steps ❶–❻ at the given week for the given
-// categories (nil means all 13). The ground-truth domain is always
-// appended, as in §3.3.
+// RunDomainStudy executes the Figure-3 chain; it is the ctx-less wrapper
+// over RunDomainStudyContext.
 func (s *Study) RunDomainStudy(week int, cats []domains.Category) (*DomainStudyResult, error) {
+	return s.RunDomainStudyContext(bgCtx, week, cats)
+}
+
+// RunDomainStudyContext executes steps ❶–❻ at the given week for the
+// given categories (nil means all 13) as a pipeline: census → domain
+// scan → prefilter → classify → Figure 4. The ground-truth domain is
+// always appended, as in §3.3.
+func (s *Study) RunDomainStudyContext(ctx context.Context, week int, cats []domains.Category) (*DomainStudyResult, error) {
 	s.SetWeek(week)
 
-	// ❶ Full IPv4 scan.
-	sweep, err := s.SweepAt(week)
-	if err != nil {
-		return nil, err
-	}
-	resolvers := sweep.NOERROR()
-
-	// ❷ Domain scan for the selected categories plus the GT domain.
+	// ❷'s name list is static configuration, not stage work.
 	var names []string
 	if cats == nil {
 		names = domains.Names()
@@ -53,48 +58,86 @@ func (s *Study) RunDomainStudy(week int, cats []domains.Category) (*DomainStudyR
 		}
 	}
 	names = append(names, domains.GroundTruth)
-	scan, err := s.Scanner.ScanDomains(resolvers, names)
+
+	res := &DomainStudyResult{}
+	var pipe *classify.Pipeline
+	eng := s.engine()
+
+	// ❶ Full IPv4 scan.
+	eng.MustAdd(s.sweepStage("ipv4-scan", week, &res.Resolvers, nil))
+
+	// ❷ Domain scan for the selected categories plus the GT domain.
+	eng.MustAdd(pipeline.Stage{
+		Name:  "domain-scan",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			var err error
+			res.Scan, err = s.Scanner.ScanDomainsContext(ctx, res.Resolvers, names)
+			if err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{{Name: "2-domain-scan probes", Value: len(res.Resolvers) * len(names)}}, nil
+		},
+	})
+
+	// ❸ DNS-based prefiltering.
+	eng.MustAdd(pipeline.Stage{
+		Name:  "prefilter",
+		Needs: []string{"domain-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			res.Pre = prefilter.Run(res.Scan, s.PrefilterEnv())
+			return []pipeline.Count{
+				{Name: "3-unexpected tuples", Value: len(res.Pre.Unexpected)},
+				{Name: "3-unexpected resolvers", Value: len(res.Pre.UnexpectedResolvers())},
+			}, nil
+		},
+	})
+
+	// ❹–❻ Acquisition, clustering, labeling, case studies.
+	eng.MustAdd(pipeline.Stage{
+		Name:  "classify",
+		Needs: []string{"prefilter"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			gt := classify.BuildGroundTruth(s.Client, s.TrustedResolve, names)
+			pipe = &classify.Pipeline{
+				Client: s.Client,
+				ResolverCountry: func(ri int) string {
+					return s.World.Geo().LookupU32(res.Resolvers[ri]).Country
+				},
+				ResolverAddr: func(ri int) uint32 { return res.Resolvers[ri] },
+				NearResolver: func(ip uint32, ri int) bool {
+					r := res.Resolvers[ri]
+					return ip>>8 == r>>8 || s.World.ASNOf(ip) == s.World.ASNOf(r)
+				},
+				ProbeCountryInjection: s.ProbeCountryInjection,
+			}
+			res.Report = pipe.Run(res.Scan, res.Pre, gt)
+			return []pipeline.Count{
+				{Name: "4-fetched pairs", Value: res.Report.PairCount},
+				{Name: "5-clusters", Value: res.Report.Clusters},
+			}, nil
+		},
+	})
+
+	// Figure 4 rides after classification (it reads scan + prefilter
+	// only, but the figure belongs to the finished report). It reports
+	// no Figure-3 counts, keeping the trace exactly the box flow.
+	eng.MustAdd(pipeline.Stage{
+		Name:  "figure4",
+		Needs: []string{"classify"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			res.Fig4 = classify.BuildFigure4(res.Scan, res.Pre, pipe.ResolverCountry,
+				[]string{"facebook.com", "twitter.com", "youtube.com"})
+			return nil, nil
+		},
+	})
+
+	trace, err := eng.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-
-	// ❸ DNS-based prefiltering.
-	pre := prefilter.Run(scan, s.PrefilterEnv())
-
-	// ❹–❻ Acquisition, clustering, labeling, case studies.
-	gt := classify.BuildGroundTruth(s.Client, s.TrustedResolve, names)
-	pipe := &classify.Pipeline{
-		Client: s.Client,
-		ResolverCountry: func(ri int) string {
-			return s.World.Geo().LookupU32(resolvers[ri]).Country
-		},
-		ResolverAddr: func(ri int) uint32 { return resolvers[ri] },
-		NearResolver: func(ip uint32, ri int) bool {
-			r := resolvers[ri]
-			return ip>>8 == r>>8 || s.World.ASNOf(ip) == s.World.ASNOf(r)
-		},
-		ProbeCountryInjection: s.ProbeCountryInjection,
-	}
-	report := pipe.Run(scan, pre, gt)
-
-	res := &DomainStudyResult{
-		Resolvers: resolvers,
-		Scan:      scan,
-		Pre:       pre,
-		Report:    report,
-	}
-	res.Fig4 = classify.BuildFigure4(scan, pre, pipe.ResolverCountry,
-		[]string{"facebook.com", "twitter.com", "youtube.com"})
-
-	probes := len(resolvers) * len(names)
-	res.StageTrace = []StageCount{
-		{"1-ipv4-scan responders", sweep.Total()},
-		{"1-noerror resolvers", len(resolvers)},
-		{"2-domain-scan probes", probes},
-		{"3-unexpected tuples", len(pre.Unexpected)},
-		{"3-unexpected resolvers", len(pre.UnexpectedResolvers())},
-		{"4-fetched pairs", report.PairCount},
-		{"5-clusters", report.Clusters},
+	for _, c := range trace.Counts() {
+		res.StageTrace = append(res.StageTrace, StageCount{Stage: c.Name, Count: c.Value})
 	}
 	return res, nil
 }

@@ -1,42 +1,90 @@
 package core
 
 import (
+	"context"
+
 	"goingwild/internal/ampli"
 	"goingwild/internal/domains"
 	"goingwild/internal/netalyzr"
+	"goingwild/internal/pipeline"
 	"goingwild/internal/snoop"
 )
 
-// RunAmplification surveys the population's ANY-query amplification
-// potential (the DDoS framing of §1/§3; companion to the authors' 2014
-// amplification study).
+// RunAmplification surveys ANY-query amplification; it is the ctx-less
+// wrapper over RunAmplificationContext.
 func (s *Study) RunAmplification(week int, name string) (*ampli.Survey, int, error) {
-	res, err := s.SweepAt(week)
-	if err != nil {
-		return nil, 0, err
-	}
-	resolvers := res.NOERROR()
-	return ampli.Run(s.Transport, resolvers, name), len(resolvers), nil
+	return s.RunAmplificationContext(bgCtx, week, name)
 }
 
-// RunPopularity executes the fine-grained minute-resolution cache probe
-// (§2.6's suggested follow-up) over the resolvers the hourly study
-// flagged as in use.
+// RunAmplificationContext surveys the population's ANY-query
+// amplification potential (the DDoS framing of §1/§3; companion to the
+// authors' 2014 amplification study): census stage, then ANY-survey
+// stage.
+func (s *Study) RunAmplificationContext(ctx context.Context, week int, name string) (*ampli.Survey, int, error) {
+	var (
+		resolvers []uint32
+		survey    *ampli.Survey
+	)
+	eng := s.engine()
+	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	eng.MustAdd(pipeline.Stage{
+		Name:  "any-survey",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			survey = ampli.Run(ctx, s.Transport, resolvers, name)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{{Name: "amplification responders", Value: survey.Responded}}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
+		return nil, 0, err
+	}
+	return survey, len(resolvers), nil
+}
+
+// RunPopularity executes the minute-resolution cache probe; it is the
+// ctx-less wrapper over RunPopularityContext.
 func (s *Study) RunPopularity(week int) ([]snoop.PopularityEstimate, error) {
-	res, err := s.SweepAt(week)
-	if err != nil {
+	return s.RunPopularityContext(bgCtx, week)
+}
+
+// RunPopularityContext executes the fine-grained minute-resolution cache
+// probe (§2.6's suggested follow-up) over the resolvers the hourly study
+// flagged as in use: census stage, then minute-snoop stage.
+func (s *Study) RunPopularityContext(ctx context.Context, week int) ([]snoop.PopularityEstimate, error) {
+	var (
+		resolvers []uint32
+		estimates []snoop.PopularityEstimate
+	)
+	eng := s.engine()
+	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	eng.MustAdd(pipeline.Stage{
+		Name:  "minute-snoop",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			cfg := snoop.DefaultPopularityConfig()
+			cfg.Week = week
+			// Index of "com" in the snooped TLD list keeps probe
+			// sequence numbers aligned with the hourly study.
+			for i, tld := range domains.SnoopedTLDs {
+				if tld == cfg.TLD {
+					cfg.TLDIdx = i
+				}
+			}
+			var err error
+			estimates, err = snoop.EstimatePopularity(ctx, s.Scanner, s.Transport, resolvers, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{{Name: "popularity estimates", Value: len(estimates)}}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
 		return nil, err
 	}
-	cfg := snoop.DefaultPopularityConfig()
-	cfg.Week = week
-	// Index of "com" in the snooped TLD list keeps probe sequence
-	// numbers aligned with the hourly study.
-	for i, tld := range domains.SnoopedTLDs {
-		if tld == cfg.TLD {
-			cfg.TLDIdx = i
-		}
-	}
-	return snoop.EstimatePopularity(s.Scanner, s.Transport, res.NOERROR(), cfg), nil
+	return estimates, nil
 }
 
 // RunNetalyzr simulates the in-network volunteer-session study of Weaver

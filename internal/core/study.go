@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"goingwild/internal/churn"
@@ -15,12 +16,19 @@ import (
 	"goingwild/internal/fetch"
 	"goingwild/internal/fingerprint"
 	"goingwild/internal/geodb"
+	"goingwild/internal/pipeline"
 	"goingwild/internal/prefilter"
 	"goingwild/internal/scanner"
 	"goingwild/internal/snoop"
 	"goingwild/internal/websim"
 	"goingwild/internal/wildnet"
 )
+
+// bgCtx backs the ctx-less compatibility wrappers around the Context
+// study entrypoints.
+//
+//lint:allow ctxhygiene sole Background escape for the ctx-less compatibility wrappers
+var bgCtx = context.Background()
 
 // Config parameterizes a study.
 type Config struct {
@@ -59,6 +67,15 @@ type Study struct {
 	Scanner   *scanner.Scanner
 	Web       *websim.Server
 	Client    *fetch.Client
+
+	// Observer, when set, receives every pipeline stage event of every
+	// Run* method — start, done (with tuple counts and elapsed time),
+	// failed. It is a side channel only: study results never depend on
+	// it, so attaching a progress printer cannot perturb the
+	// determinism contract.
+	Observer pipeline.Observer
+	// EngineClock times pipeline stages; nil means scanner.SystemClock.
+	EngineClock scanner.Clock
 
 	trustedDNS uint32
 	// Caches for the prefilter's measurement-channel lookups.
@@ -162,49 +179,162 @@ func (s *Study) locator() churn.Locator {
 	}
 }
 
-// RunWeeklySeries performs the §2.2 longitudinal scans (Figure 1 and, via
-// the retained endpoints, Tables 1–2).
+// engine builds a stage engine wired to the study's observer and clock.
+// Every Run* method composes its work as stages of such an engine.
+func (s *Study) engine() *pipeline.Engine {
+	return pipeline.New(s.EngineClock, s.Observer)
+}
+
+// sweepStage is the shared "❶ full IPv4 scan" stage: it sweeps the
+// space at the given week and hands the NOERROR population to *resolvers
+// (and, when total is non-nil, the responder total to *total).
+func (s *Study) sweepStage(name string, week int, resolvers *[]uint32, total *int) pipeline.Stage {
+	return pipeline.Stage{
+		Name: name,
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			res, err := s.SweepAtContext(ctx, week)
+			if err != nil {
+				return nil, err
+			}
+			*resolvers = res.NOERROR()
+			if total != nil {
+				*total = res.Total()
+			}
+			return []pipeline.Count{
+				{Name: "1-ipv4-scan responders", Value: res.Total()},
+				{Name: "1-noerror resolvers", Value: len(*resolvers)},
+			}, nil
+		},
+	}
+}
+
+// RunWeeklySeries performs the §2.2 longitudinal scans; it is the
+// ctx-less wrapper over RunWeeklySeriesContext.
 func (s *Study) RunWeeklySeries() (*churn.Series, error) {
-	return churn.RunWeekly(s.Scanner, s.Transport, s.locator(), churn.StudyConfig{
-		Order:       s.Cfg.Order,
-		Seed:        s.Cfg.ScanSeed,
-		Weeks:       s.Cfg.Weeks,
-		Blacklist:   s.World.ScanBlacklist(),
-		RetainWeeks: []int{0, s.Cfg.Weeks - 1},
+	return s.RunWeeklySeriesContext(bgCtx)
+}
+
+// RunWeeklySeriesContext performs the §2.2 longitudinal scans (Figure 1
+// and, via the retained endpoints, Tables 1–2) as a one-stage pipeline.
+func (s *Study) RunWeeklySeriesContext(ctx context.Context) (*churn.Series, error) {
+	var series *churn.Series
+	eng := s.engine()
+	eng.MustAdd(pipeline.Stage{
+		Name: "weekly-scans",
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			var err error
+			series, err = churn.RunWeekly(ctx, s.Scanner, s.Transport, s.locator(), churn.StudyConfig{
+				Order:       s.Cfg.Order,
+				Seed:        s.Cfg.ScanSeed,
+				Weeks:       s.Cfg.Weeks,
+				Blacklist:   s.World.ScanBlacklist(),
+				RetainWeeks: []int{0, s.Cfg.Weeks - 1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			counts := []pipeline.Count{{Name: "weeks scanned", Value: len(series.Weeks)}}
+			if len(series.Weeks) > 0 {
+				counts = append(counts, pipeline.Count{Name: "final-week responders", Value: series.Last().Total})
+			}
+			return counts, nil
+		},
 	})
-}
-
-// SweepAt runs a single Internet-wide scan at a given week.
-func (s *Study) SweepAt(week int) (*scanner.SweepResult, error) {
-	s.SetWeek(week)
-	return s.Scanner.Sweep(s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919, s.World.ScanBlacklist())
-}
-
-// RunCohortStudy tracks the week-0 responders (Figure 2, §2.5).
-func (s *Study) RunCohortStudy(weeks int) (*churn.CohortStudy, error) {
-	res, err := s.SweepAt(0)
-	if err != nil {
+	if _, err := eng.Run(ctx); err != nil {
 		return nil, err
 	}
-	cohort := make([]uint32, 0, res.Total())
-	for _, r := range res.Responders {
-		cohort = append(cohort, r.Addr)
-	}
-	return churn.RunCohort(s.Scanner, s.Transport, cohort, weeks, s.trustedDNS), nil
+	return series, nil
 }
 
-// RunChaos performs the CHAOS fingerprinting scan of §2.4 (Table 3).
+// SweepAt runs a single Internet-wide scan at a given week; it is the
+// ctx-less wrapper over SweepAtContext.
+func (s *Study) SweepAt(week int) (*scanner.SweepResult, error) {
+	return s.SweepAtContext(bgCtx, week)
+}
+
+// SweepAtContext runs a single Internet-wide scan at a given week.
+func (s *Study) SweepAtContext(ctx context.Context, week int) (*scanner.SweepResult, error) {
+	s.SetWeek(week)
+	return s.Scanner.SweepContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919, s.World.ScanBlacklist())
+}
+
+// RunCohortStudy tracks the week-0 responders; it is the ctx-less
+// wrapper over RunCohortStudyContext.
+func (s *Study) RunCohortStudy(weeks int) (*churn.CohortStudy, error) {
+	return s.RunCohortStudyContext(bgCtx, weeks)
+}
+
+// RunCohortStudyContext tracks the week-0 responders (Figure 2, §2.5):
+// a week-0 census stage feeding a weekly re-probe stage.
+func (s *Study) RunCohortStudyContext(ctx context.Context, weeks int) (*churn.CohortStudy, error) {
+	var (
+		cohort []uint32
+		study  *churn.CohortStudy
+	)
+	eng := s.engine()
+	eng.MustAdd(pipeline.Stage{
+		Name: "week0-scan",
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			res, err := s.SweepAtContext(ctx, 0)
+			if err != nil {
+				return nil, err
+			}
+			cohort = make([]uint32, 0, res.Total())
+			for _, r := range res.Responders {
+				cohort = append(cohort, r.Addr)
+			}
+			return []pipeline.Count{{Name: "cohort members", Value: len(cohort)}}, nil
+		},
+	})
+	eng.MustAdd(pipeline.Stage{
+		Name:  "cohort-track",
+		Needs: []string{"week0-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			var err error
+			study, err = churn.RunCohort(ctx, s.Scanner, s.Transport, cohort, weeks, s.trustedDNS)
+			if err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{{Name: "final survivors", Value: len(study.Survivors)}}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
+		return nil, err
+	}
+	return study, nil
+}
+
+// RunChaos performs the CHAOS fingerprinting scan; it is the ctx-less
+// wrapper over RunChaosContext.
 func (s *Study) RunChaos(week int) (*fingerprint.ChaosSurvey, int, error) {
-	res, err := s.SweepAt(week)
-	if err != nil {
+	return s.RunChaosContext(bgCtx, week)
+}
+
+// RunChaosContext performs the CHAOS fingerprinting scan of §2.4
+// (Table 3): census stage, then version-query stage.
+func (s *Study) RunChaosContext(ctx context.Context, week int) (*fingerprint.ChaosSurvey, int, error) {
+	var (
+		resolvers []uint32
+		survey    *fingerprint.ChaosSurvey
+	)
+	eng := s.engine()
+	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	eng.MustAdd(pipeline.Stage{
+		Name:  "chaos-scan",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			chaos, err := s.Scanner.ScanChaosContext(ctx, resolvers)
+			if err != nil {
+				return nil, err
+			}
+			survey = fingerprint.SurveyChaos(chaos)
+			return []pipeline.Count{{Name: "chaos responders", Value: chaos.Responded()}}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
 		return nil, 0, err
 	}
-	resolvers := res.NOERROR()
-	chaos, err := s.Scanner.ScanChaos(resolvers)
-	if err != nil {
-		return nil, 0, err
-	}
-	return fingerprint.SurveyChaos(chaos), len(resolvers), nil
+	return survey, len(resolvers), nil
 }
 
 // bannerSource adapts the world's TCP services for the fingerprinter.
@@ -218,25 +348,71 @@ func (b bannerSource) Banner(addr uint32, proto devices.Proto) (string, bool) {
 	return b.w.ServiceBanner(addr, proto, b.t)
 }
 
-// RunDevices performs the device fingerprinting of §2.4 (Table 4).
+// RunDevices performs the device fingerprinting; it is the ctx-less
+// wrapper over RunDevicesContext.
 func (s *Study) RunDevices(week int) (*fingerprint.DeviceSurvey, error) {
-	res, err := s.SweepAt(week)
-	if err != nil {
-		return nil, err
-	}
-	resolvers := res.NOERROR()
-	return fingerprint.SurveyDevices(bannerSource{s.World, wildnet.At(week)}, resolvers), nil
+	return s.RunDevicesContext(bgCtx, week)
 }
 
-// RunUtilization performs the cache-snooping study of §2.6.
-func (s *Study) RunUtilization(week int) (*snoop.Result, error) {
-	res, err := s.SweepAt(week)
-	if err != nil {
+// RunDevicesContext performs the device fingerprinting of §2.4
+// (Table 4): census stage, then banner-grab stage.
+func (s *Study) RunDevicesContext(ctx context.Context, week int) (*fingerprint.DeviceSurvey, error) {
+	var (
+		resolvers []uint32
+		survey    *fingerprint.DeviceSurvey
+	)
+	eng := s.engine()
+	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	eng.MustAdd(pipeline.Stage{
+		Name:  "device-fingerprint",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			survey = fingerprint.SurveyDevices(bannerSource{s.World, wildnet.At(week)}, resolvers)
+			return []pipeline.Count{{Name: "banner responders", Value: survey.Responsive}}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
 		return nil, err
 	}
-	cfg := snoop.DefaultConfig(domains.SnoopedTLDs)
-	cfg.Week = week
-	return snoop.Run(s.Scanner, s.Transport, res.NOERROR(), cfg), nil
+	return survey, nil
+}
+
+// RunUtilization performs the cache-snooping study; it is the ctx-less
+// wrapper over RunUtilizationContext.
+func (s *Study) RunUtilization(week int) (*snoop.Result, error) {
+	return s.RunUtilizationContext(bgCtx, week)
+}
+
+// RunUtilizationContext performs the cache-snooping study of §2.6:
+// census stage, then the 36-hour snooping stage.
+func (s *Study) RunUtilizationContext(ctx context.Context, week int) (*snoop.Result, error) {
+	var (
+		resolvers []uint32
+		result    *snoop.Result
+	)
+	eng := s.engine()
+	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	eng.MustAdd(pipeline.Stage{
+		Name:  "cache-snoop",
+		Needs: []string{"ipv4-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			cfg := snoop.DefaultConfig(domains.SnoopedTLDs)
+			cfg.Week = week
+			var err error
+			result, err = snoop.Run(ctx, s.Scanner, s.Transport, resolvers, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{
+				{Name: "snoop responders", Value: result.Responded},
+				{Name: "in-use resolvers", Value: result.Counts[snoop.ClassInUse]},
+			}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
+		return nil, err
+	}
+	return result, nil
 }
 
 // VerificationResult compares the primary and secondary vantage scans
@@ -248,58 +424,102 @@ type VerificationResult struct {
 	MissedNOERRORShare   float64
 }
 
-// RunVerification executes the secondary-vantage verification scan.
+// RunVerification executes the secondary-vantage verification scan; it
+// is the ctx-less wrapper over RunVerificationContext.
 func (s *Study) RunVerification(week int) (*VerificationResult, error) {
-	primary, err := s.SweepAt(week)
-	if err != nil {
-		return nil, err
-	}
-	tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
-	defer tr2.Close()
-	tr2.SetTime(wildnet.At(week))
-	sc2 := scanner.New(tr2, scanner.Options{
-		Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
+	return s.RunVerificationContext(bgCtx, week)
+}
+
+// RunVerificationContext executes the secondary-vantage verification
+// scan: the primary and secondary censuses run as independent stages, a
+// comparison stage joins them.
+func (s *Study) RunVerificationContext(ctx context.Context, week int) (*VerificationResult, error) {
+	var (
+		primary, secondary *scanner.SweepResult
+		out                *VerificationResult
+	)
+	eng := s.engine()
+	eng.MustAdd(pipeline.Stage{
+		Name: "primary-scan",
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			var err error
+			primary, err = s.SweepAtContext(ctx, week)
+			if err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{{Name: "primary responders", Value: primary.Total()}}, nil
+		},
 	})
-	secondary, err := sc2.Sweep(s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919+1, s.World.ScanBlacklist())
-	if err != nil {
+	eng.MustAdd(pipeline.Stage{
+		Name: "secondary-scan",
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
+			defer tr2.Close()
+			tr2.SetTime(wildnet.At(week))
+			sc2 := scanner.New(tr2, scanner.Options{
+				Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
+			})
+			var err error
+			secondary, err = sc2.SweepContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919+1, s.World.ScanBlacklist())
+			if err != nil {
+				return nil, err
+			}
+			return []pipeline.Count{{Name: "secondary responders", Value: secondary.Total()}}, nil
+		},
+	})
+	eng.MustAdd(pipeline.Stage{
+		Name:  "compare-vantages",
+		Needs: []string{"primary-scan", "secondary-scan"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			primarySet := make(map[uint32]bool, primary.Total())
+			for _, r := range primary.Responders {
+				primarySet[r.Addr] = true
+			}
+			out = &VerificationResult{
+				Primary:              primary.Total(),
+				Secondary:            secondary.Total(),
+				OnlySecondaryByRCode: map[dnswire.RCode]int{},
+			}
+			var missedNOERROR int
+			for _, r := range secondary.Responders {
+				if primarySet[r.Addr] {
+					continue
+				}
+				out.OnlySecondary++
+				out.OnlySecondaryByRCode[r.RCode]++
+				if r.RCode == dnswire.RCodeNoError {
+					missedNOERROR++
+				}
+			}
+			if n := primary.ByRCode[dnswire.RCodeNoError]; n > 0 {
+				out.MissedNOERRORShare = float64(missedNOERROR) / float64(n)
+			}
+			return []pipeline.Count{{Name: "only-secondary responders", Value: out.OnlySecondary}}, nil
+		},
+	})
+	if _, err := eng.Run(ctx); err != nil {
 		return nil, err
-	}
-	primarySet := make(map[uint32]bool, primary.Total())
-	for _, r := range primary.Responders {
-		primarySet[r.Addr] = true
-	}
-	out := &VerificationResult{
-		Primary:              primary.Total(),
-		Secondary:            secondary.Total(),
-		OnlySecondaryByRCode: map[dnswire.RCode]int{},
-	}
-	var missedNOERROR int
-	for _, r := range secondary.Responders {
-		if primarySet[r.Addr] {
-			continue
-		}
-		out.OnlySecondary++
-		out.OnlySecondaryByRCode[r.RCode]++
-		if r.RCode == dnswire.RCodeNoError {
-			missedNOERROR++
-		}
-	}
-	if n := primary.ByRCode[dnswire.RCodeNoError]; n > 0 {
-		out.MissedNOERRORShare = float64(missedNOERROR) / float64(n)
 	}
 	return out, nil
 }
 
-// SecondaryAliveSet probes the full space from the secondary vantage and
-// returns the responding set, for the vanished-network classification.
+// SecondaryAliveSet probes the full space from the secondary vantage;
+// it is the ctx-less wrapper over SecondaryAliveSetContext.
 func (s *Study) SecondaryAliveSet(week int) (map[uint32]bool, error) {
+	return s.SecondaryAliveSetContext(bgCtx, week)
+}
+
+// SecondaryAliveSetContext probes the full space from the secondary
+// vantage and returns the responding set, for the vanished-network
+// classification.
+func (s *Study) SecondaryAliveSetContext(ctx context.Context, week int) (map[uint32]bool, error) {
 	tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
 	defer tr2.Close()
 	tr2.SetTime(wildnet.At(week))
 	sc2 := scanner.New(tr2, scanner.Options{
 		Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
 	})
-	res, err := sc2.Sweep(s.Cfg.Order, s.Cfg.ScanSeed+99, s.World.ScanBlacklist())
+	res, err := sc2.SweepContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+99, s.World.ScanBlacklist())
 	if err != nil {
 		return nil, err
 	}

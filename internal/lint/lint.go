@@ -1,4 +1,4 @@
-// Package lint is the project's static-analysis pass: four analyzers
+// Package lint is the project's static-analysis pass: five analyzers
 // that enforce the correctness contracts the measurement pipeline relies
 // on but the compiler cannot check.
 //
@@ -22,6 +22,9 @@
 //   - errdrop: flags discarded error returns from internal/dnswire
 //     encode/decode and internal/zonefile parse calls, where a swallowed
 //     malformed-packet error silently corrupts measurement counts.
+//   - ctxhygiene: polices context propagation through the stage engine:
+//     no context.Context struct fields, ctx always the first parameter,
+//     and no context.Background()/TODO() roots outside cmd/ and tests.
 //
 // Intentional exceptions are annotated in the source:
 //
@@ -48,6 +51,7 @@ const (
 	RuleMapOrder    = "maporder"
 	RuleGoHygiene   = "gohygiene"
 	RuleErrDrop     = "errdrop"
+	RuleCtxHygiene  = "ctxhygiene"
 	// ruleAllow tags malformed //lint:allow comments themselves.
 	ruleAllow = "allow"
 )
@@ -117,6 +121,7 @@ func (c *Config) Analyze(p *Package) []Finding {
 	checkMapOrder(p, c, emit)
 	checkGoHygiene(p, c, emit)
 	checkErrDrop(p, c, emit)
+	checkCtxHygiene(p, c, emit)
 
 	allows, bad := collectAllows(p)
 	var out []Finding

@@ -27,6 +27,7 @@ var corpusTests = []struct {
 	{RuleMapOrder, "goingwild/internal/analysis"},
 	{RuleGoHygiene, "goingwild/internal/fetch"},
 	{RuleErrDrop, "goingwild/internal/fetch"},
+	{RuleCtxHygiene, "goingwild/internal/fetch"},
 }
 
 // loadCorpus type-checks testdata/<rule> as though it were the package
@@ -124,6 +125,19 @@ func TestScopedRulesRespectPackageSets(t *testing.T) {
 	for _, f := range cfg.Analyze(pkg) {
 		if f.Rule == RuleDeterminism {
 			t.Errorf("determinism fired outside its package set: %s", f)
+		}
+	}
+}
+
+// TestCtxHygieneExemptsCmd re-analyzes the ctxhygiene corpus under a
+// cmd/ import path: the whole rule must go quiet, since package main is
+// where uncancellable roots belong.
+func TestCtxHygieneExemptsCmd(t *testing.T) {
+	pkg := loadCorpus(t, RuleCtxHygiene, "goingwild/cmd/fake")
+	cfg := DefaultConfig("goingwild")
+	for _, f := range cfg.Analyze(pkg) {
+		if f.Rule == RuleCtxHygiene {
+			t.Errorf("ctxhygiene fired under cmd/: %s", f)
 		}
 	}
 }

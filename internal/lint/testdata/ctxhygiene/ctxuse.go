@@ -1,0 +1,66 @@
+// Corpus for the ctxhygiene rule. Loaded by lint_test.go under a
+// non-main import path; a second load under goingwild/cmd/fake proves
+// the package-main exemption.
+package corpus
+
+import (
+	"context"
+	"time"
+)
+
+// BadField stores a context in a struct, detaching cancellation from the
+// call tree.
+type BadField struct {
+	ctx context.Context // want ctxhygiene
+	n   int
+}
+
+// BadEmbedded smuggles the context in as an embedded field.
+type BadEmbedded struct {
+	context.Context // want ctxhygiene
+}
+
+// OKStruct holds no context.
+type OKStruct struct {
+	deadline time.Time
+}
+
+// BadSecondParam takes ctx after another parameter.
+func BadSecondParam(n int, ctx context.Context) error { // want ctxhygiene
+	return ctx.Err()
+}
+
+// BadLiteralParam trips the rule inside a function literal too.
+var BadLiteralParam = func(s string, ctx context.Context) { // want ctxhygiene
+	_ = ctx
+}
+
+// OKFirstParam is the required shape.
+func OKFirstParam(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// OKNoCtx takes no context at all.
+func OKNoCtx(n int) int { return n + 1 }
+
+// BadBackground manufactures an uncancellable root outside cmd/.
+func BadBackground() error {
+	return OKFirstParam(context.Background(), 1) // want ctxhygiene
+}
+
+// BadTODO is the same smell with a different name.
+func BadTODO() error {
+	return OKFirstParam(context.TODO(), 1) // want ctxhygiene
+}
+
+// AllowedBackground is the annotated escape hatch the compatibility
+// wrappers use.
+func AllowedBackground() error {
+	//lint:allow ctxhygiene corpus fixture for the wrapper escape
+	return OKFirstParam(context.Background(), 1)
+}
+
+// OKWithCancel derives from a caller-supplied context: legal.
+func OKWithCancel(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

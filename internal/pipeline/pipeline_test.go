@@ -1,0 +1,221 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances on Sleep so stage timing is exact.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func okStage(name string, needs []string, log *[]string, counts ...Count) Stage {
+	return Stage{Name: name, Needs: needs, Run: func(ctx context.Context) ([]Count, error) {
+		*log = append(*log, name)
+		return counts, nil
+	}}
+}
+
+func TestRunFollowsDependencyOrder(t *testing.T) {
+	var log []string
+	e := New(newFakeClock(), nil)
+	// Added out of dependency order on purpose: Needs, not Add order,
+	// decides precedence, with Add order breaking ties.
+	e.MustAdd(okStage("classify", []string{"prefilter"}, &log))
+	e.MustAdd(okStage("sweep", nil, &log, Count{"responders", 7}))
+	e.MustAdd(okStage("prefilter", []string{"domain-scan"}, &log))
+	e.MustAdd(okStage("domain-scan", []string{"sweep"}, &log))
+	trace, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sweep", "domain-scan", "prefilter", "classify"}
+	if strings.Join(log, ",") != strings.Join(want, ",") {
+		t.Fatalf("execution order %v, want %v", log, want)
+	}
+	if len(trace.Stages) != 4 || trace.Stages[0].Name != "sweep" {
+		t.Fatalf("trace %+v", trace.Stages)
+	}
+	counts := trace.Counts()
+	if len(counts) != 1 || counts[0] != (Count{"responders", 7}) {
+		t.Fatalf("trace counts %v", counts)
+	}
+}
+
+func TestRunOrderIsStableAcrossIndependentStages(t *testing.T) {
+	// Independent stages must run in Add order every time — map-order
+	// leakage here would reorder measurements between runs.
+	for trial := 0; trial < 20; trial++ {
+		var log []string
+		e := New(newFakeClock(), nil)
+		for _, name := range []string{"e", "a", "d", "b", "c"} {
+			e.MustAdd(okStage(name, nil, &log))
+		}
+		if _, err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Join(log, ""); got != "eadbc" {
+			t.Fatalf("trial %d: order %q, want eadbc", trial, got)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	e := New(nil, nil)
+	if err := e.Add(Stage{Name: "", Run: func(context.Context) ([]Count, error) { return nil, nil }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := e.Add(Stage{Name: "x"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if err := e.Add(Stage{Name: "x", Run: func(context.Context) ([]Count, error) { return nil, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(Stage{Name: "x", Run: func(context.Context) ([]Count, error) { return nil, nil }}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestRunRejectsUnknownAndCyclicNeeds(t *testing.T) {
+	var log []string
+	e := New(nil, nil)
+	e.MustAdd(okStage("a", []string{"ghost"}, &log))
+	if _, err := e.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("unknown dependency: err = %v", err)
+	}
+	if len(log) != 0 {
+		t.Error("stage ran despite invalid DAG")
+	}
+
+	e = New(nil, nil)
+	e.MustAdd(okStage("a", []string{"b"}, &log))
+	e.MustAdd(okStage("b", []string{"a"}, &log))
+	if _, err := e.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle: err = %v", err)
+	}
+
+	e = New(nil, nil)
+	e.MustAdd(okStage("a", []string{"a"}, &log))
+	if _, err := e.Run(context.Background()); err == nil {
+		t.Error("self-dependency accepted")
+	}
+}
+
+func TestStageErrorStopsPipeline(t *testing.T) {
+	boom := errors.New("boom")
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(okStage("a", nil, &log))
+	e.MustAdd(Stage{Name: "b", Needs: []string{"a"}, Run: func(ctx context.Context) ([]Count, error) {
+		return nil, boom
+	}})
+	e.MustAdd(okStage("c", []string{"b"}, &log))
+	trace, err := e.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), `stage "b"`) {
+		t.Errorf("error %q does not name the failing stage", err)
+	}
+	if strings.Join(log, ",") != "a" {
+		t.Errorf("ran %v, want only a", log)
+	}
+	if len(trace.Stages) != 1 || trace.Stages[0].Name != "a" {
+		t.Errorf("partial trace %+v, want just a", trace.Stages)
+	}
+}
+
+func TestCancellationCheckpointBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(Stage{Name: "a", Run: func(ctx context.Context) ([]Count, error) {
+		log = append(log, "a")
+		cancel() // dies while a is running; b must never start
+		return nil, nil
+	}})
+	e.MustAdd(okStage("b", []string{"a"}, &log))
+	trace, err := e.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Join(log, ",") != "a" {
+		t.Errorf("ran %v, want only a", log)
+	}
+	if len(trace.Stages) != 1 {
+		t.Errorf("trace has %d stages, want the 1 that completed", len(trace.Stages))
+	}
+}
+
+func TestObserverSeesLifecycleAndTiming(t *testing.T) {
+	fc := newFakeClock()
+	var events []StageEvent
+	e := New(fc, func(ev StageEvent) { events = append(events, ev) })
+	e.MustAdd(Stage{Name: "slow", Run: func(ctx context.Context) ([]Count, error) {
+		fc.Sleep(3 * time.Second)
+		return []Count{{"tuples", 42}}, nil
+	}})
+	e.MustAdd(Stage{Name: "bad", Needs: []string{"slow"}, Run: func(ctx context.Context) ([]Count, error) {
+		return nil, errors.New("nope")
+	}})
+	trace, err := e.Run(context.Background())
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	want := []struct {
+		stage string
+		kind  EventKind
+	}{
+		{"slow", StageStart}, {"slow", StageDone},
+		{"bad", StageStart}, {"bad", StageFailed},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		if events[i].Stage != w.stage || events[i].Kind != w.kind {
+			t.Errorf("event %d = %s/%s, want %s/%s", i, events[i].Stage, events[i].Kind, w.stage, w.kind)
+		}
+	}
+	if events[1].Elapsed != 3*time.Second {
+		t.Errorf("StageDone elapsed = %v, want exactly 3s on the fake clock", events[1].Elapsed)
+	}
+	if len(events[1].Counts) != 1 || events[1].Counts[0].Value != 42 {
+		t.Errorf("StageDone counts = %v", events[1].Counts)
+	}
+	if events[3].Err == nil {
+		t.Error("StageFailed event carries no error")
+	}
+	if trace.Stages[0].Elapsed != 3*time.Second {
+		t.Errorf("trace elapsed = %v, want 3s", trace.Stages[0].Elapsed)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if StageStart.String() != "start" || StageDone.String() != "done" || StageFailed.String() != "failed" {
+		t.Error("EventKind names drifted")
+	}
+	if got := EventKind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

@@ -1,6 +1,8 @@
 package scanner
 
 import (
+	"context"
+
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
 )
@@ -38,10 +40,18 @@ func (c *ChaosResult) Responded() int {
 }
 
 // ScanChaos issues version.bind and version.server CHAOS TXT queries to
-// every resolver. The probe identifier rides in the transaction ID
-// (CHAOS scans target an enumerated list, so 16+1 bits suffice: the
-// queried name distinguishes the two probes per resolver).
+// every resolver; it is the ctx-less wrapper over ScanChaosContext.
 func (s *Scanner) ScanChaos(resolvers []uint32) (*ChaosResult, error) {
+	return s.ScanChaosContext(bgCtx, resolvers)
+}
+
+// ScanChaosContext issues version.bind and version.server CHAOS TXT
+// queries to every resolver. The probe identifier rides in the
+// transaction ID (CHAOS scans target an enumerated list, so 16+1 bits
+// suffice: the queried name distinguishes the two probes per resolver).
+// Cancellation checkpoints sit between transaction-ID chunks; a
+// cancelled scan returns the partially filled result with ctx.Err().
+func (s *Scanner) ScanChaosContext(ctx context.Context, resolvers []uint32) (*ChaosResult, error) {
 	if s.tr == nil {
 		return nil, ErrNoTransport
 	}
@@ -57,6 +67,9 @@ func (s *Scanner) ScanChaos(resolvers []uint32) (*ChaosResult, error) {
 		// Identify resolvers by transaction id chunks of 64k.
 		chunks := (len(resolvers) + 0xFFFF) / 0x10000
 		for chunk := 0; chunk < chunks; chunk++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			lo := chunk * 0x10000
 			hi := lo + 0x10000
 			if hi > len(resolvers) {
@@ -88,12 +101,12 @@ func (s *Scanner) ScanChaos(resolvers []uint32) (*ChaosResult, error) {
 				}
 				mu.Unlock()
 			})
-			s.sendAll(len(batch), func(i int) {
+			s.sendAll(ctx, len(batch), func(i int) {
 				wire := packQuery(uint16(i), qname, dnswire.TypeTXT, dnswire.ClassCH)
-				s.tr.Send(lfsr.U32ToAddr(batch[i]), 53, s.opts.BasePort, wire)
+				s.tr.Send(ctx, lfsr.U32ToAddr(batch[i]), 53, s.opts.BasePort, wire)
 			})
-			s.settle()
+			s.settle(ctx)
 		}
 	}
-	return res, nil
+	return res, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"net/netip"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ type nullTransport struct {
 	recv func(src netip.Addr, srcPort, dstPort uint16, payload []byte)
 }
 
-func (n *nullTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+func (n *nullTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
 	return nil
 }
 
@@ -55,7 +56,7 @@ func TestStatsWithFakeClock(t *testing.T) {
 
 	payload := make([]byte, 10)
 	for i := 0; i < 20; i++ {
-		if err := tr.Send(netip.MustParseAddr("192.0.2.1"), 53, 40000, payload); err != nil {
+		if err := tr.Send(context.Background(), netip.MustParseAddr("192.0.2.1"), 53, 40000, payload); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,7 +88,7 @@ func TestRateLimiterWithFakeClock(t *testing.T) {
 	start := fc.Now()
 	rl := newRateLimiter(1000, fc) // 1ms interval
 	for i := 0; i < 50; i++ {
-		rl.wait()
+		rl.wait(context.Background())
 	}
 	// 50 tokens at 1k pps ≈ 50ms of virtual time; the 2ms burst
 	// allowance trims a few ms off the tail.
@@ -99,7 +100,7 @@ func TestRateLimiterWithFakeClock(t *testing.T) {
 	unlimited := newRateLimiter(0, fc)
 	before := fc.Now()
 	for i := 0; i < 1000; i++ {
-		unlimited.wait()
+		unlimited.wait(context.Background())
 	}
 	if fc.Now() != before {
 		t.Error("unlimited rate limiter consumed virtual time")
@@ -110,7 +111,7 @@ func TestSettleUsesInjectedClock(t *testing.T) {
 	fc := newFakeClock()
 	s := New(&nullTransport{}, Options{SettleDelay: 5 * time.Millisecond, Clock: fc})
 	before := fc.Now()
-	s.settle()
+	s.settle(context.Background())
 	if got := fc.Now().Sub(before); got != 5*time.Millisecond {
 		t.Errorf("settle advanced fake clock by %v, want 5ms", got)
 	}

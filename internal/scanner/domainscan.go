@@ -1,6 +1,8 @@
 package scanner
 
 import (
+	"context"
+
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
 )
@@ -37,13 +39,23 @@ type DomainScanResult struct {
 	Answers [][]TupleAnswer
 }
 
-// ScanDomains queries every resolver for every name. Each probe carries
-// the resolver's index as a 25-bit identifier: 16 bits in the DNS
+// ScanDomains queries every resolver for every name; it is the ctx-less
+// wrapper over ScanDomainsContext.
+func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanResult, error) {
+	return s.ScanDomainsContext(bgCtx, resolvers, names)
+}
+
+// ScanDomainsContext queries every resolver for every name. Each probe
+// carries the resolver's index as a 25-bit identifier: 16 bits in the DNS
 // transaction ID, 9 bits selecting the UDP source port, and the same 9
 // bits redundantly 0x20-encoded into the query name's letter casing —
 // exactly the encoding of §3.3, which survives resolvers that rewrite the
 // response's destination port.
-func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanResult, error) {
+//
+// Cancellation checkpoints sit between name rounds and between retry
+// rounds; a cancelled scan returns the partially filled result together
+// with ctx.Err().
+func (s *Scanner) ScanDomainsContext(ctx context.Context, resolvers []uint32, names []string) (*DomainScanResult, error) {
 	if s.tr == nil {
 		return nil, ErrNoTransport
 	}
@@ -67,6 +79,11 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 	// parallel instead of convoying on a per-name mutex.
 	var locks stripedMutex
 	for ni, name := range names {
+		// Checkpoint between name rounds: a cancelled scan keeps the
+		// rows already measured and stops before the next fan-out.
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		row := res.Answers[ni]
 		s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
 			v := dnswire.GetView()
@@ -121,16 +138,20 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 			pending[i] = i
 		}
 		for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
+			// Checkpoint between retry rounds.
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			batch := pending
-			s.sendAll(len(batch), func(k int) {
+			s.sendAll(ctx, len(batch), func(k int) {
 				ri := batch[k]
 				id := dnswire.ProbeID(ri)
 				txid, portIdx := dnswire.SplitProbeID(id)
 				qname, _ := dnswire.Encode0x20(name, uint32(portIdx), 9)
 				wire := packQuery(txid, qname, dnswire.TypeA, dnswire.ClassIN)
-				s.tr.Send(lfsr.U32ToAddr(resolvers[ri]), 53, s.opts.BasePort+portIdx, wire)
+				s.tr.Send(ctx, lfsr.U32ToAddr(resolvers[ri]), 53, s.opts.BasePort+portIdx, wire)
 			})
-			s.settle()
+			s.settle(ctx)
 			if round == s.opts.Retries {
 				break
 			}
@@ -147,7 +168,7 @@ func (s *Scanner) ScanDomains(resolvers []uint32, names []string) (*DomainScanRe
 			pending = miss
 		}
 	}
-	return res, nil
+	return res, ctx.Err()
 }
 
 type errTooManyResolvers int

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"fmt"
 
 	"goingwild/internal/dnswire"
@@ -8,10 +9,19 @@ import (
 	"goingwild/internal/lfsr"
 )
 
-// ProbeAlive re-probes an explicit address list (the §2.5 churn study
-// tracks the week-0 cohort this way) and returns the set that responded
-// with any DNS answer.
+// ProbeAlive re-probes an explicit address list; it is the ctx-less
+// wrapper over ProbeAliveContext.
 func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
+	alive, _ := s.ProbeAliveContext(bgCtx, addrs)
+	return alive
+}
+
+// ProbeAliveContext re-probes an explicit address list (the §2.5 churn
+// study tracks the week-0 cohort this way) and returns the set that
+// responded with any DNS answer. Cancellation checkpoints sit between
+// retry rounds; a cancelled probe returns the partial alive set with
+// ctx.Err().
+func (s *Scanner) ProbeAliveContext(ctx context.Context, addrs []uint32) (map[uint32]bool, error) {
 	collected := newShardedMap[bool](len(addrs) / 4)
 	base := dnswire.CanonicalName(domains.ScanBase)
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
@@ -28,14 +38,18 @@ func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
 	})
 	pending := addrs
 	for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
+		// Checkpoint between retry rounds.
+		if err := ctx.Err(); err != nil {
+			break
+		}
 		batch := pending
-		s.sendAll(len(batch), func(i int) {
+		s.sendAll(ctx, len(batch), func(i int) {
 			u := batch[i]
 			name := dnswire.EncodeTargetQName(fmt.Sprintf("c%x", u&0xFFF), lfsr.U32ToAddr(u), domains.ScanBase)
 			wire := packQuery(uint16(u), name, dnswire.TypeA, dnswire.ClassIN)
-			s.tr.Send(lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+			s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 		})
-		s.settle()
+		s.settle(ctx)
 		if round == s.opts.Retries {
 			break
 		}
@@ -51,7 +65,7 @@ func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
 	collected.Collect(func(u uint32, _ bool) {
 		alive[u] = true
 	})
-	return alive
+	return alive, ctx.Err()
 }
 
 // LookupPTR resolves the reverse name of target through the resolver at

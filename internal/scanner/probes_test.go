@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -79,7 +80,7 @@ func TestRateLimiterPacing(t *testing.T) {
 	rl := newRateLimiter(1000, nil) // 1k pps → 1ms interval
 	start := time.Now()
 	for i := 0; i < 50; i++ {
-		rl.wait()
+		rl.wait(context.Background())
 	}
 	elapsed := time.Since(start)
 	// 50 tokens at 1k pps should take ≈50ms, modulo the 2ms burst
@@ -90,7 +91,7 @@ func TestRateLimiterPacing(t *testing.T) {
 	unlimited := newRateLimiter(0, nil)
 	start = time.Now()
 	for i := 0; i < 10000; i++ {
-		unlimited.wait()
+		unlimited.wait(context.Background())
 	}
 	if time.Since(start) > 100*time.Millisecond {
 		t.Error("unlimited rate limiter slept")

@@ -9,9 +9,15 @@
 // The engine is transport-agnostic: the same code drives the in-memory
 // world (millions of probes per second) and real UDP sockets through the
 // loopback gateway.
+//
+// Every scan entrypoint has a context-aware variant (SweepContext,
+// ScanDomainsContext, ...) that aborts between send batches, between
+// retry rounds, and during settle waits. The ctx-less names are thin
+// compatibility wrappers over those.
 package scanner
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 	"sync"
@@ -20,15 +26,25 @@ import (
 
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
+	"goingwild/internal/wildnet"
 )
 
-// Transport is the packet interface the scanner drives. It is satisfied
-// by wildnet.MemTransport and wildnet.UDPTransport.
-type Transport interface {
-	Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
-	SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte))
-	Close() error
-}
+// Transport is the packet interface the scanner drives. It is an alias
+// of wildnet.Transport — the network layer owns the definition, so the
+// scanner's view of a transport can never drift from the
+// implementations (wildnet.MemTransport, wildnet.UDPTransport).
+type Transport = wildnet.Transport
+
+// bgCtx backs the ctx-less compatibility wrappers (Sweep, ScanDomains,
+// ...). New code should call the Context variants with a real caller
+// context instead.
+//
+//lint:allow ctxhygiene sole Background escape for the ctx-less compatibility wrappers
+var bgCtx = context.Background()
+
+// NoRetries is the Options.Retries value that disables retransmission
+// rounds entirely (the zero value means "default", which is 1 round).
+const NoRetries = -1
 
 // Options tunes a scanner.
 type Options struct {
@@ -38,7 +54,8 @@ type Options struct {
 	// Workers is the number of sender goroutines (default 8).
 	Workers int
 	// Retries is how many retransmission rounds cover unanswered
-	// probes (packet loss, §5). Default 1.
+	// probes (packet loss, §5). The zero value defaults to 1;
+	// NoRetries (or any negative value) disables retransmission.
 	Retries int
 	// SettleDelay is how long to wait for in-flight responses after a
 	// send round on asynchronous transports. Default 50ms; a negative
@@ -58,6 +75,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.Workers <= 0 {
 		o.Workers = 8
+	}
+	if o.Retries == 0 {
+		o.Retries = 1
 	}
 	if o.Retries < 0 {
 		o.Retries = 0
@@ -107,7 +127,7 @@ func newRateLimiter(pps int, clock Clock) *rateLimiter {
 	return &rateLimiter{interval: time.Second / time.Duration(pps), clock: clock}
 }
 
-func (r *rateLimiter) wait() {
+func (r *rateLimiter) wait(ctx context.Context) {
 	if r.interval == 0 {
 		return
 	}
@@ -121,24 +141,38 @@ func (r *rateLimiter) wait() {
 	r.mu.Unlock()
 	// Sleep only when meaningfully ahead of schedule: timer resolution
 	// is ~1ms, so sub-millisecond pacing is achieved by micro-bursts.
+	// A cancelled context cuts the pacing sleep short so a slow scan
+	// does not outlive its deadline by one token.
 	if sleep > 2*time.Millisecond {
-		r.clock.Sleep(sleep)
+		sleepCtx(ctx, r.clock, sleep)
 	}
 }
 
 // sendAll distributes jobs across worker goroutines. Each job sends one
-// probe; the rate limiter is shared.
-func (s *Scanner) sendAll(n int, send func(i int)) {
+// probe; the rate limiter is shared. A cancelled context stops every
+// worker at its next probe boundary; sendAll returns ctx.Err() in that
+// case with an unspecified subset of the jobs sent.
+//
+// Cancellation is polled via ctx.Err() so a cancel() that fires inside a
+// Send callback is observed at the very next probe — no watcher
+// goroutine, no scheduling latency. The ctx-less wrappers pass a context
+// whose Done() is nil, which skips the polling entirely and keeps the
+// hot path exactly as fast as before contexts existed.
+func (s *Scanner) sendAll(ctx context.Context, n int, send func(i int)) error {
+	cancellable := ctx.Done() != nil
 	workers := s.opts.Workers
 	if n < workers {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			s.rate.wait()
+			if cancellable && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			s.rate.wait(ctx)
 			send(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -147,16 +181,20 @@ func (s *Scanner) sendAll(n int, send func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancellable && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				s.rate.wait()
+				s.rate.wait(ctx)
 				send(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // streamBatch is how many targets a sender worker pulls from the shared
@@ -173,19 +211,31 @@ const streamBatch = 256
 // behind). Returns the number of targets sent.
 //
 // The set of probes sent is exactly the generator's permutation no matter
-// how batches interleave, so scan results stay schedule-independent.
-func (s *Scanner) streamAll(gen *lfsr.TargetGenerator, send func(u uint32, scratch *[]byte)) uint64 {
+// how batches interleave, so scan results stay schedule-independent. A
+// cancelled context stops each worker at its next batch boundary (at most
+// one in-flight batch of streamBatch targets per worker completes), and
+// streamAll returns the partial send count plus ctx.Err().
+//
+// Cancellation is polled via ctx.Err() once per batch — 1/256th of the
+// probe rate, synchronous with cancel() — and skipped entirely for the
+// non-cancellable contexts the ctx-less wrappers pass, preserving the
+// zero-overhead hot path.
+func (s *Scanner) streamAll(ctx context.Context, gen *lfsr.TargetGenerator, send func(u uint32, scratch *[]byte)) (uint64, error) {
+	cancellable := ctx.Done() != nil
 	workers := s.opts.Workers
 	if workers <= 1 {
 		scratch := sweepBufPool.Get().(*[]byte)
 		defer sweepBufPool.Put(scratch)
 		var n uint64
 		for {
+			if cancellable && n%streamBatch == 0 && ctx.Err() != nil {
+				return n, ctx.Err()
+			}
 			u, ok := gen.NextU32()
 			if !ok {
-				return n
+				return n, ctx.Err()
 			}
-			s.rate.wait()
+			s.rate.wait(ctx)
 			send(u, scratch)
 			n++
 		}
@@ -203,6 +253,9 @@ func (s *Scanner) streamAll(gen *lfsr.TargetGenerator, send func(u uint32, scrat
 			defer sweepBufPool.Put(scratch)
 			var batch [streamBatch]uint32
 			for {
+				if cancellable && ctx.Err() != nil {
+					return
+				}
 				genMu.Lock()
 				n := gen.NextBatch(batch[:])
 				genMu.Unlock()
@@ -211,14 +264,14 @@ func (s *Scanner) streamAll(gen *lfsr.TargetGenerator, send func(u uint32, scrat
 				}
 				total.Add(uint64(n))
 				for _, u := range batch[:n] {
-					s.rate.wait()
+					s.rate.wait(ctx)
 					send(u, scratch)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return total.Load()
+	return total.Load(), ctx.Err()
 }
 
 // sweepBufPool recycles probe assembly buffers. It lives at package scope
@@ -227,11 +280,13 @@ func (s *Scanner) streamAll(gen *lfsr.TargetGenerator, send func(u uint32, scrat
 var sweepBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
 
 // settle waits for late responses on asynchronous transports. A negative
-// SettleDelay (synchronous transport) skips the wait.
-func (s *Scanner) settle() {
+// SettleDelay (synchronous transport) skips the wait. A dead context
+// skips or cuts short the wait and is reported as ctx.Err().
+func (s *Scanner) settle(ctx context.Context) error {
 	if s.opts.SettleDelay > 0 {
-		s.opts.Clock.Sleep(s.opts.SettleDelay)
+		return sleepCtx(ctx, s.opts.Clock, s.opts.SettleDelay)
 	}
+	return ctx.Err()
 }
 
 // NoSettle is the SettleDelay value for synchronous transports.

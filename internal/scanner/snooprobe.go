@@ -1,6 +1,8 @@
 package scanner
 
 import (
+	"context"
+
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
 )
@@ -17,13 +19,21 @@ type SnoopObs struct {
 	TTL uint32
 }
 
-// SnoopRound sends one non-recursive NS query for tld to every resolver.
-// seq is the per-round sequence number; a stateful resolver sees it as
-// the transaction ID, which is how often it has been probed so far.
-// Responses are attributed by source address, so the handful of resolvers
-// answering from foreign addresses drop out — the same attrition the
-// paper tolerates for this experiment.
+// SnoopRound sends one non-recursive NS query for tld to every resolver;
+// it is the ctx-less wrapper over SnoopRoundContext.
 func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uint32]SnoopObs {
+	out, _ := s.SnoopRoundContext(bgCtx, resolvers, tld, seq)
+	return out
+}
+
+// SnoopRoundContext sends one non-recursive NS query for tld to every
+// resolver. seq is the per-round sequence number; a stateful resolver
+// sees it as the transaction ID, which is how often it has been probed so
+// far. Responses are attributed by source address, so the handful of
+// resolvers answering from foreign addresses drop out — the same
+// attrition the paper tolerates for this experiment. A cancelled round
+// returns the observations gathered so far plus ctx.Err().
+func (s *Scanner) SnoopRoundContext(ctx context.Context, resolvers []uint32, tld string, seq uint16) (map[uint32]SnoopObs, error) {
 	collected := newShardedMap[SnoopObs](len(resolvers) / 2)
 	// want is written before the sends and only read by receivers.
 	want := make(map[uint32]struct{}, len(resolvers))
@@ -49,19 +59,19 @@ func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uin
 		}
 		collected.InsertOnce(u, obs)
 	})
-	s.sendAll(len(resolvers), func(i int) {
+	s.sendAll(ctx, len(resolvers), func(i int) {
 		q := dnswire.NewQuery(seq, tld, dnswire.TypeNS, dnswire.ClassIN)
 		q.Header.RD = false // snooping must not trigger recursion
 		wire, err := q.PackBytes()
 		if err != nil {
 			return
 		}
-		s.tr.Send(lfsr.U32ToAddr(resolvers[i]), 53, s.opts.BasePort, wire)
+		s.tr.Send(ctx, lfsr.U32ToAddr(resolvers[i]), 53, s.opts.BasePort, wire)
 	})
-	s.settle()
+	err := s.settle(ctx)
 	out := make(map[uint32]SnoopObs, collected.Len())
 	collected.Collect(func(u uint32, obs SnoopObs) {
 		out[u] = obs
 	})
-	return out
+	return out, err
 }

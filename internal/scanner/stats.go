@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -82,10 +83,10 @@ func (s *Stats) Snapshot() Snapshot {
 }
 
 // Send implements Transport.
-func (t *statsTransport) Send(dst netip4, dstPort, srcPort uint16, payload []byte) error {
+func (t *statsTransport) Send(ctx context.Context, dst netip4, dstPort, srcPort uint16, payload []byte) error {
 	t.stats.sent.Add(1)
 	t.stats.bytesOut.Add(uint64(len(payload)))
-	return t.inner.Send(dst, dstPort, srcPort, payload)
+	return t.inner.Send(ctx, dst, dstPort, srcPort, payload)
 }
 
 // SetReceiver implements Transport, interposing the counters.

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -118,12 +119,25 @@ func (st *sweepCollector) receive(src netip4, srcPort, dstPort uint16, payload [
 }
 
 // Sweep probes every address of a 2^order space once, in LFSR-permuted
-// order, skipping the blacklist. Each probe is a DNS A query for
-// prefix.hex-ip.scanbase, so responses are attributed to the probed
-// target regardless of their source address. Targets stream from the
-// generator straight to the sender workers — the permutation is never
-// materialized.
+// order, skipping the blacklist. It is the ctx-less wrapper over
+// SweepContext.
 func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResult, error) {
+	return s.SweepContext(bgCtx, order, seed, bl)
+}
+
+// SweepContext probes every address of a 2^order space once, in
+// LFSR-permuted order, skipping the blacklist. Each probe is a DNS A
+// query for prefix.hex-ip.scanbase, so responses are attributed to the
+// probed target regardless of their source address. Targets stream from
+// the generator straight to the sender workers — the permutation is
+// never materialized.
+//
+// Cancellation is honored between send batches and during the settle
+// wait. A cancelled sweep returns ctx.Err() together with a consistent
+// partial result: every response collected before the abort is present,
+// sorted, and counted, so callers that tolerate partial censuses (e.g. a
+// checkpointing orchestrator) can keep it.
+func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResult, error) {
 	if s.tr == nil {
 		return nil, ErrNoTransport
 	}
@@ -147,14 +161,16 @@ func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResu
 	// Probe construction is the hot path: queries are written label by
 	// label into pooled buffers without a name or Message allocation.
 	// Transports must not retain payloads after Send returns.
-	probed := s.streamAll(gen, func(u uint32, scratch *[]byte) {
+	probed, scanErr := s.streamAll(ctx, gen, func(u uint32, scratch *[]byte) {
 		prefix := cachePrefix(u)
 		wire := dnswire.AppendTargetQuery((*scratch)[:0], uint16(u)^uint16(u>>16),
 			prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
-		s.tr.Send(lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+		s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 		*scratch = wire[:0]
 	})
-	s.settle()
+	if settleErr := s.settle(ctx); scanErr == nil {
+		scanErr = settleErr
+	}
 
 	res := &SweepResult{
 		Probed:     probed,
@@ -171,13 +187,21 @@ func (s *Scanner) Sweep(order uint, seed uint32, bl *lfsr.Blacklist) (*SweepResu
 	sort.Slice(res.Responders, func(i, j int) bool {
 		return res.Responders[i].Addr < res.Responders[j].Addr
 	})
-	return res, nil
+	return res, scanErr
 }
 
-// Probe sends a single query toward one resolver and returns all
-// responses that arrive before the settle deadline (the GFW study needs
-// to observe response races, §4.2).
+// Probe sends a single query toward one resolver; it is the ctx-less
+// wrapper over ProbeContext.
 func (s *Scanner) Probe(addr uint32, name string, typ dnswire.Type, class dnswire.Class) []*dnswire.Message {
+	out, _ := s.ProbeContext(bgCtx, addr, name, typ, class)
+	return out
+}
+
+// ProbeContext sends a single query toward one resolver and returns all
+// responses that arrive before the settle deadline (the GFW study needs
+// to observe response races, §4.2). A dead context cuts the settle wait
+// short and surfaces as ctx.Err() alongside whatever arrived.
+func (s *Scanner) ProbeContext(ctx context.Context, addr uint32, name string, typ dnswire.Type, class dnswire.Class) ([]*dnswire.Message, error) {
 	var mu sync.Mutex
 	var out []*dnswire.Message
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
@@ -188,9 +212,9 @@ func (s *Scanner) Probe(addr uint32, name string, typ dnswire.Type, class dnswir
 		}
 	})
 	wire := packQuery(0x5157, name, typ, class)
-	s.tr.Send(lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
-	s.settle()
+	s.tr.Send(ctx, lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
+	err := s.settle(ctx)
 	mu.Lock()
 	defer mu.Unlock()
-	return out
+	return out, err
 }

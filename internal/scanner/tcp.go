@@ -30,8 +30,8 @@ func (s *Scanner) ProbeTC(addr uint32, name string, typ dnswire.Type, class dnsw
 		}
 	})
 	wire := packQuery(0x7C17, name, typ, class)
-	s.tr.Send(lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
-	s.settle()
+	s.tr.Send(bgCtx, lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
+	s.settle(bgCtx)
 
 	mu.Lock()
 	defer mu.Unlock()

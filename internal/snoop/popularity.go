@@ -1,6 +1,8 @@
 package snoop
 
 import (
+	"context"
+
 	"goingwild/internal/scanner"
 	"goingwild/internal/wildnet"
 )
@@ -47,7 +49,9 @@ func DefaultPopularityConfig() PopularityConfig {
 // re-caching gaps from TTL arithmetic: when an entry expires at time E
 // and a later probe at time T observes remaining TTL r, the re-caching
 // happened at T−(BaseTTL−r), so the gap is that instant minus E.
-func EstimatePopularity(sc *scanner.Scanner, clock interface{ SetTime(wildnet.Time) }, resolvers []uint32, cfg PopularityConfig) []PopularityEstimate {
+// Cancellation checkpoints sit between minute rounds; a cancelled run
+// returns the estimates recoverable so far together with ctx.Err().
+func EstimatePopularity(ctx context.Context, sc *scanner.Scanner, clock interface{ SetTime(wildnet.Time) }, resolvers []uint32, cfg PopularityConfig) ([]PopularityEstimate, error) {
 	type track struct {
 		lastTTL    int64
 		lastAt     int64 // seconds
@@ -60,11 +64,11 @@ func EstimatePopularity(sc *scanner.Scanner, clock interface{ SetTime(wildnet.Ti
 		tracks[u] = &track{}
 	}
 	base := int64(cfg.BaseTTL)
-	for minute := 0; minute < cfg.Minutes; minute++ {
+	for minute := 0; minute < cfg.Minutes && ctx.Err() == nil; minute++ {
 		now := wildnet.Time{Week: cfg.Week, Day: 2, Hour: minute / 60, Minute: minute % 60}
 		clock.SetTime(now)
 		sec := now.AbsSeconds()
-		round := sc.SnoopRound(resolvers, cfg.TLD, uint16(1000+minute))
+		round, _ := sc.SnoopRoundContext(ctx, resolvers, cfg.TLD, uint16(1000+minute))
 		for u, o := range round {
 			tr := tracks[u]
 			if !o.Cached {
@@ -104,5 +108,5 @@ func EstimatePopularity(sc *scanner.Scanner, clock interface{ SetTime(wildnet.Ti
 		}
 		out = append(out, est)
 	}
-	return out
+	return out, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package snoop
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,10 @@ func TestPopularityRecoversPlantedGaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	resolvers := sweep.NOERROR()
-	estimates := EstimatePopularity(sc, tr, resolvers, cfg)
+	estimates, err := EstimatePopularity(context.Background(), sc, tr, resolvers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(estimates) < 20 {
 		t.Fatalf("only %d popularity estimates", len(estimates))
 	}

@@ -6,6 +6,8 @@
 package snoop
 
 import (
+	"context"
+
 	"goingwild/internal/scanner"
 	"goingwild/internal/wildnet"
 )
@@ -105,20 +107,25 @@ type obs struct {
 }
 
 // Run executes the snooping study against a resolver population.
-func Run(sc *scanner.Scanner, clock interface{ SetTime(wildnet.Time) }, resolvers []uint32, cfg Config) *Result {
+// Cancellation checkpoints sit between hourly rounds; a cancelled run
+// classifies whatever history it gathered and returns it with ctx.Err().
+func Run(ctx context.Context, sc *scanner.Scanner, clock interface{ SetTime(wildnet.Time) }, resolvers []uint32, cfg Config) (*Result, error) {
 	hist := make(map[uint32][][]obs, len(resolvers)) // addr -> tldIdx -> history
 	for _, u := range resolvers {
 		hist[u] = make([][]obs, len(cfg.TLDs))
 	}
 	seq := make([]uint16, len(cfg.TLDs)) // per-TLD probe counter
-	for h := 0; h < cfg.Hours; h++ {
+	for h := 0; h < cfg.Hours && ctx.Err() == nil; h++ {
 		abs := cfg.StartDelayHours + h
 		clock.SetTime(wildnet.Time{Week: cfg.Week, Day: abs / 24, Hour: abs % 24})
 		for ti, tld := range cfg.TLDs {
-			round := sc.SnoopRound(resolvers, tld, seq[ti])
+			round, err := sc.SnoopRoundContext(ctx, resolvers, tld, seq[ti])
 			seq[ti]++
 			for u, o := range round {
 				hist[u][ti] = append(hist[u][ti], obs{hour: h, o: o})
+			}
+			if err != nil {
+				break
 			}
 		}
 	}
@@ -138,7 +145,7 @@ func Run(sc *scanner.Scanner, clock interface{ SetTime(wildnet.Time) }, resolver
 			res.Frequent++
 		}
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // classify reduces one resolver's observation history to a verdict.

@@ -1,6 +1,7 @@
 package snoop
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -26,7 +27,10 @@ func runStudy(t *testing.T, order uint) (*Result, int) {
 		t.Fatal(err)
 	}
 	resolvers := sweep.NOERROR()
-	res := Run(sc, tr, resolvers, cfg)
+	res, err := Run(context.Background(), sc, tr, resolvers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return res, len(resolvers)
 }
 

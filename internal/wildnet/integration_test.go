@@ -1,6 +1,7 @@
 package wildnet
 
 import (
+	"context"
 	"net/netip"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func TestUDPGatewayDomainScanParity(t *testing.T) {
 	defer udp.Close()
 
 	collect := func(tr interface {
-		Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
+		Send(ctx context.Context, dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
 		SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte))
 	}, wait time.Duration) map[uint32][]uint32 {
 		out := map[uint32][]uint32{}
@@ -69,7 +70,7 @@ func TestUDPGatewayDomainScanParity(t *testing.T) {
 			for i, u := range targets {
 				q := dnswire.NewQuery(uint16(i), domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
 				wire, _ := q.PackBytes()
-				tr.Send(U32ToAddrExported(u), 53, 42000, wire)
+				tr.Send(context.Background(), U32ToAddrExported(u), 53, 42000, wire)
 			}
 		}
 		time.Sleep(wait)

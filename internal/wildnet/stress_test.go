@@ -1,6 +1,7 @@
 package wildnet
 
 import (
+	"context"
 	"net/netip"
 	"sync"
 	"sync/atomic"
@@ -67,7 +68,7 @@ func TestUDPGatewayFanOutStress(t *testing.T) {
 					t.Errorf("pack: %v", err)
 					return
 				}
-				if err := tr.Send(w.Addr(u), 53, uint16(42000+c), wire); err != nil {
+				if err := tr.Send(context.Background(), w.Addr(u), 53, uint16(42000+c), wire); err != nil {
 					t.Errorf("client %d send %d: %v", c, i, err)
 					return
 				}

@@ -1,6 +1,7 @@
 package wildnet
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 	"sort"
@@ -17,11 +18,15 @@ import (
 // receiver callback. Two implementations exist: the in-memory transport
 // below, which scales to millions of hosts, and the loopback UDP gateway
 // (udpgate.go), which drives the same world over real sockets.
+// scanner.Transport is an alias of this interface, so the two layers can
+// never drift.
 type Transport interface {
 	// Send transmits one datagram from the scanner's srcPort to
 	// dst:dstPort. Delivery is not guaranteed (packet loss is part of
-	// the model, §5 "Completeness").
-	Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
+	// the model, §5 "Completeness"). A cancelled ctx aborts the send —
+	// including, on the synchronous in-memory transport, the response
+	// deliveries that happen inside Send — with ctx.Err().
+	Send(ctx context.Context, dst netip.Addr, dstPort, srcPort uint16, payload []byte) error
 	// SetReceiver registers the response callback. It must be called
 	// before the first Send. The callback may run concurrently, and must
 	// not retain payload after returning: the in-memory transport packs
@@ -92,8 +97,13 @@ var packPool = sync.Pool{New: func() any {
 // surviving responses are delivered to the receiver before Send returns.
 // This is the hot path of every simulated scan — one call per probe — so
 // the query parse, the response packing, and the two-response common case
-// of the sort all run against pooled storage.
-func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+// of the sort all run against pooled storage, and the context is checked
+// only at loop edges (entry and between response deliveries), never per
+// byte.
+func (m *MemTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if m.closed.Load() {
 		return ErrTransportClosed
 	}
@@ -136,6 +146,11 @@ func (m *MemTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []b
 	ps := packPool.Get().(*packScratch)
 	defer packPool.Put(ps)
 	for _, r := range resps {
+		// A context death mid-delivery drops the remaining responses,
+		// exactly as a real cancelled scan stops reading its socket.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Pack once; oversized responses are re-packed as an empty
 		// TC-bit reply (the Truncate contract) rather than packed twice.
 		wire, err := r.Msg.PackInto(ps.buf, ps.cmp)

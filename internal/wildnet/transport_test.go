@@ -1,6 +1,7 @@
 package wildnet
 
 import (
+	"context"
 	"net/netip"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func TestMemTransportRoundTrip(t *testing.T) {
 	// minute between attempts to redraw.
 	for i := 0; i < 10 && len(got) == 0; i++ {
 		tr.SetTime(Time{Minute: i})
-		if err := tr.Send(w.Addr(u), 53, 40000, wire); err != nil {
+		if err := tr.Send(context.Background(), w.Addr(u), 53, 40000, wire); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func TestMemTransportClosed(t *testing.T) {
 	w := testWorld(t, 16)
 	tr := NewMemTransport(w, VantagePrimary)
 	tr.Close()
-	if err := tr.Send(w.Addr(1), 53, 40000, []byte{0}); err != ErrTransportClosed {
+	if err := tr.Send(context.Background(), w.Addr(1), 53, 40000, []byte{0}); err != ErrTransportClosed {
 		t.Errorf("Send after Close = %v, want ErrTransportClosed", err)
 	}
 }
@@ -61,10 +62,10 @@ func TestMemTransportIgnoresGarbage(t *testing.T) {
 	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) {
 		t.Error("garbage produced a response")
 	})
-	if err := tr.Send(w.Addr(12345), 53, 40000, []byte{1, 2, 3}); err != nil {
+	if err := tr.Send(context.Background(), w.Addr(12345), 53, 40000, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Send(netip.MustParseAddr("2001:db8::1"), 53, 40000, []byte{1}); err == nil {
+	if err := tr.Send(context.Background(), netip.MustParseAddr("2001:db8::1"), 53, 40000, []byte{1}); err == nil {
 		t.Error("IPv6 destination accepted")
 	}
 }
@@ -100,7 +101,7 @@ func TestUDPGatewayRoundTrip(t *testing.T) {
 	})
 	q := dnswire.NewQuery(7, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
 	wire, _ := q.PackBytes()
-	if err := tr.Send(w.Addr(u), 53, 41000, wire); err != nil {
+	if err := tr.Send(context.Background(), w.Addr(u), 53, 41000, wire); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -1,6 +1,7 @@
 package wildnet
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -194,8 +195,14 @@ func (u *UDPTransport) readLoop() {
 	}
 }
 
-// Send implements Transport.
-func (u *UDPTransport) Send(dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+// Send implements Transport. The kernel write itself is not
+// interruptible, so the context is honored at the call edge: a send loop
+// that keeps calling Send after cancellation gets ctx.Err() back
+// immediately instead of queueing more datagrams.
+func (u *UDPTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPort uint16, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if !dst.Is4() {
 		return fmt.Errorf("wildnet: transport is IPv4-only")
 	}
