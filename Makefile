@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race fuzz-smoke bench bench-quick bench-all report markdown examples clean
+.PHONY: all build vet lint test test-short race chaos fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -13,7 +13,8 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (internal/lint): determinism,
-# maporder, gohygiene, errdrop, ctxhygiene. Exits nonzero on any finding.
+# maporder, gohygiene, errdrop, ctxhygiene, sleepcall. Exits nonzero on
+# any finding.
 lint:
 	$(GO) run ./cmd/wildlint ./...
 
@@ -28,11 +29,19 @@ test-short:
 race:
 	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns ./internal/pipeline .
 
+# Chaos matrix: the full pipeline under every fault profile (clean,
+# lossy, hostile, flaky), checking determinism across runs and
+# GOMAXPROCS and sweep completeness against planted ground truth.
+chaos:
+	$(GO) test -run TestChaosMatrix -count=1 -v ./internal/core
+
 # A few seconds of coverage-guided fuzzing per wire-format fuzz target.
-# `go test -fuzz` accepts one target per invocation, hence three runs.
+# `go test -fuzz` accepts one target per invocation, hence five runs.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnpack -fuzztime=5s ./internal/dnswire
+	$(GO) test -fuzz=FuzzView -fuzztime=5s ./internal/dnswire
 	$(GO) test -fuzz=FuzzDecodeTargetQName -fuzztime=5s ./internal/dnswire
+	$(GO) test -fuzz=FuzzHandleDNS -fuzztime=5s ./internal/wildnet
 	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/zonefile
 
 # Hot-path benchmark: order-20 sweep throughput/allocations and the

@@ -35,6 +35,7 @@ func main() {
 		category = flag.String("category", "Banking", "domain category for -mode domains")
 		useUDP   = flag.Bool("udp", false, "drive the scan over real UDP sockets (loopback gateway)")
 		rate     = flag.Int("rate", 0, "probe rate limit in packets/s (0 = unlimited)")
+		chaos    = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
 	)
 	flag.Parse()
 
@@ -45,6 +46,13 @@ func main() {
 
 	wcfg := wildnet.DefaultConfig(*order)
 	wcfg.Seed = *seed
+	if *chaos != "" {
+		faults, err := wildnet.ChaosProfile(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		wcfg.Faults = faults
+	}
 	world, err := wildnet.NewWorld(wcfg)
 	if err != nil {
 		fatal(err)
@@ -79,7 +87,15 @@ func main() {
 	defer tr.Close()
 
 	counted, stats := scanner.WithStats(tr)
-	sc := scanner.New(counted, scanner.Options{Workers: 8, Retries: 1, SettleDelay: settle, RatePPS: *rate})
+	sweepRetries := 0
+	if wcfg.Faults.Enabled() {
+		// Ride over the injected loss the way the chaos harness does.
+		sweepRetries = 2
+	}
+	sc := scanner.New(counted, scanner.Options{
+		Workers: 8, Retries: 1, SettleDelay: settle, RatePPS: *rate,
+		SweepRetries: sweepRetries,
+	})
 	defer func() { fmt.Printf("traffic: %s\n", stats.Snapshot()) }()
 	start := time.Now()
 	sweep, err := sc.SweepContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist())

@@ -33,6 +33,7 @@ func main() {
 		week     = flag.Int("week", 50, "study week for the point-in-time experiments")
 		export   = flag.String("export", "", "directory to export JSONL datasets into")
 		progress = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
+		chaos    = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
 	)
 	flag.Parse()
 
@@ -42,6 +43,14 @@ func main() {
 	defer stop()
 
 	cfg := core.DefaultConfig(*order)
+	if *chaos != "" {
+		c, err := core.ChaosProfileConfig(*order, *chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "goingwild:", err)
+			os.Exit(1)
+		}
+		cfg = c
+	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
 	study, err := core.NewStudy(cfg)
@@ -176,6 +185,14 @@ func main() {
 			fmt.Println(analysis.RenderCaseStudies(&res.Report.Cases, scale))
 		}
 	}
+	// A clean run prints nothing here, so stdout stays byte-identical.
+	if len(study.Degraded) > 0 {
+		fmt.Println("Degraded stages (best-effort failures absorbed):")
+		for _, d := range study.Degraded {
+			fmt.Printf("  %-26s %s\n", d.Stage, d.Err)
+		}
+		fmt.Println()
+	}
 }
 
 // stageProgress renders pipeline events as one stderr line per edge.
@@ -192,6 +209,10 @@ func stageProgress(prog string) pipeline.Observer {
 			fmt.Fprintln(os.Stderr)
 		case pipeline.StageFailed:
 			fmt.Fprintf(os.Stderr, "%s: stage %-16s failed: %v\n", prog, ev.Stage, ev.Err)
+		case pipeline.StageDegraded:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s degraded: %v\n", prog, ev.Stage, ev.Err)
+		case pipeline.StageSkipped:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s skipped\n", prog, ev.Stage)
 		}
 	}
 }

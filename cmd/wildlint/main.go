@@ -1,6 +1,6 @@
 // Command wildlint runs the project's static-analysis pass (see
 // internal/lint) over the module: determinism, maporder, gohygiene,
-// errdrop, and ctxhygiene.
+// errdrop, ctxhygiene, and sleepcall.
 //
 // Usage:
 //

@@ -7,6 +7,7 @@
 //	wildreport -order 18 -weeks 55            # full run, text output
 //	wildreport -order 18 -markdown            # markdown comparison table
 //	wildreport -order 20 -progress            # stage events on stderr
+//	wildreport -order 16 -chaos hostile       # run under injected faults
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		week     = flag.Int("week", 50, "week for point-in-time experiments")
 		markdown = flag.Bool("markdown", false, "emit the markdown comparison table only")
 		progress = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
+		chaosProf = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
 	)
 	flag.Parse()
 
@@ -40,6 +42,13 @@ func main() {
 	defer stop()
 
 	cfg := core.DefaultConfig(*order)
+	if *chaosProf != "" {
+		c, err := core.ChaosProfileConfig(*order, *chaosProf)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = c
+	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
 	study, err := core.NewStudy(cfg)
@@ -126,6 +135,21 @@ func main() {
 	fmt.Println(analysis.RenderAmplification(amp, ampScanned))
 	fmt.Println(analysis.RenderPopularity(pop, 10))
 	fmt.Println(analysis.RenderNetalyzr(study.RunNetalyzr(*week, 400)))
+	printDegraded(study)
+}
+
+// printDegraded reports the best-effort stages whose failures the
+// pipeline absorbed. A clean run prints nothing, keeping stdout
+// byte-identical to a build without degradation support.
+func printDegraded(study *core.Study) {
+	if len(study.Degraded) == 0 {
+		return
+	}
+	fmt.Println("Degraded stages (best-effort failures absorbed):")
+	for _, d := range study.Degraded {
+		fmt.Printf("  %-26s %s\n", d.Stage, d.Err)
+	}
+	fmt.Println()
 }
 
 // stageProgress renders pipeline events as one stderr line per edge.
@@ -142,6 +166,10 @@ func stageProgress(prog string) pipeline.Observer {
 			fmt.Fprintln(os.Stderr)
 		case pipeline.StageFailed:
 			fmt.Fprintf(os.Stderr, "%s: stage %-16s failed: %v\n", prog, ev.Stage, ev.Err)
+		case pipeline.StageDegraded:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s degraded: %v\n", prog, ev.Stage, ev.Err)
+		case pipeline.StageSkipped:
+			fmt.Fprintf(os.Stderr, "%s: stage %-16s skipped\n", prog, ev.Stage)
 		}
 	}
 }

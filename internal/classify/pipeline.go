@@ -286,13 +286,30 @@ func (p *Pipeline) Run(scan *scanner.DomainScanResult, pre *prefilter.Result, gt
 		injectionCache[key] = v
 		return v
 	}
-	for ni, byRes := range tupleIP {
+	// Iterate tuples in sorted order, not map order: the labels are
+	// order-insensitive, but injects() fires country-injection probes,
+	// and under a fault profile every probe advances the transport's
+	// retransmission counter — so the probe *sequence* must be the same
+	// every run for the draws to be.
+	nameIdxs := make([]int, 0, len(tupleIP))
+	for ni := range tupleIP {
+		nameIdxs = append(nameIdxs, ni)
+	}
+	sort.Ints(nameIdxs)
+	for _, ni := range nameIdxs {
+		byRes := tupleIP[ni]
 		name := dnswire.CanonicalName(scan.Names[ni])
 		d, _ := domains.ByName(name)
 		labeled := map[Label]int{}
 		classified := 0
 		rep.TupleLabels[ni] = map[int]Label{}
-		for ri, ip := range byRes {
+		resIdxs := make([]int, 0, len(byRes))
+		for ri := range byRes {
+			resIdxs = append(resIdxs, ri)
+		}
+		sort.Ints(resIdxs)
+		for _, ri := range resIdxs {
+			ip := byRes[ri]
 			pg := pages[pageKey{ni, ip}]
 			label := LNoPayload
 			switch {

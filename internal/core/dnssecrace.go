@@ -151,7 +151,7 @@ func (s *Study) RunDNSSECRaceContext(ctx context.Context, week int, country, nam
 			}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
 	}
 	return res, nil

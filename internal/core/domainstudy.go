@@ -121,10 +121,13 @@ func (s *Study) RunDomainStudyContext(ctx context.Context, week int, cats []doma
 
 	// Figure 4 rides after classification (it reads scan + prefilter
 	// only, but the figure belongs to the finished report). It reports
-	// no Figure-3 counts, keeping the trace exactly the box flow.
+	// no Figure-3 counts, keeping the trace exactly the box flow. The
+	// figure is presentation, not measurement, so a failure degrades to
+	// an empty figure instead of discarding the whole chain.
 	eng.MustAdd(pipeline.Stage{
-		Name:  "figure4",
-		Needs: []string{"classify"},
+		Name:   "figure4",
+		Needs:  []string{"classify"},
+		Policy: pipeline.BestEffort,
 		Run: func(ctx context.Context) ([]pipeline.Count, error) {
 			res.Fig4 = classify.BuildFigure4(res.Scan, res.Pre, pipe.ResolverCountry,
 				[]string{"facebook.com", "twitter.com", "youtube.com"})
@@ -132,9 +135,13 @@ func (s *Study) RunDomainStudyContext(ctx context.Context, week int, cats []doma
 		},
 	})
 
-	trace, err := eng.Run(ctx)
+	trace, err := s.runEngine(ctx, eng)
 	if err != nil {
 		return nil, err
+	}
+	if res.Fig4 == nil {
+		// Degraded: an empty figure keeps the renderers total-safe.
+		res.Fig4 = &classify.Figure4{}
 	}
 	for _, c := range trace.Counts() {
 		res.StageTrace = append(res.StageTrace, StageCount{Stage: c.Name, Count: c.Value})

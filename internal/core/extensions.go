@@ -38,7 +38,7 @@ func (s *Study) RunAmplificationContext(ctx context.Context, week int, name stri
 			return []pipeline.Count{{Name: "amplification responders", Value: survey.Responded}}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, 0, err
 	}
 	return survey, len(resolvers), nil
@@ -81,7 +81,7 @@ func (s *Study) RunPopularityContext(ctx context.Context, week int) ([]snoop.Pop
 			return []pipeline.Count{{Name: "popularity estimates", Value: len(estimates)}}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
 	}
 	return estimates, nil

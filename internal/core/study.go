@@ -45,6 +45,17 @@ type Config struct {
 	Loss float64
 	// Workers is the scanner's sender concurrency.
 	Workers int
+	// Faults layers the deterministic fault model over the world
+	// (bursty loss, latency, duplication, garbling, rate limiting,
+	// flaps — see wildnet.FaultConfig). The zero value injects nothing
+	// and keeps every output byte-identical to a fault-free study.
+	Faults wildnet.FaultConfig
+	// SweepRetries, RetryBudget, and Backoff tune the scanner's
+	// adaptive retransmission (see scanner.Options). Zero values keep
+	// the legacy census semantics.
+	SweepRetries int
+	RetryBudget  int
+	Backoff      scanner.BackoffConfig
 }
 
 // DefaultConfig mirrors the paper's setup at a reduced scale.
@@ -57,6 +68,24 @@ func DefaultConfig(order uint) Config {
 		Loss:     0.002,
 		Workers:  8,
 	}
+}
+
+// ChaosProfileConfig returns DefaultConfig with a named chaos profile
+// (wildnet.ChaosProfileNames) layered on, plus the retry tuning that
+// lets the scanner ride over the injected faults: profiles with loss
+// get sweep retransmission rounds so census counts stay within the
+// chaos-test tolerances. The "clean" profile is exactly DefaultConfig.
+func ChaosProfileConfig(order uint, profile string) (Config, error) {
+	cfg := DefaultConfig(order)
+	faults, err := wildnet.ChaosProfile(profile)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Faults = faults
+	if faults.Enabled() {
+		cfg.SweepRetries = 2
+	}
+	return cfg, nil
 }
 
 // Study owns a world and the measurement apparatus pointed at it.
@@ -77,6 +106,12 @@ type Study struct {
 	// EngineClock times pipeline stages; nil means scanner.SystemClock.
 	EngineClock scanner.Clock
 
+	// Degraded accumulates the best-effort stages whose failures were
+	// absorbed across every Run* call, in execution order. It is
+	// derived from engine traces (never from the observer), so it is as
+	// deterministic as the results themselves. Empty on a clean run.
+	Degraded []DegradedStage
+
 	trustedDNS uint32
 	// Caches for the prefilter's measurement-channel lookups.
 	trustedCache map[string]trustedEntry
@@ -93,21 +128,37 @@ type rdnsEntry struct {
 	ok   bool
 }
 
+// DegradedStage records one absorbed best-effort failure.
+type DegradedStage struct {
+	Stage string
+	Err   string
+}
+
+// scanOpts is the one place the study's scanner tuning is assembled, so
+// the primary and secondary-vantage scanners can never drift apart.
+func (c Config) scanOpts() scanner.Options {
+	return scanner.Options{
+		Workers:      c.Workers,
+		Retries:      1,
+		SettleDelay:  scanner.NoSettle,
+		Backoff:      c.Backoff,
+		RetryBudget:  c.RetryBudget,
+		SweepRetries: c.SweepRetries,
+	}
+}
+
 // NewStudy builds the world and wires the measurement stack to it.
 func NewStudy(cfg Config) (*Study, error) {
 	wcfg := wildnet.DefaultConfig(cfg.Order)
 	wcfg.Seed = cfg.Seed
 	wcfg.Loss = cfg.Loss
+	wcfg.Faults = cfg.Faults
 	w, err := wildnet.NewWorld(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	tr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
-	sc := scanner.New(tr, scanner.Options{
-		Workers:     cfg.Workers,
-		Retries:     1,
-		SettleDelay: scanner.NoSettle,
-	})
+	sc := scanner.New(tr, cfg.scanOpts())
 	web := websim.New(w, wildnet.At(0))
 	s := &Study{
 		Cfg:          cfg,
@@ -185,6 +236,16 @@ func (s *Study) engine() *pipeline.Engine {
 	return pipeline.New(s.EngineClock, s.Observer)
 }
 
+// runEngine executes an engine and folds its degradation record into
+// the study-wide Degraded list before handing the trace back.
+func (s *Study) runEngine(ctx context.Context, eng *pipeline.Engine) (*pipeline.Trace, error) {
+	trace, err := eng.Run(ctx)
+	for _, st := range trace.Degraded() {
+		s.Degraded = append(s.Degraded, DegradedStage{Stage: st.Name, Err: st.Err.Error()})
+	}
+	return trace, err
+}
+
 // sweepStage is the shared "❶ full IPv4 scan" stage: it sweeps the
 // space at the given week and hands the NOERROR population to *resolvers
 // (and, when total is non-nil, the responder total to *total).
@@ -240,7 +301,7 @@ func (s *Study) RunWeeklySeriesContext(ctx context.Context) (*churn.Series, erro
 			return counts, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
 	}
 	return series, nil
@@ -298,7 +359,7 @@ func (s *Study) RunCohortStudyContext(ctx context.Context, weeks int) (*churn.Co
 			return []pipeline.Count{{Name: "final survivors", Value: len(study.Survivors)}}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
 	}
 	return study, nil
@@ -331,7 +392,7 @@ func (s *Study) RunChaosContext(ctx context.Context, week int) (*fingerprint.Cha
 			return []pipeline.Count{{Name: "chaos responders", Value: chaos.Responded()}}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, 0, err
 	}
 	return survey, len(resolvers), nil
@@ -363,16 +424,23 @@ func (s *Study) RunDevicesContext(ctx context.Context, week int) (*fingerprint.D
 	)
 	eng := s.engine()
 	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	// Banner grabbing is auxiliary to the DNS study: a failure here
+	// degrades Table 4 to zeros instead of killing the whole run.
 	eng.MustAdd(pipeline.Stage{
-		Name:  "device-fingerprint",
-		Needs: []string{"ipv4-scan"},
+		Name:   "device-fingerprint",
+		Needs:  []string{"ipv4-scan"},
+		Policy: pipeline.BestEffort,
 		Run: func(ctx context.Context) ([]pipeline.Count, error) {
 			survey = fingerprint.SurveyDevices(bannerSource{s.World, wildnet.At(week)}, resolvers)
 			return []pipeline.Count{{Name: "banner responders", Value: survey.Responsive}}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
+	}
+	if survey == nil {
+		// Degraded: an empty survey keeps every renderer total-safe.
+		survey = &fingerprint.DeviceSurvey{Scanned: len(resolvers)}
 	}
 	return survey, nil
 }
@@ -392,9 +460,12 @@ func (s *Study) RunUtilizationContext(ctx context.Context, week int) (*snoop.Res
 	)
 	eng := s.engine()
 	eng.MustAdd(s.sweepStage("ipv4-scan", week, &resolvers, nil))
+	// Cache snooping is a 36-hour side study (§2.6): a failure degrades
+	// the utilization table instead of killing the run.
 	eng.MustAdd(pipeline.Stage{
-		Name:  "cache-snoop",
-		Needs: []string{"ipv4-scan"},
+		Name:   "cache-snoop",
+		Needs:  []string{"ipv4-scan"},
+		Policy: pipeline.BestEffort,
 		Run: func(ctx context.Context) ([]pipeline.Count, error) {
 			cfg := snoop.DefaultConfig(domains.SnoopedTLDs)
 			cfg.Week = week
@@ -409,8 +480,16 @@ func (s *Study) RunUtilizationContext(ctx context.Context, week int) (*snoop.Res
 			}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
+	}
+	if result == nil {
+		// Degraded: an empty result keeps every renderer total-safe.
+		result = &snoop.Result{
+			Scanned:  len(resolvers),
+			Counts:   map[snoop.Class]int{},
+			Verdicts: map[uint32]snoop.Class{},
+		}
 	}
 	return result, nil
 }
@@ -456,9 +535,7 @@ func (s *Study) RunVerificationContext(ctx context.Context, week int) (*Verifica
 			tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
 			defer tr2.Close()
 			tr2.SetTime(wildnet.At(week))
-			sc2 := scanner.New(tr2, scanner.Options{
-				Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
-			})
+			sc2 := scanner.New(tr2, s.Cfg.scanOpts())
 			var err error
 			secondary, err = sc2.SweepContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919+1, s.World.ScanBlacklist())
 			if err != nil {
@@ -497,7 +574,7 @@ func (s *Study) RunVerificationContext(ctx context.Context, week int) (*Verifica
 			return []pipeline.Count{{Name: "only-secondary responders", Value: out.OnlySecondary}}, nil
 		},
 	})
-	if _, err := eng.Run(ctx); err != nil {
+	if _, err := s.runEngine(ctx, eng); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -516,9 +593,7 @@ func (s *Study) SecondaryAliveSetContext(ctx context.Context, week int) (map[uin
 	tr2 := wildnet.NewMemTransport(s.World, wildnet.VantageSecondary)
 	defer tr2.Close()
 	tr2.SetTime(wildnet.At(week))
-	sc2 := scanner.New(tr2, scanner.Options{
-		Workers: s.Cfg.Workers, Retries: 1, SettleDelay: scanner.NoSettle,
-	})
+	sc2 := scanner.New(tr2, s.Cfg.scanOpts())
 	res, err := sc2.SweepContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+99, s.World.ScanBlacklist())
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package dnswire
 
 import (
+	"net/netip"
 	"testing"
 )
 
@@ -29,6 +30,48 @@ func FuzzUnpack(f *testing.F) {
 		}
 		if _, err := Unpack(repacked); err != nil {
 			t.Fatalf("repacked message does not unpack: %v", err)
+		}
+	})
+}
+
+// FuzzView hardens the zero-alloc receive-path decoder: no input may
+// panic Reset or any accessor, and a View that accepts a payload must
+// agree with the allocating Unpack decoder on the header fields.
+func FuzzView(f *testing.F) {
+	q := NewQuery(7, "r1.c0a80101.scan.dnsstudy.example.edu", TypeA, ClassIN)
+	wire, _ := q.PackBytes()
+	f.Add(wire)
+	resp := NewResponse(q, RCodeNoError)
+	resp.AddAnswer(q.Questions[0].Name, ClassIN, 300, A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, 1})})
+	wire2, _ := resp.PackBytes()
+	f.Add(wire2)
+	f.Add([]byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 3, 'f', 'o', 'o', 0, 0, 1, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := GetView()
+		defer PutView(v)
+		if err := v.Reset(data); err != nil {
+			return
+		}
+		// Drive every accessor: the walk over answer and authority
+		// sections must tolerate any record layout Reset admitted.
+		_ = v.ID()
+		_ = v.QR()
+		_ = v.TC()
+		_ = v.RCode()
+		_ = v.QName()
+		_ = v.QType()
+		_ = v.QClass()
+		_ = v.HasAnswerA()
+		_ = v.AppendAnswerA(nil)
+		_ = v.AppendAnswerTXT(nil)
+		_ = v.HasAuthorityNS()
+		_, _ = v.FirstAnswerNS()
+		if m, err := Unpack(data); err == nil {
+			if m.Header.ID != v.ID() || m.Header.QR != v.QR() || m.Header.RCode != v.RCode() {
+				t.Fatalf("View header (id=%d qr=%v rc=%v) disagrees with Unpack (id=%d qr=%v rc=%v)",
+					v.ID(), v.QR(), v.RCode(), m.Header.ID, m.Header.QR, m.Header.RCode)
+			}
 		}
 	})
 }

@@ -1,4 +1,4 @@
-// Package lint is the project's static-analysis pass: five analyzers
+// Package lint is the project's static-analysis pass: six analyzers
 // that enforce the correctness contracts the measurement pipeline relies
 // on but the compiler cannot check.
 //
@@ -25,6 +25,9 @@
 //   - ctxhygiene: polices context propagation through the stage engine:
 //     no context.Context struct fields, ctx always the first parameter,
 //     and no context.Background()/TODO() roots outside cmd/ and tests.
+//   - sleepcall: forbids raw time.Sleep/After/Tick/NewTimer/NewTicker —
+//     delay must flow through the injected Clock seam so fake-clock
+//     tests and the deterministic backoff schedule see every pause.
 //
 // Intentional exceptions are annotated in the source:
 //
@@ -52,6 +55,7 @@ const (
 	RuleGoHygiene   = "gohygiene"
 	RuleErrDrop     = "errdrop"
 	RuleCtxHygiene  = "ctxhygiene"
+	RuleSleepCall   = "sleepcall"
 	// ruleAllow tags malformed //lint:allow comments themselves.
 	ruleAllow = "allow"
 )
@@ -122,6 +126,7 @@ func (c *Config) Analyze(p *Package) []Finding {
 	checkGoHygiene(p, c, emit)
 	checkErrDrop(p, c, emit)
 	checkCtxHygiene(p, c, emit)
+	checkSleepCall(p, c, emit)
 
 	allows, bad := collectAllows(p)
 	var out []Finding

@@ -28,6 +28,7 @@ var corpusTests = []struct {
 	{RuleGoHygiene, "goingwild/internal/fetch"},
 	{RuleErrDrop, "goingwild/internal/fetch"},
 	{RuleCtxHygiene, "goingwild/internal/fetch"},
+	{RuleSleepCall, "goingwild/internal/fetch"},
 }
 
 // loadCorpus type-checks testdata/<rule> as though it were the package

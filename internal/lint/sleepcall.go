@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkSleepCall forbids raw timer primitives — time.Sleep, time.After,
+// time.Tick, time.NewTimer, time.NewTicker — everywhere in the module.
+// The scanner's Clock interface is the single seam through which delay
+// enters the measurement engine; a raw sleep bypasses it, which breaks
+// fake-clock tests (they hang on real time), stalls cancellation (a
+// sleeping goroutine cannot observe ctx), and hides pacing from the
+// deterministic backoff schedule. Code that genuinely needs a wall-clock
+// delay injects a Clock or, for the handful of Clock implementations
+// themselves, carries an annotated `//lint:allow sleepcall` exemption.
+// Tests are exempt by construction: the loader skips _test.go files.
+func checkSleepCall(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			switch name := sel.Sel.Name; name {
+			case "Sleep", "After", "Tick", "NewTimer", "NewTicker":
+				emit(sel.Pos(), RuleSleepCall,
+					"time."+name+" bypasses the Clock seam (unfakeable in tests, invisible to cancellation); sleep through an injected scanner.Clock instead")
+			}
+			return true
+		})
+	}
+}

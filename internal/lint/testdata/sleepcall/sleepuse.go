@@ -1,0 +1,63 @@
+// Corpus for the sleepcall rule. Loaded by lint_test.go under a neutral
+// import path: the rule applies to every package in the module.
+package corpus
+
+import "time"
+
+// BadSleep parks the goroutine outside the Clock seam.
+func BadSleep() {
+	time.Sleep(time.Second) // want sleepcall
+}
+
+// BadAfter leaks a timer channel no fake clock can drive.
+func BadAfter() <-chan time.Time {
+	return time.After(time.Second) // want sleepcall
+}
+
+// BadNewTimer builds a raw timer.
+func BadNewTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want sleepcall
+}
+
+// BadTicker builds a raw ticker.
+func BadTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want sleepcall
+}
+
+// BadTick leaks an unstoppable ticker channel.
+func BadTick() <-chan time.Time {
+	return time.Tick(time.Second) // want sleepcall
+}
+
+// sleeper is the corpus stand-in for scanner.Clock.
+type sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// OKInjected delays through the injected seam: legal.
+func OKInjected(c sleeper, d time.Duration) {
+	c.Sleep(d)
+}
+
+// OKTypes only mentions timer types and arithmetic, not timer state.
+func OKTypes(t *time.Timer, d time.Duration) time.Duration {
+	return d + time.Second
+}
+
+// AllowedSleep is a Clock implementation's exemption.
+func AllowedSleep(d time.Duration) {
+	time.Sleep(d) //lint:allow sleepcall corpus fixture for a Clock implementation
+}
+
+// AllowedAbove is suppressed from the line above.
+func AllowedAbove(d time.Duration) *time.Timer {
+	//lint:allow sleepcall corpus fixture, comment-above form
+	return time.NewTimer(d)
+}
+
+// MalformedAllow has no reason: the comment itself is a finding and does
+// not suppress.
+func MalformedAllow(d time.Duration) {
+	//lint:allow sleepcall
+	time.Sleep(d) // want sleepcall + allow
+}

@@ -21,6 +21,14 @@
 // Execution is deterministic: stages run sequentially in a stable
 // topological order (insertion order among ready stages), so two runs of
 // the same engine perform the same work in the same order.
+//
+// Stages degrade instead of failing when marked BestEffort: a
+// non-cancellation error from such a stage is recorded in the trace and
+// announced as StageDegraded, and the rest of the pipeline runs against
+// whatever partial data the stage produced. Required stages (the zero
+// policy) abort the run; the stages that never started are announced as
+// StageSkipped and listed in the trace, so progress reporting shows
+// exactly where a run died.
 package pipeline
 
 import (
@@ -38,12 +46,44 @@ type Count struct {
 	Value int
 }
 
+// Policy selects how a stage's failure affects the rest of the
+// pipeline.
+type Policy uint8
+
+const (
+	// Required stages abort the pipeline on failure: downstream stages
+	// are skipped and Run returns the wrapped error. The zero value.
+	Required Policy = iota
+	// BestEffort stages degrade instead of aborting: the failure is
+	// recorded in the trace, a StageDegraded event fires, and downstream
+	// stages still run against whatever partial data the stage left
+	// behind. A context cancellation is never degradable — a dead
+	// context aborts the pipeline regardless of policy.
+	BestEffort
+)
+
+// String names the policy for traces and progress output.
+func (p Policy) String() string {
+	switch p {
+	case Required:
+		return "required"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
 // Stage is one node of the pipeline DAG.
 type Stage struct {
 	// Name identifies the stage in events, traces, and Needs edges.
 	Name string
 	// Needs lists stages that must complete before this one runs.
 	Needs []string
+	// Policy is how the engine treats this stage's failure. The zero
+	// value (Required) aborts the pipeline; BestEffort records the
+	// failure and continues.
+	Policy Policy
 	// Run does the work. The returned counts are recorded in the trace
 	// and forwarded to the observer.
 	Run func(ctx context.Context) ([]Count, error)
@@ -61,6 +101,12 @@ const (
 	// StageFailed is emitted after a stage returns an error (including
 	// a context cancellation surfaced by the stage).
 	StageFailed
+	// StageDegraded is emitted instead of StageFailed when a BestEffort
+	// stage returns a non-cancellation error: the pipeline continues.
+	StageDegraded
+	// StageSkipped is emitted for each stage that never ran because an
+	// earlier required stage failed or the context died between stages.
+	StageSkipped
 )
 
 // String names the kind for progress output.
@@ -72,6 +118,10 @@ func (k EventKind) String() string {
 		return "done"
 	case StageFailed:
 		return "failed"
+	case StageDegraded:
+		return "degraded"
+	case StageSkipped:
+		return "skipped"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -89,7 +139,7 @@ type StageEvent struct {
 	Elapsed time.Duration
 	// Counts are the stage's reported tuple counts (StageDone only).
 	Counts []Count
-	// Err is the stage's failure (StageFailed only).
+	// Err is the stage's failure (StageFailed and StageDegraded only).
 	Err error
 }
 
@@ -97,25 +147,51 @@ type StageEvent struct {
 // a slow observer slows the pipeline but can never reorder it.
 type Observer func(StageEvent)
 
-// StageResult is one completed stage in a Trace.
+// StageResult is one stage the engine ran, recorded in a Trace. A
+// successful stage has Counts and a nil Err; a degraded best-effort
+// stage has Err set and Degraded true; the required stage that aborted
+// the pipeline (at most one, always last) has Err set and Degraded
+// false.
 type StageResult struct {
 	Name    string
 	Elapsed time.Duration
 	Counts  []Count
+	// Err is the stage's failure, nil on success.
+	Err error
+	// Degraded marks a best-effort stage whose failure was absorbed.
+	Degraded bool
 }
 
 // Trace records the stages an engine ran, in execution order. It is the
 // engine-emitted replacement for hand-maintained stage accounting.
+// Every stage that started is present — including the failed one, with
+// its Err and timing, so progress reporting can show where a run died.
 type Trace struct {
 	Stages []StageResult
+	// Skipped names the stages that never ran because an earlier
+	// required stage failed or the context died, in topological order.
+	Skipped []string
 }
 
 // Counts concatenates every completed stage's counts in execution order
-// — the Figure-3 box flow.
+// — the Figure-3 box flow. Failed and degraded stages contribute
+// nothing (their Counts are nil).
 func (t *Trace) Counts() []Count {
 	var out []Count
 	for _, st := range t.Stages {
 		out = append(out, st.Counts...)
+	}
+	return out
+}
+
+// Degraded lists the best-effort stages whose failures were absorbed,
+// in execution order. Empty on a clean run.
+func (t *Trace) Degraded() []StageResult {
+	var out []StageResult
+	for _, st := range t.Stages {
+		if st.Degraded {
+			out = append(out, st)
+		}
 	}
 	return out
 }
@@ -218,20 +294,26 @@ func (e *Engine) order() ([]int, error) {
 	return order, nil
 }
 
-// Run executes every stage in dependency order, stopping at the first
-// failure or context cancellation. The returned trace covers the stages
-// that completed; it is valid (if partial) even when err is non-nil.
+// Run executes every stage in dependency order. A failing Required
+// stage (or a context cancellation) stops the pipeline: the failure is
+// recorded in the trace with its timing, every stage that never ran is
+// listed in trace.Skipped (with a StageSkipped event each), and the
+// wrapped error is returned. A failing BestEffort stage degrades
+// instead: its error lands in the trace, a StageDegraded event fires,
+// and downstream stages still run. The returned trace is valid (if
+// partial) even when err is non-nil.
 func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 	order, err := e.order()
 	if err != nil {
 		return &Trace{}, err
 	}
 	trace := &Trace{Stages: make([]StageResult, 0, len(order))}
-	for _, i := range order {
+	for k, i := range order {
 		st := e.stages[i]
 		// Cancellation checkpoint between stages: a dead context stops
 		// the pipeline before the next stage starts any work.
 		if err := ctx.Err(); err != nil {
+			e.skipRemaining(trace, order[k:])
 			return trace, err
 		}
 		e.emit(StageEvent{Stage: st.Name, Kind: StageStart})
@@ -239,13 +321,33 @@ func (e *Engine) Run(ctx context.Context) (*Trace, error) {
 		counts, err := st.Run(ctx)
 		elapsed := e.clock.Now().Sub(t0)
 		if err != nil {
+			// A dead context is never degradable: the stage's error is
+			// (or raced with) the cancellation, and downstream stages
+			// could not run anyway.
+			if st.Policy == BestEffort && ctx.Err() == nil {
+				trace.Stages = append(trace.Stages, StageResult{Name: st.Name, Elapsed: elapsed, Err: err, Degraded: true})
+				e.emit(StageEvent{Stage: st.Name, Kind: StageDegraded, Elapsed: elapsed, Err: err})
+				continue
+			}
+			trace.Stages = append(trace.Stages, StageResult{Name: st.Name, Elapsed: elapsed, Err: err})
 			e.emit(StageEvent{Stage: st.Name, Kind: StageFailed, Elapsed: elapsed, Err: err})
+			e.skipRemaining(trace, order[k+1:])
 			return trace, fmt.Errorf("pipeline: stage %q: %w", st.Name, err)
 		}
 		trace.Stages = append(trace.Stages, StageResult{Name: st.Name, Elapsed: elapsed, Counts: counts})
 		e.emit(StageEvent{Stage: st.Name, Kind: StageDone, Elapsed: elapsed, Counts: counts})
 	}
 	return trace, nil
+}
+
+// skipRemaining records and announces the stages an aborted run never
+// reached, in the topological order they would have run.
+func (e *Engine) skipRemaining(trace *Trace, rest []int) {
+	for _, i := range rest {
+		name := e.stages[i].Name
+		trace.Skipped = append(trace.Skipped, name)
+		e.emit(StageEvent{Stage: name, Kind: StageSkipped})
+	}
 }
 
 func (e *Engine) emit(ev StageEvent) {

@@ -140,8 +140,14 @@ func TestStageErrorStopsPipeline(t *testing.T) {
 	if strings.Join(log, ",") != "a" {
 		t.Errorf("ran %v, want only a", log)
 	}
-	if len(trace.Stages) != 1 || trace.Stages[0].Name != "a" {
-		t.Errorf("partial trace %+v, want just a", trace.Stages)
+	if len(trace.Stages) != 2 || trace.Stages[0].Name != "a" || trace.Stages[1].Name != "b" {
+		t.Fatalf("partial trace %+v, want a then the failed b", trace.Stages)
+	}
+	if !errors.Is(trace.Stages[1].Err, boom) || trace.Stages[1].Degraded {
+		t.Errorf("failed stage recorded as %+v, want Err=boom and not degraded", trace.Stages[1])
+	}
+	if strings.Join(trace.Skipped, ",") != "c" {
+		t.Errorf("skipped = %v, want [c]", trace.Skipped)
 	}
 }
 
@@ -164,6 +170,9 @@ func TestCancellationCheckpointBetweenStages(t *testing.T) {
 	}
 	if len(trace.Stages) != 1 {
 		t.Errorf("trace has %d stages, want the 1 that completed", len(trace.Stages))
+	}
+	if strings.Join(trace.Skipped, ",") != "b" {
+		t.Errorf("skipped = %v, want [b]", trace.Skipped)
 	}
 }
 
@@ -215,7 +224,106 @@ func TestEventKindString(t *testing.T) {
 	if StageStart.String() != "start" || StageDone.String() != "done" || StageFailed.String() != "failed" {
 		t.Error("EventKind names drifted")
 	}
+	if StageDegraded.String() != "degraded" || StageSkipped.String() != "skipped" {
+		t.Error("degradation EventKind names drifted")
+	}
+	if Required.String() != "required" || BestEffort.String() != "best-effort" {
+		t.Error("Policy names drifted")
+	}
 	if got := EventKind(9).String(); !strings.Contains(got, "9") {
 		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestBestEffortStageDegrades(t *testing.T) {
+	soft := errors.New("soft failure")
+	var log []string
+	var events []StageEvent
+	e := New(newFakeClock(), func(ev StageEvent) { events = append(events, ev) })
+	e.MustAdd(okStage("a", nil, &log))
+	e.MustAdd(Stage{Name: "b", Needs: []string{"a"}, Policy: BestEffort, Run: func(ctx context.Context) ([]Count, error) {
+		return nil, soft
+	}})
+	e.MustAdd(okStage("c", []string{"b"}, &log, Count{"tuples", 3}))
+	trace, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("degraded run returned error %v, want nil", err)
+	}
+	if strings.Join(log, ",") != "a,c" {
+		t.Errorf("ran %v, want a and c around the degraded b", log)
+	}
+	if len(trace.Stages) != 3 {
+		t.Fatalf("trace %+v, want all three stages recorded", trace.Stages)
+	}
+	b := trace.Stages[1]
+	if b.Name != "b" || !errors.Is(b.Err, soft) || !b.Degraded {
+		t.Errorf("degraded stage recorded as %+v", b)
+	}
+	deg := trace.Degraded()
+	if len(deg) != 1 || deg[0].Name != "b" {
+		t.Errorf("Degraded() = %+v, want just b", deg)
+	}
+	if len(trace.Skipped) != 0 {
+		t.Errorf("skipped = %v, want none", trace.Skipped)
+	}
+	// Downstream counts survive: the degraded stage contributes nothing.
+	counts := trace.Counts()
+	if len(counts) != 1 || counts[0] != (Count{"tuples", 3}) {
+		t.Errorf("counts = %v", counts)
+	}
+	var kinds []string
+	for _, ev := range events {
+		kinds = append(kinds, ev.Stage+":"+ev.Kind.String())
+	}
+	want := "a:start,a:done,b:start,b:degraded,c:start,c:done"
+	if strings.Join(kinds, ",") != want {
+		t.Errorf("events %v, want %s", kinds, want)
+	}
+}
+
+func TestBestEffortCancellationStillAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(Stage{Name: "a", Policy: BestEffort, Run: func(ctx context.Context) ([]Count, error) {
+		cancel()
+		return nil, ctx.Err()
+	}})
+	e.MustAdd(okStage("b", []string{"a"}, &log))
+	trace, err := e.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled despite BestEffort", err)
+	}
+	if len(log) != 0 {
+		t.Errorf("ran %v after cancellation", log)
+	}
+	if strings.Join(trace.Skipped, ",") != "b" {
+		t.Errorf("skipped = %v, want [b]", trace.Skipped)
+	}
+}
+
+func TestRequiredFailureEmitsSkippedEvents(t *testing.T) {
+	var log []string
+	var events []StageEvent
+	e := New(newFakeClock(), func(ev StageEvent) { events = append(events, ev) })
+	e.MustAdd(Stage{Name: "a", Run: func(ctx context.Context) ([]Count, error) {
+		return nil, errors.New("hard failure")
+	}})
+	e.MustAdd(okStage("b", []string{"a"}, &log))
+	e.MustAdd(okStage("c", []string{"b"}, &log))
+	trace, err := e.Run(context.Background())
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	var kinds []string
+	for _, ev := range events {
+		kinds = append(kinds, ev.Stage+":"+ev.Kind.String())
+	}
+	want := "a:start,a:failed,b:skipped,c:skipped"
+	if strings.Join(kinds, ",") != want {
+		t.Errorf("events %v, want %s", kinds, want)
+	}
+	if strings.Join(trace.Skipped, ",") != "b,c" {
+		t.Errorf("skipped = %v, want [b c]", trace.Skipped)
 	}
 }

@@ -37,6 +37,35 @@ func TestSweepSendPathAllocs(t *testing.T) {
 	}
 }
 
+// TestSweepRetrySendPathAllocs pins the retry rounds to the same budget:
+// salting the anti-caching prefix with the attempt number must not cost
+// an allocation, or a lossy-profile sweep (which retries a large share of
+// the population) would pay per-probe garbage the census never did.
+func TestSweepRetrySendPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations")
+	}
+	base := dnswire.CanonicalName(domains.ScanBase)
+	baseWire, err := dnswire.EncodeNameWire(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 128)
+	u := uint32(0x0A0B0C0D)
+	allocs := testing.AllocsPerRun(500, func() {
+		for attempt := 1; attempt <= 2; attempt++ {
+			prefix := cachePrefixN(u, attempt)
+			wire := dnswire.AppendTargetQuery(buf[:0], uint16(u)^uint16(u>>16),
+				prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
+			buf = wire[:0]
+		}
+		u++
+	})
+	if allocs != 0 {
+		t.Fatalf("retry probe assembly allocates %.1f per probe, want 0", allocs)
+	}
+}
+
 func TestSweepReceivePathAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instruments allocations")

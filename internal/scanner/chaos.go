@@ -101,11 +101,25 @@ func (s *Scanner) ScanChaosContext(ctx context.Context, resolvers []uint32) (*Ch
 				}
 				mu.Unlock()
 			})
-			s.sendAll(ctx, len(batch), func(i int) {
-				wire := packQuery(uint16(i), qname, dnswire.TypeTXT, dnswire.ClassCH)
-				s.tr.Send(ctx, lfsr.U32ToAddr(batch[i]), 53, s.opts.BasePort, wire)
-			})
-			s.settle(ctx)
+			// The version census sends once per (resolver, name): the
+			// shared retry helper runs with zero retry rounds so Table 3
+			// keeps its single-probe response rates, but the loop shape
+			// (and any future retry policy) lives in one place.
+			s.retryRounds(ctx, 0, len(batch),
+				func(i, _ int) {
+					wire := packQuery(uint16(i), qname, dnswire.TypeTXT, dnswire.ClassCH)
+					s.tr.Send(ctx, lfsr.U32ToAddr(batch[i]), 53, s.opts.BasePort, wire)
+				},
+				func(i int) bool {
+					mu := locks.of(uint32(lo + i))
+					mu.Lock()
+					a := res.Answers[lo+i]
+					mu.Unlock()
+					if isBind {
+						return !a.BindAnswered
+					}
+					return !a.ServerAnswered
+				})
 		}
 	}
 	return res, ctx.Err()

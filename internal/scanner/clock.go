@@ -70,6 +70,7 @@ type sysClock struct{}
 //lint:allow determinism sole wall-clock entry point; every other site injects a Clock
 func (sysClock) Now() time.Time { return time.Now() }
 
+//lint:allow sleepcall the system Clock implementation is the one legal raw sleep
 func (sysClock) Sleep(d time.Duration) { time.Sleep(d) }
 
 // SleepContext implements ContextSleeper without parking a goroutine.
@@ -77,6 +78,7 @@ func (sysClock) SleepContext(ctx context.Context, d time.Duration) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	//lint:allow sleepcall the system Clock's cancellable sleep owns its timer
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

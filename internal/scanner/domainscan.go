@@ -133,39 +133,27 @@ func (s *Scanner) ScanDomainsContext(ctx context.Context, resolvers []uint32, na
 			}
 		})
 
-		pending := make([]int, len(resolvers))
-		for i := range pending {
-			pending[i] = i
-		}
-		for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
-			// Checkpoint between retry rounds.
-			if err := ctx.Err(); err != nil {
-				return res, err
-			}
-			batch := pending
-			s.sendAll(ctx, len(batch), func(k int) {
-				ri := batch[k]
+		// The retransmission loop (round 0 fan-out, miss recomputation,
+		// backoff, budget, deadline) is the shared retryRounds helper;
+		// the probe payload is identical across attempts, so fault-layer
+		// redraws ride on the transport's retransmission counter.
+		err := s.retryRounds(ctx, s.opts.Retries, len(resolvers),
+			func(ri, _ int) {
 				id := dnswire.ProbeID(ri)
 				txid, portIdx := dnswire.SplitProbeID(id)
 				qname, _ := dnswire.Encode0x20(name, uint32(portIdx), 9)
 				wire := packQuery(txid, qname, dnswire.TypeA, dnswire.ClassIN)
 				s.tr.Send(ctx, lfsr.U32ToAddr(resolvers[ri]), 53, s.opts.BasePort+portIdx, wire)
-			})
-			s.settle(ctx)
-			if round == s.opts.Retries {
-				break
-			}
-			var miss []int
-			for _, ri := range batch {
+			},
+			func(ri int) bool {
 				mu := locks.of(uint32(ri))
 				mu.Lock()
 				n := row[ri].Responses
 				mu.Unlock()
-				if n == 0 {
-					miss = append(miss, ri)
-				}
-			}
-			pending = miss
+				return n == 0
+			})
+		if err != nil {
+			return res, err
 		}
 	}
 	return res, ctx.Err()

@@ -36,31 +36,19 @@ func (s *Scanner) ProbeAliveContext(ctx context.Context, addrs []uint32) (map[ui
 		}
 		collected.InsertOnce(target, true)
 	})
-	pending := addrs
-	for round := 0; round <= s.opts.Retries && len(pending) > 0; round++ {
-		// Checkpoint between retry rounds.
-		if err := ctx.Err(); err != nil {
-			break
-		}
-		batch := pending
-		s.sendAll(ctx, len(batch), func(i int) {
-			u := batch[i]
+	// Shared retransmission loop: identical payload per attempt, misses
+	// recomputed between settle-barriered rounds.
+	s.retryRounds(ctx, s.opts.Retries, len(addrs),
+		func(i, _ int) {
+			u := addrs[i]
 			name := dnswire.EncodeTargetQName(fmt.Sprintf("c%x", u&0xFFF), lfsr.U32ToAddr(u), domains.ScanBase)
 			wire := packQuery(uint16(u), name, dnswire.TypeA, dnswire.ClassIN)
 			s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+		},
+		func(i int) bool {
+			_, ok := collected.Get(addrs[i])
+			return !ok
 		})
-		s.settle(ctx)
-		if round == s.opts.Retries {
-			break
-		}
-		var miss []uint32
-		for _, u := range batch {
-			if _, ok := collected.Get(u); !ok {
-				miss = append(miss, u)
-			}
-		}
-		pending = miss
-	}
 	alive := make(map[uint32]bool, collected.Len())
 	collected.Collect(func(u uint32, _ bool) {
 		alive[u] = true

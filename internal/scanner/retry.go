@@ -1,0 +1,147 @@
+package scanner
+
+import (
+	"context"
+	"time"
+
+	"goingwild/internal/prand"
+)
+
+// BackoffConfig parameterizes the adaptive retransmission delay: round k
+// waits Base·2^(k-1), capped at Max, plus a deterministic seeded jitter
+// of up to Jitter times the capped delay. All waiting goes through the
+// scanner's Clock, so fake-clock tests assert on the exact schedule and
+// the in-memory transport (which needs no inter-round delay at all) runs
+// with the zero value: no backoff, the pre-existing flat-round behavior.
+type BackoffConfig struct {
+	// Base is the delay before the first retry round; zero disables
+	// backoff entirely.
+	Base time.Duration
+	// Max caps the exponential growth; zero means uncapped.
+	Max time.Duration
+	// Jitter is the maximum extra delay as a fraction of the capped
+	// delay (e.g. 0.5 adds up to +50%). The jitter is a pure function of
+	// (Seed, round), so two runs back off identically.
+	Jitter float64
+	// Seed keys the jitter draws.
+	Seed uint64
+}
+
+// delay returns the backoff delay before retry round attempt (1-based).
+func (b BackoffConfig) delay(attempt int) time.Duration {
+	if b.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := b.Base
+	for k := 1; k < attempt; k++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d += time.Duration(float64(d) * b.Jitter * prand.UnitOf(b.Seed, 0xB0FF, uint64(attempt)))
+	}
+	return d
+}
+
+// backoffWait sleeps the backoff delay before retry round attempt on the
+// scanner's clock, cut short by context death.
+func (s *Scanner) backoffWait(ctx context.Context, attempt int) error {
+	d := s.opts.Backoff.delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	return sleepCtx(ctx, s.opts.Clock, d)
+}
+
+// deadlineGuard tracks a per-stage deadline budget on the scanner's
+// clock. The zero StageDeadline never expires and never reads the clock,
+// so the default configuration costs nothing.
+type deadlineGuard struct {
+	clock    Clock
+	start    time.Time
+	deadline time.Duration
+}
+
+func (s *Scanner) newDeadlineGuard() deadlineGuard {
+	g := deadlineGuard{deadline: s.opts.StageDeadline}
+	if g.deadline > 0 {
+		g.clock = s.opts.Clock
+		g.start = g.clock.Now()
+	}
+	return g
+}
+
+// expired reports whether the stage's deadline budget is spent.
+func (g *deadlineGuard) expired() bool {
+	return g.deadline > 0 && g.clock.Now().Sub(g.start) >= g.deadline
+}
+
+// retryRounds is the one retransmission loop every list-targeted scan
+// shares (domain scans, CHAOS scans, alive re-probes): send round 0 to
+// all n items, settle, then run up to `rounds` retry rounds over the
+// still-unanswered items with exponential backoff between rounds, a
+// total retransmission budget, and a per-stage deadline budget.
+//
+// send transmits item i for the given retry attempt (0 for the initial
+// round); unanswered reports whether item i still lacks a response (it is
+// only consulted between settle-barriered rounds, so implementations may
+// lock per item). Retransmission sets are rebuilt in item order, so the
+// probes sent are schedule-independent. An expired deadline or exhausted
+// budget ends the loop quietly — partial coverage is the graceful
+// outcome — while context death surfaces as ctx.Err().
+func (s *Scanner) retryRounds(ctx context.Context, rounds, n int,
+	send func(i, attempt int), unanswered func(i int) bool) error {
+	if err := s.sendAll(ctx, n, func(i int) { send(i, 0) }); err != nil {
+		return err
+	}
+	if err := s.settle(ctx); err != nil {
+		return err
+	}
+	if rounds <= 0 || n == 0 {
+		return ctx.Err()
+	}
+	guard := s.newDeadlineGuard()
+	budget := s.opts.RetryBudget
+	var pending []int
+	for attempt := 1; attempt <= rounds; attempt++ {
+		// Checkpoint between retry rounds.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if guard.expired() {
+			break
+		}
+		pending = pending[:0]
+		for i := 0; i < n; i++ {
+			if unanswered(i) {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		if s.opts.RetryBudget > 0 {
+			if budget <= 0 {
+				break
+			}
+			if len(pending) > budget {
+				pending = pending[:budget]
+			}
+			budget -= len(pending)
+		}
+		if err := s.backoffWait(ctx, attempt); err != nil {
+			return err
+		}
+		batch, a := pending, attempt
+		if err := s.sendAll(ctx, len(batch), func(k int) { send(batch[k], a) }); err != nil {
+			return err
+		}
+		if err := s.settle(ctx); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,184 @@
+package scanner
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := BackoffConfig{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{0, 10, 20, 40, 80, 80, 80}
+	for attempt, ms := range want {
+		if got := b.delay(attempt); got != ms*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", attempt, got, ms*time.Millisecond)
+		}
+	}
+	if got := (BackoffConfig{}).delay(3); got != 0 {
+		t.Errorf("zero-value delay(3) = %v, want 0 (backoff disabled)", got)
+	}
+	uncapped := BackoffConfig{Base: time.Millisecond}
+	if got := uncapped.delay(11); got != 1024*time.Millisecond {
+		t.Errorf("uncapped delay(11) = %v, want 1.024s", got)
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	b := BackoffConfig{Base: 100 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	for attempt := 1; attempt <= 5; attempt++ {
+		d1, d2 := b.delay(attempt), b.delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("delay(%d) drew %v then %v; jitter must be a pure function", attempt, d1, d2)
+		}
+		if d1 < 100*time.Millisecond || d1 > 150*time.Millisecond {
+			t.Errorf("delay(%d) = %v outside [base, base*1.5]", attempt, d1)
+		}
+	}
+	other := b
+	other.Seed = 8
+	same := 0
+	for attempt := 1; attempt <= 5; attempt++ {
+		if b.delay(attempt) == other.delay(attempt) {
+			same++
+		}
+	}
+	if same == 5 {
+		t.Error("jitter ignores the seed: two seeds drew identical 5-round schedules")
+	}
+}
+
+// retryRecorder captures every (item, attempt) send from retryRounds.
+type retryRecorder struct {
+	mu    sync.Mutex
+	sends map[int][]int // item -> attempts, in order
+}
+
+func newRetryRecorder() *retryRecorder {
+	return &retryRecorder{sends: make(map[int][]int)}
+}
+
+func (r *retryRecorder) send(i, attempt int) {
+	r.mu.Lock()
+	r.sends[i] = append(r.sends[i], attempt)
+	r.mu.Unlock()
+}
+
+func (r *retryRecorder) total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, a := range r.sends {
+		n += len(a)
+	}
+	return n
+}
+
+func TestRetryRoundsBackoffOnFakeClock(t *testing.T) {
+	fc := newFakeClock()
+	s := New(&nullTransport{}, Options{
+		Workers:     1,
+		SettleDelay: NoSettle,
+		Clock:       fc,
+		Backoff:     BackoffConfig{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond},
+	})
+	rec := newRetryRecorder()
+	start := fc.Now()
+	err := s.retryRounds(context.Background(), 3, 4, rec.send, func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 1..3 back off 10+20+40ms; the initial round waits nothing.
+	if got := fc.Now().Sub(start); got != 70*time.Millisecond {
+		t.Errorf("3 retry rounds advanced the fake clock by %v, want 70ms", got)
+	}
+	for i := 0; i < 4; i++ {
+		want := []int{0, 1, 2, 3}
+		got := rec.sends[i]
+		if len(got) != len(want) {
+			t.Fatalf("item %d sent on attempts %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("item %d sent on attempts %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestRetryBudgetTruncatesInTargetOrder(t *testing.T) {
+	s := New(&nullTransport{}, Options{
+		Workers:     1,
+		SettleDelay: NoSettle,
+		Clock:       newFakeClock(),
+		RetryBudget: 5,
+	})
+	rec := newRetryRecorder()
+	err := s.retryRounds(context.Background(), 3, 4, rec.send, func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial round: 4 probes (free). Round 1: 4 retries, budget 5→1.
+	// Round 2: the budget admits only item 0. Round 3: budget spent.
+	if got := rec.total(); got != 4+4+1 {
+		t.Errorf("total sends = %d, want 9 (4 initial + 5 budgeted retries)", got)
+	}
+	if got := rec.sends[0]; len(got) != 3 || got[2] != 2 {
+		t.Errorf("item 0 attempts = %v, want [0 1 2] (truncation keeps lowest items)", got)
+	}
+	if got := rec.sends[3]; len(got) != 2 {
+		t.Errorf("item 3 attempts = %v, want exactly [0 1]", got)
+	}
+}
+
+func TestStageDeadlineEndsRetriesQuietly(t *testing.T) {
+	fc := newFakeClock()
+	s := New(&nullTransport{}, Options{
+		Workers:       1,
+		SettleDelay:   NoSettle,
+		Clock:         fc,
+		Backoff:       BackoffConfig{Base: 10 * time.Millisecond},
+		StageDeadline: 15 * time.Millisecond,
+	})
+	rec := newRetryRecorder()
+	err := s.retryRounds(context.Background(), 5, 2, rec.send, func(int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guard is checked at round start: round 1 (0ms elapsed) and
+	// round 2 (10ms) run; round 3 finds 30ms ≥ 15ms and stops. Partial
+	// coverage, no error — degradation is quiet.
+	if got := rec.total(); got != 2+2+2 {
+		t.Errorf("total sends = %d, want 6 (initial + 2 rounds before deadline)", got)
+	}
+}
+
+func TestRetryRoundsStopsWhenAnswered(t *testing.T) {
+	s := New(&nullTransport{}, Options{
+		Workers:     1,
+		SettleDelay: NoSettle,
+		Clock:       newFakeClock(),
+	})
+	rec := newRetryRecorder()
+	err := s.retryRounds(context.Background(), 5, 3, rec.send, func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.total(); got != 3 {
+		t.Errorf("total sends = %d, want 3 (everything answered after round 0)", got)
+	}
+}
+
+func TestRetryRoundsContextDeath(t *testing.T) {
+	s := New(&nullTransport{}, Options{
+		Workers:     1,
+		SettleDelay: NoSettle,
+		Clock:       newFakeClock(),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.retryRounds(ctx, 3, 4, func(int, int) {}, func(int) bool { return true })
+	if err != context.Canceled {
+		t.Errorf("retryRounds on dead ctx = %v, want context.Canceled", err)
+	}
+}

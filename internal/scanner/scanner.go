@@ -63,6 +63,25 @@ type Options struct {
 	// in-memory transport (it delivers responses synchronously inside
 	// Send).
 	SettleDelay time.Duration
+	// Backoff is the adaptive delay between retransmission rounds
+	// (exponential with deterministic seeded jitter, slept on Clock).
+	// The zero value keeps the legacy behavior: rounds run back to back.
+	Backoff BackoffConfig
+	// RetryBudget caps the total number of retransmissions one scan
+	// entrypoint may spend; retransmission lists are truncated in
+	// deterministic target order when the budget binds. Zero means
+	// unlimited.
+	RetryBudget int
+	// StageDeadline bounds one scan entrypoint's retry phase: once the
+	// budget has elapsed on Clock, no further retry rounds start and the
+	// scan returns its partial coverage. Zero means no deadline.
+	StageDeadline time.Duration
+	// SweepRetries adds retransmission rounds for sweep non-responders.
+	// The default 0 keeps census semantics (exactly one probe per
+	// target); fault profiles set 1–2 to ride over injected loss. Each
+	// retry salts the anti-caching prefix, so the retransmission is a
+	// new packet and redraws its loss fate.
+	SweepRetries int
 	// BasePort is the first of the ProbePortCount UDP source ports a
 	// domain scan uses. Default 33000.
 	BasePort uint16
@@ -84,6 +103,12 @@ func (o *Options) fill() {
 	}
 	if o.SettleDelay == 0 {
 		o.SettleDelay = 50 * time.Millisecond
+	}
+	if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.SweepRetries < 0 {
+		o.SweepRetries = 0
 	}
 	if o.BasePort == 0 {
 		o.BasePort = 33000

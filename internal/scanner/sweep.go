@@ -77,8 +77,15 @@ func (r *SweepResult) MisSourcedCount() int {
 // cachePrefix derives the per-target random label that defeats caching
 // (§2.2), written into a fixed-size array so the send path never converts
 // through a string.
-func cachePrefix(u uint32) [5]byte {
-	v := uint16(uint64(u) * 2654435761 >> 8)
+func cachePrefix(u uint32) [5]byte { return cachePrefixN(u, 0) }
+
+// cachePrefixN salts the anti-caching label with the retry attempt:
+// attempt 0 is byte-identical to the original census probe, while each
+// retransmission round carries a fresh label — a genuinely new packet
+// that redraws its per-packet loss fate (the target decode ignores the
+// prefix, so attribution is unaffected).
+func cachePrefixN(u uint32, attempt int) [5]byte {
+	v := uint16((uint64(u)*2654435761 + uint64(attempt)*0x9E3779B9) >> 8)
 	const hexdigits = "0123456789abcdef"
 	return [5]byte{'r', hexdigits[v>>12], hexdigits[v>>8&0xF], hexdigits[v>>4&0xF], hexdigits[v&0xF]}
 }
@@ -171,6 +178,9 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 	if settleErr := s.settle(ctx); scanErr == nil {
 		scanErr = settleErr
 	}
+	if scanErr == nil && s.opts.SweepRetries > 0 {
+		scanErr = s.sweepRetryRounds(ctx, order, seed, bl, baseWire, st)
+	}
 
 	res := &SweepResult{
 		Probed:     probed,
@@ -188,6 +198,81 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 		return res.Responders[i].Addr < res.Responders[j].Addr
 	})
 	return res, scanErr
+}
+
+// sweepRetryRounds retransmits toward the sweep's non-responders
+// (Options.SweepRetries rounds), honoring the backoff schedule, the
+// retransmission budget, and the stage deadline. Each round walks the
+// permutation again and re-probes only still-silent targets with an
+// attempt-salted anti-caching prefix, so every retransmission is a new
+// packet with a fresh loss draw. The answered set at each round's start
+// is fixed by the settle barrier, so the retransmitted target set is
+// schedule-independent; Probed stays the census count (retries are
+// recovery traffic, not coverage).
+func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32, bl *lfsr.Blacklist, baseWire []byte, st *sweepCollector) error {
+	guard := s.newDeadlineGuard()
+	budget := s.opts.RetryBudget
+	for attempt := 1; attempt <= s.opts.SweepRetries; attempt++ {
+		// Checkpoint between retry rounds.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if guard.expired() {
+			return nil
+		}
+		if s.opts.RetryBudget > 0 && budget <= 0 {
+			return nil
+		}
+		if err := s.backoffWait(ctx, attempt); err != nil {
+			return err
+		}
+		gen, err := lfsr.NewTargetGenerator(order, seed, bl)
+		if err != nil {
+			return err
+		}
+		resend := func(u uint32, scratch *[]byte) {
+			if _, answered := st.responses.Get(u); answered {
+				return
+			}
+			prefix := cachePrefixN(u, attempt)
+			wire := dnswire.AppendTargetQuery((*scratch)[:0], uint16(u)^uint16(u>>16),
+				prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
+			s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
+			*scratch = wire[:0]
+		}
+		if s.opts.RetryBudget > 0 {
+			// A bound budget needs a deterministic target set: materialize
+			// the first `budget` misses in permutation order, then send
+			// serially (the budgeted path is small by construction).
+			targets := make([]uint32, 0, budget)
+			for len(targets) < budget {
+				u, ok := gen.NextU32()
+				if !ok {
+					break
+				}
+				if _, answered := st.responses.Get(u); !answered {
+					targets = append(targets, u)
+				}
+			}
+			budget -= len(targets)
+			scratch := sweepBufPool.Get().(*[]byte)
+			cancellable := ctx.Done() != nil
+			for i, u := range targets {
+				if cancellable && i%streamBatch == 0 && ctx.Err() != nil {
+					break
+				}
+				s.rate.wait(ctx)
+				resend(u, scratch)
+			}
+			sweepBufPool.Put(scratch)
+		} else if _, err := s.streamAll(ctx, gen, resend); err != nil {
+			return err
+		}
+		if err := s.settle(ctx); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // Probe sends a single query toward one resolver; it is the ctx-less

@@ -1,0 +1,74 @@
+package wildnet
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"goingwild/internal/dnswire"
+)
+
+// TestSendZeroFaultConfigAllocs pins the fault layer's promise: with a
+// zero FaultConfig the per-packet gate is one cached bool, so the
+// transport's silent path — parse, dispatch, no responder — stays at
+// its pre-fault-layer budget of exactly one allocation per probe (the
+// qname string unpackName builds while parsing the query; pre-existing,
+// not the fault layer's). A regression to two means every probe of an
+// order-24 sweep pays garbage for a feature that is switched off.
+func TestSendZeroFaultConfigAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations")
+	}
+	w := testWorld(t, 16)
+	if w.faultsOn {
+		t.Fatal("default config must leave the fault layer off")
+	}
+	tr := NewMemTransport(w, VantagePrimary)
+	defer tr.Close()
+	if tr.attempts != nil {
+		t.Fatal("zero FaultConfig must not arm the attempt counter")
+	}
+	responded := false
+	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) { responded = true })
+
+	q := dnswire.NewQuery(7, "r1.c0a80101.scan.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN)
+	payload, err := q.PackBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Find a silent address: no resolver, no infrastructure role, no
+	// injector. That probe takes the full hot path (parse + dispatch)
+	// and exits without building a response message.
+	var silent netip.Addr
+	for u := uint32(1); u < 1<<16; u++ {
+		responded = false
+		addr := w.Addr(u)
+		if err := tr.Send(ctx, addr, 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !responded {
+			silent = addr
+			break
+		}
+	}
+	if !silent.IsValid() {
+		t.Fatal("no silent address in the first 64Ki targets")
+	}
+
+	// Warm the pools, then demand a zero steady state.
+	for i := 0; i < 8; i++ {
+		if err := tr.Send(ctx, silent, 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := tr.Send(ctx, silent, 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 1 {
+		t.Fatalf("zero-fault Send allocates %.1f per probe, want exactly 1 (the parsed qname)", allocs)
+	}
+}

@@ -59,6 +59,16 @@ func IsLANAddr(u uint32) bool {
 // sequence number through the transaction ID it chooses, which is how the
 // single-response-then-stop class of §2.6 is modeled.
 func (w *World) HandleDNS(v Vantage, srcPort uint16, dst uint32, q *dnswire.Message, t Time) []QueryResponse {
+	return w.handleDNS(v, srcPort, dst, q, t, faultCtx{})
+}
+
+// handleDNS is HandleDNS plus the per-packet fault context the in-memory
+// transport threads through for retransmission redraws. Host flaps and
+// rate limiting live here rather than in the transport because they are
+// properties of the responding host, not of the path — and because
+// trusted infrastructure (handled above the resolver path) must stay
+// exempt so the measurement channels of §3 remain reliable.
+func (w *World) handleDNS(v Vantage, srcPort uint16, dst uint32, q *dnswire.Message, t Time, fc faultCtx) []QueryResponse {
 	seq := int(q.Header.ID)
 	dst = w.Mask(dst)
 	if len(q.Questions) == 0 {
@@ -78,6 +88,12 @@ func (w *World) HandleDNS(v Vantage, srcPort uint16, dst uint32, q *dnswire.Mess
 	}
 
 	if !w.VisibleFrom(dst, v, t) {
+		return nil
+	}
+
+	// A flapping host is mid-outage: silent to everything, resolver or
+	// not, until its window passes.
+	if w.faultsOn && w.faultFlapped(dst, t) {
 		return nil
 	}
 
@@ -110,6 +126,16 @@ func (w *World) HandleDNS(v Vantage, srcPort uint16, dst uint32, q *dnswire.Mess
 	delay := 5 + int(prand.Hash(p.Identity, uint64(seq))%115)
 	emit := func(m *dnswire.Message) []QueryResponse {
 		return []QueryResponse{{Src: src, ToPort: toPort, DelayMS: delay, Msg: m}}
+	}
+
+	// Rate-limiting resolvers reject queries above their per-window
+	// budget before any resolution work happens.
+	if w.faultsOn {
+		if refused, dropped := w.faultRateLimited(p.Identity, t, fc); dropped {
+			return nil
+		} else if refused {
+			return emit(dnswire.NewResponse(q, dnswire.RCodeRefused))
+		}
 	}
 
 	switch p.RCode {

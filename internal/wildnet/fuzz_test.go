@@ -1,0 +1,81 @@
+package wildnet
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/lfsr"
+)
+
+// The fuzz world is built once per process (fuzz workers are separate
+// processes, so each pays the cost once). It runs the hostile chaos
+// profile so fuzzed packets exercise the fault layer's drop, garble,
+// duplicate, rate-limit, and flap paths in addition to the DNS handler.
+var (
+	fuzzWorldOnce sync.Once
+	fuzzWorld     *World
+	fuzzWorldErr  error
+)
+
+func hostileFuzzWorld() (*World, error) {
+	fuzzWorldOnce.Do(func() {
+		cfg := DefaultConfig(14)
+		faults, err := ChaosProfile("hostile")
+		if err != nil {
+			fuzzWorldErr = err
+			return
+		}
+		cfg.Faults = faults
+		fuzzWorld, fuzzWorldErr = NewWorld(cfg)
+	})
+	return fuzzWorld, fuzzWorldErr
+}
+
+// FuzzHandleDNS feeds arbitrary datagrams through the in-memory
+// transport — the same entry point every simulated scan uses — against a
+// world with all fault classes armed. Nothing here may panic: malformed
+// packets must vanish like they would on the wire, and every response
+// that does come back must carry a sane tunnel source.
+func FuzzHandleDNS(f *testing.F) {
+	q := dnswire.NewQuery(7, "r1.c0a80101.scan.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN)
+	wire, _ := q.PackBytes()
+	f.Add(wire, uint32(1), uint16(53), uint16(40000), uint8(0))
+	gt := dnswire.NewQuery(99, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
+	gtWire, _ := gt.PackBytes()
+	f.Add(gtWire, uint32(12345), uint16(53), uint16(41000), uint8(3))
+	f.Add([]byte{0, 1, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 3, 'f', 'o', 'o', 0, 0, 1, 0, 1},
+		uint32(7), uint16(53), uint16(42000), uint8(1))
+	f.Add([]byte{}, uint32(0), uint16(0), uint16(0), uint8(0))
+	f.Add([]byte{1, 2, 3}, uint32(0xFFFFFFFF), uint16(5353), uint16(1), uint8(7))
+	f.Fuzz(func(t *testing.T, payload []byte, target uint32, dstPort, srcPort uint16, week uint8) {
+		w, err := hostileFuzzWorld()
+		if err != nil {
+			t.Skipf("fuzz world: %v", err)
+		}
+		tr := NewMemTransport(w, VantagePrimary)
+		defer tr.Close()
+		tr.SetTime(At(int(week % 8)))
+		tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, resp []byte) {
+			if !src.Is4() {
+				t.Errorf("response from non-IPv4 source %v", src)
+			}
+			// Responses may be garbled by the fault layer; they must
+			// still never panic the pooled view decoder.
+			v := dnswire.GetView()
+			defer dnswire.PutView(v)
+			if err := v.Reset(resp); err == nil {
+				_ = v.RCode()
+				_ = v.QName()
+				_ = v.HasAnswerA()
+			}
+		})
+		dst := lfsr.U32ToAddr(target)
+		if err := tr.Send(context.Background(), dst, dstPort, srcPort, payload); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	})
+}

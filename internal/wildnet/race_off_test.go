@@ -1,0 +1,5 @@
+//go:build !race
+
+package wildnet
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package wildnet
+
+// raceEnabled gates the AllocsPerRun regression tests: the race detector
+// instruments allocations, so zero-alloc assertions only hold without it.
+const raceEnabled = true

@@ -50,19 +50,31 @@ type MemTransport struct {
 
 	mu    sync.Mutex
 	clock Time
+
+	// attempts counts identical retransmissions for the fault layer's
+	// redraws; nil (and never touched) when the world has no faults.
+	attempts *attemptCounter
 }
 
 // NewMemTransport wires a scanner vantage to the world.
 func NewMemTransport(w *World, v Vantage) *MemTransport {
-	return &MemTransport{world: w, vantage: v}
+	m := &MemTransport{world: w, vantage: v}
+	if w.faultsOn {
+		m.attempts = newAttemptCounter()
+	}
+	return m
 }
 
 // SetTime moves the transport's simulation clock; subsequent queries are
-// answered as of t.
+// answered as of t. A new simulated instant redraws every packet fate, so
+// the fault layer's retransmission counter restarts with it.
 func (m *MemTransport) SetTime(t Time) {
 	m.mu.Lock()
 	m.clock = t
 	m.mu.Unlock()
+	if m.attempts != nil {
+		m.attempts.reset()
+	}
 }
 
 // Time returns the current simulation clock.
@@ -111,9 +123,20 @@ func (m *MemTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPor
 		return errors.New("wildnet: transport is IPv4-only")
 	}
 	t := m.Time()
+	u32dst := lfsr.AddrToU32(dst)
+	qph := hashBytes(payload)
 	// Independent loss on the query packet.
-	if m.drop(dirQuery, lfsr.AddrToU32(dst), dstPort, srcPort, payload, t) {
+	if m.drop(dirQuery, u32dst, dstPort, srcPort, qph, t) {
 		return nil
+	}
+	// The fault layer rides behind one cached bool: a zero FaultConfig
+	// costs the hot path nothing beyond this branch.
+	var fc faultCtx
+	if m.world.faultsOn {
+		fc = faultCtx{payloadHash: qph, attempt: m.attempts.next(u32dst, qph)}
+		if m.world.faultDrop(dirQuery, u32dst, dstPort, srcPort, qph, t, fc.attempt) {
+			return nil
+		}
 	}
 	q := queryPool.Get().(*dnswire.Message)
 	defer queryPool.Put(q)
@@ -123,9 +146,15 @@ func (m *MemTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPor
 	if dstPort != 53 {
 		return nil
 	}
-	resps := m.world.HandleDNS(m.vantage, srcPort, lfsr.AddrToU32(dst), q, t)
+	resps := m.world.handleDNS(m.vantage, srcPort, u32dst, q, t, fc)
 	if len(resps) == 0 {
 		return nil
+	}
+	if m.world.faultsOn {
+		// Latency, jitter, and the delivery deadline reshape the
+		// response timeline before the delay sort, so injected-response
+		// races are decided on the faulted ordering.
+		resps = m.world.faultAdjustResponses(resps, t, fc)
 	}
 	// Deliver in delay order. Almost every exchange yields one or two
 	// responses (the second being an injected racer, §4.2); swap those in
@@ -167,13 +196,28 @@ func (m *MemTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPor
 			}
 			ps.buf = wire[:0]
 		}
-		if m.drop(dirResponse, r.Src, 53, r.ToPort, wire, t) {
+		rph := hashBytes(wire)
+		if m.drop(dirResponse, r.Src, 53, r.ToPort, rph, t) {
 			continue
+		}
+		deliveries := 1
+		if m.world.faultsOn {
+			if m.world.faultDrop(dirResponse, r.Src, 53, r.ToPort, rph, t, fc.attempt) {
+				continue
+			}
+			// Garble mutates the pooled wire in place; the draw keys on
+			// the pre-corruption hash so it stays a pure packet fate.
+			m.world.faultGarble(wire, r.Src, rph, t, fc.attempt)
+			if m.world.faultDup(r.Src, rph, t, fc.attempt) {
+				deliveries = 2
+			}
 		}
 		if m.closed.Load() {
 			return ErrTransportClosed
 		}
-		(*recv)(m.world.Addr(r.Src), 53, r.ToPort, wire)
+		for d := 0; d < deliveries; d++ {
+			(*recv)(m.world.Addr(r.Src), 53, r.ToPort, wire)
+		}
 	}
 	return nil
 }
@@ -212,14 +256,17 @@ const (
 // packet at the same simulated minute always shares one fate, no matter
 // how many goroutines race to send, so seeded runs are byte-identical
 // regardless of scheduling. The flip side is that an identical
-// retransmission within the same simulated minute is pointless — advance
-// the clock (as the weekly/hourly experiments do) to redraw.
-func (m *MemTransport) drop(dir uint64, addr uint32, aPort, bPort uint16, payload []byte, t Time) bool {
+// retransmission within the same simulated minute is pointless against
+// the base rate — advance the clock (as the weekly/hourly experiments
+// do), or vary the payload (as the sweep's retry rounds do), to redraw.
+// The fault layer's draws additionally key on a retransmission counter
+// (faultCtx.attempt), so retrying is meaningful under a chaos profile.
+func (m *MemTransport) drop(dir uint64, addr uint32, aPort, bPort uint16, ph uint64, t Time) bool {
 	if m.world.cfg.Loss <= 0 {
 		return false
 	}
 	h := prand.Hash(m.world.cfg.Seed, facetLoss, dir, uint64(addr),
-		uint64(aPort)<<16|uint64(bPort), hashBytes(payload),
+		uint64(aPort)<<16|uint64(bPort), ph,
 		uint64(t.AbsHour()*60+t.Minute))
 	return prand.Float64(h) < m.world.cfg.Loss
 }

@@ -125,6 +125,7 @@ func (g *Gateway) serve() {
 				g.wg.Add(1)
 				go func() {
 					defer g.wg.Done()
+					//lint:allow sleepcall gateway delivery delay models the wire, not scan pacing
 					time.Sleep(delay / 10) // compressed timescale
 					g.conn.WriteToUDP(resp, &to)
 				}()

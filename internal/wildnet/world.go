@@ -44,6 +44,17 @@ const (
 	facetInfra       = 0x14 // infrastructure address draws
 	facetRegion      = 0x15 // CDN region perturbation
 	facetVerify      = 0x16 // secondary-vantage behavior draws
+
+	// Fault-injection facets (faults.go). Keep fault draws on their own
+	// tags so enabling a FaultConfig never perturbs the base world.
+	facetFaultBurst   = 0x17 // loss-burst window gate
+	facetFaultDrop    = 0x18 // fault-layer per-packet loss draw
+	facetFaultLatency = 0x19 // per-response latency jitter
+	facetFaultDup     = 0x1A // response duplication
+	facetFaultGarble  = 0x1B // response byte corruption
+	facetFaultRate    = 0x1C // rate-limiter admission draw
+	facetFaultRateCls = 0x1D // is this resolver a rate limiter
+	facetFaultFlap    = 0x1E // mid-scan host outage windows
 )
 
 // Config parameterizes a world.
@@ -61,6 +72,11 @@ type Config struct {
 	// Loss is the probability that any single UDP packet is dropped
 	// (applied independently to queries and responses).
 	Loss float64
+	// Faults layers additional deterministic network pathologies on top
+	// of the base loss model: bursts, latency jitter, duplication,
+	// garbling, rate-limiting resolvers, and host flaps. The zero value
+	// disables the layer entirely (see faults.go and ChaosProfile).
+	Faults FaultConfig
 }
 
 // DefaultConfig returns the standard world used by tests and examples.
@@ -86,6 +102,9 @@ type World struct {
 	dnssec dnssecState
 	// scale extrapolates simulated counts to paper scale.
 	scale float64
+	// faultsOn caches Faults.Enabled() so the transport hot path pays a
+	// single bool load when the fault layer is disabled.
+	faultsOn bool
 }
 
 // NewWorld builds a world from cfg.
@@ -104,11 +123,15 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Order == 32 {
 		mask = ^uint32(0)
 	}
+	if err := cfg.Faults.validate(); err != nil {
+		return nil, err
+	}
 	w := &World{
-		cfg:   cfg,
-		geo:   geo,
-		mask:  mask,
-		scale: float64(uint64(1)<<32) / float64(uint64(1)<<cfg.Order),
+		cfg:      cfg,
+		geo:      geo,
+		mask:     mask,
+		scale:    float64(uint64(1)<<32) / float64(uint64(1)<<cfg.Order),
+		faultsOn: cfg.Faults.Enabled(),
 	}
 	w.infra = buildInfraMap(w)
 	w.stations = w.buildStations()
