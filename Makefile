@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race chaos fuzz-smoke bench bench-quick bench-all report markdown examples clean
+.PHONY: all build vet lint test test-short race chaos metrics-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -27,13 +27,24 @@ test-short:
 # Race-detector pass over the concurrent subsystems (the stress tests in
 # scanner and wildnet exist for this target).
 race:
-	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns ./internal/pipeline .
+	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns ./internal/pipeline ./internal/metrics .
 
 # Chaos matrix: the full pipeline under every fault profile (clean,
 # lossy, hostile, flaky), checking determinism across runs and
 # GOMAXPROCS and sweep completeness against planted ground truth.
 chaos:
 	$(GO) test -run TestChaosMatrix -count=1 -v ./internal/core
+
+# Metrics side-channel guard: an order-16 report must print byte-identical
+# stdout with and without -metrics, and the snapshot it writes must be
+# non-empty. This is the executable form of the contract that attaching
+# observability can never perturb results.
+metrics-smoke:
+	$(GO) build -o /tmp/wildreport_metrics ./cmd/wildreport
+	/tmp/wildreport_metrics -order 16 -weeks 8 -week 7 > /tmp/wr_nometrics.txt
+	/tmp/wildreport_metrics -order 16 -weeks 8 -week 7 -metrics /tmp/wr_metrics.json > /tmp/wr_withmetrics.txt
+	diff /tmp/wr_nometrics.txt /tmp/wr_withmetrics.txt
+	test -s /tmp/wr_metrics.json
 
 # A few seconds of coverage-guided fuzzing per wire-format fuzz target.
 # `go test -fuzz` accepts one target per invocation, hence five runs.

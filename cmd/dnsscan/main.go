@@ -18,24 +18,29 @@ import (
 	"os/signal"
 	"time"
 
+	"goingwild/internal/debughttp"
 	"goingwild/internal/dnswire"
 	"goingwild/internal/domains"
 	"goingwild/internal/fingerprint"
+	"goingwild/internal/metrics"
 	"goingwild/internal/scanner"
 	"goingwild/internal/wildnet"
 )
 
 func main() {
 	var (
-		order    = flag.Uint("order", 16, "address-space width in bits")
-		seed     = flag.Uint64("seed", 0x60176A11D, "world seed")
-		scanSeed = flag.Uint("scanseed", 0x5EED, "LFSR seed for the target permutation")
-		week     = flag.Int("week", 0, "study week")
-		mode     = flag.String("mode", "sweep", "sweep | chaos | domains")
-		category = flag.String("category", "Banking", "domain category for -mode domains")
-		useUDP   = flag.Bool("udp", false, "drive the scan over real UDP sockets (loopback gateway)")
-		rate     = flag.Int("rate", 0, "probe rate limit in packets/s (0 = unlimited)")
-		chaos    = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		order       = flag.Uint("order", 16, "address-space width in bits")
+		seed        = flag.Uint64("seed", 0x60176A11D, "world seed")
+		scanSeed    = flag.Uint("scanseed", 0x5EED, "LFSR seed for the target permutation")
+		week        = flag.Int("week", 0, "study week")
+		mode        = flag.String("mode", "sweep", "sweep | chaos | domains")
+		category    = flag.String("category", "Banking", "domain category for -mode domains")
+		useUDP      = flag.Bool("udp", false, "drive the scan over real UDP sockets (loopback gateway)")
+		rate        = flag.Int("rate", 0, "probe rate limit in packets/s (0 = unlimited)")
+		chaos       = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		progress    = flag.Bool("progress", false, "print a periodic progress line to stderr (implies a metrics registry)")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -46,6 +51,13 @@ func main() {
 
 	wcfg := wildnet.DefaultConfig(*order)
 	wcfg.Seed = *seed
+	// Metrics are a pure side channel: the scan's stdout is
+	// byte-identical with and without a registry attached.
+	var reg *metrics.Registry
+	if *metricsPath != "" || *debugAddr != "" || *progress {
+		reg = metrics.New()
+		wcfg.Metrics = reg
+	}
 	if *chaos != "" {
 		faults, err := wildnet.ChaosProfile(*chaos)
 		if err != nil {
@@ -94,8 +106,29 @@ func main() {
 	}
 	sc := scanner.New(counted, scanner.Options{
 		Workers: 8, Retries: 1, SettleDelay: settle, RatePPS: *rate,
-		SweepRetries: sweepRetries,
+		SweepRetries: sweepRetries, Metrics: reg,
 	})
+	if *debugAddr != "" {
+		addr, stopDebug, err := debughttp.Serve(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "dnsscan: debug endpoint on http://%s\n", addr)
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if err := writeMetricsSnapshot(*metricsPath, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "dnsscan:", err)
+			}
+		}()
+	}
+	if *progress {
+		// The periodic traffic line goes to stderr, clocked through the
+		// scanner's Clock seam, so stdout stays byte-identical.
+		stopProg := metrics.StartProgress(os.Stderr, scanner.SystemClock, 2*time.Second, reg, nil)
+		defer stopProg()
+	}
 	defer func() { fmt.Printf("traffic: %s\n", stats.Snapshot()) }()
 	start := time.Now()
 	sweep, err := sc.SweepContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist())
@@ -157,4 +190,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dnsscan:", err)
 	os.Exit(1)
+}
+
+// writeMetricsSnapshot writes the registry's final snapshot as JSON.
+func writeMetricsSnapshot(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

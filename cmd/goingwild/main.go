@@ -16,24 +16,30 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"goingwild/internal/analysis"
 	"goingwild/internal/core"
 	"goingwild/internal/dataset"
+	"goingwild/internal/debughttp"
 	"goingwild/internal/domains"
+	"goingwild/internal/metrics"
 	"goingwild/internal/pipeline"
+	"goingwild/internal/scanner"
 )
 
 func main() {
 	var (
-		order    = flag.Uint("order", 18, "address-space width in bits (14–32)")
-		seed     = flag.Uint64("seed", 0x60176A11D, "world seed")
-		weeks    = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
-		week     = flag.Int("week", 50, "study week for the point-in-time experiments")
-		export   = flag.String("export", "", "directory to export JSONL datasets into")
-		progress = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
-		chaos    = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		order       = flag.Uint("order", 18, "address-space width in bits (14–32)")
+		seed        = flag.Uint64("seed", 0x60176A11D, "world seed")
+		weeks       = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
+		exps        = flag.String("exp", "all", "comma-separated experiments: fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
+		week        = flag.Int("week", 50, "study week for the point-in-time experiments")
+		export      = flag.String("export", "", "directory to export JSONL datasets into")
+		progress    = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
+		chaos       = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -53,16 +59,43 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
+	// Metrics are a pure side channel: stdout is byte-identical with and
+	// without a registry attached.
+	var reg *metrics.Registry
+	if *metricsPath != "" || *debugAddr != "" {
+		reg = metrics.New()
+		cfg.Metrics = reg
+	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goingwild:", err)
 		os.Exit(1)
 	}
 	defer study.Close()
+	if *debugAddr != "" {
+		addr, stopDebug, err := debughttp.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "goingwild:", err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "goingwild: debug endpoint on http://%s\n", addr)
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if err := writeMetricsSnapshot(*metricsPath, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "goingwild:", err)
+			}
+		}()
+	}
 	if *progress {
 		// Stage events go to stderr so stdout stays byte-identical with
 		// and without -progress (the observer is a side channel only).
 		study.Observer = stageProgress("goingwild")
+		if reg != nil {
+			stopProg := metrics.StartProgress(os.Stderr, scanner.SystemClock, 2*time.Second, reg, nil)
+			defer stopProg()
+		}
 	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
@@ -222,6 +255,19 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeMetricsSnapshot writes the registry's final snapshot as JSON.
+func writeMetricsSnapshot(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exportDatasets writes the week's sweep and tuple datasets as JSONL.

@@ -16,22 +16,28 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"goingwild/internal/analysis"
 	"goingwild/internal/core"
+	"goingwild/internal/debughttp"
 	"goingwild/internal/domains"
+	"goingwild/internal/metrics"
 	"goingwild/internal/pipeline"
+	"goingwild/internal/scanner"
 )
 
 func main() {
 	var (
-		order    = flag.Uint("order", 18, "address-space width in bits")
-		seed     = flag.Uint64("seed", 0x60176A11D, "world seed")
-		weeks    = flag.Int("weeks", 55, "weekly scans")
-		week     = flag.Int("week", 50, "week for point-in-time experiments")
-		markdown = flag.Bool("markdown", false, "emit the markdown comparison table only")
-		progress = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
-		chaosProf = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		order       = flag.Uint("order", 18, "address-space width in bits")
+		seed        = flag.Uint64("seed", 0x60176A11D, "world seed")
+		weeks       = flag.Int("weeks", 55, "weekly scans")
+		week        = flag.Int("week", 50, "week for point-in-time experiments")
+		markdown    = flag.Bool("markdown", false, "emit the markdown comparison table only")
+		progress    = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
+		chaosProf   = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -51,15 +57,44 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
+	// Metrics are a pure side channel: stdout is byte-identical with and
+	// without a registry attached, so observability costs reproducibility
+	// nothing (the determinism guard in CI enforces exactly that).
+	var reg *metrics.Registry
+	if *metricsPath != "" || *debugAddr != "" {
+		reg = metrics.New()
+		cfg.Metrics = reg
+	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer study.Close()
+	if *debugAddr != "" {
+		addr, stopDebug, err := debughttp.Serve(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "wildreport: debug endpoint on http://%s\n", addr)
+	}
+	if *metricsPath != "" {
+		defer func() {
+			if err := writeMetricsSnapshot(*metricsPath, reg); err != nil {
+				fmt.Fprintln(os.Stderr, "wildreport:", err)
+			}
+		}()
+	}
 	if *progress {
 		// Progress goes to stderr: stdout stays byte-identical with and
 		// without -progress (the observer is a side channel only).
 		study.Observer = stageProgress("wildreport")
+		if reg != nil {
+			// With a registry live, add the periodic one-line traffic
+			// summary, clocked through the scanner's Clock seam.
+			stopProg := metrics.StartProgress(os.Stderr, scanner.SystemClock, 2*time.Second, reg, nil)
+			defer stopProg()
+		}
 	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
@@ -179,6 +214,19 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// writeMetricsSnapshot writes the registry's final snapshot as JSON.
+func writeMetricsSnapshot(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -139,6 +139,7 @@ func Run(ctx context.Context, tr scanner.Transport, resolvers []uint32, name str
 		if ctx.Err() != nil {
 			break
 		}
+		//lint:allow errdrop amplification-probe send failures are modeled packet loss
 		tr.Send(ctx, lfsr.U32ToAddr(u), 53, 33001, wire)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"goingwild/internal/domains"
+	"goingwild/internal/metrics"
 	"goingwild/internal/wildnet"
 )
 
@@ -66,10 +67,21 @@ func (c *ChaosSummary) Render() string {
 // test: the pipeline must complete without error under every profile,
 // and the summary must be byte-identical across runs.
 func RunChaosPipeline(ctx context.Context, order uint, profile string, week int) (*ChaosSummary, error) {
+	return RunChaosPipelineMetrics(ctx, order, profile, week, nil)
+}
+
+// RunChaosPipelineMetrics is RunChaosPipeline with a metrics registry
+// threaded through the whole stack (scanner, fault layer, pipeline
+// engines), so the harness can assert per-profile fault counters — the
+// hostile profile must garble, the flaky profile must flap — alongside
+// the byte-identical summary. A nil registry is exactly
+// RunChaosPipeline.
+func RunChaosPipelineMetrics(ctx context.Context, order uint, profile string, week int, reg *metrics.Registry) (*ChaosSummary, error) {
 	cfg, err := ChaosProfileConfig(order, profile)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Metrics = reg
 	s, err := NewStudy(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"goingwild/internal/metrics"
+)
+
+// stripJSON renders the deterministic portion of a snapshot — the bytes
+// two runs of the same scan must agree on.
+func stripJSON(t *testing.T, reg *metrics.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.Snapshot().StripTiming().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosMetricsSideChannelAndReproducible is the end-to-end contract
+// for the metrics layer, per profile:
+//
+//  1. Side channel: the pipeline summary renders byte-identically with
+//     and without a registry attached — observability cannot perturb
+//     results.
+//  2. Reproducible: the timing-stripped snapshot is byte-identical
+//     across repeated runs and across a GOMAXPROCS flip.
+//  3. Attributable: each profile's snapshot shows exactly the
+//     pathologies that profile injects — hostile garbles, duplicates,
+//     and rate-limits; flaky flaps; clean injects nothing.
+func TestChaosMetricsSideChannelAndReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos pipeline four times per profile")
+	}
+	const order, week = 14, 3
+	ctx := context.Background()
+	for _, profile := range []string{"clean", "hostile", "flaky"} {
+		t.Run(profile, func(t *testing.T) {
+			bare, err := RunChaosPipeline(ctx, order, profile, week)
+			if err != nil {
+				t.Fatalf("bare run: %v", err)
+			}
+			regA := metrics.New()
+			a, err := RunChaosPipelineMetrics(ctx, order, profile, week, regA)
+			if err != nil {
+				t.Fatalf("metrics run: %v", err)
+			}
+			if bare.Render() != a.Render() {
+				t.Errorf("attaching a registry changed the results:\n--- bare\n%s--- with metrics\n%s",
+					bare.Render(), a.Render())
+			}
+
+			regB := metrics.New()
+			if _, err := RunChaosPipelineMetrics(ctx, order, profile, week, regB); err != nil {
+				t.Fatalf("second metrics run: %v", err)
+			}
+			jsonA, jsonB := stripJSON(t, regA), stripJSON(t, regB)
+			if !bytes.Equal(jsonA, jsonB) {
+				t.Errorf("deterministic snapshot differs between runs:\n--- run 1\n%s--- run 2\n%s", jsonA, jsonB)
+			}
+
+			old := runtime.GOMAXPROCS(0)
+			flipped := 1
+			if old == 1 {
+				flipped = 4
+			}
+			runtime.GOMAXPROCS(flipped)
+			regC := metrics.New()
+			_, err = RunChaosPipelineMetrics(ctx, order, profile, week, regC)
+			runtime.GOMAXPROCS(old)
+			if err != nil {
+				t.Fatalf("run at GOMAXPROCS=%d: %v", flipped, err)
+			}
+			if jsonC := stripJSON(t, regC); !bytes.Equal(jsonA, jsonC) {
+				t.Errorf("deterministic snapshot diverges at GOMAXPROCS=%d:\n--- base\n%s--- flipped\n%s",
+					flipped, jsonA, jsonC)
+			}
+
+			s := regA.Snapshot()
+			// The scan itself must be visible regardless of profile.
+			if s.Counter("scanner.sweep.sent") == 0 {
+				t.Error("scanner.sweep.sent = 0; the sweep left no trace")
+			}
+			if s.Counter("scanner.sweep.recv") == 0 {
+				t.Error("scanner.sweep.recv = 0; responses left no trace")
+			}
+			if s.Counter("pipeline.stage.done") == 0 {
+				t.Error("pipeline.stage.done = 0; the engine left no trace")
+			}
+			finished := s.Counter("pipeline.stage.done") + s.Counter("pipeline.stage.degraded") +
+				s.Counter("pipeline.stage.failed")
+			if got := s.Counter("pipeline.stage.started"); got != finished {
+				t.Errorf("pipeline.stage.started = %d but %d stages finished", got, finished)
+			}
+
+			faults := []string{
+				"wildnet.fault.drop.query", "wildnet.fault.drop.response",
+				"wildnet.fault.drop.burst", "wildnet.fault.garbled",
+				"wildnet.fault.duplicated", "wildnet.fault.ratelimit.refused",
+				"wildnet.fault.ratelimit.dropped", "wildnet.fault.flap.suppressed",
+			}
+			switch profile {
+			case "clean":
+				// The 0.2% base loss still triggers retries, but the
+				// fault layer itself must stay silent.
+				for _, name := range faults {
+					if got := s.Counter(name); got != 0 {
+						t.Errorf("clean profile injected %s = %d, want 0", name, got)
+					}
+				}
+			case "hostile":
+				for _, name := range []string{
+					"wildnet.fault.drop.query", "wildnet.fault.garbled",
+					"wildnet.fault.duplicated", "wildnet.fault.ratelimit.refused",
+				} {
+					if s.Counter(name) == 0 {
+						t.Errorf("hostile profile left %s = 0", name)
+					}
+				}
+				if s.Counter("scanner.retry.rounds") == 0 || s.Counter("scanner.retry.spend") == 0 {
+					t.Error("hostile profile ran without retransmissions")
+				}
+			case "flaky":
+				if s.Counter("wildnet.fault.flap.suppressed") == 0 {
+					t.Error("flaky profile left wildnet.fault.flap.suppressed = 0")
+				}
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"goingwild/internal/fetch"
 	"goingwild/internal/fingerprint"
 	"goingwild/internal/geodb"
+	"goingwild/internal/metrics"
 	"goingwild/internal/pipeline"
 	"goingwild/internal/prefilter"
 	"goingwild/internal/scanner"
@@ -56,6 +57,12 @@ type Config struct {
 	SweepRetries int
 	RetryBudget  int
 	Backoff      scanner.BackoffConfig
+	// Metrics, when set, is threaded through every layer of the study —
+	// the scanners (primary and secondary vantage), the world's fault
+	// layer, and the pipeline engines — so one registry accumulates the
+	// whole run. A pure side channel: study outputs are byte-identical
+	// with and without it.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the paper's setup at a reduced scale.
@@ -144,6 +151,7 @@ func (c Config) scanOpts() scanner.Options {
 		Backoff:      c.Backoff,
 		RetryBudget:  c.RetryBudget,
 		SweepRetries: c.SweepRetries,
+		Metrics:      c.Metrics,
 	}
 }
 
@@ -153,6 +161,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	wcfg.Seed = cfg.Seed
 	wcfg.Loss = cfg.Loss
 	wcfg.Faults = cfg.Faults
+	wcfg.Metrics = cfg.Metrics
 	w, err := wildnet.NewWorld(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -230,10 +239,12 @@ func (s *Study) locator() churn.Locator {
 	}
 }
 
-// engine builds a stage engine wired to the study's observer and clock.
+// engine builds a stage engine wired to the study's observer and clock,
+// teeing stage events into the metrics registry when one is attached.
 // Every Run* method composes its work as stages of such an engine.
 func (s *Study) engine() *pipeline.Engine {
-	return pipeline.New(s.EngineClock, s.Observer)
+	return pipeline.New(s.EngineClock,
+		pipeline.TeeObservers(s.Observer, pipeline.MetricsObserver(s.Cfg.Metrics)))
 }
 
 // runEngine executes an engine and folds its degradation record into

@@ -1,0 +1,62 @@
+// Package debughttp serves the opt-in operator debug endpoint: expvar,
+// pprof, and the metrics registry in both Prometheus text and JSON
+// form. Only the cmd entrypoints wire it (behind -debug-addr); no
+// library code starts, or even imports, an HTTP server — observability
+// stays a side channel the measurement stack cannot depend on.
+package debughttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"goingwild/internal/metrics"
+)
+
+// publishOnce guards the process-wide expvar name (expvar.Publish
+// panics on re-registration; tests may Serve more than once).
+var publishOnce sync.Once
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060"; a
+// ":0" port picks a free one) and returns the bound address plus a stop
+// function. Routes:
+//
+//	/metrics       — Prometheus text exposition of the registry
+//	/metrics.json  — the same snapshot as indented JSON
+//	/debug/vars    — expvar (includes the snapshot under "metrics")
+//	/debug/pprof/  — the standard pprof handlers
+func Serve(addr string, reg *metrics.Registry) (string, func(), error) {
+	publishOnce.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		//lint:allow errdrop a failed write means the client hung up
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		//lint:allow errdrop a failed write means the client hung up
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		//lint:allow errdrop Serve always returns ErrServerClosed after Close
+		srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,59 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"goingwild/internal/metrics"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServeRoutes(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("scanner.sweep.sent").Add(42)
+
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+
+	if body := get(t, base+"/metrics"); !strings.Contains(body, "scanner_sweep_sent 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get(t, base+"/metrics.json"); !strings.Contains(body, `"scanner.sweep.sent"`) {
+		t.Errorf("/metrics.json missing counter:\n%s", body)
+	}
+	if body := get(t, base+"/debug/vars"); !strings.Contains(body, `"metrics"`) {
+		t.Errorf("/debug/vars missing published metrics var:\n%s", body)
+	}
+	if body := get(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+
+	// The endpoint is live: a counter bumped after Serve shows up in the
+	// next scrape.
+	reg.Counter("scanner.sweep.sent").Add(8)
+	if body := get(t, base+"/metrics"); !strings.Contains(body, "scanner_sweep_sent 50") {
+		t.Errorf("/metrics not live:\n%s", body)
+	}
+}

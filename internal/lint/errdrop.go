@@ -12,6 +12,14 @@ import (
 // zone was malformed; dropping one silently miscounts responses, which
 // is precisely the failure a measurement pipeline cannot tolerate.
 //
+// Beyond the watched packages, the rule also tracks the transport seam:
+// Transport.Send (declared in wildnet; scanner.Transport is an alias)
+// returns the only evidence that a probe never left the machine. The
+// scan hot paths deliberately treat send failures as modeled packet
+// loss, but that policy must be legible — every dropped Send error
+// needs an explicit //lint:allow errdrop annotation stating so, or the
+// rule fires.
+//
 // A call drops the error when it stands alone as a statement, is
 // spawned via go/defer, or assigns the error result to the blank
 // identifier.
@@ -20,6 +28,7 @@ func checkErrDrop(p *Package, cfg *Config, emit func(token.Pos, string, string))
 		cfg.ModulePath + "/internal/dnswire":  true,
 		cfg.ModulePath + "/internal/zonefile": true,
 	}
+	transportPkg := cfg.ModulePath + "/internal/wildnet"
 	for _, f := range p.Files {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -27,7 +36,11 @@ func checkErrDrop(p *Package, cfg *Config, emit func(token.Pos, string, string))
 				return true
 			}
 			fn := calleeFunc(p, call)
-			if fn == nil || fn.Pkg() == nil || !watched[fn.Pkg().Path()] {
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if pkg := fn.Pkg().Path(); !watched[pkg] &&
+				!(pkg == transportPkg && fn.Name() == "Send") {
 				return true
 			}
 			errIdx := errResultIndex(fn)

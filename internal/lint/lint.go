@@ -100,7 +100,7 @@ func DefaultConfig(modulePath string) Config {
 	return Config{
 		ModulePath: modulePath,
 		Deterministic: ip("wildnet", "prand", "lfsr", "cluster", "classify",
-			"analysis", "churn", "scanner"),
+			"analysis", "churn", "scanner", "metrics"),
 		Rendering: ip("analysis", "classify", "snoop", "churn", "scanner"),
 	}
 }

@@ -1,12 +1,17 @@
-// Corpus for the errdrop rule. Imports the real dnswire and zonefile
-// packages so the callee resolution under test is the production one.
+// Corpus for the errdrop rule. Imports the real dnswire, zonefile,
+// wildnet, and scanner packages so the callee resolution under test is
+// the production one.
 package corpus
 
 import (
+	"context"
 	"io"
+	"net/netip"
 	"strings"
 
 	"goingwild/internal/dnswire"
+	"goingwild/internal/scanner"
+	"goingwild/internal/wildnet"
 	"goingwild/internal/zonefile"
 )
 
@@ -51,4 +56,34 @@ func OKOtherPackage(r *strings.Reader) {
 // AllowedDrop is suppressed.
 func AllowedDrop(payload []byte) {
 	dnswire.Unpack(payload) //lint:allow errdrop corpus fixture
+}
+
+// BadTransportSend drops the transport's send error with no
+// annotation: a probe that never left the machine silently undercounts.
+func BadTransportSend(ctx context.Context, tr wildnet.Transport, dst netip.Addr, wire []byte) {
+	tr.Send(ctx, dst, 53, 33000, wire) // want errdrop
+}
+
+// BadAliasedSend reaches the same interface method through the
+// scanner.Transport alias; resolution still lands in wildnet.
+func BadAliasedSend(ctx context.Context, tr scanner.Transport, dst netip.Addr, wire []byte) {
+	_ = tr.Send(ctx, dst, 53, 33000, wire) // want errdrop
+}
+
+// OKTransportSendAnnotated states the packet-loss policy explicitly.
+func OKTransportSendAnnotated(ctx context.Context, tr wildnet.Transport, dst netip.Addr, wire []byte) {
+	//lint:allow errdrop corpus fixture: send failures are modeled packet loss
+	tr.Send(ctx, dst, 53, 33000, wire)
+}
+
+// OKTransportSendPropagated returns the send error to the caller.
+func OKTransportSendPropagated(ctx context.Context, tr wildnet.Transport, dst netip.Addr, wire []byte) error {
+	return tr.Send(ctx, dst, 53, 33000, wire)
+}
+
+// OKOtherWildnetFunc: only Send is watched by method; other
+// error-returning wildnet calls stay vet's problem.
+func OKOtherWildnetFunc(order uint) *wildnet.World {
+	w, _ := wildnet.NewWorld(wildnet.DefaultConfig(order))
+	return w
 }

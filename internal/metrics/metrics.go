@@ -1,0 +1,275 @@
+// Package metrics is the reproduction's observability layer: a named
+// registry of atomic counters, gauges, and fixed-bucket histograms with
+// deterministic, sorted snapshot export (JSON and Prometheus-style
+// text).
+//
+// The paper's operators steered ten months of weekly censuses by live
+// traffic accounting — probe rates, response ratios, abuse handling
+// (§2.2, §5) — and this package is that telemetry for the simulated
+// stack: the scanner counts probes per entrypoint, the wildnet fault
+// layer counts every injected pathology, and the pipeline engine
+// reports per-stage progress, all into one registry a run can write at
+// exit or serve over a debug endpoint.
+//
+// Metrics are a pure side channel, like the pipeline Observer: no
+// measurement result may ever depend on a metric value, so attaching a
+// registry cannot perturb the determinism contract (DESIGN.md). The
+// package enforces its own half of that contract structurally:
+//
+//   - Every metric value is an integer updated with order-independent
+//     atomic addition, so counts are reproducible across runs and
+//     GOMAXPROCS no matter how goroutines interleave. There are no
+//     float sums anywhere — float accumulation order would leak the
+//     schedule into the snapshot.
+//   - The package never reads the wall clock. Timing-valued metrics
+//     (stage durations, rate-limiter stalls) are observed by callers
+//     through their injected Clock and registered with the Timing
+//     class, so deterministic comparisons can strip them
+//     (Snapshot.StripTiming) while fake-clock tests assert them
+//     exactly.
+//   - Snapshots are sorted by name, so two exports of equal registries
+//     are byte-identical.
+//
+// A nil *Registry is valid everywhere and returns nil metric handles;
+// nil handles accept every update as a no-op. "Metrics off" is
+// therefore the zero value, and instrumented hot paths pay one nil
+// check per update.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Class separates deterministic metrics from timing-valued ones.
+type Class uint8
+
+const (
+	// Deterministic metrics count events that are a pure function of
+	// (seed, traffic): probes sent, responses received, faults injected.
+	// Two runs of the same scan must agree on every deterministic value.
+	Deterministic Class = iota
+	// Timing metrics derive from a clock — stage durations, limiter
+	// stalls. Under SystemClock they vary run to run; determinism
+	// guards strip them (Snapshot.StripTiming) and fake-clock tests
+	// assert them exactly.
+	Timing
+)
+
+// String names the class for exports.
+func (c Class) String() string {
+	if c == Timing {
+		return "timing"
+	}
+	return "deterministic"
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	_ [56]byte // pad to a cache line so hot counters don't false-share
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil Counter (metrics off).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil Counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (last-write-wins under concurrency; use it
+// for values with a single writer or where any latest value is fine).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil Gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d. Safe on a nil Gauge.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket integer histogram. Bucket i counts
+// observations v <= bounds[i]; one implicit overflow bucket counts the
+// rest. Counts and the sum are integers, so concurrent observation
+// order can never change a snapshot.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	sum    atomic.Int64
+}
+
+// Observe records v. Safe on a nil Histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use, and every method is safe on a nil *Registry (the
+// "metrics off" configuration), returning nil handles.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]*entry
+}
+
+// entry is one registered metric with its metadata.
+type entry struct {
+	name    string
+	class   Class
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+func (e *entry) kind() string {
+	switch {
+	case e.counter != nil:
+		return "counter"
+	case e.gauge != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{names: map[string]*entry{}}
+}
+
+// lookup returns the entry for name, creating it via mk on first use.
+// Re-registering a name with a different kind or class is a programmer
+// error and panics: two subsystems silently sharing one name would
+// merge unrelated counts.
+func (r *Registry) lookup(name, kind string, class Class, mk func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.names[name]; ok {
+		if e.kind() != kind || e.class != class {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s/%s (was %s/%s)",
+				name, kind, class, e.kind(), e.class))
+		}
+		return e
+	}
+	e := mk()
+	r.names[name] = e
+	return e
+}
+
+// Counter returns the deterministic counter named name, creating it on
+// first use. Nil-safe: a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	return r.counter(name, Deterministic)
+}
+
+// TimingCounter is Counter with the Timing class: its value derives
+// from a clock and is excluded by StripTiming.
+func (r *Registry) TimingCounter(name string) *Counter {
+	return r.counter(name, Timing)
+}
+
+func (r *Registry) counter(name string, class Class) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, "counter", class, func() *entry {
+		return &entry{name: name, class: class, counter: &Counter{}}
+	})
+	return e.counter
+}
+
+// Gauge returns the deterministic gauge named name.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.gauge(name, Deterministic)
+}
+
+// TimingGauge is Gauge with the Timing class.
+func (r *Registry) TimingGauge(name string) *Gauge {
+	return r.gauge(name, Timing)
+}
+
+func (r *Registry) gauge(name string, class Class) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, "gauge", class, func() *entry {
+		return &entry{name: name, class: class, gauge: &Gauge{}}
+	})
+	return e.gauge
+}
+
+// Histogram returns the deterministic histogram named name with the
+// given ascending bucket upper bounds (an overflow bucket is implicit).
+// The bounds of an existing histogram must match.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	return r.histogram(name, Deterministic, bounds)
+}
+
+// TimingHistogram is Histogram with the Timing class — the natural home
+// for duration distributions observed on an injected Clock.
+func (r *Registry) TimingHistogram(name string, bounds []int64) *Histogram {
+	return r.histogram(name, Timing, bounds)
+}
+
+func (r *Registry) histogram(name string, class Class, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	e := r.lookup(name, "histogram", class, func() *entry {
+		h := &Histogram{bounds: append([]int64(nil), bounds...)}
+		h.counts = make([]atomic.Uint64, len(bounds)+1)
+		return &entry{name: name, class: class, hist: h}
+	})
+	if len(e.hist.bounds) != len(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q re-registered with different buckets", name))
+	}
+	for i, b := range bounds {
+		if e.hist.bounds[i] != b {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different buckets", name))
+		}
+	}
+	return e.hist
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal clock the progress reporter needs. It is
+// structurally satisfied by scanner.Clock, so the cmds hand their
+// injected clock straight through and fake-clock tests drive the
+// reporter deterministically — the package never touches the wall
+// clock itself.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// StartProgress launches a reporter goroutine that writes one rendered
+// progress line to w per interval, slept on clock. A nil render uses
+// ProgressLine. The returned stop function halts the reporter: no line
+// is written after stop returns. Progress output is an operator side
+// channel — point w at stderr, never stdout.
+func StartProgress(w io.Writer, clock Clock, interval time.Duration, r *Registry, render func(Snapshot) string) (stop func()) {
+	if render == nil {
+		render = ProgressLine
+	}
+	var mu sync.Mutex // serializes writes against stop
+	stopped := false
+	go func() {
+		for {
+			clock.Sleep(interval)
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
+				return
+			}
+			fmt.Fprintln(w, render(r.Snapshot()))
+			mu.Unlock()
+		}
+	}()
+	return func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+}
+
+// ProgressLine renders the operator's one-line traffic summary: total
+// probes sent and responses received (summed over every *.sent/*.recv
+// counter), injected faults, and pipeline stage progress. It is the
+// simulated analogue of the live rate accounting the paper's operators
+// watched during their weekly censuses (§2.2).
+func ProgressLine(s Snapshot) string {
+	var sent, recv, faults uint64
+	for _, c := range s.Counters {
+		switch {
+		case strings.HasSuffix(c.Name, ".sent"):
+			sent += c.Value
+		case strings.HasSuffix(c.Name, ".recv"):
+			recv += c.Value
+		case strings.HasPrefix(c.Name, "wildnet.fault."):
+			faults += c.Value
+		}
+	}
+	ratio := 0.0
+	if sent > 0 {
+		ratio = float64(recv) / float64(sent)
+	}
+	return fmt.Sprintf("progress: sent=%d recv=%d (%.1f%%) faults=%d stages=%d/%d",
+		sent, recv, 100*ratio, faults,
+		s.Counter("pipeline.stage.done"),
+		s.Counter("pipeline.stage.done")+s.Counter("pipeline.stage.degraded")+
+			s.Counter("pipeline.stage.failed")+s.Counter("pipeline.stage.skipped"))
+}

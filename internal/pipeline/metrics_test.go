@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"goingwild/internal/metrics"
+)
+
+// TestMetricsObserverFoldsStageEvents runs a four-stage engine on a
+// fake clock and asserts the full metric fold: lifecycle tallies,
+// per-stage timing gauges (exact, because the clock is fake), the
+// duration histogram, and tuple counts.
+func TestMetricsObserverFoldsStageEvents(t *testing.T) {
+	clock := newFakeClock()
+	reg := metrics.New()
+	e := New(clock, MetricsObserver(reg))
+	e.MustAdd(Stage{Name: "sweep", Run: func(ctx context.Context) ([]Count, error) {
+		clock.Sleep(40 * time.Millisecond)
+		return []Count{{"responders", 7}, {"probes", 100}}, nil
+	}})
+	e.MustAdd(Stage{Name: "prefilter", Needs: []string{"sweep"}, Policy: BestEffort,
+		Run: func(ctx context.Context) ([]Count, error) {
+			clock.Sleep(3 * time.Millisecond)
+			return nil, errors.New("partial input")
+		}})
+	e.MustAdd(Stage{Name: "classify", Needs: []string{"prefilter"},
+		Run: func(ctx context.Context) ([]Count, error) {
+			return []Count{{"responders", 2}}, nil
+		}})
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"pipeline.stage.started":  3,
+		"pipeline.stage.done":     2,
+		"pipeline.stage.degraded": 1,
+		"pipeline.stage.failed":   0,
+		"pipeline.stage.skipped":  0,
+		"pipeline.count.probes":   100,
+		// Two stages report "responders"; the counter accumulates both.
+		"pipeline.count.responders": 9,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Gauge("pipeline.stage.sweep.ms"); got != 40 {
+		t.Errorf("sweep duration gauge = %d, want 40", got)
+	}
+	if got := s.Gauge("pipeline.stage.prefilter.ms"); got != 3 {
+		t.Errorf("prefilter duration gauge = %d, want 3", got)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Name != "pipeline.stage.duration_ms" {
+		t.Fatalf("histograms: %+v", s.Histograms)
+	}
+	if got := s.Histograms[0].Count; got != 3 {
+		t.Errorf("duration histogram count = %d, want 3", got)
+	}
+	if got := s.Histograms[0].Sum; got != 43 {
+		t.Errorf("duration histogram sum = %d ms, want 43", got)
+	}
+}
+
+// TestMetricsObserverCountsSkips: a failing required stage must tally
+// failed once and skipped for each stage that never ran.
+func TestMetricsObserverCountsSkips(t *testing.T) {
+	reg := metrics.New()
+	e := New(newFakeClock(), MetricsObserver(reg))
+	e.MustAdd(Stage{Name: "boom", Run: func(ctx context.Context) ([]Count, error) {
+		return nil, errors.New("fatal")
+	}})
+	e.MustAdd(Stage{Name: "after", Needs: []string{"boom"},
+		Run: func(ctx context.Context) ([]Count, error) { return nil, nil }})
+	if _, err := e.Run(context.Background()); err == nil {
+		t.Fatal("required-stage failure did not surface")
+	}
+	s := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"pipeline.stage.failed":  1,
+		"pipeline.stage.skipped": 1,
+		"pipeline.stage.done":    0,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestTeeObservers pins the fan-out contract: nils are dropped, all-nil
+// collapses to nil (so the engine skips emission entirely), and live
+// observers see every event in argument order.
+func TestTeeObservers(t *testing.T) {
+	if TeeObservers(nil, nil) != nil {
+		t.Error("tee of nils is not nil")
+	}
+	var order []string
+	a := func(ev StageEvent) { order = append(order, "a:"+ev.Stage) }
+	b := func(ev StageEvent) { order = append(order, "b:"+ev.Stage) }
+	tee := TeeObservers(a, nil, b)
+	tee(StageEvent{Stage: "x", Kind: StageStart})
+	if len(order) != 2 || order[0] != "a:x" || order[1] != "b:x" {
+		t.Errorf("tee order = %v", order)
+	}
+}
+
+// TestMetricsObserverNilRegistry: observability off must cost the
+// engine nothing — a nil registry yields a nil observer.
+func TestMetricsObserverNilRegistry(t *testing.T) {
+	if MetricsObserver(nil) != nil {
+		t.Error("MetricsObserver(nil) is not nil")
+	}
+}

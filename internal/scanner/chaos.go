@@ -86,6 +86,7 @@ func (s *Scanner) ScanChaosContext(ctx context.Context, resolvers []uint32) (*Ch
 				if idx >= hi {
 					return
 				}
+				s.m.chaosRecv.Inc()
 				text := string(v.AppendAnswerTXT(nil))
 				mu := locks.of(uint32(idx))
 				mu.Lock()
@@ -108,6 +109,8 @@ func (s *Scanner) ScanChaosContext(ctx context.Context, resolvers []uint32) (*Ch
 			s.retryRounds(ctx, 0, len(batch),
 				func(i, _ int) {
 					wire := packQuery(uint16(i), qname, dnswire.TypeTXT, dnswire.ClassCH)
+					s.m.chaosSent.Inc()
+					//lint:allow errdrop CHAOS-probe send failures are modeled packet loss
 					s.tr.Send(ctx, lfsr.U32ToAddr(batch[i]), 53, s.opts.BasePort, wire)
 				},
 				func(i int) bool {

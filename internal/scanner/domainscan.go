@@ -115,6 +115,7 @@ func (s *Scanner) ScanDomainsContext(ctx context.Context, resolvers []uint32, na
 			if int(id) >= len(resolvers) {
 				return
 			}
+			s.m.domainsRecv.Inc()
 			ans := &row[id]
 			mu := locks.of(uint32(id))
 			mu.Lock()
@@ -143,6 +144,8 @@ func (s *Scanner) ScanDomainsContext(ctx context.Context, resolvers []uint32, na
 				txid, portIdx := dnswire.SplitProbeID(id)
 				qname, _ := dnswire.Encode0x20(name, uint32(portIdx), 9)
 				wire := packQuery(txid, qname, dnswire.TypeA, dnswire.ClassIN)
+				s.m.domainsSent.Inc()
+				//lint:allow errdrop domain-probe send failures are modeled packet loss
 				s.tr.Send(ctx, lfsr.U32ToAddr(resolvers[ri]), 53, s.opts.BasePort+portIdx, wire)
 			},
 			func(ri int) bool {

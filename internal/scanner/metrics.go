@@ -1,0 +1,65 @@
+package scanner
+
+import "goingwild/internal/metrics"
+
+// scanMetrics holds the scanner's pre-resolved metric handles, one pair
+// of sent/recv counters per scan entrypoint plus the retry and pacing
+// accounting the paper's operators watched live (§2.2, §5). Every field
+// is nil when Options.Metrics is unset, and nil handles are no-ops, so
+// an uninstrumented scanner pays a single nil check per update and the
+// zero-alloc hot paths stay zero-alloc.
+//
+// All counters except rateStalls are deterministic: probes sent are a
+// pure function of the target set and the (settle-barriered) response
+// pattern, and responses received are a pure function of the seeded
+// world — so two runs of the same scan must agree on every value.
+// rateStalls counts limiter sleeps, which depend on real elapsed time;
+// it is registered with the Timing class and asserted only under a
+// fake clock.
+type scanMetrics struct {
+	sweepSent, sweepRecv     *metrics.Counter
+	domainsSent, domainsRecv *metrics.Counter
+	chaosSent, chaosRecv     *metrics.Counter
+	aliveSent, aliveRecv     *metrics.Counter
+	snoopSent, snoopRecv     *metrics.Counter
+	probeSent, probeRecv     *metrics.Counter
+	tcpSent, tcpRecv         *metrics.Counter
+	// retryRounds counts retry rounds that actually retransmitted;
+	// retrySpend counts the retransmissions they sent.
+	retryRounds *metrics.Counter
+	retrySpend  *metrics.Counter
+	// settleWaits counts settle barriers that waited for in-flight
+	// responses (a deterministic call count; the waited duration flows
+	// through the Clock).
+	settleWaits *metrics.Counter
+	// rateStalls counts rate-limiter sleeps (Timing class).
+	rateStalls *metrics.Counter
+}
+
+// newScanMetrics resolves the handle set against a registry; a nil
+// registry yields the all-nil (no-op) set.
+func newScanMetrics(r *metrics.Registry) scanMetrics {
+	if r == nil {
+		return scanMetrics{}
+	}
+	return scanMetrics{
+		sweepSent:   r.Counter("scanner.sweep.sent"),
+		sweepRecv:   r.Counter("scanner.sweep.recv"),
+		domainsSent: r.Counter("scanner.domains.sent"),
+		domainsRecv: r.Counter("scanner.domains.recv"),
+		chaosSent:   r.Counter("scanner.chaos.sent"),
+		chaosRecv:   r.Counter("scanner.chaos.recv"),
+		aliveSent:   r.Counter("scanner.alive.sent"),
+		aliveRecv:   r.Counter("scanner.alive.recv"),
+		snoopSent:   r.Counter("scanner.snoop.sent"),
+		snoopRecv:   r.Counter("scanner.snoop.recv"),
+		probeSent:   r.Counter("scanner.probe.sent"),
+		probeRecv:   r.Counter("scanner.probe.recv"),
+		tcpSent:     r.Counter("scanner.tcp.sent"),
+		tcpRecv:     r.Counter("scanner.tcp.recv"),
+		retryRounds: r.Counter("scanner.retry.rounds"),
+		retrySpend:  r.Counter("scanner.retry.spend"),
+		settleWaits: r.Counter("scanner.settle.waits"),
+		rateStalls:  r.TimingCounter("scanner.rate.stalls"),
+	}
+}

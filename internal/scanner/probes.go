@@ -22,6 +22,9 @@ func (s *Scanner) ProbeAlive(addrs []uint32) map[uint32]bool {
 // retry rounds; a cancelled probe returns the partial alive set with
 // ctx.Err().
 func (s *Scanner) ProbeAliveContext(ctx context.Context, addrs []uint32) (map[uint32]bool, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
 	collected := newShardedMap[bool](len(addrs) / 4)
 	base := dnswire.CanonicalName(domains.ScanBase)
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
@@ -34,6 +37,7 @@ func (s *Scanner) ProbeAliveContext(ctx context.Context, addrs []uint32) (map[ui
 		if !ok {
 			return
 		}
+		s.m.aliveRecv.Inc()
 		collected.InsertOnce(target, true)
 	})
 	// Shared retransmission loop: identical payload per attempt, misses
@@ -43,6 +47,8 @@ func (s *Scanner) ProbeAliveContext(ctx context.Context, addrs []uint32) (map[ui
 			u := addrs[i]
 			name := dnswire.EncodeTargetQName(fmt.Sprintf("c%x", u&0xFFF), lfsr.U32ToAddr(u), domains.ScanBase)
 			wire := packQuery(uint16(u), name, dnswire.TypeA, dnswire.ClassIN)
+			s.m.aliveSent.Inc()
+			//lint:allow errdrop alive-probe send failures are modeled packet loss
 			s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 		},
 		func(i int) bool {
@@ -60,6 +66,9 @@ func (s *Scanner) ProbeAliveContext(ctx context.Context, addrs []uint32) (map[ui
 // via (the churn study aggregates rDNS records of disappeared cohort
 // members through the trusted resolvers, §2.5).
 func (s *Scanner) LookupPTR(via, target uint32) (string, bool) {
+	if s.tr == nil {
+		return "", false
+	}
 	msgs := s.Probe(via, fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa",
 		target&0xFF, target>>8&0xFF, target>>16&0xFF, target>>24), dnswire.TypePTR, dnswire.ClassIN)
 	for _, m := range msgs {
@@ -75,6 +84,9 @@ func (s *Scanner) LookupPTR(via, target uint32) (string, bool) {
 // LookupA resolves an A record through the resolver at via, returning the
 // answer addresses (used by the prefilter's rDNS round-trip rule).
 func (s *Scanner) LookupA(via uint32, name string) ([]uint32, dnswire.RCode, bool) {
+	if s.tr == nil {
+		return nil, 0, false
+	}
 	msgs := s.Probe(via, name, dnswire.TypeA, dnswire.ClassIN)
 	for _, m := range msgs {
 		addrs := m.AnswerAddrs()

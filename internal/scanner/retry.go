@@ -136,6 +136,8 @@ func (s *Scanner) retryRounds(ctx context.Context, rounds, n int,
 			return err
 		}
 		batch, a := pending, attempt
+		s.m.retryRounds.Inc()
+		s.m.retrySpend.Add(uint64(len(batch)))
 		if err := s.sendAll(ctx, len(batch), func(k int) { send(batch[k], a) }); err != nil {
 			return err
 		}

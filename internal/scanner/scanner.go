@@ -26,6 +26,7 @@ import (
 
 	"goingwild/internal/dnswire"
 	"goingwild/internal/lfsr"
+	"goingwild/internal/metrics"
 	"goingwild/internal/wildnet"
 )
 
@@ -89,6 +90,14 @@ type Options struct {
 	// Default SystemClock; tests inject a fake to exercise pacing
 	// deterministically.
 	Clock Clock
+	// Metrics, when set, receives the scanner's traffic accounting:
+	// probes sent/received per entrypoint, retry rounds and budget
+	// spend, settle waits, and rate-limiter stalls. Metrics are a pure
+	// side channel — scan results never depend on them — and every
+	// value except the Timing-class stall counter is deterministic
+	// across runs and GOMAXPROCS. Nil disables instrumentation at zero
+	// hot-path cost.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) fill() {
@@ -123,12 +132,15 @@ type Scanner struct {
 	tr   Transport
 	opts Options
 	rate *rateLimiter
+	m    scanMetrics
 }
 
 // New builds a scanner.
 func New(tr Transport, opts Options) *Scanner {
 	opts.fill()
-	return &Scanner{tr: tr, opts: opts, rate: newRateLimiter(opts.RatePPS, opts.Clock)}
+	s := &Scanner{tr: tr, opts: opts, rate: newRateLimiter(opts.RatePPS, opts.Clock), m: newScanMetrics(opts.Metrics)}
+	s.rate.stalls = s.m.rateStalls
+	return s
 }
 
 // ErrNoTransport is returned when the scanner was built with nil.
@@ -138,8 +150,12 @@ var ErrNoTransport = errors.New("scanner: nil transport")
 type rateLimiter struct {
 	interval time.Duration
 	clock    Clock
-	mu       sync.Mutex
-	next     time.Time
+	// stalls counts pacing sleeps (Timing class — how often the limiter
+	// held a sender back depends on real elapsed time). Nil when
+	// metrics are off.
+	stalls *metrics.Counter
+	mu     sync.Mutex
+	next   time.Time
 }
 
 func newRateLimiter(pps int, clock Clock) *rateLimiter {
@@ -169,6 +185,7 @@ func (r *rateLimiter) wait(ctx context.Context) {
 	// A cancelled context cuts the pacing sleep short so a slow scan
 	// does not outlive its deadline by one token.
 	if sleep > 2*time.Millisecond {
+		r.stalls.Inc()
 		sleepCtx(ctx, r.clock, sleep)
 	}
 }
@@ -309,6 +326,7 @@ var sweepBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return
 // skips or cuts short the wait and is reported as ctx.Err().
 func (s *Scanner) settle(ctx context.Context) error {
 	if s.opts.SettleDelay > 0 {
+		s.m.settleWaits.Inc()
 		return sleepCtx(ctx, s.opts.Clock, s.opts.SettleDelay)
 	}
 	return ctx.Err()

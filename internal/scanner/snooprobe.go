@@ -34,6 +34,9 @@ func (s *Scanner) SnoopRound(resolvers []uint32, tld string, seq uint16) map[uin
 // attrition the paper tolerates for this experiment. A cancelled round
 // returns the observations gathered so far plus ctx.Err().
 func (s *Scanner) SnoopRoundContext(ctx context.Context, resolvers []uint32, tld string, seq uint16) (map[uint32]SnoopObs, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
 	collected := newShardedMap[SnoopObs](len(resolvers) / 2)
 	// want is written before the sends and only read by receivers.
 	want := make(map[uint32]struct{}, len(resolvers))
@@ -50,6 +53,7 @@ func (s *Scanner) SnoopRoundContext(ctx context.Context, resolvers []uint32, tld
 		if _, ok := want[u]; !ok {
 			return
 		}
+		s.m.snoopRecv.Inc()
 		obs := SnoopObs{Answered: true}
 		if ttl, ok := v.FirstAnswerNS(); ok {
 			obs.Cached = true
@@ -66,6 +70,8 @@ func (s *Scanner) SnoopRoundContext(ctx context.Context, resolvers []uint32, tld
 		if err != nil {
 			return
 		}
+		s.m.snoopSent.Inc()
+		//lint:allow errdrop snoop-probe send failures are modeled packet loss
 		s.tr.Send(ctx, lfsr.U32ToAddr(resolvers[i]), 53, s.opts.BasePort, wire)
 	})
 	err := s.settle(ctx)

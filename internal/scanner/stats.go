@@ -3,6 +3,7 @@ package scanner
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -10,13 +11,29 @@ import (
 // Stats counts a scanner's traffic, for operator dashboards and the
 // abuse-avoidance reporting the paper's operators practiced (rate
 // limiting, opt-out handling, §2.2/§5).
+//
+// The elapsed-time base is stamped lazily at the first Send, not at wrap
+// time: a wrapped transport often sits idle through world construction
+// and target generation, and charging that setup window to the scan
+// would understate Rate(). startedAt is an atomic pointer because the
+// wrapper is shared across sender goroutines; the sync.Once guarantees
+// exactly one stamp even when many senders race the first probe.
 type Stats struct {
 	sent      atomic.Uint64
 	received  atomic.Uint64
 	bytesOut  atomic.Uint64
 	bytesIn   atomic.Uint64
 	clock     Clock
-	startedAt time.Time
+	startOnce sync.Once
+	startedAt atomic.Pointer[time.Time]
+}
+
+// markStarted stamps the elapsed-time base on the first probe.
+func (s *Stats) markStarted() {
+	s.startOnce.Do(func() {
+		t := s.clock.Now()
+		s.startedAt.Store(&t)
+	})
 }
 
 // Snapshot is a point-in-time view of the counters.
@@ -67,23 +84,28 @@ func WithStatsClock(inner Transport, clock Clock) (Transport, *Stats) {
 	if clock == nil {
 		clock = SystemClock
 	}
-	st := &Stats{clock: clock, startedAt: clock.Now()}
+	st := &Stats{clock: clock}
 	return &statsTransport{inner: inner, stats: st}, st
 }
 
-// Snapshot reads the counters.
+// Snapshot reads the counters. Elapsed is zero until the first probe is
+// sent (the clock starts with the traffic, not with the wrapping).
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
+	snap := Snapshot{
 		Sent:     s.sent.Load(),
 		Received: s.received.Load(),
 		BytesOut: s.bytesOut.Load(),
 		BytesIn:  s.bytesIn.Load(),
-		Elapsed:  s.clock.Now().Sub(s.startedAt),
 	}
+	if start := s.startedAt.Load(); start != nil {
+		snap.Elapsed = s.clock.Now().Sub(*start)
+	}
+	return snap
 }
 
 // Send implements Transport.
 func (t *statsTransport) Send(ctx context.Context, dst netip4, dstPort, srcPort uint16, payload []byte) error {
+	t.stats.markStarted()
 	t.stats.sent.Add(1)
 	t.stats.bytesOut.Add(uint64(len(payload)))
 	return t.inner.Send(ctx, dst, dstPort, srcPort, payload)
@@ -108,6 +130,7 @@ func (t *statsTransport) QueryTCP(dst netip4, payload []byte) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	t.stats.markStarted()
 	t.stats.sent.Add(1)
 	t.stats.bytesOut.Add(uint64(len(payload)))
 	resp, ok := tq.QueryTCP(dst, payload)

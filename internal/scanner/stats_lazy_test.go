@@ -1,0 +1,79 @@
+package scanner
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsLazyStartExcludesSetup pins the lazy elapsed-time base: the
+// clock starts at the first Send, not when the transport is wrapped.
+// Before this fix, world construction and target generation were
+// charged to the scan window, understating Rate() by whatever the
+// setup cost happened to be.
+func TestStatsLazyStartExcludesSetup(t *testing.T) {
+	fc := newFakeClock()
+	inner := &nullTransport{}
+	tr, stats := WithStatsClock(inner, fc)
+	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) {})
+
+	// A long idle setup window must not accrue elapsed time.
+	fc.Advance(10 * time.Second)
+	if snap := stats.Snapshot(); snap.Elapsed != 0 || snap.Rate() != 0 {
+		t.Fatalf("pre-traffic snapshot: Elapsed=%v Rate=%v, want 0 and 0", snap.Elapsed, snap.Rate())
+	}
+
+	payload := make([]byte, 8)
+	dst := netip.MustParseAddr("192.0.2.1")
+	for i := 0; i < 50; i++ {
+		if err := tr.Send(context.Background(), dst, 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Advance(5 * time.Second)
+
+	snap := stats.Snapshot()
+	if snap.Elapsed != 5*time.Second {
+		t.Errorf("Elapsed = %v, want exactly 5s (setup window must be excluded)", snap.Elapsed)
+	}
+	if got := snap.Rate(); got != 10 {
+		t.Errorf("Rate() = %v pps, want exactly 10", got)
+	}
+}
+
+// TestStatsLazyStartConcurrent races many senders over one wrapper: the
+// base must be stamped exactly once (the earliest Send wins), which the
+// race detector checks for free when this package runs under -race.
+func TestStatsLazyStartConcurrent(t *testing.T) {
+	fc := newFakeClock()
+	start := fc.Now()
+	tr, stats := WithStatsClock(&nullTransport{}, fc)
+	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) {})
+
+	payload := make([]byte, 4)
+	dst := netip.MustParseAddr("192.0.2.1")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tr.Send(context.Background(), dst, 53, 40000, payload)
+			}
+		}()
+	}
+	wg.Wait()
+	fc.Advance(time.Second)
+
+	snap := stats.Snapshot()
+	if snap.Sent != 800 {
+		t.Errorf("Sent = %d, want 800", snap.Sent)
+	}
+	// All sends happened at the same fake instant, so whichever
+	// goroutine stamped the base, Elapsed is exactly the later advance.
+	if snap.Elapsed != fc.Now().Sub(start) {
+		t.Errorf("Elapsed = %v, want %v", snap.Elapsed, fc.Now().Sub(start))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"goingwild/internal/dnswire"
 	"goingwild/internal/domains"
 	"goingwild/internal/lfsr"
+	"goingwild/internal/metrics"
 )
 
 // Responder is one host that answered the Internet-wide sweep.
@@ -96,6 +97,7 @@ func cachePrefixN(u uint32, attempt int) [5]byte {
 type sweepCollector struct {
 	base      string // canonical scan base the qname must end in
 	responses *shardedMap[Responder]
+	recv      *metrics.Counter // valid sweep responses seen (nil = metrics off)
 }
 
 func newSweepCollector(base string, hint int) *sweepCollector {
@@ -117,6 +119,7 @@ func (st *sweepCollector) receive(src netip4, srcPort, dstPort uint16, payload [
 	if !ok {
 		return
 	}
+	st.recv.Inc()
 	st.responses.InsertOnce(target, Responder{
 		Addr:     target,
 		Source:   addrU32(src),
@@ -154,6 +157,7 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 	}
 	hint := int(uint64(1) << order / 64)
 	st := newSweepCollector(domains.ScanBase, hint)
+	st.recv = s.m.sweepRecv
 	s.tr.SetReceiver(st.receive)
 	baseWire, err := dnswire.EncodeNameWire(st.base)
 	if err != nil {
@@ -172,6 +176,8 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 		prefix := cachePrefix(u)
 		wire := dnswire.AppendTargetQuery((*scratch)[:0], uint16(u)^uint16(u>>16),
 			prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
+		s.m.sweepSent.Inc()
+		//lint:allow errdrop sweep send failures are modeled packet loss
 		s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 		*scratch = wire[:0]
 	})
@@ -230,6 +236,7 @@ func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32,
 		if err != nil {
 			return err
 		}
+		s.m.retryRounds.Inc()
 		resend := func(u uint32, scratch *[]byte) {
 			if _, answered := st.responses.Get(u); answered {
 				return
@@ -237,6 +244,9 @@ func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32,
 			prefix := cachePrefixN(u, attempt)
 			wire := dnswire.AppendTargetQuery((*scratch)[:0], uint16(u)^uint16(u>>16),
 				prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
+			s.m.sweepSent.Inc()
+			s.m.retrySpend.Inc()
+			//lint:allow errdrop sweep retransmission failures are modeled packet loss
 			s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 			*scratch = wire[:0]
 		}
@@ -287,16 +297,22 @@ func (s *Scanner) Probe(addr uint32, name string, typ dnswire.Type, class dnswir
 // to observe response races, §4.2). A dead context cuts the settle wait
 // short and surfaces as ctx.Err() alongside whatever arrived.
 func (s *Scanner) ProbeContext(ctx context.Context, addr uint32, name string, typ dnswire.Type, class dnswire.Class) ([]*dnswire.Message, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
 	var mu sync.Mutex
 	var out []*dnswire.Message
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
 		if m, err := dnswire.Unpack(payload); err == nil && m.Header.QR {
+			s.m.probeRecv.Inc()
 			mu.Lock()
 			out = append(out, m)
 			mu.Unlock()
 		}
 	})
 	wire := packQuery(0x5157, name, typ, class)
+	s.m.probeSent.Inc()
+	//lint:allow errdrop single-probe send failures are modeled packet loss
 	s.tr.Send(ctx, lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
 	err := s.settle(ctx)
 	mu.Lock()

@@ -20,16 +20,22 @@ type TCPQuerier interface {
 // final responses (TCP replacing the truncated UDP answer) and whether a
 // TCP fallback happened.
 func (s *Scanner) ProbeTC(addr uint32, name string, typ dnswire.Type, class dnswire.Class) ([]*dnswire.Message, bool) {
+	if s.tr == nil {
+		return nil, false
+	}
 	var mu sync.Mutex
 	var out []*dnswire.Message
 	s.tr.SetReceiver(func(src netip4, srcPort, dstPort uint16, payload []byte) {
 		if m, err := dnswire.Unpack(payload); err == nil && m.Header.QR {
+			s.m.tcpRecv.Inc()
 			mu.Lock()
 			out = append(out, m)
 			mu.Unlock()
 		}
 	})
 	wire := packQuery(0x7C17, name, typ, class)
+	s.m.tcpSent.Inc()
+	//lint:allow errdrop TC-probe send failures are modeled packet loss
 	s.tr.Send(bgCtx, lfsr.U32ToAddr(addr), 53, s.opts.BasePort, wire)
 	s.settle(bgCtx)
 

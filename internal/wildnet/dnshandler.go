@@ -92,8 +92,12 @@ func (w *World) handleDNS(v Vantage, srcPort uint16, dst uint32, q *dnswire.Mess
 	}
 
 	// A flapping host is mid-outage: silent to everything, resolver or
-	// not, until its window passes.
+	// not, until its window passes. The suppression is counted here, at
+	// the query-handling site, because the same predicate also backs the
+	// ground-truth walk (CountRespondingAt), which must not inflate
+	// traffic counters.
 	if w.faultsOn && w.faultFlapped(dst, t) {
+		w.fm.flapped.Inc()
 		return nil
 	}
 

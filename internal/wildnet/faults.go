@@ -196,15 +196,15 @@ type faultCtx struct {
 }
 
 // faultLossProb returns the fault-layer loss probability for a packet
-// touching host addr at time t: the burst rate inside a burst window, the
-// independent extra rate outside.
-func (w *World) faultLossProb(addr uint32, t Time) float64 {
+// touching host addr at time t — the burst rate inside a burst window,
+// the independent extra rate outside — and whether a burst applied.
+func (w *World) faultLossProb(addr uint32, t Time) (p float64, burst bool) {
 	f := &w.cfg.Faults
 	if f.BurstProb > 0 &&
 		prand.UnitOf(w.cfg.Seed, facetFaultBurst, uint64(addr), f.burstWindow(t)) < f.BurstProb {
-		return f.BurstLoss
+		return f.BurstLoss, true
 	}
-	return f.ExtraLoss
+	return f.ExtraLoss, false
 }
 
 // faultDrop draws the fault-layer fate of one packet. Unlike the base
@@ -212,14 +212,25 @@ func (w *World) faultLossProb(addr uint32, t Time) float64 {
 // identical payload gets an independent redraw, which is what makes
 // retrying meaningful under a fault profile.
 func (w *World) faultDrop(dir uint64, addr uint32, aPort, bPort uint16, ph uint64, t Time, attempt uint64) bool {
-	p := w.faultLossProb(addr, t)
+	p, burst := w.faultLossProb(addr, t)
 	if p <= 0 {
 		return false
 	}
 	h := prand.Hash(w.cfg.Seed, facetFaultDrop, dir, uint64(addr),
 		uint64(aPort)<<16|uint64(bPort), ph,
 		uint64(t.AbsHour()*60+t.Minute), attempt)
-	return prand.Float64(h) < p
+	if prand.Float64(h) >= p {
+		return false
+	}
+	if dir == dirQuery {
+		w.fm.dropQuery.Inc()
+	} else {
+		w.fm.dropResponse.Inc()
+	}
+	if burst {
+		w.fm.dropBurst.Inc()
+	}
+	return true
 }
 
 // faultFlapped reports whether host u is inside a flap outage at t. The
@@ -250,8 +261,10 @@ func (w *World) faultRateLimited(identity uint64, t Time, fc faultCtx) (refused,
 		return false, false // admitted under the window budget
 	}
 	if prand.UnitOf(identity, facetFaultRate, 1, win, fc.payloadHash, fc.attempt) < f.RateLimitRefuse {
+		w.fm.rateRefused.Inc()
 		return true, false
 	}
+	w.fm.rateDropped.Inc()
 	return false, true
 }
 
@@ -296,6 +309,7 @@ func (w *World) faultGarble(wire []byte, src uint32, rph uint64, t Time, attempt
 	if prand.Float64(h) >= f.GarbleProb {
 		return
 	}
+	w.fm.garbled.Inc()
 	n := 1 + prand.IntN(h>>8, 3)
 	for k := 0; k < n; k++ {
 		pos := prand.IntN(prand.Hash(h, uint64(k)), len(wire))
@@ -309,8 +323,12 @@ func (w *World) faultDup(src uint32, rph uint64, t Time, attempt uint64) bool {
 	if f.DupProb <= 0 {
 		return false
 	}
-	return prand.UnitOf(w.cfg.Seed, facetFaultDup, uint64(src), rph,
-		uint64(t.AbsHour()*60+t.Minute), attempt) < f.DupProb
+	if prand.UnitOf(w.cfg.Seed, facetFaultDup, uint64(src), rph,
+		uint64(t.AbsHour()*60+t.Minute), attempt) >= f.DupProb {
+		return false
+	}
+	w.fm.duplicated.Inc()
+	return true
 }
 
 // CountRespondingAt iterates the whole address space and returns the

@@ -18,6 +18,7 @@ import (
 
 	"goingwild/internal/geodb"
 	"goingwild/internal/lfsr"
+	"goingwild/internal/metrics"
 )
 
 // Facet tags keep the per-host hash draws independent of each other.
@@ -77,6 +78,11 @@ type Config struct {
 	// garbling, rate-limiting resolvers, and host flaps. The zero value
 	// disables the layer entirely (see faults.go and ChaosProfile).
 	Faults FaultConfig
+	// Metrics, when set, counts every injected fault (drops, bursts,
+	// garbles, duplicates, rate-limiter verdicts, flap suppressions)
+	// into the registry. A pure side channel: no draw ever reads a
+	// counter, so attaching a registry cannot change the world.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the standard world used by tests and examples.
@@ -105,6 +111,8 @@ type World struct {
 	// faultsOn caches Faults.Enabled() so the transport hot path pays a
 	// single bool load when the fault layer is disabled.
 	faultsOn bool
+	// fm counts injected faults; all-nil (no-op) without a registry.
+	fm faultMetrics
 }
 
 // NewWorld builds a world from cfg.
@@ -132,6 +140,7 @@ func NewWorld(cfg Config) (*World, error) {
 		mask:     mask,
 		scale:    float64(uint64(1)<<32) / float64(uint64(1)<<cfg.Order),
 		faultsOn: cfg.Faults.Enabled(),
+		fm:       newFaultMetrics(cfg.Metrics),
 	}
 	w.infra = buildInfraMap(w)
 	w.stations = w.buildStations()
