@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race chaos metrics-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
+.PHONY: all build vet lint lint-escape test test-short race chaos metrics-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -12,11 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (internal/lint): determinism,
-# maporder, gohygiene, errdrop, ctxhygiene, sleepcall. Exits nonzero on
-# any finding.
+# Project-specific static analysis (internal/lint): the six syntactic
+# rules (determinism, maporder, gohygiene, errdrop, ctxhygiene,
+# sleepcall) and the four flow-sensitive ones (lockcheck, atomichygiene,
+# hotpath, taintflow). Exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/wildlint ./...
+
+# Escape-analysis cross-check for the hotpath rule: rebuild the packages
+# carrying //lint:hotpath annotations with the compiler's -m diagnostics
+# (-a defeats the build cache, which would otherwise swallow them) and
+# fail if the compiler reports a heap allocation inside an annotated
+# function. The static rule and the compiler must agree.
+lint-escape:
+	$(GO) build -a -gcflags=-m ./internal/scanner ./internal/dnswire ./internal/lfsr 2> /tmp/wildlint_escape.log || (cat /tmp/wildlint_escape.log; exit 1)
+	$(GO) run ./cmd/wildlint -escape-log /tmp/wildlint_escape.log ./internal/scanner ./internal/dnswire ./internal/lfsr
 
 test:
 	$(GO) test ./...

@@ -1,70 +1,212 @@
 // Command wildlint runs the project's static-analysis pass (see
-// internal/lint) over the module: determinism, maporder, gohygiene,
-// errdrop, ctxhygiene, and sleepcall.
+// internal/lint) over the module: the six syntactic rules (determinism,
+// maporder, gohygiene, errdrop, ctxhygiene, sleepcall) and the four
+// flow-sensitive ones (lockcheck, atomichygiene, hotpath, taintflow).
 //
 // Usage:
 //
-//	wildlint [./...|dir ...]
+//	wildlint [-json] [-rules a,b,c] [-escape-log file] [./...|dir ...]
 //
 // With no arguments (or the literal ./...) it analyzes every package in
 // the module containing the current directory. Findings print one per
-// line as `file:line: [rule] message`; the exit status is 1 when any
-// finding survives, 2 on load errors.
+// line as `file:line: [rule] message`; -json emits them instead as a
+// sorted JSON array of {rule, file, line, msg, allowed} objects (allowed
+// findings are included in JSON and suppressed in text). -rules
+// restricts analysis to a comma-separated subset of rule names.
+// -escape-log cross-checks //lint:hotpath functions against the
+// compiler's escape analysis: the file is the stderr of
+// `go build -a -gcflags=-m ./...` and any heap allocation the compiler
+// reports inside an annotated function is a finding (`make lint-escape`
+// wires this up).
+//
+// Exit status: 0 clean, 1 when any finding survives, 2 when a package
+// fails to load or type-check — a partial analysis is not a clean one,
+// so load failures are loud, named, and fatal rather than skipped.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"goingwild/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonFinding is the -json wire shape, one object per finding, sorted by
+// (file, line, rule, msg). Allowed marks findings a //lint:allow
+// suppresses; text mode hides them, JSON reports the allow-state.
+type jsonFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Msg     string `json:"msg"`
+	Allowed bool   `json:"allowed"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("wildlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a sorted JSON array (includes allowed findings with their allow-state)")
+	rulesFlag := fs.String("rules", "", "comma-separated rules to run (default: all)")
+	escapeLog := fs.String("escape-log", "", "cross-check //lint:hotpath functions against this `go build -gcflags=-m` stderr file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		fmt.Fprintln(stderr, "wildlint:", err)
 		return 2
 	}
 	modRoot, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		fmt.Fprintln(stderr, "wildlint:", err)
 		return 2
 	}
 	loader, err := lint.NewLoader(modRoot)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		fmt.Fprintln(stderr, "wildlint:", err)
 		return 2
 	}
 
-	dirs, err := expandArgs(args, modRoot)
+	dirs, err := expandArgs(fs.Args(), modRoot)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wildlint:", err)
+		fmt.Fprintln(stderr, "wildlint:", err)
 		return 2
 	}
 
 	cfg := lint.DefaultConfig(loader.ModPath)
-	status := 0
+	if *rulesFlag != "" {
+		rules, err := parseRules(*rulesFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "wildlint:", err)
+			return 2
+		}
+		cfg.Rules = rules
+	}
+
+	var findings []lint.Finding
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wildlint:", err)
-			status = 2
-			continue
+			// A package that fails to load or type-check means the
+			// analysis set is incomplete; report which one and stop
+			// rather than print a misleadingly clean result.
+			fmt.Fprintf(stderr, "wildlint: cannot analyze %s: %v\n", relPath(cwd, dir), err)
+			fmt.Fprintln(stderr, "wildlint: aborting: findings below this point would be incomplete")
+			return 2
 		}
-		for _, f := range cfg.Analyze(pkg) {
+		for _, f := range cfg.AnalyzeAll(pkg) {
 			f.Pos.Filename = relPath(cwd, f.Pos.Filename)
-			fmt.Println(f)
-			if status == 0 {
-				status = 1
+			findings = append(findings, f)
+		}
+		if *escapeLog != "" {
+			spans := lint.HotpathSpans(pkg)
+			logBytes, err := os.ReadFile(*escapeLog)
+			if err != nil {
+				fmt.Fprintln(stderr, "wildlint:", err)
+				return 2
+			}
+			for _, f := range lint.CheckEscapeLog(spans, logBytes, cwd) {
+				f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+				findings = append(findings, f)
 			}
 		}
 	}
+
+	// Findings arrive sorted per package; re-sort globally so multi-dir
+	// runs (and JSON output) are byte-identical regardless of dir order
+	// or scheduling.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Rule: f.Rule, File: f.Pos.Filename, Line: f.Pos.Line,
+				Msg: f.Msg, Allowed: f.Allowed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "wildlint:", err)
+			return 2
+		}
+	}
+
+	status := 0
+	for _, f := range findings {
+		if f.Allowed {
+			continue
+		}
+		if !*jsonOut {
+			fmt.Fprintln(stdout, f)
+		}
+		status = 1
+	}
 	return status
+}
+
+// parseRules validates the -rules list against the known rule names.
+func parseRules(s string) ([]string, error) {
+	var rules []string
+	for _, r := range strings.Split(s, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		known := r == "allow"
+		for _, k := range lint.AllRules {
+			if k == r {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(lint.AllRules, ", "))
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("-rules given but no rule names parsed")
+	}
+	// The allow machinery (malformed/stale //lint:allow findings) rides
+	// along unless the filter names only other rules on purpose; include
+	// it implicitly so a filtered run still reports rotted escapes for
+	// the rules it checks.
+	if !contains(rules, "allow") {
+		rules = append(rules, "allow")
+	}
+	return rules, nil
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 // expandArgs turns the command-line patterns into package directories.

@@ -34,12 +34,10 @@ func Serve(addr string, reg *metrics.Registry) (string, func(), error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		//lint:allow errdrop a failed write means the client hung up
 		reg.Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		//lint:allow errdrop a failed write means the client hung up
 		reg.Snapshot().WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -55,7 +53,6 @@ func Serve(addr string, reg *metrics.Registry) (string, func(), error) {
 	}
 	srv := &http.Server{Handler: mux}
 	go func() {
-		//lint:allow errdrop Serve always returns ErrServerClosed after Close
 		srv.Serve(ln)
 	}()
 	return ln.Addr().String(), func() { srv.Close() }, nil

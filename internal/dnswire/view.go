@@ -75,31 +75,49 @@ func (v *View) Reset(msg []byte) error {
 }
 
 // ID returns the transaction ID.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) ID() uint16 { return v.id }
 
 // QR reports the response flag.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) QR() bool { return v.flags&flagQR != 0 }
 
 // TC reports the truncation flag.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) TC() bool { return v.flags&flagTC != 0 }
 
 // RCode returns the response code.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) RCode() RCode { return RCode(v.flags & 0xF) }
 
 // QDCount returns the question-section count.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) QDCount() int { return v.counts[0] }
 
 // AnswerCount returns the answer-section count.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) AnswerCount() int { return v.counts[1] }
 
 // QName returns the first question's name (dotted, original case, no
 // trailing dot). The slice is owned by the view and valid until Reset.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) QName() []byte { return v.name }
 
 // QType returns the first question's type.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) QType() Type { return v.qtype }
 
 // QClass returns the first question's class.
+//
+//lint:hotpath pooled-view accessor on the receive path
 func (v *View) QClass() Class { return v.qclass }
 
 // walk visits count records starting at off, calling fn with each record's
@@ -213,6 +231,8 @@ func (v *View) AppendAnswerTXT(dst []byte) []byte {
 
 // skipName advances past a wire-format name without decoding it. A
 // compression pointer ends the name's direct encoding immediately.
+//
+//lint:hotpath per-response decode; one allocation here is one per packet
 func skipName(msg []byte, off int) (int, error) {
 	for {
 		if off >= len(msg) {
@@ -294,6 +314,8 @@ func appendNameBytes(dst []byte, msg []byte, off int) ([]byte, int, error) {
 // raw name bytes of a View and without allocating. base must be canonical
 // (lower case, no trailing dot); the name's case is folded during the
 // comparison.
+//
+//lint:hotpath per-response decode; one allocation here is one per packet
 func DecodeTargetQNameU32(name []byte, base string) (uint32, bool) {
 	nb := len(base)
 	if nb == 0 || len(name) < nb+11 {
@@ -331,6 +353,8 @@ func DecodeTargetQNameU32(name []byte, base string) (uint32, bool) {
 
 // Decode0x20Bytes recovers up to n bits from the letter casing of a raw
 // name, mirroring Decode0x20 without the string conversion.
+//
+//lint:hotpath per-response decode; one allocation here is one per packet
 func Decode0x20Bytes(name []byte, n int) (uint32, int) {
 	var bits uint32
 	bit := 0

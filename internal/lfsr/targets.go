@@ -43,6 +43,8 @@ func (g *TargetGenerator) Next() (addr netip.Addr, ok bool) {
 }
 
 // NextU32 is Next without the netip conversion, for hot scan loops.
+//
+//lint:hotpath per-probe target generation; senders pull these in a tight loop
 func (g *TargetGenerator) NextU32() (u uint32, ok bool) {
 	for g.emitted < g.period {
 		v := g.reg.Next()
@@ -59,6 +61,8 @@ func (g *TargetGenerator) NextU32() (u uint32, ok bool) {
 // how many it produced. A short (or zero) count only happens at the end of
 // the permutation. Streaming senders pull batches under a shared lock so
 // the generator is touched once per batch, not once per probe.
+//
+//lint:hotpath per-probe target generation; senders pull these in a tight loop
 func (g *TargetGenerator) NextBatch(dst []uint32) int {
 	n := 0
 	for n < len(dst) && g.emitted < g.period {

@@ -1,0 +1,407 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkAtomicHygiene polices the two ways sync/atomic goes wrong in a
+// high-concurrency engine like the sharded scanner:
+//
+//   - Mixed access: a field or package-level variable touched through
+//     sync/atomic anywhere must be touched atomically everywhere. One
+//     plain `s.n++` next to a fleet of atomic.AddUint64(&s.n, 1) calls is
+//     a data race the race detector only catches if a test happens to
+//     interleave it. The location is keyed by its declared field/var
+//     object, so the rule sees mixed access across methods and files.
+//     Initialization is exempt: composite-literal fields and writes to a
+//     value freshly allocated in the same function are pre-publication
+//     and race-free by construction.
+//
+//   - Non-atomic read-modify-write: a Store whose value derives from a
+//     Load of the same location (directly or through intermediate
+//     variables, resolved over def-use chains) is a lost update under
+//     concurrency — two goroutines both Load n, both Store n+1, one
+//     increment vanishes. Use Add, or CompareAndSwap in a retry loop.
+//     The pattern is recognized for both the free functions
+//     (atomic.StoreUint64(&x, atomic.LoadUint64(&x)+1)) and the typed
+//     atomics (v := x.Load(); ...; x.Store(v+1)).
+func checkAtomicHygiene(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	fields := atomicFreeFuncFields(p)
+	if len(fields) > 0 {
+		checkMixedAccess(p, fields, emit)
+	}
+	for _, fs := range funcScopes(p) {
+		checkAtomicRMW(p, fs, emit)
+	}
+}
+
+// atomicFreeFuncFields collects the field/var objects accessed through
+// sync/atomic free functions (&x arguments). Typed atomics (atomic.Uint64
+// fields) are excluded here: their API makes plain access impossible.
+func atomicFreeFuncFields(p *Package) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, name, ok := pkgFuncCall(p, call, "sync/atomic")
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !atomicOpName(name) {
+				return true
+			}
+			if obj, text := addrTargetObject(p, call.Args[0]); obj != nil {
+				out[obj] = text
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// atomicOpName reports whether name is a sync/atomic access function
+// (Load*/Store*/Add*/Swap*/CompareAndSwap*).
+func atomicOpName(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrTargetObject resolves the &expr first argument of an atomic free
+// function to the field or variable object it addresses.
+func addrTargetObject(p *Package, arg ast.Expr) (types.Object, string) {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, ""
+	}
+	switch e := un.X.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok {
+			return sel.Obj(), exprText(e)
+		}
+		if obj := p.Info.Uses[e.Sel]; obj != nil {
+			return obj, exprText(e)
+		}
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj, e.Name
+		}
+	}
+	return nil, ""
+}
+
+// checkMixedAccess flags plain (non-atomic) reads and writes of the
+// atomically-accessed locations.
+func checkMixedAccess(p *Package, fields map[types.Object]string, emit func(token.Pos, string, string)) {
+	type finding struct {
+		pos  token.Pos
+		text string
+	}
+	var found []finding
+	for _, f := range p.Files {
+		// fresh tracks, per function, locals whose every definition is a
+		// fresh allocation — pre-publication state the function owns.
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			// Skip the &x argument position of atomic calls themselves.
+			if call, ok := n.(*ast.CallExpr); ok {
+				if _, name, ok2 := pkgFuncCall(p, call, "sync/atomic"); ok2 && atomicOpName(name) {
+					// Visit value arguments but not the address arg.
+					for _, a := range call.Args[1:] {
+						ast.Inspect(a, func(m ast.Node) bool {
+							if h := hitAtomicField(p, m, fields); h != "" {
+								found = append(found, finding{m.Pos(), h})
+								return false
+							}
+							return true
+						})
+					}
+					return false
+				}
+			}
+			// Composite literals initialize; do not descend into their
+			// key positions but values may still read shared state.
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if _, isComposite := parentComposite(stack); isComposite {
+					if h := hitAtomicFieldExprOnly(p, kv.Value, fields); h.text != "" {
+						found = append(found, finding{h.pos, h.text})
+					}
+					return false
+				}
+			}
+			if h := hitAtomicField(p, n, fields); h != "" {
+				// Exempt writes/reads through a base object freshly
+				// allocated in the enclosing function.
+				if sel, ok := n.(*ast.SelectorExpr); ok && freshlyAllocatedBase(p, stack, sel) {
+					return false
+				}
+				found = append(found, finding{n.(ast.Expr).Pos(), h})
+				return false
+			}
+			return true
+		})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, f := range found {
+		emit(f.pos, RuleAtomicHygiene,
+			f.text+" is accessed with sync/atomic elsewhere in this package; this plain access races with the atomic ones — use the atomic API here too")
+	}
+}
+
+type hitInfo struct {
+	pos  token.Pos
+	text string
+}
+
+func hitAtomicFieldExprOnly(p *Package, e ast.Expr, fields map[types.Object]string) hitInfo {
+	var h hitInfo
+	ast.Inspect(e, func(m ast.Node) bool {
+		if h.text != "" {
+			return false
+		}
+		if t := hitAtomicField(p, m, fields); t != "" {
+			h = hitInfo{m.Pos(), t}
+			return false
+		}
+		return true
+	})
+	return h
+}
+
+// hitAtomicField reports whether n is a selector/ident resolving to a
+// tracked atomic location, returning its declared name.
+func hitAtomicField(p *Package, n ast.Node, fields map[types.Object]string) string {
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if sel, ok := p.Info.Selections[e]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = p.Info.Uses[e.Sel]
+		}
+		if obj != nil {
+			if _, tracked := fields[obj]; tracked {
+				return exprText(e)
+			}
+		}
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			if _, tracked := fields[obj]; tracked {
+				// Only package-level vars are tracked by bare name; a
+				// field can't appear as a bare ident outside its struct.
+				if v, isVar := obj.(*types.Var); isVar && !v.IsField() {
+					return e.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// parentComposite reports whether the stack's innermost expression parent
+// is a composite literal.
+func parentComposite(stack []ast.Node) (*ast.CompositeLit, bool) {
+	if len(stack) < 2 {
+		return nil, false
+	}
+	cl, ok := stack[len(stack)-2].(*ast.CompositeLit)
+	return cl, ok
+}
+
+// freshlyAllocatedBase reports whether the selector's root object is a
+// local variable of the enclosing function whose every definition is a
+// fresh allocation (&T{...}, T{...}, new(T)) — the constructor pattern,
+// where plain field writes precede publication.
+func freshlyAllocatedBase(p *Package, stack []ast.Node, sel *ast.SelectorExpr) bool {
+	root := sel.X
+	for {
+		switch e := root.(type) {
+		case *ast.SelectorExpr:
+			root = e.X
+		case *ast.ParenExpr:
+			root = e.X
+		case *ast.StarExpr:
+			root = e.X
+		default:
+			goto done
+		}
+	}
+done:
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil || !within(v.Pos(), body) {
+		return false
+	}
+	du := buildDefUse(p, body)
+	defs := du.defs[obj]
+	if len(defs) == 0 {
+		// `var x T` with zero value: fresh by construction.
+		return true
+	}
+	for _, def := range defs {
+		if !isFreshAlloc(p, def) {
+			return false
+		}
+	}
+	return true
+}
+
+// isFreshAlloc reports whether e evaluates to newly-allocated storage.
+func isFreshAlloc(p *Package, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- non-atomic read-modify-write ----
+
+// atomicAccess is one Load or Store site on a location key.
+type atomicAccess struct {
+	key  string
+	kind string // "Load" or "Store"
+	call *ast.CallExpr
+	// value is the stored expression (Store only).
+	value ast.Expr
+}
+
+// checkAtomicRMW flags Stores whose value derives from a Load of the same
+// location within one function.
+func checkAtomicRMW(p *Package, fs funcScope, emit func(token.Pos, string, string)) {
+	var accesses []atomicAccess
+	ast.Inspect(fs.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if a, ok := classifyAtomicAccess(p, call); ok {
+			accesses = append(accesses, a)
+		}
+		return true
+	})
+	if len(accesses) < 2 {
+		return
+	}
+	loadsByKey := map[string][]*ast.CallExpr{}
+	for _, a := range accesses {
+		if a.kind == "Load" {
+			loadsByKey[a.key] = append(loadsByKey[a.key], a.call)
+		}
+	}
+	if len(loadsByKey) == 0 {
+		return
+	}
+	du := buildDefUse(p, fs.body)
+	for _, a := range accesses {
+		if a.kind != "Store" || a.value == nil {
+			continue
+		}
+		loads := loadsByKey[a.key]
+		if len(loads) == 0 {
+			continue
+		}
+		isLoadOfKey := func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			for _, l := range loads {
+				if l == call {
+					return true
+				}
+			}
+			return false
+		}
+		if du.derives(a.value, isLoadOfKey) {
+			emit(a.call.Pos(), RuleAtomicHygiene,
+				"Store of a value derived from an atomic Load of the same location is a lost update under concurrency; use Add or a CompareAndSwap loop")
+		}
+	}
+}
+
+// classifyAtomicAccess recognizes Load/Store through the sync/atomic free
+// functions and the typed-atomic methods, keyed by access path.
+func classifyAtomicAccess(p *Package, call *ast.CallExpr) (atomicAccess, bool) {
+	// Free functions: atomic.LoadUint64(&x), atomic.StoreUint64(&x, v).
+	if _, name, ok := pkgFuncCall(p, call, "sync/atomic"); ok {
+		var kind string
+		switch {
+		case strings.HasPrefix(name, "Load"):
+			kind = "Load"
+		case strings.HasPrefix(name, "Store"):
+			kind = "Store"
+		default:
+			return atomicAccess{}, false
+		}
+		if len(call.Args) == 0 {
+			return atomicAccess{}, false
+		}
+		un, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return atomicAccess{}, false
+		}
+		key, ok := exprKey(p, un.X)
+		if !ok {
+			return atomicAccess{}, false
+		}
+		a := atomicAccess{key: key, kind: kind, call: call}
+		if kind == "Store" && len(call.Args) > 1 {
+			a.value = call.Args[1]
+		}
+		return a, true
+	}
+	// Typed atomics: x.Load(), x.Store(v) on sync/atomic named types.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return atomicAccess{}, false
+	}
+	name := sel.Sel.Name
+	if name != "Load" && name != "Store" {
+		return atomicAccess{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return atomicAccess{}, false
+	}
+	key, ok := exprKey(p, sel.X)
+	if !ok {
+		return atomicAccess{}, false
+	}
+	a := atomicAccess{key: key, kind: name, call: call}
+	if name == "Store" && len(call.Args) > 0 {
+		a.value = call.Args[0]
+	}
+	return a, true
+}

@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFromSrc lowers one function body (given as statements) to a CFG.
+// BuildCFG is pure syntax, so no type checking is needed here.
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// blockWithIdent returns the first block whose nodes mention the named
+// identifier — tests mark positions with uniquely-named calls.
+func blockWithIdent(g *CFG, name string) *Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			walkBlockNode(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// blockWithBranch returns the first block containing a break/continue/
+// goto/fallthrough statement with the given token.
+func blockWithBranch(g *CFG, tok string) *Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok.String() == tok {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(from)
+}
+
+func hasSucc(b, s *Block) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFromSrc(t, "a(); b()")
+	if got := len(g.Entry.Nodes); got != 2 {
+		t.Fatalf("entry holds %d nodes, want 2", got)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable in straight-line code")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildFromSrc(t, `
+if cond() {
+	thenMark()
+} else {
+	elseMark()
+}
+joinMark()`)
+	condBlk := blockWithIdent(g, "cond")
+	thenBlk := blockWithIdent(g, "thenMark")
+	elseBlk := blockWithIdent(g, "elseMark")
+	joinBlk := blockWithIdent(g, "joinMark")
+	if condBlk == nil || thenBlk == nil || elseBlk == nil || joinBlk == nil {
+		t.Fatal("marker block missing")
+	}
+	if !hasSucc(condBlk, thenBlk) || !hasSucc(condBlk, elseBlk) {
+		t.Error("condition block does not branch to both arms")
+	}
+	if !reaches(thenBlk, joinBlk) || !reaches(elseBlk, joinBlk) {
+		t.Error("arms do not rejoin")
+	}
+	if reaches(thenBlk, elseBlk) || reaches(elseBlk, thenBlk) {
+		t.Error("arms must be exclusive")
+	}
+}
+
+func TestCFGIfReturn(t *testing.T) {
+	g := buildFromSrc(t, `
+if cond() {
+	return
+}
+afterMark()`)
+	condBlk := blockWithIdent(g, "cond")
+	afterBlk := blockWithIdent(g, "afterMark")
+	if !hasSucc(condBlk, afterBlk) {
+		t.Error("false edge from if-without-else missing")
+	}
+	if !reaches(afterBlk, g.Exit) {
+		t.Error("fallthrough path does not reach exit")
+	}
+	// The return arm reaches Exit without passing afterMark.
+	var retBlk *Block
+	for _, s := range condBlk.Succs {
+		if s != afterBlk {
+			retBlk = s
+		}
+	}
+	if retBlk == nil || !reaches(retBlk, g.Exit) || reaches(retBlk, afterBlk) {
+		t.Error("return arm must reach exit directly")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildFromSrc(t, `
+for i := 0; cond(); i++ {
+	bodyMark()
+}
+afterMark()`)
+	condBlk := blockWithIdent(g, "cond")
+	bodyBlk := blockWithIdent(g, "bodyMark")
+	afterBlk := blockWithIdent(g, "afterMark")
+	if !hasSucc(condBlk, bodyBlk) || !hasSucc(condBlk, afterBlk) {
+		t.Error("loop head must branch to body and after")
+	}
+	if !reaches(bodyBlk, condBlk) {
+		t.Error("back edge (body -> head, via post) missing")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	g := buildFromSrc(t, `
+for cond() {
+	if wantBreak() {
+		break
+	}
+	if wantContinue() {
+		continue
+	}
+	bodyMark()
+}
+afterMark()`)
+	afterBlk := blockWithIdent(g, "afterMark")
+	condBlk := blockWithIdent(g, "cond")
+	if br := blockWithBranch(g, "break"); br == nil || !hasSucc(br, afterBlk) {
+		t.Error("break must jump to the loop's after block")
+	}
+	if co := blockWithBranch(g, "continue"); co == nil || !reaches(co, condBlk) || hasSucc(co, blockWithIdent(g, "bodyMark")) {
+		t.Error("continue must return to the loop head, skipping the rest of the body")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := buildFromSrc(t, `
+for k := range m {
+	bodyMark(k)
+}
+afterMark()`)
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("range header node not placed in any block")
+	}
+	bodyBlk := blockWithIdent(g, "bodyMark")
+	afterBlk := blockWithIdent(g, "afterMark")
+	if !hasSucc(head, bodyBlk) || !hasSucc(head, afterBlk) {
+		t.Error("range head must branch to body and after")
+	}
+	if !reaches(bodyBlk, head) {
+		t.Error("range back edge missing")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFromSrc(t, `
+switch tag() {
+case 1:
+	aMark()
+	fallthrough
+case 2:
+	bMark()
+default:
+	dMark()
+}
+afterMark()`)
+	aBlk := blockWithIdent(g, "aMark")
+	bBlk := blockWithIdent(g, "bMark")
+	dBlk := blockWithIdent(g, "dMark")
+	afterBlk := blockWithIdent(g, "afterMark")
+	if !hasSucc(aBlk, bBlk) {
+		t.Error("fallthrough edge to the next clause missing")
+	}
+	for name, blk := range map[string]*Block{"a": aBlk, "b": bBlk, "d": dBlk} {
+		if !reaches(blk, afterBlk) {
+			t.Errorf("clause %s does not reach the after block", name)
+		}
+	}
+	// With a default clause every path enters some clause: the head must
+	// not edge straight to after.
+	headBlk := blockWithIdent(g, "tag")
+	if hasSucc(headBlk, afterBlk) {
+		t.Error("switch with default must not fall through the head")
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	g := buildFromSrc(t, `
+switch tag() {
+case 1:
+	aMark()
+}
+afterMark()`)
+	headBlk := blockWithIdent(g, "tag")
+	afterBlk := blockWithIdent(g, "afterMark")
+	if !hasSucc(headBlk, afterBlk) {
+		t.Error("switch without default needs the implicit no-match edge")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildFromSrc(t, `
+select {
+case <-ch:
+	aMark()
+case ch2 <- v:
+	bMark()
+}
+afterMark()`)
+	aBlk := blockWithIdent(g, "aMark")
+	bBlk := blockWithIdent(g, "bMark")
+	afterBlk := blockWithIdent(g, "afterMark")
+	if !reaches(aBlk, afterBlk) || !reaches(bBlk, afterBlk) {
+		t.Error("select clauses must rejoin after the statement")
+	}
+	if reaches(aBlk, bBlk) {
+		t.Error("select clauses must be exclusive")
+	}
+}
+
+func TestCFGDeferRecorded(t *testing.T) {
+	g := buildFromSrc(t, "defer cleanup()\nworkMark()")
+	if len(g.Defers) != 1 {
+		t.Fatalf("recorded %d defers, want 1", len(g.Defers))
+	}
+	if blockWithIdent(g, "cleanup") == nil {
+		t.Error("defer statement not placed in a block")
+	}
+}
+
+func TestCFGDeadCodeUnreachable(t *testing.T) {
+	g := buildFromSrc(t, "return\ndeadMark()")
+	deadBlk := blockWithIdent(g, "deadMark")
+	if deadBlk == nil {
+		t.Fatal("dead statement has no block")
+	}
+	if g.Reachable()[deadBlk] {
+		t.Error("statements after return must be unreachable")
+	}
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	g := buildFromSrc(t, `panic("boom")`)
+	if g.Reachable()[g.Exit] {
+		t.Error("unconditional panic must not reach the normal exit")
+	}
+
+	g = buildFromSrc(t, `
+if cond() {
+	panic("boom")
+}
+afterMark()`)
+	if !g.Reachable()[g.Exit] {
+		t.Error("exit must stay reachable via the non-panic arm")
+	}
+	panicBlk := blockWithIdent(g, "panic")
+	if panicBlk != nil && reaches(panicBlk, g.Exit) && panicBlk != blockWithIdent(g, "cond") {
+		t.Error("panic arm must not flow to the normal exit")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildFromSrc(t, `
+goto L
+L:
+	aMark()`)
+	gotoBlk := blockWithBranch(g, "goto")
+	aBlk := blockWithIdent(g, "aMark")
+	if gotoBlk == nil || aBlk == nil {
+		t.Fatal("goto or label block missing")
+	}
+	if !hasSucc(gotoBlk, aBlk) {
+		t.Error("goto edge to label block missing")
+	}
+	if !g.Reachable()[aBlk] {
+		t.Error("label block must be reachable through the goto")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFromSrc(t, `
+L:
+	for outer() {
+		for inner() {
+			break L
+		}
+	}
+afterMark()`)
+	afterBlk := blockWithIdent(g, "afterMark")
+	if br := blockWithBranch(g, "break"); br == nil || !hasSucc(br, afterBlk) {
+		t.Error("labeled break must exit the outer loop")
+	}
+}
+
+// TestCFGDeterministicIndexes pins that two builds of the same body agree
+// block for block — the property the byte-identical-findings guarantee
+// rests on.
+func TestCFGDeterministicIndexes(t *testing.T) {
+	const body = `
+for i := 0; i < n; i++ {
+	if odd(i) {
+		continue
+	}
+	switch i {
+	case 0:
+		zero()
+	default:
+		other()
+	}
+}
+done()`
+	a := buildFromSrc(t, body)
+	b := buildFromSrc(t, body)
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		if len(a.Blocks[i].Nodes) != len(b.Blocks[i].Nodes) {
+			t.Errorf("block %d node counts differ", i)
+		}
+		if len(a.Blocks[i].Succs) != len(b.Blocks[i].Succs) {
+			t.Errorf("block %d edge counts differ", i)
+		}
+		for j := range a.Blocks[i].Succs {
+			if a.Blocks[i].Succs[j].Index != b.Blocks[i].Succs[j].Index {
+				t.Errorf("block %d succ %d diverges", i, j)
+			}
+		}
+	}
+}

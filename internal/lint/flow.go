@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// This file is the dataflow half of the analysis core: a forward worklist
+// solver over per-block lattices, def-use chains resolved through
+// go/types, and the expression-key machinery that lets lockcheck and
+// atomichygiene name "the same location" across statements.
+
+// flowState is one analyzer-defined lattice element. nil means ⊥
+// (unreached).
+type flowState interface{}
+
+// flowProblem describes one forward dataflow analysis over a CFG.
+type flowProblem struct {
+	cfg *CFG
+	// entry is the state on entry to cfg.Entry.
+	entry flowState
+	// transfer folds one block's nodes into the incoming state and
+	// returns the outgoing state. It must not mutate in.
+	transfer func(b *Block, in flowState) flowState
+	// join merges two non-nil states (set union for may-analyses).
+	join func(a, b flowState) flowState
+	// equal reports lattice-element equality, for fixpoint detection.
+	equal func(a, b flowState) bool
+}
+
+// solveForward runs the worklist to a fixpoint and returns each block's
+// incoming state (nil for unreachable blocks). Iteration order is block
+// creation order, so the result — and anything an analyzer emits during
+// its final transfer pass — is deterministic.
+func solveForward(p flowProblem) map[*Block]flowState {
+	in := map[*Block]flowState{p.cfg.Entry: p.entry}
+	// Round-robin to fixpoint: functions are small (tens of blocks), so
+	// a priority worklist buys nothing over deterministic sweeps.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.cfg.Blocks {
+			inB, ok := in[b]
+			if !ok {
+				continue
+			}
+			out := p.transfer(b, inB)
+			for _, s := range b.Succs {
+				old, seen := in[s]
+				if !seen {
+					in[s] = out
+					changed = true
+					continue
+				}
+				merged := p.join(old, out)
+				if !p.equal(old, merged) {
+					in[s] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ---- def-use chains ----
+
+// defUse maps every variable object assigned inside one function to the
+// expressions assigned to it, so analyzers can ask "does this value
+// derive from X" without re-walking the tree per query.
+type defUse struct {
+	p *Package
+	// defs collects, per object, every RHS expression assigned to it
+	// (including := and var declarations with initializers). A nil entry
+	// slot means an assignment from an untracked source (multi-value
+	// call, range, channel receive).
+	defs map[types.Object][]ast.Expr
+}
+
+// buildDefUse scans root (one function body) for assignments.
+func buildDefUse(p *Package, root ast.Node) *defUse {
+	d := &defUse{p: p, defs: map[types.Object][]ast.Expr{}}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == len(s.Lhs) {
+				for i, lhs := range s.Lhs {
+					if obj := d.lhsObject(lhs); obj != nil {
+						d.defs[obj] = append(d.defs[obj], s.Rhs[i])
+					}
+				}
+			} else {
+				// Multi-value: every target derives from the one RHS.
+				for _, lhs := range s.Lhs {
+					if obj := d.lhsObject(lhs); obj != nil {
+						d.defs[obj] = append(d.defs[obj], s.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				obj := d.p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if i < len(s.Values) {
+					d.defs[obj] = append(d.defs[obj], s.Values[i])
+				} else if len(s.Values) == 1 {
+					d.defs[obj] = append(d.defs[obj], s.Values[0])
+				}
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// lhsObject resolves an assignment target to the object it writes, for
+// plain identifier targets (x = ..., x := ...). Selector and index
+// targets write through a base object; those are not tracked as defs.
+func (d *defUse) lhsObject(lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := d.p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return d.p.Info.Uses[id]
+}
+
+// derives reports whether expr transitively derives from a value
+// satisfying src: either expr itself satisfies src, or it mentions a
+// variable one of whose definitions derives from src. The walk follows
+// assignment chains through defs with cycle protection.
+func (d *defUse) derives(expr ast.Expr, src func(ast.Expr) bool) bool {
+	return d.derivesSeen(expr, src, map[types.Object]bool{})
+}
+
+func (d *defUse) derivesSeen(expr ast.Expr, src func(ast.Expr) bool, seen map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && src(e) {
+			found = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := d.p.Info.Uses[id]
+			if obj == nil || seen[obj] {
+				return true
+			}
+			seen[obj] = true
+			for _, def := range d.defs[obj] {
+				if d.derivesSeen(def, src, seen) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- location keys ----
+
+// exprKey canonicalizes a lock or atomic-field access path — the receiver
+// of mu.Lock(), the &field argument of atomic.AddUint64 — to a stable
+// string, so two accesses to the same storage compare equal. Paths are
+// rooted at a variable object (identified by declaration position, which
+// is unique and deterministic); selector hops append field names; only
+// constant indexes are allowed (a computed index may address different
+// storage at each occurrence, so such paths are untrackable and the
+// caller must skip them). The second result is false for untrackable
+// expressions.
+func exprKey(p *Package, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return obj.Name() + "@" + strconv.Itoa(int(obj.Pos())), true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(p, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return exprKey(p, e.X)
+	case *ast.StarExpr:
+		// Dereference does not change the storage a path names for our
+		// purposes: (*p).mu and p.mu are the same lock.
+		return exprKey(p, e.X)
+	case *ast.UnaryExpr:
+		// &x names x's storage.
+		return exprKey(p, e.X)
+	case *ast.IndexExpr:
+		base, ok := exprKey(p, e.X)
+		if !ok {
+			return "", false
+		}
+		if tv, okc := p.Info.Types[e.Index]; okc && tv.Value != nil {
+			return base + "[" + tv.Value.ExactString() + "]", true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// exprText renders a short human-readable form of an access path for
+// messages (best effort; falls back to "lock" for exotic shapes).
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	case *ast.UnaryExpr:
+		return exprText(e.X)
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	}
+	return "expr"
+}
+
+// ---- shared type queries ----
+
+// namedIn reports whether t (after unwrapping pointers) is the named type
+// pkg.name.
+func namedIn(t types.Type, pkg, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+// pkgFuncCall reports whether call invokes pkgPath.name (a package-level
+// function accessed through its package name) and returns the selector.
+func pkgFuncCall(p *Package, call *ast.CallExpr, pkgPath string) (*ast.SelectorExpr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return nil, "", false
+	}
+	return sel, sel.Sel.Name, true
+}
+
+// funcScopes yields every function in the package — declarations and
+// literals — with its body, so flow rules analyze closures as functions
+// in their own right. decl is nil for literals; name is a best-effort
+// display name.
+type funcScope struct {
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+	name string
+	body *ast.BlockStmt
+}
+
+func funcScopes(p *Package) []funcScope {
+	var out []funcScope
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcScope{decl: fd, name: fd.Name.Name, body: fd.Body})
+			outer := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcScope{lit: lit, name: outer + ".func", body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,474 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkHotPath enforces the zero-allocation contract on functions
+// annotated
+//
+//	//lint:hotpath <reason>
+//
+// (doc comment or the line directly above the declaration). The sweep
+// send/receive loops run tens of millions of times per scan; PR 2 made
+// them allocation-free at steady state and the AllocsPerRun regression
+// tests pin that, but a test only catches the paths it exercises. This
+// rule rejects allocating *constructs* on every reachable path of an
+// annotated function, so a branch the tests never take cannot smuggle an
+// allocation in:
+//
+//   - append (growth copies the backing array; hot paths write into
+//     caller-provided or pooled storage instead);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - interface boxing at call sites (a concrete value passed to an
+//     interface parameter allocates when it escapes — fmt being the
+//     classic offender);
+//   - function literals that capture variables (closure allocation);
+//   - map, slice, and function-typed composite literals, make, and new.
+//
+// Unreachable blocks (dead code after a return) are skipped: they lie on
+// no path. The companion `make lint-escape` target cross-checks this
+// rule against the compiler's own escape analysis (-gcflags=-m), so the
+// analyzer and the compiler must agree that annotated functions are
+// clean; see CheckEscapeLog.
+//
+// An annotation that precedes anything but a function declaration is
+// itself a finding — a misplaced contract enforces nothing.
+func checkHotPath(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	for _, f := range p.Files {
+		anns := hotpathAnnotations(p, f)
+		used := map[int]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			line, ok := annotationFor(p, anns, fd)
+			if !ok {
+				continue
+			}
+			used[line] = true
+			checkHotPathFunc(p, fd, emit)
+		}
+		lines := make([]int, 0, len(anns))
+		for line := range anns {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			if !used[line] {
+				emit(anns[line], RuleHotPath,
+					"//lint:hotpath annotation is not attached to a function declaration; move it onto the function's doc comment")
+			}
+		}
+	}
+}
+
+// hotpathAnnotations maps comment line -> position for every
+// //lint:hotpath comment in the file.
+func hotpathAnnotations(p *Package, f *ast.File) map[int]token.Pos {
+	out := map[int]token.Pos{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:hotpath")
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // some other //lint:hotpathX marker
+			}
+			out[p.Fset.Position(c.Pos()).Line] = c.Pos()
+		}
+	}
+	return out
+}
+
+// annotationFor reports whether fd carries a hotpath annotation: on any
+// line of its doc comment, or the line directly above the declaration.
+func annotationFor(p *Package, anns map[int]token.Pos, fd *ast.FuncDecl) (int, bool) {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			line := p.Fset.Position(c.Pos()).Line
+			if _, ok := anns[line]; ok {
+				return line, true
+			}
+		}
+	}
+	declLine := p.Fset.Position(fd.Pos()).Line
+	if _, ok := anns[declLine-1]; ok {
+		return declLine - 1, true
+	}
+	return 0, false
+}
+
+// checkHotPathFunc walks the reachable blocks of one annotated function.
+func checkHotPathFunc(p *Package, fd *ast.FuncDecl, emit func(token.Pos, string, string)) {
+	g := BuildCFG(fd.Body)
+	reach := g.Reachable()
+	name := fd.Name.Name
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			walkBlockNode(n, func(m ast.Node) bool {
+				return inspectHotNode(p, name, m, emit)
+			})
+		}
+	}
+}
+
+// inspectHotNode flags one allocating construct; returns false to prune.
+func inspectHotNode(p *Package, fn string, n ast.Node, emit func(token.Pos, string, string)) bool {
+	switch e := n.(type) {
+	case *ast.FuncLit:
+		if capturesOuter(p, e) {
+			emit(e.Pos(), RuleHotPath,
+				fn+" is //lint:hotpath but builds a capturing closure; each call allocates the captured environment — hoist the function or pass state as parameters")
+		}
+		// Either way the literal's body is not this function's path.
+		return false
+
+	case *ast.CompositeLit:
+		tv, ok := p.Info.Types[e]
+		if !ok {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			emit(e.Pos(), RuleHotPath,
+				fn+" is //lint:hotpath but builds a map literal, which allocates; hoist it to a package-level var or the caller")
+			return false
+		case *types.Slice:
+			emit(e.Pos(), RuleHotPath,
+				fn+" is //lint:hotpath but builds a slice literal, which allocates its backing array; use a fixed-size array or caller-provided storage")
+			return false
+		}
+		return true
+
+	case *ast.CallExpr:
+		return inspectHotCall(p, fn, e, emit)
+
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if tv, ok := p.Info.Types[e]; ok && isString(tv.Type) {
+				emit(e.Pos(), RuleHotPath,
+					fn+" is //lint:hotpath but concatenates strings, which allocates; write into a caller-provided byte slice instead")
+			}
+		}
+		return true
+
+	case *ast.AssignStmt:
+		if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 {
+			if tv, ok := p.Info.Types[e.Lhs[0]]; ok && isString(tv.Type) {
+				emit(e.Pos(), RuleHotPath,
+					fn+" is //lint:hotpath but concatenates strings, which allocates; write into a caller-provided byte slice instead")
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// inspectHotCall classifies call expressions: builtins that allocate,
+// string conversions, and interface boxing at the call boundary.
+func inspectHotCall(p *Package, fn string, call *ast.CallExpr, emit func(token.Pos, string, string)) bool {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				emit(call.Pos(), RuleHotPath,
+					fn+" is //lint:hotpath but calls append, which copies the backing array on growth; write into pre-sized caller or pooled storage")
+			case "make":
+				emit(call.Pos(), RuleHotPath,
+					fn+" is //lint:hotpath but calls make, which allocates; hoist the allocation to the caller or a pool")
+			case "new":
+				emit(call.Pos(), RuleHotPath,
+					fn+" is //lint:hotpath but calls new, which allocates; hoist the allocation to the caller or a pool")
+			}
+			return true
+		}
+	}
+	// Conversions: string(b), []byte(s), []rune(s).
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := types.Type(nil)
+		if atv, ok := p.Info.Types[call.Args[0]]; ok {
+			src = atv.Type
+		}
+		if src != nil && stringBytesConversion(dst, src) {
+			emit(call.Pos(), RuleHotPath,
+				fn+" is //lint:hotpath but converts between string and bytes, which copies; keep the hot path on one representation")
+		}
+		return true
+	}
+	// Interface boxing: a concrete argument bound to an interface
+	// parameter.
+	if tv, ok := p.Info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			checkBoxing(p, fn, call, sig, emit)
+		}
+	}
+	return true
+}
+
+// checkBoxing flags concrete values passed to interface parameters.
+func checkBoxing(p *Package, fn string, call *ast.CallExpr, sig *types.Signature, emit func(token.Pos, string, string)) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := p.Info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if _, argIface := at.Type.Underlying().(*types.Interface); argIface {
+			continue // interface-to-interface, no boxing
+		}
+		if at.IsNil() {
+			continue
+		}
+		emit(arg.Pos(), RuleHotPath,
+			fn+" is //lint:hotpath but passes a concrete value to an interface parameter, which boxes (allocates) when it escapes; use a concrete-typed callee on the hot path")
+	}
+}
+
+// stringBytesConversion reports a conversion that copies its operand.
+func stringBytesConversion(dst, src types.Type) bool {
+	toString := isString(dst)
+	fromString := isString(src)
+	if toString && (isByteSlice(src) || isRuneSlice(src)) {
+		return true
+	}
+	if fromString && (isByteSlice(dst) || isRuneSlice(dst)) {
+		return true
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}
+
+// capturesOuter reports whether lit references any variable declared
+// outside its own body (a capturing closure).
+func capturesOuter(p *Package, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Package-level variables are static, not captured.
+		if v.Parent() == p.Types.Scope() {
+			return true
+		}
+		if !within(v.Pos(), lit) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// ---- escape-analysis cross-check ----
+
+// HotpathSpan is the source extent of one annotated function, for the
+// -escape-log cross-check.
+type HotpathSpan struct {
+	File      string
+	FuncName  string
+	StartLine int
+	EndLine   int
+	Pos       token.Position
+}
+
+// HotpathSpans lists the //lint:hotpath functions of one package.
+func HotpathSpans(p *Package) []HotpathSpan {
+	var out []HotpathSpan
+	for _, f := range p.Files {
+		anns := hotpathAnnotations(p, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := annotationFor(p, anns, fd); !ok {
+				continue
+			}
+			start := p.Fset.Position(fd.Pos())
+			end := p.Fset.Position(fd.End())
+			out = append(out, HotpathSpan{
+				File:      start.Filename,
+				FuncName:  fd.Name.Name,
+				StartLine: start.Line,
+				EndLine:   end.Line,
+				Pos:       start,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out
+}
+
+// CheckEscapeLog cross-checks the hotpath rule against the compiler's
+// escape analysis: log is the stderr of `go build -gcflags=-m`, and any
+// heap-allocation diagnostic ("escapes to heap", "moved to heap") whose
+// position falls inside an annotated function is a finding — the
+// compiler disagrees that the function is allocation-free. Informational
+// diagnostics (inlining, leaking param, "does not escape") pass. Paths
+// in the log are resolved relative to dir (the directory the build ran
+// in).
+func CheckEscapeLog(spans []HotpathSpan, log []byte, dir string) []Finding {
+	var out []Finding
+	for _, line := range strings.Split(string(log), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, lineNo, col, msg, ok := parseDiagnostic(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// "x does not escape" contains neither marker; "escapes to heap"
+		// lines always denote a heap allocation.
+		for _, sp := range spans {
+			if lineNo < sp.StartLine || lineNo > sp.EndLine {
+				continue
+			}
+			if !sameFile(sp.File, file, dir) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  token.Position{Filename: sp.File, Line: lineNo, Column: col},
+				Rule: RuleHotPath,
+				Msg:  "compiler escape analysis reports an allocation inside //lint:hotpath " + sp.FuncName + ": " + msg,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}
+
+// parseDiagnostic splits "path:line:col: msg" (column optional).
+func parseDiagnostic(line string) (file string, lineNo, col int, msg string, ok bool) {
+	// Find ": " separating position from message, scanning past the
+	// path (which may contain colons on odd systems — take the last
+	// plausible split).
+	i := strings.Index(line, ": ")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	posPart, msgPart := line[:i], line[i+2:]
+	parts := strings.Split(posPart, ":")
+	if len(parts) < 2 {
+		return "", 0, 0, "", false
+	}
+	// path:line or path:line:col
+	n := len(parts)
+	lineIdx := n - 1
+	if n >= 3 {
+		if c, err := atoiSafe(parts[n-1]); err == nil {
+			if l, err2 := atoiSafe(parts[n-2]); err2 == nil {
+				return strings.Join(parts[:n-2], ":"), l, c, msgPart, true
+			}
+		}
+	}
+	l, err := atoiSafe(parts[lineIdx])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	return strings.Join(parts[:lineIdx], ":"), l, 0, msgPart, true
+}
+
+func atoiSafe(s string) (int, error) {
+	n := 0
+	if s == "" {
+		return 0, errNotNumber
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errNotNumber
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+var errNotNumber = errorString("not a number")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// sameFile compares a span's absolute filename with a (possibly
+// relative) diagnostic path.
+func sameFile(spanFile, diagFile, dir string) bool {
+	if spanFile == diagFile {
+		return true
+	}
+	if dir != "" && !strings.HasPrefix(diagFile, "/") {
+		return spanFile == dir+"/"+diagFile || strings.HasSuffix(spanFile, "/"+diagFile)
+	}
+	return strings.HasSuffix(spanFile, "/"+diagFile) || strings.HasSuffix(diagFile, "/"+spanFile)
+}

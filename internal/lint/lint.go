@@ -1,6 +1,7 @@
-// Package lint is the project's static-analysis pass: six analyzers
+// Package lint is the project's static-analysis pass: ten analyzers
 // that enforce the correctness contracts the measurement pipeline relies
-// on but the compiler cannot check.
+// on but the compiler cannot check. Six are syntactic; four are
+// flow-sensitive, built on the CFG and dataflow core in cfg.go/flow.go.
 //
 // The wildnet substitution (DESIGN.md) makes every table and figure a
 // pure function of (seed, epoch). That contract survives only as long as
@@ -29,12 +30,34 @@
 //     delay must flow through the injected Clock seam so fake-clock
 //     tests and the deterministic backoff schedule see every pause.
 //
+// The flow-sensitive rules:
+//
+//   - lockcheck: a mutex acquired on a path must be released on every
+//     path out of the function (Unlock or defer Unlock), never acquired
+//     twice without an intervening release, and never copied by value —
+//     the solver walks the CFG so an early return inside one branch of a
+//     lock-protected region is caught even when the happy path is clean.
+//   - atomichygiene: a field accessed through sync/atomic anywhere must
+//     be accessed atomically everywhere, and an atomically-loaded value
+//     must not be stored back non-transactionally (Load; compute; Store
+//     loses concurrent updates — use Add or CompareAndSwap).
+//   - hotpath: functions annotated //lint:hotpath must contain no
+//     allocating construct on any reachable path: append, make/new,
+//     string concatenation or conversion, capturing closures, map/slice
+//     literals, and interface boxing at call sites. `make lint-escape`
+//     cross-checks the rule against the compiler's own escape analysis.
+//   - taintflow: the flow-sensitive maporder generalization — values
+//     derived from map iteration (including through helper returns and
+//     callback parameters) must not reach an output sink on any path
+//     without a sort in between.
+//
 // Intentional exceptions are annotated in the source:
 //
 //	//lint:allow <rule> <reason>
 //
 // on the offending line or the line directly above it. An allow comment
-// without a reason is itself a finding.
+// without a reason, naming an unknown rule, or covering a line that no
+// longer trips the rule (a stale allow) is itself a finding.
 //
 // The pass uses only the standard library (go/parser, go/ast, go/types);
 // the module stays dependency-free.
@@ -45,26 +68,55 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // Rule names, as they appear in findings and //lint:allow comments.
 const (
-	RuleDeterminism = "determinism"
-	RuleMapOrder    = "maporder"
-	RuleGoHygiene   = "gohygiene"
-	RuleErrDrop     = "errdrop"
-	RuleCtxHygiene  = "ctxhygiene"
-	RuleSleepCall   = "sleepcall"
-	// ruleAllow tags malformed //lint:allow comments themselves.
-	ruleAllow = "allow"
+	RuleDeterminism   = "determinism"
+	RuleMapOrder      = "maporder"
+	RuleGoHygiene     = "gohygiene"
+	RuleErrDrop       = "errdrop"
+	RuleCtxHygiene    = "ctxhygiene"
+	RuleSleepCall     = "sleepcall"
+	RuleLockCheck     = "lockcheck"
+	RuleAtomicHygiene = "atomichygiene"
+	RuleHotPath       = "hotpath"
+	RuleTaintFlow     = "taintflow"
+	// RuleAllow tags problems with //lint:allow comments themselves:
+	// malformed, unknown rule, or stale (covering nothing).
+	RuleAllow = "allow"
 )
 
-// Finding is one reported violation.
+// AllRules lists every rule name, in reporting order. The CLI's -rules
+// flag validates against this.
+var AllRules = []string{
+	RuleDeterminism, RuleMapOrder, RuleGoHygiene, RuleErrDrop,
+	RuleCtxHygiene, RuleSleepCall, RuleLockCheck, RuleAtomicHygiene,
+	RuleHotPath, RuleTaintFlow,
+}
+
+func knownRule(name string) bool {
+	if name == RuleAllow {
+		return true
+	}
+	for _, r := range AllRules {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one reported violation. Allowed marks findings suppressed
+// by a //lint:allow comment; Analyze drops them, AnalyzeAll keeps them
+// so the CLI's JSON mode can report allow-state.
 type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
+	Pos     token.Position
+	Rule    string
+	Msg     string
+	Allowed bool
 }
 
 // String renders the canonical `file:line: [rule] message` form.
@@ -82,8 +134,20 @@ type Config struct {
 	// functions of (seed, epoch); the determinism rule applies here.
 	Deterministic []string
 	// Rendering lists the packages that produce tables, reports, and
-	// result sets; the maporder rule applies here.
+	// result sets; the maporder and taintflow rules apply here.
 	Rendering []string
+	// Rules restricts analysis to the named rules; nil or empty means
+	// all. Stale-allow detection only considers allows naming enabled
+	// rules, so filtering cannot manufacture false staleness.
+	Rules []string
+}
+
+// enabled reports whether a rule is selected by the Rules filter.
+func (c *Config) enabled(rule string) bool {
+	if len(c.Rules) == 0 {
+		return true
+	}
+	return contains(c.Rules, rule)
 }
 
 // DefaultConfig returns the repository's contract: which packages are
@@ -114,29 +178,61 @@ func contains(paths []string, p string) bool {
 	return false
 }
 
-// Analyze runs every analyzer over one loaded package and returns the
-// surviving findings sorted by position.
+// Analyze runs the enabled analyzers over one loaded package and returns
+// the surviving (non-allowed) findings sorted by position.
 func (c *Config) Analyze(p *Package) []Finding {
+	all := c.AnalyzeAll(p)
+	out := all[:0]
+	for _, f := range all {
+		if !f.Allowed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// checkers pairs each rule with its analyzer, in reporting order.
+var checkers = []struct {
+	rule string
+	fn   func(*Package, *Config, func(token.Pos, string, string))
+}{
+	{RuleDeterminism, checkDeterminism},
+	{RuleMapOrder, checkMapOrder},
+	{RuleGoHygiene, checkGoHygiene},
+	{RuleErrDrop, checkErrDrop},
+	{RuleCtxHygiene, checkCtxHygiene},
+	{RuleSleepCall, checkSleepCall},
+	{RuleLockCheck, checkLockCheck},
+	{RuleAtomicHygiene, checkAtomicHygiene},
+	{RuleHotPath, checkHotPath},
+	{RuleTaintFlow, checkTaintFlow},
+}
+
+// AnalyzeAll runs the enabled analyzers and returns every finding,
+// including ones a //lint:allow suppresses (marked Allowed) and
+// allow-machinery findings: malformed comments, unknown rule names, and
+// stale allows whose rule no longer fires on the covered line.
+func (c *Config) AnalyzeAll(p *Package) []Finding {
 	var raw []Finding
 	emit := func(pos token.Pos, rule, msg string) {
 		raw = append(raw, Finding{Pos: p.Fset.Position(pos), Rule: rule, Msg: msg})
 	}
-	checkDeterminism(p, c, emit)
-	checkMapOrder(p, c, emit)
-	checkGoHygiene(p, c, emit)
-	checkErrDrop(p, c, emit)
-	checkCtxHygiene(p, c, emit)
-	checkSleepCall(p, c, emit)
-
-	allows, bad := collectAllows(p)
-	var out []Finding
-	for _, f := range raw {
-		if f.Rule != ruleAllow && allows.covers(f.Pos, f.Rule) {
-			continue
+	for _, ck := range checkers {
+		if c.enabled(ck.rule) {
+			ck.fn(p, c, emit)
 		}
+	}
+
+	allows, records, bad := collectAllows(p)
+	out := make([]Finding, 0, len(raw)+len(bad))
+	for _, f := range raw {
+		f.Allowed = allows.covers(f.Pos, f.Rule)
 		out = append(out, f)
 	}
-	out = append(out, bad...)
+	if c.enabled(RuleAllow) {
+		out = append(out, bad...)
+		out = append(out, c.staleAllows(raw, records)...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -144,7 +240,10 @@ func (c *Config) Analyze(p *Package) []Finding {
 		if out[i].Pos.Line != out[j].Pos.Line {
 			return out[i].Pos.Line < out[j].Pos.Line
 		}
-		return out[i].Rule < out[j].Rule
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Msg < out[j].Msg
 	})
 	// A multi-assign statement can trip the same rule once per operand;
 	// one report per line and rule is enough.
@@ -157,6 +256,39 @@ func (c *Config) Analyze(p *Package) []Finding {
 		dedup = append(dedup, f)
 	}
 	return dedup
+}
+
+// staleAllows reports //lint:allow comments that suppress nothing: no
+// finding of the named rule sits on the comment's line or the line
+// below. Only allows naming enabled rules are judged — with a rule
+// filter active, an allow for a disabled rule cannot prove itself.
+// Unknown rule names are reported unconditionally: they can never match
+// a finding, so they are typos, not suppressions.
+func (c *Config) staleAllows(raw []Finding, records []allowRecord) []Finding {
+	var out []Finding
+	for _, rec := range records {
+		if !knownRule(rec.rule) {
+			out = append(out, Finding{Pos: rec.pos, Rule: RuleAllow,
+				Msg: "//lint:allow names unknown rule " + strconv.Quote(rec.rule)})
+			continue
+		}
+		if !c.enabled(rec.rule) {
+			continue
+		}
+		used := false
+		for _, f := range raw {
+			if f.Rule == rec.rule && f.Pos.Filename == rec.pos.Filename &&
+				(f.Pos.Line == rec.pos.Line || f.Pos.Line == rec.pos.Line+1) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, Finding{Pos: rec.pos, Rule: RuleAllow,
+				Msg: "stale //lint:allow " + rec.rule + ": the covered line no longer trips the rule; delete the comment"})
+		}
+	}
+	return out
 }
 
 // allowSet maps file -> line -> rules allowed on that line.
@@ -176,11 +308,19 @@ func (a allowSet) covers(pos token.Position, rule string) bool {
 	return false
 }
 
+// allowRecord is one parsed //lint:allow comment, kept positionally for
+// stale-allow detection.
+type allowRecord struct {
+	pos  token.Position
+	rule string
+}
+
 // collectAllows parses every //lint:allow comment in the package.
 // Malformed comments (missing rule or reason) come back as findings so
 // the escape hatch cannot silently rot.
-func collectAllows(p *Package) (allowSet, []Finding) {
+func collectAllows(p *Package) (allowSet, []allowRecord, []Finding) {
 	set := allowSet{}
+	var records []allowRecord
 	var bad []Finding
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
@@ -192,7 +332,7 @@ func collectAllows(p *Package) (allowSet, []Finding) {
 				pos := p.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) < 2 {
-					bad = append(bad, Finding{Pos: pos, Rule: ruleAllow,
+					bad = append(bad, Finding{Pos: pos, Rule: RuleAllow,
 						Msg: "malformed //lint:allow: need a rule name and a reason"})
 					continue
 				}
@@ -202,10 +342,11 @@ func collectAllows(p *Package) (allowSet, []Finding) {
 					set[pos.Filename] = m
 				}
 				m[pos.Line] = append(m[pos.Line], fields[0])
+				records = append(records, allowRecord{pos: pos, rule: fields[0]})
 			}
 		}
 	}
-	return set, bad
+	return set, records, bad
 }
 
 // inspectStack walks root calling fn with each node and its ancestor

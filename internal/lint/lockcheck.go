@@ -1,0 +1,513 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkLockCheck is the flow-sensitive mutex discipline rule. The sharded
+// collectors (scanner/shards.go), the metrics registry, and the future
+// sharded result store all follow the same pattern — a short critical
+// section per stripe — and the bug that pattern invites is exactly the
+// one a syntactic matcher cannot see: an early return between Lock and
+// Unlock on one branch. Over each function's CFG the rule checks, per
+// lock path:
+//
+//   - every path from a Lock() to an exit passes an Unlock() or has a
+//     defer Unlock() registered (a panic terminates its path and is
+//     exempt, matching the convention that panics tear the process down);
+//   - no path re-Locks a lock it already holds (non-reentrant mutexes
+//     self-deadlock) and no path Unlocks a lock it already released;
+//   - an explicit Unlock on a path that also registered defer Unlock
+//     double-releases at return;
+//
+// and, structurally, that no sync.Mutex/RWMutex travels by value: value
+// parameters, value receivers, value returns, copy assignments, and
+// range-over-values of lock-bearing types all silently fork the lock
+// state (go vet's copylocks catches most of these; this rule keeps the
+// invariant enforced even where vet is not run).
+//
+// Locks are named by access path (exprKey): s.mu, sh.mu, genMu. A path
+// containing a computed index or a call is untrackable and is skipped —
+// coarse, but exactly the shape the striped collectors avoid by binding
+// the stripe to a local first.
+func checkLockCheck(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	for _, fs := range funcScopes(p) {
+		checkLockFlow(p, fs, emit)
+	}
+	checkLockCopies(p, emit)
+}
+
+// lockOp classifies one Lock/Unlock call site.
+type lockOp struct {
+	key    string
+	text   string // display form of the receiver path
+	read   bool   // RLock/RUnlock
+	lock   bool   // Lock/RLock vs Unlock/RUnlock
+	defer_ bool   // registered via defer
+	pos    token.Pos
+}
+
+// lockState is the per-path possibility set for one lock, a bitmask over
+// (held ∈ {unknown, held, free}) × (deferred release registered).
+type lockBits uint8
+
+const (
+	lUnknown lockBits = 1 << iota // not locked by this function (caller may hold it)
+	lHeld                         // locked on this path, no release registered
+	lHeldDef                      // locked, defer Unlock registered
+	lFree                         // locked then released on this path
+	lFreeDef                      // released but defer Unlock still pending
+)
+
+// lockFlowState maps lock key -> possibility bits. Keys absent are in the
+// entry state {lUnknown}.
+type lockFlowState map[string]lockBits
+
+func (s lockFlowState) clone() lockFlowState {
+	out := make(lockFlowState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s lockFlowState) get(k string) lockBits {
+	if v, ok := s[k]; ok {
+		return v
+	}
+	return lUnknown
+}
+
+func lockJoin(a, b flowState) flowState {
+	as, bs := a.(lockFlowState), b.(lockFlowState)
+	out := as.clone()
+	for k, v := range bs {
+		out[k] = out.get(k) | v
+	}
+	// Keys only in a keep their bits; keys absent from b contribute
+	// b's implicit lUnknown.
+	for k := range as {
+		if _, ok := bs[k]; !ok {
+			out[k] |= lUnknown
+		}
+	}
+	return out
+}
+
+func lockEqual(a, b flowState) bool {
+	as, bs := a.(lockFlowState), b.(lockFlowState)
+	if len(as) != len(bs) {
+		return false
+	}
+	for k, v := range as {
+		if bs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLockFlow runs the dataflow over one function.
+func checkLockFlow(p *Package, fs funcScope, emit func(token.Pos, string, string)) {
+	// Fast path: no lock calls, no analysis.
+	if !mentionsLockCall(p, fs.body) {
+		return
+	}
+	g := BuildCFG(fs.body)
+	reach := g.Reachable()
+
+	// reported dedups per-site findings across solver iterations.
+	type siteKey struct {
+		pos  token.Pos
+		kind string
+	}
+	reported := map[siteKey]bool{}
+	report := func(pos token.Pos, kind, msg string) {
+		k := siteKey{pos, kind}
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		emit(pos, RuleLockCheck, msg)
+	}
+
+	transfer := func(b *Block, in flowState) flowState {
+		st := in.(lockFlowState).clone()
+		for _, n := range b.Nodes {
+			applyLockNode(p, n, st, report)
+		}
+		return st
+	}
+
+	in := solveForward(flowProblem{
+		cfg:      g,
+		entry:    lockFlowState{},
+		transfer: transfer,
+		join:     lockJoin,
+		equal:    lockEqual,
+	})
+
+	// Exit check: a lock that may still be held with no deferred release
+	// escaped the function locked on some path.
+	exitIn, ok := in[g.Exit]
+	if !ok || !reach[g.Exit] {
+		return
+	}
+	st := exitIn.(lockFlowState)
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bits := st[k]
+		if bits&lHeld != 0 {
+			if pos, text := lockSiteFor(p, fs.body, k); pos != token.NoPos {
+				report(pos, "leak", text+".Lock() is not released on every path out of the function; add an Unlock on each return path or defer the Unlock")
+			}
+		}
+		if bits&lFreeDef != 0 {
+			if pos, text := lockSiteFor(p, fs.body, k); pos != token.NoPos {
+				report(pos, "doubledefer", text+" is Unlocked explicitly while a defer Unlock is registered; the deferred call double-releases at return")
+			}
+		}
+	}
+}
+
+// applyLockNode folds one CFG node into the lock state, reporting
+// path-local violations (double lock, double unlock) at their site.
+func applyLockNode(p *Package, n ast.Node, st lockFlowState, report func(token.Pos, string, string)) {
+	walkBlockNode(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // closures are analyzed as their own functions
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := classifyLockCall(p, call)
+		if !ok {
+			return true
+		}
+		if ds, isDefer := n.(*ast.DeferStmt); isDefer && ds.Call == call {
+			op.defer_ = true
+		}
+		applyLockOp(op, st, report)
+		return true
+	})
+}
+
+func applyLockOp(op lockOp, st lockFlowState, report func(token.Pos, string, string)) {
+	bits := st.get(op.key)
+	switch {
+	case op.lock && op.defer_:
+		// defer mu.Lock() is almost certainly a typo for defer Unlock,
+		// but it is not this rule's business; treat as unknown.
+		st[op.key] = lUnknown
+	case op.lock && !op.read:
+		if bits&(lHeld|lHeldDef) != 0 {
+			report(op.pos, "double", op.text+".Lock() on a path that already holds "+op.text+"; a non-reentrant mutex self-deadlocks here")
+		}
+		if bits&(lHeldDef|lFreeDef) != 0 {
+			st[op.key] = lHeldDef // a pending defer Unlock covers the re-acquired lock
+		} else {
+			st[op.key] = lHeld
+		}
+	case op.lock && op.read:
+		// RLock is shared; double-RLock on one goroutine is legal (if
+		// inadvisable under writer pressure). Track hold for leak checks.
+		if bits&(lHeldDef|lFreeDef) != 0 {
+			st[op.key] = lHeldDef
+		} else {
+			st[op.key] = lHeld
+		}
+	case !op.lock && op.defer_:
+		// defer mu.Unlock(): registers a release that runs at exit.
+		next := lockBits(0)
+		for _, b := range []lockBits{lUnknown, lHeld, lHeldDef, lFree, lFreeDef} {
+			if bits&b == 0 {
+				continue
+			}
+			switch b {
+			case lHeld:
+				next |= lHeldDef
+			case lHeldDef, lFreeDef:
+				report(op.pos, "redefer", "a second defer "+op.text+".Unlock() is already registered on this path; the extra deferred call double-releases at return")
+				next |= b
+			case lUnknown:
+				// Deferring a release for a lock the caller holds — the
+				// with-lock-held helper pattern. Model as deferred over
+				// an unknown hold.
+				next |= lHeldDef
+			case lFree:
+				next |= lFreeDef
+			}
+		}
+		st[op.key] = next
+	default:
+		// Plain Unlock/RUnlock.
+		if bits&lFree != 0 && !op.read {
+			report(op.pos, "doubleunlock", op.text+".Unlock() on a path that already released it; unlocking an unlocked mutex is a fatal runtime error")
+		}
+		next := lockBits(0)
+		for _, b := range []lockBits{lUnknown, lHeld, lHeldDef, lFree, lFreeDef} {
+			if bits&b == 0 {
+				continue
+			}
+			switch b {
+			case lHeldDef:
+				next |= lFreeDef
+			default:
+				next |= lFree
+			}
+		}
+		st[op.key] = next
+	}
+}
+
+// classifyLockCall recognizes (*sync.Mutex).Lock/Unlock and the RWMutex
+// variants, including promoted methods through embedding, and returns the
+// canonical lock key of the receiver path.
+func classifyLockCall(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	var read, lock bool
+	switch name {
+	case "Lock":
+		lock = true
+	case "Unlock":
+	case "RLock":
+		read, lock = true, true
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	key, ok := exprKey(p, sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{key: key, text: exprText(sel.X), read: read, lock: lock, pos: call.Pos()}, true
+}
+
+// mentionsLockCall is the cheap pre-filter.
+func mentionsLockCall(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := classifyLockCall(p, call); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lockSiteFor finds the first Lock/RLock call on key in body, for
+// positioning exit findings at the acquisition rather than the brace.
+func lockSiteFor(p *Package, body *ast.BlockStmt, key string) (token.Pos, string) {
+	pos := token.NoPos
+	text := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := classifyLockCall(p, call); ok && op.key == key && op.lock {
+				pos, text = op.pos, op.text
+				return false
+			}
+		}
+		return true
+	})
+	return pos, text
+}
+
+// ---- by-value mutex travel ----
+
+// checkLockCopies flags sync.Mutex/sync.RWMutex values (or values of
+// types containing one) traveling by value.
+func checkLockCopies(p *Package, emit func(token.Pos, string, string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldListCopies(p, n.Recv, "receiver", emit)
+				checkFieldListCopies(p, n.Type.Params, "parameter", emit)
+				checkFieldListCopies(p, n.Type.Results, "result", emit)
+			case *ast.FuncLit:
+				checkFieldListCopies(p, n.Type.Params, "parameter", emit)
+				checkFieldListCopies(p, n.Type.Results, "result", emit)
+			case *ast.AssignStmt:
+				for i := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if copiesLockValue(p, n.Rhs[i]) {
+						emit(n.Rhs[i].Pos(), RuleLockCheck,
+							"assignment copies a value containing a "+lockTypeName(p, n.Rhs[i])+"; the copy forks the lock state — use a pointer")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					// A := value variable is a definition, so its type
+					// lives on the object, not in Types.
+					t := rangeValueType(p, n.Value)
+					if t != nil && containsLock(t) {
+						emit(n.Value.Pos(), RuleLockCheck,
+							"range copies each element's "+lockName(t)+" by value; range over indices and take pointers instead")
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgCopies(p, n, emit)
+			}
+			return true
+		})
+	}
+}
+
+// rangeValueType resolves the type of a range statement's value
+// expression, whether it is a fresh definition or a pre-declared target.
+func rangeValueType(p *Package, v ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[v]; ok {
+		return tv.Type
+	}
+	if id, ok := v.(*ast.Ident); ok {
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func checkFieldListCopies(p *Package, fl *ast.FieldList, what string, emit func(token.Pos, string, string)) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(tv.Type) {
+			emit(field.Pos(), RuleLockCheck,
+				"by-value "+what+" of a type containing "+lockName(tv.Type)+" copies the lock; use a pointer")
+		}
+	}
+}
+
+// copiesLockValue reports whether e copies an existing lock-bearing value
+// — an identifier, selector, dereference, or index read of such a type.
+// Composite literals and new() are initializations of a fresh (zero,
+// unlocked) value and are fine.
+func copiesLockValue(p *Package, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	if ok && tv.IsType() {
+		// A type operand, not a value: new(T) and T(x) where T is a
+		// generic instantiation parse as IndexExpr.
+		return false
+	}
+	if !ok {
+		return false
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+		return false
+	}
+	return containsLock(tv.Type)
+}
+
+func checkCallArgCopies(p *Package, call *ast.CallExpr, emit func(token.Pos, string, string)) {
+	// Conversions and builtins are not calls that copy into parameters.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	for _, arg := range call.Args {
+		if copiesLockValue(p, arg) {
+			emit(arg.Pos(), RuleLockCheck,
+				"call passes a value containing a "+lockTypeName(p, arg)+" by value; the callee operates on a copy of the lock — pass a pointer")
+		}
+	}
+}
+
+// containsLock reports whether t (not a pointer) is or transitively
+// contains sync.Mutex or sync.RWMutex by value.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex") {
+		// A *pointer* to a mutex is fine; namedIn unwraps pointers, so
+		// re-check here.
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return false
+		}
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if _, isPtr := ft.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLockSeen(ft, seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// lockName names the mutex kind inside t for messages.
+func lockName(t types.Type) string {
+	name := "sync.Mutex"
+	if strings.Contains(typeString(t), "RWMutex") {
+		name = "sync.RWMutex"
+	}
+	return name
+}
+
+func lockTypeName(p *Package, e ast.Expr) string {
+	if tv, ok := p.Info.Types[e]; ok {
+		return lockName(tv.Type)
+	}
+	return "sync.Mutex"
+}
+
+func typeString(t types.Type) string { return fmt.Sprintf("%v", t) }

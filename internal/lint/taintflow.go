@@ -1,0 +1,598 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// checkTaintFlow is the flow-sensitive generalization of maporder: it
+// tracks values *derived* from map iteration (taint) through assignments,
+// function returns, and callback invocations, and reports when a tainted
+// value reaches an output sink on some path with no sort in between.
+// Where maporder pattern-matches a single range statement, taintflow
+// follows the data:
+//
+//	keys := mapKeys(m)          // mapKeys ranges over m and returns keys
+//	if fast { fmt.Println(keys) }  // ← flagged: unsorted on this path
+//	sort.Strings(keys)
+//	fmt.Println(keys)              // clean: sort dominates this sink
+//
+// Taint sources: the key/value variables of a range over a map, calls to
+// package-local functions whose summary says they return map-iteration-
+// derived data, and closure parameters invoked by a function that feeds
+// its callback map-iteration-derived arguments (the shardedMap.Collect
+// shape). Sanitizers: sort.* / slices.* calls mentioning the value —
+// these kill taint flow-sensitively, so a sort on one branch does not
+// launder the other. Sinks: fmt print calls and Builder/Buffer/io.Writer
+// write methods, as in maporder. Analysis is per base variable
+// (field-insensitive): tainting res.Responders taints res, and sorting
+// res.Responders cleans res.
+//
+// Scoped to the Rendering packages, like maporder: elsewhere map order
+// feeding output is not a correctness bug.
+func checkTaintFlow(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	if !contains(cfg.Rendering, p.Path) {
+		return
+	}
+	sum := buildTaintSummaries(p)
+	for _, sc := range funcScopes(p) {
+		analyzeTaint(p, sc, nil, sum, emit)
+	}
+}
+
+// objTaintKey names one variable for the taint state, in the same
+// name@declpos form exprKey uses, so keys are stable and deterministic.
+func objTaintKey(obj types.Object) string {
+	return obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
+}
+
+// ---- package-level summaries ----
+
+// taintSummaries records, per package-local function: does it return
+// map-iteration-derived data, and does it invoke a func-typed parameter
+// with map-iteration-derived arguments (making every callback passed to
+// it a taint source). Built to a fixpoint so chains of helpers summarize
+// correctly.
+type taintSummaries struct {
+	returns  map[*types.Func]bool
+	callback map[*types.Func]bool
+}
+
+func buildTaintSummaries(p *Package) *taintSummaries {
+	s := &taintSummaries{
+		returns:  map[*types.Func]bool{},
+		callback: map[*types.Func]bool{},
+	}
+	var decls []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ret, cb := summarizeFunc(p, fd, s)
+			if ret && !s.returns[fn] {
+				s.returns[fn] = true
+				changed = true
+			}
+			if cb && !s.callback[fn] {
+				s.callback[fn] = true
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// summarizeFunc computes one function's summary with a flow-insensitive
+// taint propagation: seeds are map-range key/value variables, taint
+// spreads through assignments and calls to already-summarized functions,
+// and a sort anywhere in the function clears the sorted variable (the
+// flow-sensitive per-path check happens intra-procedurally; the summary
+// only has to say whether the function *can* hand back ordered-by-map
+// data after its own best effort).
+func summarizeFunc(p *Package, fd *ast.FuncDecl, s *taintSummaries) (returnsTainted, callbackTainted bool) {
+	tainted := map[types.Object]bool{}
+	paramObjs := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					paramObjs[obj] = true
+				}
+			}
+		}
+	}
+
+	// Seeds: map-range iteration variables (closures excluded — their
+	// taint is scoped to their own analysis).
+	walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[rs.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				for obj := range iterObjects(p, rs) {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	mentionsTainted := func(e ast.Expr) bool {
+		return exprMentionsTaintedObj(p, e, tainted) || callsTaintedFunc(p, e, s)
+	}
+
+	// Propagate through assignments to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if !mentionsTainted(rhs) {
+					continue
+				}
+				if obj := rootObject(p, lhs); obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// A sort anywhere clears the variable for summary purposes.
+	walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			for _, obj := range mentionedVars(p, arg) {
+				delete(tainted, obj)
+			}
+		}
+		return true
+	})
+
+	walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				if mentionsTainted(res) {
+					returnsTainted = true
+				}
+			}
+		case *ast.CallExpr:
+			// Invoking a func-typed parameter with tainted arguments.
+			id, ok := e.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := p.Info.Uses[id]; obj == nil || !paramObjs[obj] {
+				return true
+			}
+			for _, arg := range e.Args {
+				if mentionsTainted(arg) {
+					callbackTainted = true
+				}
+			}
+		}
+		return true
+	})
+	return returnsTainted, callbackTainted
+}
+
+// walkSkipFuncLit is ast.Inspect that does not descend into function
+// literals (their bodies run in their own scope).
+func walkSkipFuncLit(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// ---- intra-procedural flow analysis ----
+
+// taintState is the set of tainted variable keys; may-analysis, so join
+// is union: tainted on any path means tainted.
+type taintState map[string]bool
+
+func (t taintState) clone() taintState {
+	out := make(taintState, len(t))
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+// taintRun carries the pieces one function's analysis needs.
+type taintRun struct {
+	p   *Package
+	sum *taintSummaries
+	// outer collects variables declared outside the analyzed body that a
+	// tainted value was written to — how a callback closure's effects
+	// propagate to its caller. nil outside closures.
+	outer map[types.Object]bool
+	body  *ast.BlockStmt
+	name  string
+}
+
+// analyzeTaint runs the taint dataflow over one function body. seed
+// pre-taints variables (closure parameters at a tainted-callback call
+// site); emit may be nil to suppress findings (solver-internal closure
+// passes). It returns the set of outer variables the body taints.
+func analyzeTaint(p *Package, sc funcScope, seed []types.Object, sum *taintSummaries, emit func(token.Pos, string, string)) map[types.Object]bool {
+	r := &taintRun{p: p, sum: sum, outer: map[types.Object]bool{}, body: sc.body, name: sc.name}
+	entry := taintState{}
+	for _, obj := range seed {
+		entry[objTaintKey(obj)] = true
+	}
+	g := BuildCFG(sc.body)
+	in := solveForward(flowProblem{
+		cfg:   g,
+		entry: entry,
+		transfer: func(b *Block, s flowState) flowState {
+			return r.transfer(b, s.(taintState), nil)
+		},
+		join: func(a, b flowState) flowState {
+			out := a.(taintState).clone()
+			for k := range b.(taintState) {
+				out[k] = true
+			}
+			return out
+		},
+		equal: func(a, b flowState) bool {
+			x, y := a.(taintState), b.(taintState)
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	// Final pass in block order with the solved in-states: emit findings
+	// and record outer-variable effects deterministically.
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		r.transfer(b, s.(taintState), emit)
+	}
+	return r.outer
+}
+
+// transfer folds one block's nodes into the state. When emit is non-nil
+// this is the reporting pass.
+func (r *taintRun) transfer(b *Block, in taintState, emit func(token.Pos, string, string)) taintState {
+	s := in.clone()
+	for _, n := range b.Nodes {
+		walkBlockNode(n, func(m ast.Node) bool {
+			return r.applyNode(m, s, emit)
+		})
+	}
+	return s
+}
+
+func (r *taintRun) applyNode(n ast.Node, s taintState, emit func(token.Pos, string, string)) bool {
+	switch e := n.(type) {
+	case *ast.FuncLit:
+		// Closure bodies are separate scopes; tainted-callback literals
+		// are handled at their call site.
+		return false
+
+	case *ast.RangeStmt:
+		// Loop-header node: ranging a map taints the iteration variables;
+		// ranging a tainted slice propagates its order.
+		taintedSrc := r.exprTainted(e.X, s)
+		if tv, ok := r.p.Info.Types[e.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				taintedSrc = true
+			}
+		}
+		if taintedSrc {
+			for obj := range iterObjects(r.p, e) {
+				s[objTaintKey(obj)] = true
+			}
+		}
+		return true
+
+	case *ast.AssignStmt:
+		r.applyAssign(e, s)
+		return true
+
+	case *ast.CallExpr:
+		r.applyCall(e, s, emit)
+		return true
+	}
+	return true
+}
+
+// applyAssign taints or strong-updates assignment targets.
+func (r *taintRun) applyAssign(as *ast.AssignStmt, s taintState) {
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		obj := rootObject(r.p, lhs)
+		if obj == nil {
+			continue
+		}
+		switch {
+		case r.exprTainted(rhs, s) || as.Tok == token.ADD_ASSIGN && s[objTaintKey(obj)]:
+			s[objTaintKey(obj)] = true
+			r.noteOuterWrite(obj)
+		case isPlainIdent(lhs) && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE):
+			// Whole-variable overwrite with clean data kills taint.
+			delete(s, objTaintKey(obj))
+		}
+	}
+}
+
+// applyCall handles sanitizers, tainted-callback call sites, and sinks.
+func (r *taintRun) applyCall(call *ast.CallExpr, s taintState, emit func(token.Pos, string, string)) {
+	if isSortCall(r.p, call) {
+		for _, arg := range call.Args {
+			for _, obj := range mentionedVars(r.p, arg) {
+				delete(s, objTaintKey(obj))
+			}
+		}
+		return
+	}
+	// Calling a function that feeds map-iteration-derived values to its
+	// callback: every closure literal argument runs with tainted
+	// parameters, and whatever outer variables it taints become tainted
+	// here, at the call site.
+	if fn := calleeFunc(r.p, call); fn != nil && r.sum.callback[fn] {
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			var seed []types.Object
+			if lit.Type.Params != nil {
+				for _, field := range lit.Type.Params.List {
+					for _, name := range field.Names {
+						if obj := r.p.Info.Defs[name]; obj != nil {
+							seed = append(seed, obj)
+						}
+					}
+				}
+			}
+			outer := analyzeTaint(r.p, funcScope{lit: lit, name: r.name + ".func", body: lit.Body}, seed, r.sum, emit)
+			keys := make([]string, 0, len(outer))
+			byKey := map[string]types.Object{}
+			for obj := range outer {
+				k := objTaintKey(obj)
+				keys = append(keys, k)
+				byKey[k] = obj
+			}
+			sortStrings(keys)
+			for _, k := range keys {
+				s[k] = true
+				r.noteOuterWrite(byKey[k])
+			}
+		}
+	}
+	if emit == nil {
+		return
+	}
+	if name, ok := outputSink(r.p, call); ok {
+		for _, arg := range call.Args {
+			if r.exprTainted(arg, s) {
+				emit(call.Pos(), RuleTaintFlow,
+					"value derived from map iteration reaches "+name+" without a sort on this path; sort the collected data before rendering (or iterate sorted keys)")
+				break
+			}
+		}
+	}
+}
+
+// noteOuterWrite records a tainted write to a variable declared outside
+// the analyzed body, so closure effects surface at the call site.
+func (r *taintRun) noteOuterWrite(obj types.Object) {
+	if r.outer == nil {
+		return
+	}
+	if !within(obj.Pos(), r.body) {
+		r.outer[obj] = true
+	}
+}
+
+// exprTainted reports whether the expression mentions a tainted variable
+// or calls a function summarized as returning map-iteration-derived data.
+func (r *taintRun) exprTainted(e ast.Expr, s taintState) bool {
+	found := false
+	walkSkipFuncLit(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := n.(type) {
+		case *ast.Ident:
+			if obj := r.p.Info.Uses[m]; obj != nil && s[objTaintKey(obj)] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(r.p, m); fn != nil && r.sum.returns[fn] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- shared helpers ----
+
+// rootObject resolves an expression to its base variable: res.Responders
+// → res, keys[i] → keys.
+func rootObject(p *Package, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj := p.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isPlainIdent(e ast.Expr) bool {
+	_, ok := e.(*ast.Ident)
+	return ok
+}
+
+// mentionedVars lists the variable objects an expression references, in
+// source order.
+func mentionedVars(p *Package, e ast.Expr) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := p.Info.Uses[id].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSortCall reports a call into package sort or slices — the sanitizer.
+func isSortCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+// callsTaintedFunc reports whether e contains a call to a function whose
+// summary says it returns map-iteration-derived data.
+func callsTaintedFunc(p *Package, e ast.Expr, s *taintSummaries) bool {
+	found := false
+	walkSkipFuncLit(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p, call); fn != nil && s.returns[fn] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprMentionsTaintedObj reports whether e references an object in the
+// (summary-phase, object-keyed) tainted set.
+func exprMentionsTaintedObj(p *Package, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	walkSkipFuncLit(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// outputSink mirrors maporder's output-call classification, without the
+// range-scope exemption: fmt printing and writer methods.
+func outputSink(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			// Sprint* is not a sink: formatting a tainted value into a
+			// string propagates taint (the caller may still sort the
+			// collected strings); only actual output freezes the order.
+			if strings.HasPrefix(sel.Sel.Name, "Fprint") || strings.HasPrefix(sel.Sel.Name, "Print") {
+				return "fmt." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+	default:
+		return "", false
+	}
+	t := p.Info.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch ts := t.String(); ts {
+	case "strings.Builder", "bytes.Buffer":
+		return ts + "." + sel.Sel.Name, true
+	}
+	if isIOWriter(t) {
+		return "io.Writer." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// sortStrings is a tiny insertion sort so this file does not import sort
+// for a three-element slice (and to keep determinism self-evident).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Corpus for the atomichygiene rule: fields touched through sync/atomic
+// must be atomic everywhere, and atomically-loaded values must not be
+// stored back non-transactionally.
+package corpus
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	total uint64
+}
+
+// BadMixedWrite increments hits directly while IncrHits uses atomics: the
+// plain write races every atomic reader.
+func BadMixedWrite(c *counters) {
+	c.hits++ // want atomichygiene
+}
+
+// IncrHits is the atomic side of the mixed access.
+func IncrHits(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// BadMixedRead reads hits without the atomic load.
+func BadMixedRead(c *counters) uint64 {
+	return c.hits // want atomichygiene
+}
+
+// OKPlainField never goes through sync/atomic, so plain access is fine.
+func OKPlainField(c *counters) uint64 {
+	c.total++
+	return c.total
+}
+
+// OKFreshInit writes the field before the value is shared: a freshly
+// allocated struct has no concurrent observers yet.
+func OKFreshInit() *counters {
+	c := &counters{}
+	c.hits = 0
+	return c
+}
+
+// OKCompositeInit initializes via the literal itself.
+func OKCompositeInit() *counters {
+	return &counters{hits: 1}
+}
+
+// BadRMWFree loads, computes, stores: a concurrent Add between the load
+// and the store is lost.
+func BadRMWFree(c *counters) {
+	v := atomic.LoadUint64(&c.hits)
+	atomic.StoreUint64(&c.hits, v+1) // want atomichygiene
+}
+
+// OKAddFree uses the transactional form.
+func OKAddFree(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+type typedCounters struct {
+	n atomic.Uint64
+}
+
+// BadRMWTyped is the same lost update through the typed API.
+func BadRMWTyped(t *typedCounters) {
+	v := t.n.Load()
+	t.n.Store(v * 2) // want atomichygiene
+}
+
+// OKTypedAdd and OKTypedCAS are the transactional forms.
+func OKTypedAdd(t *typedCounters) {
+	t.n.Add(1)
+}
+
+func OKTypedCAS(t *typedCounters) {
+	for {
+		v := t.n.Load()
+		if t.n.CompareAndSwap(v, v*2) {
+			return
+		}
+	}
+}
+
+// OKStoreFresh stores a value not derived from a load.
+func OKStoreFresh(t *typedCounters) {
+	t.n.Store(42)
+}
+
+// AllowedMix demonstrates the escape hatch for a documented
+// initialization-only write.
+func AllowedMix(c *counters) {
+	//lint:allow atomichygiene single-writer phase before workers start
+	c.hits = 7
+}

@@ -1,0 +1,175 @@
+// Corpus for the lockcheck rule: path-sensitive lock/unlock pairing,
+// double acquisition, and by-value lock copies.
+package corpus
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// OKDefer is the canonical shape: acquire, defer release.
+func OKDefer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// OKStraightLine releases on the only path.
+func OKStraightLine(g *guarded) int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// OKBothBranches releases on every path out.
+func OKBothBranches(g *guarded, fast bool) int {
+	g.mu.Lock()
+	if fast {
+		n := g.n
+		g.mu.Unlock()
+		return n
+	}
+	n := g.n * 2
+	g.mu.Unlock()
+	return n
+}
+
+// BadLeakEarlyReturn holds the lock on the error path.
+func BadLeakEarlyReturn(g *guarded, bail bool) int {
+	g.mu.Lock() // want lockcheck: not released on the bail path
+	if bail {
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// BadLeakAllPaths never releases.
+func BadLeakAllPaths(g *guarded) {
+	g.mu.Lock() // want lockcheck
+	g.n++
+}
+
+// BadDoubleLock re-acquires without releasing.
+func BadDoubleLock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Lock() // want lockcheck
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// BadDoubleUnlock releases twice on one path.
+func BadDoubleUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock() // want lockcheck
+}
+
+// BadUnlockAfterDefer releases explicitly on top of the deferred release.
+func BadUnlockAfterDefer(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	g.mu.Unlock() // want lockcheck: the defer fires too
+}
+
+// OKLoopReacquire releases at the bottom of each iteration, so the
+// re-acquisition at the top is balanced.
+func OKLoopReacquire(g *guarded, rounds int) {
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// BadLoopLeak acquires each iteration and releases only after the loop.
+func BadLoopLeak(g *guarded, rounds int) {
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock() // want lockcheck: second iteration re-locks a held lock
+		g.n++
+	}
+	g.mu.Unlock()
+}
+
+// OKRWReader pairs RLock with deferred RUnlock.
+func OKRWReader(g *rwGuarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// BadRWLeak holds the read lock on the early return.
+func BadRWLeak(g *rwGuarded, bail bool) int {
+	g.mu.RLock() // want lockcheck
+	if bail {
+		return 0
+	}
+	n := g.n
+	g.mu.RUnlock()
+	return n
+}
+
+// OKTwoLocks tracks two locks independently.
+func OKTwoLocks(a, b *guarded) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n, b.n = b.n, a.n
+}
+
+// BadCopyParam receives the lock-bearing struct by value.
+func BadCopyParam(g guarded) int { // want lockcheck: by-value parameter
+	return g.n
+}
+
+// BadCopyAssign forks the lock state into a local copy.
+func BadCopyAssign(g *guarded) int {
+	local := *g // want lockcheck: assignment copies the mutex
+	return local.n
+}
+
+// BadCopyRange copies each element's lock.
+func BadCopyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want lockcheck: range copies the mutex
+		total += g.n
+	}
+	return total
+}
+
+// OKPointerRange takes pointers instead.
+func OKPointerRange(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// AllowedLeak demonstrates the escape hatch.
+func AllowedLeak(g *guarded) {
+	//lint:allow lockcheck handoff: the unlock happens in the paired release helper
+	g.mu.Lock()
+	g.n++
+}
+
+// stale: this allow covers a line that never trips the rule.
+func StaleAllowDemo(g *guarded) int {
+	//lint:allow lockcheck nothing wrong here, the comment itself is the defect
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

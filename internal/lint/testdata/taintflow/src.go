@@ -1,0 +1,150 @@
+// Corpus for the taintflow rule: values derived from map iteration must
+// not reach an output sink on any path without a sort in between. The
+// corpus impersonates a Rendering package; maporder findings are filtered
+// out by the per-rule test harness so this golden isolates the
+// flow-sensitive rule.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadDirectPrint prints the key inside the loop: output in map order.
+func BadDirectPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want taintflow
+	}
+}
+
+// BadUnsortedCollect prints the collected (unsorted) keys.
+func BadUnsortedCollect(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want taintflow
+}
+
+// OKSortedCollect sorts before printing: the canonical clean shape.
+func OKSortedCollect(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// BadSortOnOneBranch leaves the fast path unsorted: the sink is tainted
+// on some path, which is exactly what the dataflow join catches.
+func BadSortOnOneBranch(m map[string]int, fast bool) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if !fast {
+		sort.Strings(keys)
+	}
+	fmt.Println(keys) // want taintflow
+}
+
+// OKSortThenFormat freezes the order only after sorting, even through
+// Sprintf (formatting propagates taint, it is not a sink).
+func OKSortThenFormat(m map[string]int) string {
+	var lines []string
+	for k, v := range m {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// unsortedKeys is the cross-function half: it returns map-iteration-
+// derived data without sorting.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys sorts before returning, so its callers are clean.
+func sortedKeys(m map[string]int) []string {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	return keys
+}
+
+// BadCrossFunction prints a helper's unsorted result: the summary carries
+// the taint across the call.
+func BadCrossFunction(m map[string]int) {
+	fmt.Println(unsortedKeys(m)) // want taintflow
+}
+
+// OKCrossFunction uses the sorting helper.
+func OKCrossFunction(m map[string]int) {
+	fmt.Println(sortedKeys(m))
+}
+
+// OKCallerSorts repairs the helper's order itself.
+func OKCallerSorts(m map[string]int) {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// visit is the callback half: it hands map-iteration-derived values to
+// its callback, so closures passed in receive tainted arguments.
+func visit(m map[string]int, fn func(string, int)) {
+	for k, v := range m {
+		fn(k, v)
+	}
+}
+
+// BadCallbackCollect collects through the callback and prints unsorted.
+func BadCallbackCollect(m map[string]int) {
+	var keys []string
+	visit(m, func(k string, _ int) {
+		keys = append(keys, k)
+	})
+	fmt.Println(keys) // want taintflow
+}
+
+// OKCallbackCollect sorts what the callback collected.
+func OKCallbackCollect(m map[string]int) {
+	var keys []string
+	visit(m, func(k string, _ int) {
+		keys = append(keys, k)
+	})
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// BadCallbackSink prints straight from the callback body.
+func BadCallbackSink(m map[string]int) {
+	visit(m, func(k string, _ int) {
+		fmt.Println(k) // want taintflow
+	})
+}
+
+// OKOverwriteKills reassigns the variable with clean data before the
+// sink: the strong update kills the taint.
+func OKOverwriteKills(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = []string{"fixed"}
+	fmt.Println(keys)
+}
+
+// AllowedUnsorted documents a deliberately order-free diagnostic dump.
+func AllowedUnsorted(m map[string]int) {
+	for k := range m {
+		//lint:allow taintflow debug dump, order is irrelevant and documented
+		fmt.Println(k)
+	}
+}

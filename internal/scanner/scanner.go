@@ -339,6 +339,8 @@ const NoSettle = -1 * time.Millisecond
 type netip4 = netip.Addr
 
 // addrU32 converts for the hot path.
+//
+//lint:hotpath per-response address conversion
 func addrU32(a netip.Addr) uint32 { return lfsr.AddrToU32(a) }
 
 // packQuery builds and packs a query, panicking only on programmer error

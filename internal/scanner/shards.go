@@ -21,6 +21,8 @@ const shardShift = 32 - 6 // log2(nShards) == 6
 // shardOf maps a key (an IPv4 address or probe index) to its stripe.
 // Knuth's multiplicative hash spreads sequential and LFSR-permuted keys
 // evenly; the top bits are the well-mixed ones.
+//
+//lint:hotpath per-response collector insert
 func shardOf(key uint32) uint32 {
 	return key * 2654435761 >> shardShift
 }
@@ -52,6 +54,8 @@ func newShardedMap[V any](hint int) *shardedMap[V] {
 // InsertOnce stores v under key unless the key is already present,
 // reporting whether it stored. First writer wins, matching the dedup
 // semantics of the old single-map collectors.
+//
+//lint:hotpath per-response collector insert
 func (s *shardedMap[V]) InsertOnce(key uint32, v V) bool {
 	sh := &s.shards[shardOf(key)]
 	sh.mu.Lock()
@@ -112,6 +116,8 @@ type stripedMutex struct {
 }
 
 // of returns the stripe lock for key.
+//
+//lint:hotpath per-response collector insert
 func (s *stripedMutex) of(key uint32) *sync.Mutex {
 	return &s.locks[shardOf(key)].Mutex
 }

@@ -78,6 +78,8 @@ func (r *SweepResult) MisSourcedCount() int {
 // cachePrefix derives the per-target random label that defeats caching
 // (§2.2), written into a fixed-size array so the send path never converts
 // through a string.
+//
+//lint:hotpath per-probe / per-response sweep path
 func cachePrefix(u uint32) [5]byte { return cachePrefixN(u, 0) }
 
 // cachePrefixN salts the anti-caching label with the retry attempt:
@@ -85,6 +87,8 @@ func cachePrefix(u uint32) [5]byte { return cachePrefixN(u, 0) }
 // retransmission round carries a fresh label — a genuinely new packet
 // that redraws its per-packet loss fate (the target decode ignores the
 // prefix, so attribution is unaffected).
+//
+//lint:hotpath per-probe / per-response sweep path
 func cachePrefixN(u uint32, attempt int) [5]byte {
 	v := uint16((uint64(u)*2654435761 + uint64(attempt)*0x9E3779B9) >> 8)
 	const hexdigits = "0123456789abcdef"
@@ -109,6 +113,8 @@ func newSweepCollector(base string, hint int) *sweepCollector {
 
 // receive handles one response datagram. First response per target wins,
 // as with the old single-map collector.
+//
+//lint:hotpath per-probe / per-response sweep path
 func (st *sweepCollector) receive(src netip4, srcPort, dstPort uint16, payload []byte) {
 	v := dnswire.GetView()
 	defer dnswire.PutView(v)
