@@ -72,9 +72,15 @@ bench:
 	$(GO) run ./cmd/benchscan -out BENCH_scan.json
 
 # CI smoke variant: order-16 sweep, smaller cluster sizes, seconds not
-# minutes. Does not overwrite the committed baseline.
+# minutes. Does not overwrite the committed baseline. Gates on the
+# report shape — all four shard-table rows (M=1,2,4,8), the best-M
+# pick, and both dispatch modes must be present — but not on absolute
+# throughput, which would flake on shared CI runners.
 bench-quick:
 	$(GO) run ./cmd/benchscan -quick -out /tmp/bench_quick.json
+	test "$$(grep -c '"shards":' /tmp/bench_quick.json)" = "4"
+	grep -q '"best_shards":' /tmp/bench_quick.json
+	test "$$(grep -c '"mode":' /tmp/bench_quick.json)" = "2"
 
 # One iteration of every table/figure benchmark.
 bench-all:

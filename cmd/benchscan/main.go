@@ -17,6 +17,7 @@ import (
 
 	"goingwild/internal/cluster"
 	"goingwild/internal/core"
+	"goingwild/internal/scanner"
 )
 
 type sweepBench struct {
@@ -35,9 +36,35 @@ type clusterBench struct {
 	MergeCount int     `json:"merges"`
 }
 
+// shardRow is one line of the shard-scaling table: the sweep run as M
+// leapfrog shard workers. Efficiency is throughput(M) / (M *
+// throughput(1)) — the classic parallel-efficiency ratio, which on a
+// single-core runner decays as ~1/M by construction.
+type shardRow struct {
+	Shards     int     `json:"shards"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	ProbesPerS float64 `json:"probes_per_sec"`
+	Efficiency float64 `json:"parallel_efficiency"`
+}
+
+// dispatchBench compares probe dispatch modes: "batched" uses the
+// transport's SendBatch (sendmmsg-style bulk handoff), "single" hides
+// the BatchSender interface and falls back to one Send per probe.
+type dispatchBench struct {
+	Mode       string  `json:"mode"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	ProbesPerS float64 `json:"probes_per_sec"`
+}
+
 type report struct {
-	Sweep   sweepBench     `json:"sweep"`
-	Cluster []clusterBench `json:"cluster"`
+	Sweep sweepBench `json:"sweep"`
+	// SweepShards is the M=1,2,4,8 scaling table; BestShards is the row
+	// with the highest throughput (the number the perf target is judged
+	// at).
+	SweepShards   []shardRow      `json:"sweep_shards"`
+	BestShards    int             `json:"best_shards"`
+	SweepDispatch []dispatchBench `json:"sweep_dispatch"`
+	Cluster       []clusterBench  `json:"cluster"`
 	// ClusterScalingRatio is time(2n)/time(n) for the two cluster sizes:
 	// ~4 for the O(n²) chain, ~6-8 for the old O(n³) scan at these sizes.
 	ClusterScalingRatio float64 `json:"cluster_scaling_ratio"`
@@ -80,6 +107,67 @@ func benchSweep(order uint) (sweepBench, error) {
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}, nil
+}
+
+// benchScanner times one sweep configuration over an existing study's
+// transport (or any Transport wrapper around it).
+func benchScanner(s *core.Study, tr scanner.Transport, order uint, shards int) (int64, uint64) {
+	sc := scanner.New(tr, scanner.Options{
+		Workers:     s.Cfg.Workers,
+		Shards:      shards,
+		Retries:     1,
+		SettleDelay: scanner.NoSettle,
+	})
+	var probed uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sc.Sweep(order, uint32(i+1), s.World.ScanBlacklist())
+			if err != nil {
+				b.Fatal(err)
+			}
+			probed = res.Probed
+		}
+	})
+	return r.NsPerOp(), probed
+}
+
+// singleOnly hides the transport's BatchSender so the scanner falls
+// back to the per-probe Send loop.
+type singleOnly struct{ scanner.Transport }
+
+func benchShardTable(s *core.Study, order uint, ms []int) []shardRow {
+	rows := make([]shardRow, 0, len(ms))
+	var base float64
+	for _, m := range ms {
+		ns, probed := benchScanner(s, s.Transport, order, m)
+		pps := float64(probed) / (float64(ns) / 1e9)
+		if m == 1 {
+			base = pps
+		}
+		eff := 1.0
+		if base > 0 {
+			eff = pps / (float64(m) * base)
+		}
+		rows = append(rows, shardRow{Shards: m, NsPerOp: ns, ProbesPerS: pps, Efficiency: eff})
+		fmt.Printf("sweep shards=%d: %.3fs/op  %.2fM probes/s  efficiency %.2f\n",
+			m, float64(ns)/1e9, pps/1e6, eff)
+	}
+	return rows
+}
+
+func benchDispatch(s *core.Study, order uint) []dispatchBench {
+	out := make([]dispatchBench, 0, 2)
+	for _, mode := range []string{"batched", "single"} {
+		tr := scanner.Transport(s.Transport)
+		if mode == "single" {
+			tr = singleOnly{s.Transport}
+		}
+		ns, probed := benchScanner(s, tr, order, 1)
+		pps := float64(probed) / (float64(ns) / 1e9)
+		out = append(out, dispatchBench{Mode: mode, NsPerOp: ns, ProbesPerS: pps})
+		fmt.Printf("sweep dispatch=%s: %.3fs/op  %.2fM probes/s\n", mode, float64(ns)/1e9, pps/1e6)
+	}
+	return out
 }
 
 func benchCluster(n int) clusterBench {
@@ -130,12 +218,36 @@ func main() {
 		sw.Order, sw.Probes, float64(sw.NsPerOp)/1e9, sw.ProbesPerS/1e6,
 		sw.AllocsPerOp, float64(sw.BytesPerOp)/(1<<20))
 
+	// The shard-scaling table and the dispatch comparison share one
+	// study (one world build). Three iterations per row: these are the
+	// numbers make bench-quick gates on, so buy down the noise.
+	if err := flag.Set("test.benchtime", "3x"); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan:", err)
+		os.Exit(1)
+	}
+	study, err := core.NewStudy(core.DefaultConfig(sweepOrder))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan:", err)
+		os.Exit(1)
+	}
+	defer study.Close()
+	rep := report{Sweep: sw}
+	rep.SweepShards = benchShardTable(study, sweepOrder, []int{1, 2, 4, 8})
+	best := rep.SweepShards[0]
+	for _, row := range rep.SweepShards[1:] {
+		if row.ProbesPerS > best.ProbesPerS {
+			best = row
+		}
+	}
+	rep.BestShards = best.Shards
+	fmt.Printf("best shard count: M=%d at %.2fM probes/s\n", best.Shards, best.ProbesPerS/1e6)
+	rep.SweepDispatch = benchDispatch(study, sweepOrder)
+
 	// Clustering is cheap enough for a few iterations; median out noise.
 	if err := flag.Set("test.benchtime", "3x"); err != nil {
 		fmt.Fprintln(os.Stderr, "benchscan:", err)
 		os.Exit(1)
 	}
-	rep := report{Sweep: sw}
 	for _, n := range clusterSizes {
 		cb := benchCluster(n)
 		rep.Cluster = append(rep.Cluster, cb)

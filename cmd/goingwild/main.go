@@ -26,6 +26,7 @@ import (
 	"goingwild/internal/metrics"
 	"goingwild/internal/pipeline"
 	"goingwild/internal/scanner"
+	"goingwild/internal/shardio"
 )
 
 func main() {
@@ -33,11 +34,14 @@ func main() {
 		order       = flag.Uint("order", 18, "address-space width in bits (14–32)")
 		seed        = flag.Uint64("seed", 0x60176A11D, "world seed")
 		weeks       = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
-		exps        = flag.String("exp", "all", "comma-separated experiments: fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
+		exps        = flag.String("exp", "all", "comma-separated experiments: census,fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
 		week        = flag.Int("week", 50, "study week for the point-in-time experiments")
 		export      = flag.String("export", "", "directory to export JSONL datasets into")
 		progress    = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
 		chaos       = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		shards      = flag.Int("shards", 0, "run every sweep as N in-process leapfrog shard workers (0/1 = unsharded; results identical)")
+		shardSpec   = flag.String("shard", "", "run only census shard i/M of the -week sweep and exit (e.g. -shard 0/4); requires -shard-out")
+		shardOut    = flag.String("shard-out", "", "write the -shard census artifact (JSON) to this file, for cmd/wildmerge")
 		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
@@ -59,6 +63,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
+	cfg.Shards = *shards
 	// Metrics are a pure side channel: stdout is byte-identical with and
 	// without a registry attached.
 	var reg *metrics.Registry
@@ -99,6 +104,17 @@ func main() {
 	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
+	// -shard i/M is the out-of-process sharding mode: run exactly one
+	// census shard of the -week sweep, write its artifact, and exit.
+	// cmd/wildmerge recombines the M artifacts into the unsharded census.
+	if *shardSpec != "" {
+		if err := runShard(ctx, study, *week, *shardSpec, *shardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "goingwild:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -109,6 +125,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// census is not part of "all": it exists for the sharding workflow
+	// (its output is what wildmerge must reproduce byte-for-byte).
+	if want["census"] {
+		res, err := study.SweepAtContext(ctx, *week)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(shardio.RenderCensus(res))
+	}
 	if all || want["fig1"] || want["table1"] || want["table2"] {
 		series, err := study.RunWeeklySeriesContext(ctx)
 		if err != nil {
@@ -226,6 +251,33 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runShard executes census shard i/M of the week's sweep and writes its
+// artifact for cmd/wildmerge.
+func runShard(ctx context.Context, study *core.Study, week int, spec, out string) error {
+	var shard, of int
+	if n, err := fmt.Sscanf(spec, "%d/%d", &shard, &of); n != 2 || err != nil {
+		return fmt.Errorf("bad -shard %q, want i/M (e.g. 0/4)", spec)
+	}
+	if of < 1 || shard < 0 || shard >= of {
+		return fmt.Errorf("-shard %d/%d out of range", shard, of)
+	}
+	if out == "" {
+		return fmt.Errorf("-shard requires -shard-out")
+	}
+	res, err := study.SweepShardAt(ctx, week, shard, of)
+	if err != nil {
+		return err
+	}
+	cfg := study.Cfg
+	prov := shardio.Provenance{Order: cfg.Order, Seed: cfg.Seed, ScanSeed: cfg.ScanSeed, Week: week}
+	if err := shardio.WriteFile(out, shardio.FromSweep(prov, shard, of, res)); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "goingwild: shard %d/%d probed %d targets, %d responders -> %s\n",
+		shard, of, res.Probed, res.Total(), out)
+	return nil
 }
 
 // stageProgress renders pipeline events as one stderr line per edge.

@@ -1,0 +1,59 @@
+// Command wildmerge recombines per-shard census artifacts — written by
+// `goingwild -shard i/M -shard-out f.json` running as M independent
+// processes — into the single-scan census report. The merged report is
+// byte-identical to what one unsharded process prints for the same
+// (order, seed, week), which is the whole point: sharding an
+// Internet-wide scan across machines must not change its result.
+//
+// Usage:
+//
+//	goingwild -order 16 -shard 0/4 -shard-out s0.json
+//	goingwild -order 16 -shard 1/4 -shard-out s1.json
+//	...
+//	wildmerge s0.json s1.json s2.json s3.json
+//	wildmerge -out merged.json s*.json     # also write the merged artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goingwild/internal/shardio"
+)
+
+func main() {
+	out := flag.String("out", "", "also write the merged census as a 1/1 artifact to this file")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: wildmerge [-out merged.json] shard0.json shard1.json ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	arts := make([]shardio.Artifact, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		a, err := shardio.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		arts = append(arts, a)
+	}
+	res, prov, err := shardio.Merge(arts)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := shardio.WriteFile(*out, shardio.FromSweep(prov, 0, 1, res)); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(shardio.RenderCensus(res))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wildmerge:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ func main() {
 		markdown    = flag.Bool("markdown", false, "emit the markdown comparison table only")
 		progress    = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
 		chaosProf   = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		shards      = flag.Int("shards", 0, "run every sweep as N in-process leapfrog shard workers (0/1 = unsharded; stdout is byte-identical)")
 		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
@@ -57,6 +58,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
+	cfg.Shards = *shards
 	// Metrics are a pure side channel: stdout is byte-identical with and
 	// without a registry attached, so observability costs reproducibility
 	// nothing (the determinism guard in CI enforces exactly that).

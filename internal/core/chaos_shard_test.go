@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"goingwild/internal/domains"
+	"goingwild/internal/wildnet"
+)
+
+// chaosShardSummary runs the chaos pipeline (the RunChaosPipeline
+// stages) with the census sweep split across m shard workers and
+// returns the rendered summary.
+func chaosShardSummary(t *testing.T, profile string, m int) string {
+	t.Helper()
+	cfg, err := ChaosProfileConfig(14, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = m
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	sum := &ChaosSummary{Profile: profile, Week: 3}
+	bl := s.World.ScanBlacklist()
+	sum.GroundTruth = s.World.CountRespondingAt(wildnet.VantagePrimary, wildnet.At(3), bl.ContainsU32)
+	sweep, err := s.SweepAtContext(ctx, 3)
+	if err != nil {
+		t.Fatalf("chaos %s shards=%d: sweep: %v", profile, m, err)
+	}
+	sum.SweepTotal = sweep.Total()
+	survey, _, err := s.RunChaosContext(ctx, 3)
+	if err != nil {
+		t.Fatalf("chaos %s shards=%d: chaos scan: %v", profile, m, err)
+	}
+	sum.ChaosResponders = survey.Responded
+	dom, err := s.RunDomainStudyContext(ctx, 3, []domains.Category{domains.Alexa})
+	if err != nil {
+		t.Fatalf("chaos %s shards=%d: domain chain: %v", profile, m, err)
+	}
+	sum.NoError = len(dom.Resolvers)
+	sum.StageTrace = dom.StageTrace
+	sum.Degraded = s.Degraded
+	return sum.Render()
+}
+
+// TestChaosMatrixSharded pins the strongest form of the sharding
+// contract: under every fault profile, the full pipeline with the
+// census sweep split across four shard workers renders the exact
+// summary the unsharded pipeline renders. This holds because fault
+// draws are pure per (identity, window, payload, attempt) and the
+// retransmission counter is keyed by destination — a destination
+// belongs to exactly one shard, so concurrent shard workers cannot
+// perturb each other's attempt counts (wildnet.attemptCounter).
+func TestChaosMatrixSharded(t *testing.T) {
+	for _, profile := range []string{"clean", "lossy", "hostile", "flaky"} {
+		t.Run(profile, func(t *testing.T) {
+			single := chaosShardSummary(t, profile, 1)
+			sharded := chaosShardSummary(t, profile, 4)
+			if single != sharded {
+				t.Errorf("sharded chaos pipeline diverges from unsharded:\n--- shards=1\n%s--- shards=4\n%s", single, sharded)
+			}
+		})
+	}
+}
+
+// TestChaosShardedSchedulerIndependent reruns the nastiest profile's
+// sharded pipeline under a flipped GOMAXPROCS: the four shard workers
+// schedule completely differently, the summary must not move a byte.
+func TestChaosShardedSchedulerIndependent(t *testing.T) {
+	base := chaosShardSummary(t, "hostile", 4)
+	old := runtime.GOMAXPROCS(0)
+	flipped := 1
+	if old == 1 {
+		flipped = 4
+	}
+	runtime.GOMAXPROCS(flipped)
+	alt := chaosShardSummary(t, "hostile", 4)
+	runtime.GOMAXPROCS(old)
+	if base != alt {
+		t.Errorf("sharded hostile summary diverges at GOMAXPROCS=%d:\n--- base\n%s--- flipped\n%s", flipped, base, alt)
+	}
+}

@@ -46,6 +46,10 @@ type Config struct {
 	Loss float64
 	// Workers is the scanner's sender concurrency.
 	Workers int
+	// Shards runs every sweep as that many leapfrog shard workers
+	// (scanner.Options.Shards). 0 or 1 scans unsharded; results are
+	// identical either way (see the scanner's sharding contract).
+	Shards int
 	// Faults layers the deterministic fault model over the world
 	// (bursty loss, latency, duplication, garbling, rate limiting,
 	// flaps — see wildnet.FaultConfig). The zero value injects nothing
@@ -146,6 +150,7 @@ type DegradedStage struct {
 func (c Config) scanOpts() scanner.Options {
 	return scanner.Options{
 		Workers:      c.Workers,
+		Shards:       c.Shards,
 		Retries:      1,
 		SettleDelay:  scanner.NoSettle,
 		Backoff:      c.Backoff,
@@ -328,6 +333,15 @@ func (s *Study) SweepAt(week int) (*scanner.SweepResult, error) {
 func (s *Study) SweepAtContext(ctx context.Context, week int) (*scanner.SweepResult, error) {
 	s.SetWeek(week)
 	return s.Scanner.SweepContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919, s.World.ScanBlacklist())
+}
+
+// SweepShardAt runs shard `shard` of `of` of the week's Internet-wide
+// scan — the same permutation SweepAt walks, decimated by leapfrog — so
+// separate processes can each cover one shard and cmd/wildmerge can
+// recombine their artifacts into the unsharded census.
+func (s *Study) SweepShardAt(ctx context.Context, week, shard, of int) (*scanner.SweepResult, error) {
+	s.SetWeek(week)
+	return s.Scanner.SweepShardContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919, s.World.ScanBlacklist(), shard, of)
 }
 
 // RunCohortStudy tracks the week-0 responders; it is the ctx-less

@@ -264,14 +264,22 @@ func ByCategory(cat Category) []Domain {
 	return out
 }
 
-// ByName returns the list entry with the given name and whether it exists.
-func ByName(name string) (Domain, bool) {
+// byName indexes List for the per-query lookup the resolver answer path
+// performs; first entry wins, matching the linear scan it replaces.
+var byName = func() map[string]Domain {
+	m := make(map[string]Domain, len(List))
 	for _, d := range List {
-		if d.Name == name {
-			return d, true
+		if _, ok := m[d.Name]; !ok {
+			m[d.Name] = d
 		}
 	}
-	return Domain{}, false
+	return m
+}()
+
+// ByName returns the list entry with the given name and whether it exists.
+func ByName(name string) (Domain, bool) {
+	d, ok := byName[name]
+	return d, ok
 }
 
 // Names returns all scan-list names in order.

@@ -91,7 +91,15 @@ type AS struct {
 	Collapse    *Collapse
 	Fate        Fate
 	FateWeek    int // week the fate takes effect
+
+	// rir caches RIROf(Country) at build time so the per-probe lookup
+	// path never touches the country→RIR string map.
+	rir RIR
 }
+
+// RIRCode returns the AS's regional Internet registry (precomputed at
+// build time).
+func (as *AS) RIRCode() RIR { return as.rir }
 
 // Location is the result of an IP lookup.
 type Location struct {
@@ -126,6 +134,9 @@ func Build(order uint, seed uint64) (*DB, error) {
 	}
 	db.buildASes(seed)
 	db.assignBlocks(seed, 1<<nBlockBits)
+	for i := range db.ases {
+		db.ases[i].rir = RIROf(db.ases[i].Country)
+	}
 	return db, nil
 }
 
@@ -270,12 +281,25 @@ func (db *DB) BlockOf(u uint32) int { return int(u >> db.blockBits) }
 // outside the scaled space (order < 32) fold into it by masking, so
 // callers never observe a miss.
 func (db *DB) LookupU32(u uint32) Location {
+	as := db.ASOfU32(u)
+	return Location{Country: as.Country, RIR: as.rir, AS: as}
+}
+
+// ASOfU32 returns the owning AS of an address without building a
+// Location — the form the per-probe hot paths use.
+func (db *DB) ASOfU32(u uint32) *AS {
 	if db.order < 32 {
 		u &= uint32(1)<<db.order - 1
 	}
-	as := &db.ases[db.blocks[db.BlockOf(u)]]
-	return Location{Country: as.Country, RIR: RIROf(as.Country), AS: as}
+	return &db.ases[db.blocks[db.BlockOf(u)]]
 }
+
+// NumBlocks returns how many network blocks the space is partitioned
+// into.
+func (db *DB) NumBlocks() int { return len(db.blocks) }
+
+// BlockBase returns the first address of block b.
+func (db *DB) BlockBase(b int) uint32 { return uint32(b) << db.blockBits }
 
 // Lookup resolves the location of an address.
 func (db *DB) Lookup(addr netip.Addr) Location {

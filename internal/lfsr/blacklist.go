@@ -79,6 +79,12 @@ func (b *Blacklist) addRange(lo, hi uint32) {
 	b.frozen = false
 }
 
+// Freeze sorts and merges the ranges now instead of lazily at the first
+// lookup. Lookups from a single goroutine never need it, but concurrent
+// readers — the sharded sweep's per-shard generators — must Freeze
+// first: the lazy path mutates shared state on first use.
+func (b *Blacklist) Freeze() { b.freeze() }
+
 // freeze sorts and merges ranges; called lazily before lookups.
 func (b *Blacklist) freeze() {
 	if b.frozen {
@@ -108,11 +114,25 @@ func (b *Blacklist) Contains(addr netip.Addr) bool {
 }
 
 // ContainsU32 reports whether the address (as a big-endian uint32) is
-// blacklisted. This is the hot-path form used by the target generator.
+// blacklisted. This is the hot-path form used by the target generator:
+// the freeze check and the range binary search are open-coded because
+// the generator pays this per raw permutation slot.
+//
+//lint:hotpath per-slot blacklist check in the target generator
 func (b *Blacklist) ContainsU32(u uint32) bool {
-	b.freeze()
-	i := sort.Search(len(b.ranges), func(i int) bool { return b.ranges[i].hi >= u })
-	return i < len(b.ranges) && b.ranges[i].lo <= u
+	if !b.frozen {
+		b.freeze()
+	}
+	lo, hi := 0, len(b.ranges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.ranges[mid].hi >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo < len(b.ranges) && b.ranges[lo].lo <= u
 }
 
 // Size returns the total number of blacklisted addresses.

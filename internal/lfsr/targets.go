@@ -1,6 +1,7 @@
 package lfsr
 
 import (
+	"fmt"
 	"net/netip"
 )
 
@@ -9,37 +10,71 @@ import (
 // low 2^order addresses of IPv4 when order < 32 (the scaled-down virtual
 // Internet), or all of IPv4 for order 32.
 //
+// A generator can cover the whole permutation (NewTargetGenerator) or one
+// deterministic leapfrog shard of it (ShardedGenerator): shard i of M
+// emits exactly the permutation slots i, i+M, i+2M, ... so the union of
+// the M shards is the original sequence, with no coordination between
+// shard walkers.
+//
 // The LFSR never emits state 0, so address 0 — which is always inside the
 // reserved 0.0.0.0/8 block — needs no special casing.
 type TargetGenerator struct {
 	reg       *LFSR
 	blacklist *Blacklist
-	emitted   uint64
-	period    uint64
+	// emitted counts raw permutation slots consumed (including
+	// blacklisted ones and, on a sharded generator, the other shards'
+	// slots leapfrogged over).
+	emitted uint64
+	period  uint64
+	order   uint
+	seed    uint32
+	// stride is the leapfrog decimation factor (1 for a full-permutation
+	// generator); offset is this shard's first slot index.
+	stride uint64
+	offset uint64
 }
 
 // NewTargetGenerator builds a generator over a 2^order address space. A
 // nil blacklist skips nothing.
 func NewTargetGenerator(order uint, seed uint32, bl *Blacklist) (*TargetGenerator, error) {
+	return ShardedGenerator(order, seed, bl, 0, 1)
+}
+
+// ShardedGenerator builds shard `shard` of `of` over the 2^order space:
+// the walker that emits every of-th slot of the seed's permutation
+// starting at slot `shard` (leapfrog decimation, as ZMap shards its
+// cyclic-group permutation). Shards of the same (order, seed) partition
+// the address space exactly; each is independently resumable via State.
+func ShardedGenerator(order uint, seed uint32, bl *Blacklist, shard, of int) (*TargetGenerator, error) {
+	if of < 1 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("lfsr: shard %d/%d out of range", shard, of)
+	}
 	reg, err := New(order, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &TargetGenerator{reg: reg, blacklist: bl, period: reg.Period()}, nil
+	g := &TargetGenerator{
+		reg:       reg,
+		blacklist: bl,
+		period:    reg.Period(),
+		order:     order,
+		seed:      seed,
+		stride:    uint64(of),
+		offset:    uint64(shard),
+	}
+	g.reg.Jump(g.offset)
+	g.emitted = g.offset
+	return g, nil
 }
 
-// Next returns the next non-blacklisted target. ok is false once the full
-// permutation has been exhausted.
+// Next returns the next non-blacklisted target. ok is false once the
+// generator's share of the permutation has been exhausted.
 func (g *TargetGenerator) Next() (addr netip.Addr, ok bool) {
-	for g.emitted < g.period {
-		u := g.reg.Next()
-		g.emitted++
-		if g.blacklist != nil && g.blacklist.ContainsU32(u) {
-			continue
-		}
-		return U32ToAddr(u), true
+	u, ok := g.NextU32()
+	if !ok {
+		return netip.Addr{}, false
 	}
-	return netip.Addr{}, false
+	return U32ToAddr(u), true
 }
 
 // NextU32 is Next without the netip conversion, for hot scan loops.
@@ -49,6 +84,11 @@ func (g *TargetGenerator) NextU32() (u uint32, ok bool) {
 	for g.emitted < g.period {
 		v := g.reg.Next()
 		g.emitted++
+		// Leapfrog over the other shards' slots (no-op when stride is 1).
+		for s := uint64(1); s < g.stride && g.emitted < g.period; s++ {
+			g.reg.Next()
+			g.emitted++
+		}
 		if g.blacklist != nil && g.blacklist.ContainsU32(v) {
 			continue
 		}
@@ -59,16 +99,35 @@ func (g *TargetGenerator) NextU32() (u uint32, ok bool) {
 
 // NextBatch fills dst with the next non-blacklisted targets and reports
 // how many it produced. A short (or zero) count only happens at the end of
-// the permutation. Streaming senders pull batches under a shared lock so
-// the generator is touched once per batch, not once per probe.
+// the generator's share of the permutation. Streaming senders pull batches
+// under a shared lock so the generator is touched once per batch, not once
+// per probe.
 //
 //lint:hotpath per-probe target generation; senders pull these in a tight loop
 func (g *TargetGenerator) NextBatch(dst []uint32) int {
 	n := 0
+	bl := g.blacklist
+	if g.stride == 1 {
+		// Unsharded fast path: no leapfrog loop, blacklist check hoisted.
+		for n < len(dst) && g.emitted < g.period {
+			u := g.reg.Next()
+			g.emitted++
+			if bl != nil && bl.ContainsU32(u) {
+				continue
+			}
+			dst[n] = u
+			n++
+		}
+		return n
+	}
 	for n < len(dst) && g.emitted < g.period {
 		u := g.reg.Next()
 		g.emitted++
-		if g.blacklist != nil && g.blacklist.ContainsU32(u) {
+		for s := uint64(1); s < g.stride && g.emitted < g.period; s++ {
+			g.reg.Next()
+			g.emitted++
+		}
+		if bl != nil && bl.ContainsU32(u) {
 			continue
 		}
 		dst[n] = u
@@ -77,12 +136,72 @@ func (g *TargetGenerator) NextBatch(dst []uint32) int {
 	return n
 }
 
-// Emitted returns how many LFSR states have been consumed (including
-// blacklisted skips).
+// Emitted returns how many raw permutation slots have been consumed
+// (including blacklisted skips and leapfrogged slots of other shards).
 func (g *TargetGenerator) Emitted() uint64 { return g.emitted }
 
-// Reset rewinds the generator to the start of its permutation.
+// Skip seeks the generator forward past its next n slots without walking
+// them: for a full-permutation generator that is n permutation slots, for
+// shard i of M it is n of the shard's own (stride-spaced) slots. Skipped
+// slots count as consumed whether or not they were blacklisted, so with a
+// nil blacklist Skip(n) followed by Next yields exactly what the (n+1)-th
+// Next call would have. The seek runs in O(log n) register operations —
+// no replay — which is what makes a resumed or freshly-offset shard cheap
+// at order 32.
+func (g *TargetGenerator) Skip(n uint64) {
+	if n == 0 || g.emitted >= g.period {
+		return
+	}
+	raw := n * g.stride
+	if remaining := g.period - g.emitted; raw > remaining {
+		raw = remaining
+	}
+	g.reg.Jump(raw)
+	g.emitted += raw
+}
+
+// GeneratorState is a resumable TargetGenerator position: everything
+// needed to rebuild the walker and seek it back to where it stopped, in
+// O(log n) time. The blacklist is not part of the state — the resumer
+// supplies it, exactly as the original constructor did.
+type GeneratorState struct {
+	Order   uint
+	Seed    uint32
+	Shard   int
+	Of      int
+	Emitted uint64 // raw permutation slots consumed
+}
+
+// State snapshots the generator's position for later Resume.
+func (g *TargetGenerator) State() GeneratorState {
+	return GeneratorState{
+		Order:   g.order,
+		Seed:    g.seed,
+		Shard:   int(g.offset),
+		Of:      int(g.stride),
+		Emitted: g.emitted,
+	}
+}
+
+// Resume rebuilds a generator from a saved State and seeks it to the
+// recorded position without replaying the permutation.
+func Resume(st GeneratorState, bl *Blacklist) (*TargetGenerator, error) {
+	g, err := ShardedGenerator(st.Order, st.Seed, bl, st.Shard, st.Of)
+	if err != nil {
+		return nil, err
+	}
+	if st.Emitted < g.emitted || st.Emitted > g.period {
+		return nil, fmt.Errorf("lfsr: resume position %d outside shard %d/%d walk", st.Emitted, st.Shard, st.Of)
+	}
+	g.reg.Jump(st.Emitted - g.emitted)
+	g.emitted = st.Emitted
+	return g, nil
+}
+
+// Reset rewinds the generator to the start of its (shard of the)
+// permutation.
 func (g *TargetGenerator) Reset() {
 	g.reg.Reset()
-	g.emitted = 0
+	g.reg.Jump(g.offset)
+	g.emitted = g.offset
 }

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -155,7 +157,10 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses every non-test .go file of one directory.
+// parseDir parses every non-test .go file of one directory that selects
+// the loader's host platform. Platform-specific files (GOOS/GOARCH
+// filename suffixes, //go:build lines) would otherwise type-check as
+// duplicate declarations — e.g. per-arch syscall-number constants.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -168,6 +173,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
 			continue
 		}
+		if !suffixMatchesHost(n) {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -176,13 +184,99 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	}
 	var files []*ast.File
 	for _, n := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if !buildLineMatchesHost(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s select %s/%s", dir, runtime.GOOS, runtime.GOARCH)
+	}
 	return files, nil
+}
+
+// knownOS and knownArch are the names that activate filename-suffix
+// build constraints (a trailing _name only constrains when the name is
+// a recognized GOOS or GOARCH — go/build's rule).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "sparc64": true, "wasm": true,
+}
+
+// unixOS lists the GOOS values the "unix" build tag covers.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// suffixMatchesHost applies the *_GOOS.go / *_GOARCH.go /
+// *_GOOS_GOARCH.go filename rules against the host platform.
+func suffixMatchesHost(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	n := len(parts)
+	if n >= 2 && knownArch[parts[n-1]] {
+		if parts[n-1] != runtime.GOARCH {
+			return false
+		}
+		if n >= 3 && knownOS[parts[n-2]] {
+			return parts[n-2] == runtime.GOOS
+		}
+		return true
+	}
+	if n >= 2 && knownOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	return true
+}
+
+// buildLineMatchesHost evaluates the file's //go:build line (if any)
+// against the host platform. Tags beyond GOOS/GOARCH/unix — compiler
+// names, go1.x release tags — are treated as satisfied; an unparsable
+// expression never excludes a file (the compiler will complain, not us).
+func buildLineMatchesHost(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true
+		}
+		return expr.Eval(func(tag string) bool {
+			switch {
+			case tag == runtime.GOOS || tag == runtime.GOARCH:
+				return true
+			case tag == "unix":
+				return unixOS[runtime.GOOS]
+			case tag == "gc" || strings.HasPrefix(tag, "go1"):
+				return true
+			}
+			return false
+		})
+	}
+	return true
 }
 
 // check type-checks one package's files.

@@ -1,0 +1,222 @@
+package scanner
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/wildnet"
+)
+
+// Batched probe dispatch: instead of one Transport.Send per probe, sender
+// workers assemble up to streamBatch probes into a pooled arena and hand
+// the whole batch to the transport in one BatchSender.SendBatch call.
+// Against the in-memory transport that amortizes the clock lock and the
+// fault-layer gate; against the UDP gateway it becomes one sendmmsg(2)
+// per batch instead of 256 sendto(2) calls. Transports that do not
+// implement wildnet.BatchSender keep the per-probe Send loop — scan
+// results are identical either way, batching only changes the dispatch
+// overhead.
+
+// batchSizeBounds buckets the transport.batch.size histogram: powers of
+// two up to the streamBatch flush threshold.
+var batchSizeBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// probeBatch is a pooled batch-assembly arena: target addresses, payload
+// bytes, and the probe headers that point into them. Payloads append into
+// one buffer and are sliced only in finish, after the arena has stopped
+// growing, so reallocation never leaves a probe pointing at a stale
+// backing array.
+type probeBatch struct {
+	// n is the live probe count; us and offs stay at full streamBatch
+	// length so batch assembly writes by index and never appends.
+	n      int
+	us     []uint32
+	offs   []int
+	buf    []byte
+	probes []wildnet.Probe
+}
+
+// probeBatchPool recycles assembly arenas across batches and scans, like
+// sweepBufPool does for the per-probe path. The probe headers are kept at
+// full length with the constant fields (DstPort 53) prefilled; finish
+// only writes what varies per probe.
+var probeBatchPool = sync.Pool{New: func() any {
+	b := &probeBatch{
+		us:     make([]uint32, streamBatch),
+		offs:   make([]int, streamBatch),
+		buf:    make([]byte, 0, streamBatch*64),
+		probes: make([]wildnet.Probe, streamBatch),
+	}
+	for i := range b.probes {
+		b.probes[i].DstPort = 53
+	}
+	return b
+}}
+
+// templateBuild returns a batch payload builder that patches the three
+// per-target fields (transaction ID, anti-caching prefix, hex-IP label)
+// into a preassembled query, instead of rebuilding the query label by
+// label. The output is byte-for-byte what AppendTargetQuery produces for
+// the same target and attempt (TestTemplateBuildMatchesAppend pins this),
+// which the batched sweep path relies on for probe identity with the
+// per-probe path.
+func templateBuild(baseWire []byte, attempt int) func(u uint32, buf []byte) []byte {
+	p0 := cachePrefixN(0, attempt)
+	tmpl := dnswire.AppendTargetQuery(nil, 0, p0[:], 0, baseWire, dnswire.TypeA, dnswire.ClassIN)
+	// Fixed layout: id at [0:2]; the 5-byte prefix label content at
+	// [13:18] (after the 12-byte header and its length octet); the
+	// 8-hex-digit target label content at [19:27].
+	const hexdigits = "0123456789abcdef"
+	salt := uint64(attempt) * 0x9E3779B9
+	return func(u uint32, buf []byte) []byte {
+		off := len(buf)
+		buf = append(buf, tmpl...)
+		w := buf[off:]
+		id := uint16(u) ^ uint16(u>>16)
+		w[0], w[1] = byte(id>>8), byte(id)
+		// The anti-caching prefix, written directly (w[13] stays 'r'
+		// from the template; cachePrefixN is the defining computation).
+		v := uint16((uint64(u)*2654435761 + salt) >> 8)
+		w[14] = hexdigits[v>>12]
+		w[15] = hexdigits[v>>8&0xF]
+		w[16] = hexdigits[v>>4&0xF]
+		w[17] = hexdigits[v&0xF]
+		w[19] = hexdigits[u>>28]
+		w[20] = hexdigits[u>>24&0xF]
+		w[21] = hexdigits[u>>20&0xF]
+		w[22] = hexdigits[u>>16&0xF]
+		w[23] = hexdigits[u>>12&0xF]
+		w[24] = hexdigits[u>>8&0xF]
+		w[25] = hexdigits[u>>4&0xF]
+		w[26] = hexdigits[u&0xF]
+		return buf
+	}
+}
+
+// reset clears the arena for the next batch, keeping capacity.
+//
+//lint:hotpath per-probe batch assembly
+func (b *probeBatch) reset() {
+	b.n = 0
+	b.buf = b.buf[:0]
+}
+
+// add records target u and writes its payload (via build) to the arena.
+// Callers flush before n can reach streamBatch, so the indexed writes
+// stay in bounds.
+//
+//lint:hotpath per-probe batch assembly
+func (b *probeBatch) add(u uint32, build func(u uint32, buf []byte) []byte) {
+	b.us[b.n] = u
+	b.offs[b.n] = len(b.buf)
+	b.n++
+	b.buf = build(u, b.buf)
+}
+
+// finish materializes the probe headers once the arena is stable. Only
+// the varying fields are written: DstPort is prefilled at pool
+// construction, and the header slots beyond this batch's length keep
+// their stale-but-unreachable previous values.
+//
+//lint:hotpath per-probe batch assembly
+func (b *probeBatch) finish(srcPort uint16) []wildnet.Probe {
+	probes := b.probes[:b.n]
+	for i := 0; i < b.n; i++ {
+		end := len(b.buf)
+		if i+1 < b.n {
+			end = b.offs[i+1]
+		}
+		p := &probes[i]
+		p.Dst = lfsr.U32ToAddr(b.us[i])
+		p.SrcPort = srcPort
+		p.Payload = b.buf[b.offs[i]:end:end]
+	}
+	return probes
+}
+
+// batchWorker is one batched sender: it pulls target batches from gen
+// (under genMu when the generator is shared), assembles the accepted
+// targets' probes, and dispatches each batch in a single SendBatch call.
+// accept filters targets (nil accepts all; retry rounds pass the miss
+// check); build writes one probe payload by appending to the arena;
+// onFlush observes each dispatched batch size (for sent accounting).
+// Returns the number of probes sent.
+//
+// Cancellation mirrors streamAll: polled once per pulled batch, and
+// skipped entirely for non-cancellable contexts.
+func (s *Scanner) batchWorker(ctx context.Context, gen *lfsr.TargetGenerator, genMu *sync.Mutex,
+	bs wildnet.BatchSender, build func(u uint32, buf []byte) []byte,
+	accept func(u uint32) bool, onFlush func(n int)) (uint64, error) {
+	cancellable := ctx.Done() != nil
+	limited := s.rate.interval != 0
+	bat := probeBatchPool.Get().(*probeBatch)
+	defer probeBatchPool.Put(bat)
+	var targets [streamBatch]uint32
+	var total uint64
+	for {
+		if cancellable && ctx.Err() != nil {
+			return total, ctx.Err()
+		}
+		var n int
+		if genMu != nil {
+			genMu.Lock()
+			n = gen.NextBatch(targets[:])
+			genMu.Unlock()
+		} else {
+			n = gen.NextBatch(targets[:])
+		}
+		if n == 0 {
+			return total, ctx.Err()
+		}
+		bat.reset()
+		for _, u := range targets[:n] {
+			if accept != nil && !accept(u) {
+				continue
+			}
+			if limited {
+				s.rate.wait(ctx)
+			}
+			bat.add(u, build)
+		}
+		if bat.n == 0 {
+			continue
+		}
+		probes := bat.finish(s.opts.BasePort)
+		total += uint64(len(probes))
+		if onFlush != nil {
+			onFlush(len(probes))
+		}
+		s.m.batchSize.Observe(int64(len(probes)))
+		// Send failures are modeled packet loss, like streamAll's Send.
+		bs.SendBatch(ctx, probes)
+	}
+}
+
+// streamAllBatched is streamAll's bulk variant: the worker pool shares
+// the generator and every worker runs batchWorker. Returns the probe
+// count, exactly as streamAll counts targets.
+func (s *Scanner) streamAllBatched(ctx context.Context, gen *lfsr.TargetGenerator, bs wildnet.BatchSender,
+	build func(u uint32, buf []byte) []byte, accept func(u uint32) bool, onFlush func(n int)) (uint64, error) {
+	workers := s.opts.Workers
+	if workers <= 1 {
+		return s.batchWorker(ctx, gen, nil, bs, build, accept, onFlush)
+	}
+	var (
+		genMu sync.Mutex
+		total atomic.Uint64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, _ := s.batchWorker(ctx, gen, &genMu, bs, build, accept, onFlush)
+			total.Add(n)
+		}()
+	}
+	wg.Wait()
+	return total.Load(), ctx.Err()
+}

@@ -1,0 +1,237 @@
+package scanner
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/wildnet"
+)
+
+// TestTemplateBuildMatchesAppend pins the contract templateBuild's doc
+// comment promises: the template-patched batch payload is byte-for-byte
+// what AppendTargetQuery produces for the same target and attempt.
+func TestTemplateBuildMatchesAppend(t *testing.T) {
+	base := dnswire.CanonicalName(domains.ScanBase)
+	baseWire, err := dnswire.EncodeNameWire(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []uint32{1, 2, 0xFF, 0x1234, 0xDEADBEEF, 0xFFFFFFFF, 0x01020304, 0x80000000}
+	for u := uint32(3); u < 1<<20; u += 99991 { // sparse walk of the low space
+		targets = append(targets, u)
+	}
+	for attempt := 0; attempt <= 3; attempt++ {
+		build := templateBuild(baseWire, attempt)
+		var arena []byte
+		offs := []int{0}
+		for _, u := range targets {
+			arena = build(u, arena)
+			offs = append(offs, len(arena))
+		}
+		for i, u := range targets {
+			got := arena[offs[i]:offs[i+1]]
+			prefix := cachePrefixN(u, attempt)
+			want := dnswire.AppendTargetQuery(nil, uint16(u)^uint16(u>>16),
+				prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("attempt %d target %08x: templateBuild diverges from AppendTargetQuery:\n got %x\nwant %x",
+					attempt, u, got, want)
+			}
+		}
+	}
+}
+
+// sweepWith runs one sweep against a fresh deterministic world, so two
+// invocations differ only in the options the caller varies.
+func sweepWith(t *testing.T, order uint, seed uint32, opts Options) *SweepResult {
+	t.Helper()
+	w, err := wildnet.NewWorld(wildnet.DefaultConfig(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
+	defer tr.Close()
+	res, err := New(tr, opts).Sweep(order, seed, w.ScanBlacklist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardedSweepMatchesUnsharded is the core sharding determinism
+// claim: an M-shard sweep produces the same probed count, responder list
+// (addresses, sources, rcodes, answer bits, order), and rcode histogram
+// as the unsharded sweep — probes are bit-identical, so the modeled loss
+// draws agree.
+func TestShardedSweepMatchesUnsharded(t *testing.T) {
+	base := Options{Workers: 2, SweepRetries: 1, SettleDelay: time.Millisecond}
+	single := sweepWith(t, 16, 4242, base)
+	for _, m := range []int{2, 4, 7} {
+		opts := base
+		opts.Shards = m
+		sharded := sweepWith(t, 16, 4242, opts)
+		if sharded.Probed != single.Probed {
+			t.Errorf("shards=%d probed %d, unsharded %d", m, sharded.Probed, single.Probed)
+		}
+		if !reflect.DeepEqual(sharded.Responders, single.Responders) {
+			t.Errorf("shards=%d responder list diverges from unsharded (%d vs %d entries)",
+				m, len(sharded.Responders), len(single.Responders))
+		}
+		if !reflect.DeepEqual(sharded.ByRCode, single.ByRCode) {
+			t.Errorf("shards=%d rcode histogram %v, unsharded %v", m, sharded.ByRCode, single.ByRCode)
+		}
+	}
+}
+
+// TestSweepShardUnionMatchesUnsharded covers the out-of-process split:
+// running each shard as its own SweepShard call (fresh world each, as
+// separate scan processes would) and merging the per-shard results
+// reproduces the unsharded sweep exactly.
+func TestSweepShardUnionMatchesUnsharded(t *testing.T) {
+	const of = 4
+	opts := Options{Workers: 2, SweepRetries: 1, SettleDelay: time.Millisecond}
+	single := sweepWith(t, 16, 777, opts)
+
+	var probed uint64
+	merged := map[uint32]Responder{}
+	for shard := 0; shard < of; shard++ {
+		w, err := wildnet.NewWorld(wildnet.DefaultConfig(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
+		res, err := New(tr, opts).SweepShard(16, 777, w.ScanBlacklist(), shard, of)
+		tr.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		probed += res.Probed
+		for _, r := range res.Responders {
+			if _, dup := merged[r.Addr]; dup {
+				t.Fatalf("target %08x reported by two shards", r.Addr)
+			}
+			merged[r.Addr] = r
+		}
+	}
+	if probed != single.Probed {
+		t.Errorf("shard probes sum to %d, unsharded probed %d", probed, single.Probed)
+	}
+	if len(merged) != len(single.Responders) {
+		t.Errorf("shard union has %d responders, unsharded %d", len(merged), len(single.Responders))
+	}
+	for _, want := range single.Responders {
+		if got, ok := merged[want.Addr]; !ok || got != want {
+			t.Errorf("target %08x: shard union %+v, unsharded %+v", want.Addr, got, want)
+		}
+	}
+}
+
+// TestShardedSweepBudgetSplit checks the one documented divergence knob:
+// shardBudget shares sum exactly to the budget, and a bound-budget
+// sharded sweep still completes cleanly.
+func TestShardedSweepBudgetSplit(t *testing.T) {
+	for _, tc := range []struct{ total, m int }{{10, 3}, {7, 7}, {3, 8}, {0, 4}, {100, 1}} {
+		sum := 0
+		for i := 0; i < tc.m; i++ {
+			share := shardBudget(tc.total, i, tc.m)
+			if share < 0 {
+				t.Fatalf("negative share for budget %d shard %d/%d", tc.total, i, tc.m)
+			}
+			sum += share
+		}
+		want := tc.total
+		if want < 0 {
+			want = 0
+		}
+		if sum != want {
+			t.Errorf("budget %d over %d shards sums to %d", tc.total, tc.m, sum)
+		}
+	}
+	opts := Options{Workers: 2, SweepRetries: 2, RetryBudget: 50, SettleDelay: time.Millisecond, Shards: 4}
+	res := sweepWith(t, 14, 99, opts)
+	if res.Probed == 0 || res.Total() == 0 {
+		t.Errorf("budgeted sharded sweep found nothing: probed=%d responders=%d", res.Probed, res.Total())
+	}
+}
+
+// TestBatchedDispatchMatchesPerProbe pins that hiding BatchSender from
+// the scanner (forcing the per-probe Send loop) changes nothing about
+// the result — batching is pure dispatch overhead.
+func TestBatchedDispatchMatchesPerProbe(t *testing.T) {
+	run := func(hide bool) *SweepResult {
+		w, err := wildnet.NewWorld(wildnet.DefaultConfig(14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
+		defer tr.Close()
+		var transport Transport = tr
+		if hide {
+			transport = struct{ Transport }{tr}
+		}
+		res, err := New(transport, Options{Workers: 2, SweepRetries: 1, SettleDelay: time.Millisecond}).
+			Sweep(14, 31337, w.ScanBlacklist())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	batched, single := run(false), run(true)
+	if !reflect.DeepEqual(batched, single) {
+		t.Errorf("batched dispatch diverges from per-probe Send: %d vs %d responders",
+			batched.Total(), single.Total())
+	}
+	if _, ok := any(struct{ Transport }{}).(wildnet.BatchSender); ok {
+		t.Fatal("wrapper unexpectedly still exposes SendBatch")
+	}
+}
+
+// TestShardGeneratorUnionIsPermutation: the leapfrog shards of one seed
+// partition the full permutation slot-for-slot.
+func TestShardGeneratorUnionIsPermutation(t *testing.T) {
+	const order, seed, m = 12, 5, 3
+	full, err := lfsr.NewTargetGenerator(order, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for {
+		u, ok := full.NextU32()
+		if !ok {
+			break
+		}
+		want = append(want, u)
+	}
+	got := make([]uint32, len(want))
+	seen := 0
+	for i := 0; i < m; i++ {
+		g, err := lfsr.ShardedGenerator(order, seed, nil, i, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := i; ; pos += m {
+			u, ok := g.NextU32()
+			if !ok {
+				break
+			}
+			if pos >= len(want) {
+				t.Fatalf("shard %d overran the permutation", i)
+			}
+			got[pos] = u
+			seen++
+		}
+	}
+	if seen != len(want) {
+		t.Fatalf("shards yielded %d slots, permutation has %d", seen, len(want))
+	}
+	for pos := range want {
+		if got[pos] != want[pos] {
+			t.Fatalf("slot %d: shard union %08x, full walk %08x", pos, got[pos], want[pos])
+		}
+	}
+}

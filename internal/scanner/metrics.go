@@ -34,6 +34,11 @@ type scanMetrics struct {
 	settleWaits *metrics.Counter
 	// rateStalls counts rate-limiter sleeps (Timing class).
 	rateStalls *metrics.Counter
+	// batchSize distributes the per-SendBatch probe counts the batched
+	// send path dispatched. The multiset of batch sizes is deterministic
+	// (full streamBatch flushes plus one remainder per stream), even
+	// though which worker flushed which batch is not.
+	batchSize *metrics.Histogram
 }
 
 // newScanMetrics resolves the handle set against a registry; a nil
@@ -61,5 +66,6 @@ func newScanMetrics(r *metrics.Registry) scanMetrics {
 		retrySpend:  r.Counter("scanner.retry.spend"),
 		settleWaits: r.Counter("scanner.settle.waits"),
 		rateStalls:  r.TimingCounter("scanner.rate.stalls"),
+		batchSize:   r.Histogram("transport.batch.size", batchSizeBounds),
 	}
 }

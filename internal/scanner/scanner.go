@@ -54,6 +54,13 @@ type Options struct {
 	RatePPS int
 	// Workers is the number of sender goroutines (default 8).
 	Workers int
+	// Shards splits batch scans into that many leapfrog shards running
+	// concurrently: shard i of M owns every M-th slot of the target
+	// permutation (lfsr.ShardedGenerator) or every M-th index of a target
+	// list, with its own generator and retry state. Results are merged
+	// into one collector and stay byte-identical to an unsharded run.
+	// 0 or 1 means unsharded.
+	Shards int
 	// Retries is how many retransmission rounds cover unanswered
 	// probes (packet loss, §5). The zero value defaults to 1;
 	// NoRetries (or any negative value) disables retransmission.
@@ -103,6 +110,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.Workers <= 0 {
 		o.Workers = 8
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	if o.Retries == 0 {
 		o.Retries = 1
@@ -202,6 +212,32 @@ func (r *rateLimiter) wait(ctx context.Context) {
 // hot path exactly as fast as before contexts existed.
 func (s *Scanner) sendAll(ctx context.Context, n int, send func(i int)) error {
 	cancellable := ctx.Done() != nil
+	if m := s.opts.Shards; m > 1 {
+		// Sharded list scan: shard k owns indices k, k+M, k+2M, ... —
+		// the list analogue of the leapfrog permutation split. Each
+		// shard walks its slice in order, so per-shard send order is
+		// deterministic and the union is exactly the list.
+		workers := m
+		if n < workers {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				for i := k; i < n; i += m {
+					if cancellable && ctx.Err() != nil {
+						return
+					}
+					s.rate.wait(ctx)
+					send(i)
+				}
+			}(k)
+		}
+		wg.Wait()
+		return ctx.Err()
+	}
 	workers := s.opts.Workers
 	if n < workers {
 		workers = n
@@ -266,21 +302,7 @@ func (s *Scanner) streamAll(ctx context.Context, gen *lfsr.TargetGenerator, send
 	cancellable := ctx.Done() != nil
 	workers := s.opts.Workers
 	if workers <= 1 {
-		scratch := sweepBufPool.Get().(*[]byte)
-		defer sweepBufPool.Put(scratch)
-		var n uint64
-		for {
-			if cancellable && n%streamBatch == 0 && ctx.Err() != nil {
-				return n, ctx.Err()
-			}
-			u, ok := gen.NextU32()
-			if !ok {
-				return n, ctx.Err()
-			}
-			s.rate.wait(ctx)
-			send(u, scratch)
-			n++
-		}
+		return s.streamOne(ctx, gen, send)
 	}
 	var (
 		genMu sync.Mutex
@@ -314,6 +336,29 @@ func (s *Scanner) streamAll(ctx context.Context, gen *lfsr.TargetGenerator, send
 	}
 	wg.Wait()
 	return total.Load(), ctx.Err()
+}
+
+// streamOne is streamAll's single-goroutine loop: one sender draining one
+// generator in permutation order. Shard workers call it directly (each
+// owns a private sharded generator, so no lock and no pool), which keeps
+// a shard's send order deterministic.
+func (s *Scanner) streamOne(ctx context.Context, gen *lfsr.TargetGenerator, send func(u uint32, scratch *[]byte)) (uint64, error) {
+	cancellable := ctx.Done() != nil
+	scratch := sweepBufPool.Get().(*[]byte)
+	defer sweepBufPool.Put(scratch)
+	var n uint64
+	for {
+		if cancellable && n%streamBatch == 0 && ctx.Err() != nil {
+			return n, ctx.Err()
+		}
+		u, ok := gen.NextU32()
+		if !ok {
+			return n, ctx.Err()
+		}
+		s.rate.wait(ctx)
+		send(u, scratch)
+		n++
+	}
 }
 
 // sweepBufPool recycles probe assembly buffers. It lives at package scope

@@ -3,12 +3,14 @@ package scanner
 import (
 	"context"
 	"sort"
+	"strconv"
 	"sync"
 
 	"goingwild/internal/dnswire"
 	"goingwild/internal/domains"
 	"goingwild/internal/lfsr"
 	"goingwild/internal/metrics"
+	"goingwild/internal/wildnet"
 )
 
 // Responder is one host that answered the Internet-wide sweep.
@@ -157,10 +159,6 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 	if s.tr == nil {
 		return nil, ErrNoTransport
 	}
-	gen, err := lfsr.NewTargetGenerator(order, seed, bl)
-	if err != nil {
-		return nil, err
-	}
 	hint := int(uint64(1) << order / 64)
 	st := newSweepCollector(domains.ScanBase, hint)
 	st.recv = s.m.sweepRecv
@@ -170,15 +168,62 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 		return nil, err
 	}
 
-	// A census sends exactly one probe per target: retransmitting to
-	// the silent majority (non-resolvers) would double the scan for a
-	// fraction-of-a-percent gain. Loss is accounted for by the
-	// secondary-vantage verification scan instead (§2.2).
-	//
-	// Probe construction is the hot path: queries are written label by
-	// label into pooled buffers without a name or Message allocation.
-	// Transports must not retain payloads after Send returns.
-	probed, scanErr := s.streamAll(ctx, gen, func(u uint32, scratch *[]byte) {
+	var probed uint64
+	var scanErr error
+	if m := s.opts.Shards; m > 1 {
+		probed, scanErr = s.sweepSharded(ctx, order, seed, bl, baseWire, st, m)
+	} else {
+		probed, scanErr = s.sweepSingle(ctx, order, seed, bl, baseWire, st)
+	}
+	return s.collectSweep(st, probed), scanErr
+}
+
+// sweepSingle is the unsharded sweep body: one shared generator drained
+// by the worker pool, then the settle barrier and retry rounds.
+//
+// A census sends exactly one probe per target: retransmitting to the
+// silent majority (non-resolvers) would double the scan for a
+// fraction-of-a-percent gain. Loss is accounted for by the
+// secondary-vantage verification scan instead (§2.2).
+//
+// Probe construction is the hot path: queries are written label by label
+// into pooled buffers without a name or Message allocation, and batched
+// into one SendBatch per generator pull when the transport supports it.
+// Transports must not retain payloads after Send/SendBatch returns.
+func (s *Scanner) sweepSingle(ctx context.Context, order uint, seed uint32, bl *lfsr.Blacklist, baseWire []byte, st *sweepCollector) (uint64, error) {
+	gen, err := lfsr.NewTargetGenerator(order, seed, bl)
+	if err != nil {
+		return 0, err
+	}
+	var probed uint64
+	var scanErr error
+	if bs, ok := s.tr.(wildnet.BatchSender); ok {
+		probed, scanErr = s.streamAllBatched(ctx, gen, bs, censusBuild(baseWire), nil,
+			func(n int) { s.m.sweepSent.Add(uint64(n)) })
+	} else {
+		probed, scanErr = s.streamAll(ctx, gen, s.censusSend(ctx, baseWire))
+	}
+	if settleErr := s.settle(ctx); scanErr == nil {
+		scanErr = settleErr
+	}
+	if scanErr == nil && s.opts.SweepRetries > 0 {
+		newGen := func() (*lfsr.TargetGenerator, error) { return lfsr.NewTargetGenerator(order, seed, bl) }
+		scanErr = s.sweepRetryRounds(ctx, newGen, baseWire, st, s.opts.RetryBudget, false)
+	}
+	return probed, scanErr
+}
+
+// censusBuild returns the batched payload builder for census probes —
+// byte-identical to the per-probe path's query, appended into the batch
+// arena instead of a scratch buffer.
+func censusBuild(baseWire []byte) func(u uint32, buf []byte) []byte {
+	return templateBuild(baseWire, 0)
+}
+
+// censusSend returns the per-probe census sender for transports without
+// batch support.
+func (s *Scanner) censusSend(ctx context.Context, baseWire []byte) func(u uint32, scratch *[]byte) {
+	return func(u uint32, scratch *[]byte) {
 		prefix := cachePrefix(u)
 		wire := dnswire.AppendTargetQuery((*scratch)[:0], uint16(u)^uint16(u>>16),
 			prefix[:], u, baseWire, dnswire.TypeA, dnswire.ClassIN)
@@ -186,14 +231,11 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 		//lint:allow errdrop sweep send failures are modeled packet loss
 		s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 		*scratch = wire[:0]
-	})
-	if settleErr := s.settle(ctx); scanErr == nil {
-		scanErr = settleErr
 	}
-	if scanErr == nil && s.opts.SweepRetries > 0 {
-		scanErr = s.sweepRetryRounds(ctx, order, seed, bl, baseWire, st)
-	}
+}
 
+// collectSweep freezes the collector into the sorted result.
+func (s *Scanner) collectSweep(st *sweepCollector, probed uint64) *SweepResult {
 	res := &SweepResult{
 		Probed:     probed,
 		ByRCode:    make(map[dnswire.RCode]int),
@@ -209,21 +251,197 @@ func (s *Scanner) SweepContext(ctx context.Context, order uint, seed uint32, bl 
 	sort.Slice(res.Responders, func(i, j int) bool {
 		return res.Responders[i].Addr < res.Responders[j].Addr
 	})
-	return res, scanErr
+	return res
+}
+
+// sweepSharded runs the sweep as m concurrent shard workers. Shard i owns
+// every m-th slot of the target permutation (lfsr.ShardedGenerator), with
+// its own generator, settle barrier, and retry state; all shards insert
+// into the one shared collector, which is safe and order-independent
+// because their target sets are disjoint and first-response-wins is
+// per-target. Every probe a shard sends is bit-identical to the probe the
+// unsharded sweep sends to the same target (same ports, same payload), so
+// the modeled per-packet loss draws — and therefore the responder set —
+// cannot depend on m.
+//
+// The retransmission budget is split across shards (shardBudget), which
+// is the one place a bound budget can pick different retransmission
+// targets than an unsharded run; an unlimited budget (the default) is
+// exactly equivalent.
+func (s *Scanner) sweepSharded(ctx context.Context, order uint, seed uint32, bl *lfsr.Blacklist, baseWire []byte, st *sweepCollector, m int) (uint64, error) {
+	if bl != nil {
+		// The shard workers read the blacklist concurrently; the lazy
+		// sort-and-merge must happen before they start.
+		bl.Freeze()
+	}
+	bs, batched := s.tr.(wildnet.BatchSender)
+	build := censusBuild(baseWire)
+	sents := make([]uint64, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen, err := lfsr.ShardedGenerator(order, seed, bl, i, m)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var sent uint64
+			if batched {
+				sent, err = s.batchWorker(ctx, gen, nil, bs, build, nil,
+					func(n int) { s.m.sweepSent.Add(uint64(n)) })
+			} else {
+				sent, err = s.streamOne(ctx, gen, s.censusSend(ctx, baseWire))
+			}
+			sents[i] = sent
+			if settleErr := s.settle(ctx); err == nil {
+				err = settleErr
+			}
+			if err == nil && s.opts.SweepRetries > 0 {
+				newGen := func() (*lfsr.TargetGenerator, error) {
+					return lfsr.ShardedGenerator(order, seed, bl, i, m)
+				}
+				err = s.sweepRetryRounds(ctx, newGen, baseWire, st, shardBudget(s.opts.RetryBudget, i, m), true)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	var probed uint64
+	for _, n := range sents {
+		probed += n
+	}
+	s.publishShardGauges(order, seed, bl, st, m, sents)
+	for _, e := range errs {
+		if e != nil {
+			return probed, e
+		}
+	}
+	return probed, nil
+}
+
+// shardBudget splits a retransmission budget across m shards: shard i
+// gets total/m, plus one of the first total%m remainder units, so the
+// shares sum exactly to the budget.
+func shardBudget(total, i, m int) int {
+	if total <= 0 {
+		return 0
+	}
+	share := total / m
+	if i < total%m {
+		share++
+	}
+	return share
+}
+
+// publishShardGauges records the per-shard census accounting:
+// scan.shard.<i>.sent is the number of census probes shard i dispatched,
+// scan.shard.<i>.recv the number of responding targets shard i owns.
+// Ownership is recovered after the fact by replaying the raw register
+// walk once (slot position mod m, exactly the leapfrog split), so the
+// hot receive path stays untouched. Both gauges are deterministic.
+func (s *Scanner) publishShardGauges(order uint, seed uint32, bl *lfsr.Blacklist, st *sweepCollector, m int, sents []uint64) {
+	if s.opts.Metrics == nil {
+		return
+	}
+	for i, n := range sents {
+		s.opts.Metrics.Gauge("scan.shard." + strconv.Itoa(i) + ".sent").Set(int64(n))
+	}
+	reg, err := lfsr.New(order, seed)
+	if err != nil {
+		return
+	}
+	counts := make([]int64, m)
+	period := reg.Period()
+	for pos := uint64(0); pos < period; pos++ {
+		u := reg.Next()
+		if bl != nil && bl.ContainsU32(u) {
+			continue
+		}
+		if _, ok := st.responses.Get(u); ok {
+			counts[pos%uint64(m)]++
+		}
+	}
+	for i, c := range counts {
+		s.opts.Metrics.Gauge("scan.shard." + strconv.Itoa(i) + ".recv").Set(c)
+	}
+}
+
+// SweepShard probes only shard i of m of the sweep permutation; it is the
+// ctx-less wrapper over SweepShardContext.
+func (s *Scanner) SweepShard(order uint, seed uint32, bl *lfsr.Blacklist, shard, of int) (*SweepResult, error) {
+	return s.SweepShardContext(bgCtx, order, seed, bl, shard, of)
+}
+
+// SweepShardContext probes shard `shard` of `of` of a 2^order sweep: the
+// targets lfsr.ShardedGenerator(order, seed, bl, shard, of) yields, i.e.
+// every of-th slot of the full permutation. Separate processes can each
+// run one shard (goingwild -shard i/M) and cmd/wildmerge recombines the
+// per-shard results into the unsharded report. The worker pool, retry
+// rounds (with this shard's budget share), and batching all apply within
+// the shard; the result holds only this shard's probes and responders.
+func (s *Scanner) SweepShardContext(ctx context.Context, order uint, seed uint32, bl *lfsr.Blacklist, shard, of int) (*SweepResult, error) {
+	if s.tr == nil {
+		return nil, ErrNoTransport
+	}
+	gen, err := lfsr.ShardedGenerator(order, seed, bl, shard, of)
+	if err != nil {
+		return nil, err
+	}
+	hint := int(uint64(1) << order / 64 / uint64(of))
+	st := newSweepCollector(domains.ScanBase, hint)
+	st.recv = s.m.sweepRecv
+	s.tr.SetReceiver(st.receive)
+	baseWire, err := dnswire.EncodeNameWire(st.base)
+	if err != nil {
+		return nil, err
+	}
+	var probed uint64
+	var scanErr error
+	if bs, ok := s.tr.(wildnet.BatchSender); ok {
+		probed, scanErr = s.streamAllBatched(ctx, gen, bs, censusBuild(baseWire), nil,
+			func(n int) { s.m.sweepSent.Add(uint64(n)) })
+	} else {
+		probed, scanErr = s.streamAll(ctx, gen, s.censusSend(ctx, baseWire))
+	}
+	if settleErr := s.settle(ctx); scanErr == nil {
+		scanErr = settleErr
+	}
+	if scanErr == nil && s.opts.SweepRetries > 0 {
+		newGen := func() (*lfsr.TargetGenerator, error) {
+			return lfsr.ShardedGenerator(order, seed, bl, shard, of)
+		}
+		scanErr = s.sweepRetryRounds(ctx, newGen, baseWire, st, shardBudget(s.opts.RetryBudget, shard, of), false)
+	}
+	return s.collectSweep(st, probed), scanErr
 }
 
 // sweepRetryRounds retransmits toward the sweep's non-responders
 // (Options.SweepRetries rounds), honoring the backoff schedule, the
 // retransmission budget, and the stage deadline. Each round walks the
-// permutation again and re-probes only still-silent targets with an
-// attempt-salted anti-caching prefix, so every retransmission is a new
-// packet with a fresh loss draw. The answered set at each round's start
-// is fixed by the settle barrier, so the retransmitted target set is
-// schedule-independent; Probed stays the census count (retries are
-// recovery traffic, not coverage).
-func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32, bl *lfsr.Blacklist, baseWire []byte, st *sweepCollector) error {
+// generator newGen rebuilds (the full permutation, or one shard of it)
+// and re-probes only still-silent targets with an attempt-salted
+// anti-caching prefix, so every retransmission is a new packet with a
+// fresh loss draw. The answered set at each round's start is fixed by
+// the settle barrier — and, under sharding, by shard-disjoint target
+// ownership — so the retransmitted target set is schedule-independent;
+// Probed stays the census count (retries are recovery traffic, not
+// coverage).
+//
+// budget is this caller's retransmission allowance (the whole
+// Options.RetryBudget, or one shard's share); shardWorker marks a caller
+// that is already one goroutine of a shard pool, which must not spawn a
+// nested worker pool over its private generator.
+func (s *Scanner) sweepRetryRounds(ctx context.Context, newGen func() (*lfsr.TargetGenerator, error), baseWire []byte, st *sweepCollector, budget int, shardWorker bool) error {
 	guard := s.newDeadlineGuard()
-	budget := s.opts.RetryBudget
+	budgeted := s.opts.RetryBudget > 0
+	bs, batched := s.tr.(wildnet.BatchSender)
+	miss := func(u uint32) bool {
+		_, answered := st.responses.Get(u)
+		return !answered
+	}
 	for attempt := 1; attempt <= s.opts.SweepRetries; attempt++ {
 		// Checkpoint between retry rounds.
 		if err := ctx.Err(); err != nil {
@@ -232,19 +450,19 @@ func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32,
 		if guard.expired() {
 			return nil
 		}
-		if s.opts.RetryBudget > 0 && budget <= 0 {
+		if budgeted && budget <= 0 {
 			return nil
 		}
 		if err := s.backoffWait(ctx, attempt); err != nil {
 			return err
 		}
-		gen, err := lfsr.NewTargetGenerator(order, seed, bl)
+		gen, err := newGen()
 		if err != nil {
 			return err
 		}
 		s.m.retryRounds.Inc()
 		resend := func(u uint32, scratch *[]byte) {
-			if _, answered := st.responses.Get(u); answered {
+			if !miss(u) {
 				return
 			}
 			prefix := cachePrefixN(u, attempt)
@@ -256,7 +474,8 @@ func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32,
 			s.tr.Send(ctx, lfsr.U32ToAddr(u), 53, s.opts.BasePort, wire)
 			*scratch = wire[:0]
 		}
-		if s.opts.RetryBudget > 0 {
+		switch {
+		case budgeted:
 			// A bound budget needs a deterministic target set: materialize
 			// the first `budget` misses in permutation order, then send
 			// serially (the budgeted path is small by construction).
@@ -266,7 +485,7 @@ func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32,
 				if !ok {
 					break
 				}
-				if _, answered := st.responses.Get(u); !answered {
+				if miss(u) {
 					targets = append(targets, u)
 				}
 			}
@@ -281,8 +500,27 @@ func (s *Scanner) sweepRetryRounds(ctx context.Context, order uint, seed uint32,
 				resend(u, scratch)
 			}
 			sweepBufPool.Put(scratch)
-		} else if _, err := s.streamAll(ctx, gen, resend); err != nil {
-			return err
+		case batched:
+			build := templateBuild(baseWire, attempt)
+			onFlush := func(n int) {
+				s.m.sweepSent.Add(uint64(n))
+				s.m.retrySpend.Add(uint64(n))
+			}
+			if shardWorker {
+				if _, err := s.batchWorker(ctx, gen, nil, bs, build, miss, onFlush); err != nil {
+					return err
+				}
+			} else if _, err := s.streamAllBatched(ctx, gen, bs, build, miss, onFlush); err != nil {
+				return err
+			}
+		case shardWorker:
+			if _, err := s.streamOne(ctx, gen, resend); err != nil {
+				return err
+			}
+		default:
+			if _, err := s.streamAll(ctx, gen, resend); err != nil {
+				return err
+			}
 		}
 		if err := s.settle(ctx); err != nil {
 			return err

@@ -8,13 +8,15 @@ import (
 	"goingwild/internal/dnswire"
 )
 
-// TestSendZeroFaultConfigAllocs pins the fault layer's promise: with a
-// zero FaultConfig the per-packet gate is one cached bool, so the
-// transport's silent path — parse, dispatch, no responder — stays at
-// its pre-fault-layer budget of exactly one allocation per probe (the
-// qname string unpackName builds while parsing the query; pre-existing,
-// not the fault layer's). A regression to two means every probe of an
-// order-24 sweep pays garbage for a feature that is switched off.
+// TestSendZeroFaultConfigAllocs pins the transport's silent-path
+// budgets. With a zero FaultConfig, a probe toward a fast-rejected
+// address (the silent majority of any sweep) must cost zero heap
+// allocations — the reject predicate runs before the hash, the loss
+// draw, and the parse. A probe into empty Chinese space (which the
+// predicate cannot reject outright, because the injector might answer)
+// is decided by the alloc-free question peek and must also cost zero
+// allocations for a non-GFW name. A regression on either path means
+// every probe of an order-24 sweep pays garbage.
 func TestSendZeroFaultConfigAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instruments allocations")
@@ -37,38 +39,54 @@ func TestSendZeroFaultConfigAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
+	now := tr.Time()
 
-	// Find a silent address: no resolver, no infrastructure role, no
-	// injector. That probe takes the full hot path (parse + dispatch)
-	// and exits without building a response message.
-	var silent netip.Addr
+	// Find one fast-rejected address and one silent slow-path address
+	// (not rejectable, yet unresponsive: Chinese space with a non-GFW
+	// query name ends the full pipeline without a response).
+	var rejected, slowSilent netip.Addr
 	for u := uint32(1); u < 1<<16; u++ {
-		responded = false
-		addr := w.Addr(u)
-		if err := tr.Send(ctx, addr, 53, 40000, payload); err != nil {
-			t.Fatal(err)
-		}
-		if !responded {
-			silent = addr
+		if rejected.IsValid() && slowSilent.IsValid() {
 			break
 		}
+		if w.sweepReject(u, VantagePrimary, now) {
+			if !rejected.IsValid() {
+				rejected = w.Addr(u)
+			}
+			continue
+		}
+		responded = false
+		if err := tr.Send(ctx, w.Addr(u), 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !responded && !slowSilent.IsValid() {
+			slowSilent = w.Addr(u)
+		}
 	}
-	if !silent.IsValid() {
-		t.Fatal("no silent address in the first 64Ki targets")
+	if !rejected.IsValid() || !slowSilent.IsValid() {
+		t.Fatalf("missing probe classes in the first 64Ki targets (rejected=%v slow=%v)", rejected, slowSilent)
 	}
 
-	// Warm the pools, then demand a zero steady state.
+	// Warm the pools, then demand the steady-state budgets.
 	for i := 0; i < 8; i++ {
-		if err := tr.Send(ctx, silent, 53, 40000, payload); err != nil {
+		if err := tr.Send(ctx, slowSilent, 53, 40000, payload); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(500, func() {
-		if err := tr.Send(ctx, silent, 53, 40000, payload); err != nil {
+		if err := tr.Send(ctx, rejected, 53, 40000, payload); err != nil {
 			t.Fatal(err)
 		}
 	})
-	if allocs != 1 {
-		t.Fatalf("zero-fault Send allocates %.1f per probe, want exactly 1 (the parsed qname)", allocs)
+	if allocs != 0 {
+		t.Fatalf("fast-rejected Send allocates %.1f per probe, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(500, func() {
+		if err := tr.Send(ctx, slowSilent, 53, 40000, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-fault CN-silent Send allocates %.1f per probe, want 0", allocs)
 	}
 }

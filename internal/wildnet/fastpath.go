@@ -1,0 +1,178 @@
+package wildnet
+
+import (
+	"goingwild/internal/dnswire"
+	"goingwild/internal/geodb"
+	"goingwild/internal/prand"
+)
+
+// The transport fast path: an Internet-wide sweep sends one probe to
+// every address, but at realistic densities fewer than one in a hundred
+// addresses hosts anything that answers. Walking the full handler
+// pipeline (payload hash, loss draw, query parse, profile construction)
+// for the silent majority is what capped the in-memory sweep below 2M
+// probes/s. sweepReject decides, from a handful of seeded draws and one
+// per-block cache line, that a destination can produce no response for
+// ANY query — in which case the transport drops the probe on the floor
+// without parsing it, exactly as the full pipeline would have.
+//
+// Soundness contract: sweepReject(u, v, t) == true must imply that
+// handleDNS(v, srcPort, u, q, t, fc) returns no responses for every
+// well-formed query q. It may return false conservatively (e.g. for
+// Chinese address space, where the injector can answer even when no
+// resolver lives at the address); a false only costs the slow path, never
+// correctness. The fast path is only consulted when the fault layer is
+// off: fault draws mutate the per-transport attempt counter and count
+// injected faults, so a chaos-profile run always takes the full pipeline.
+
+// blockInfo caches the per-network-block facts the reject predicate
+// needs. Every field is a pure function of (world seed, block, week).
+type blockInfo struct {
+	// density is densitySlow for any address of the block at the cached
+	// week (density inputs are all per-AS/per-week).
+	density float64
+	// dynamic mirrors the owning AS's DynamicPool flag.
+	dynamic bool
+	// cn marks Chinese address space, where the GFW injector may answer
+	// for a nonexistent resolver.
+	cn bool
+	// blocksPrimary is true when the AS's FateBlocksScanner event has
+	// taken effect: the primary vantage sees nothing from this block.
+	blocksPrimary bool
+	// hasStations is true when any rare-behavior station lives in the
+	// block; the overwhelming majority of blocks have none, which lets
+	// the predicate skip the station map lookup entirely.
+	hasStations bool
+}
+
+// rejectCache is the week-stamped block table.
+type rejectCache struct {
+	week   int
+	blocks []blockInfo
+}
+
+// blockCache returns the block table for week, rebuilding it when the
+// cached week differs. Rebuilds are rare (one per simulated week touched)
+// and cheap (one densitySlow per block); racing builders publish
+// identical tables, so last-write-wins is safe.
+func (w *World) blockCache(week int) *rejectCache {
+	if c := w.bc.Load(); c != nil && c.week == week {
+		return c
+	}
+	t := Time{Week: week}
+	c := &rejectCache{week: week, blocks: make([]blockInfo, w.geo.NumBlocks())}
+	for b := range c.blocks {
+		base := w.geo.BlockBase(b)
+		as := w.geo.ASOfU32(base)
+		c.blocks[b] = blockInfo{
+			density:       w.densitySlow(base, t),
+			dynamic:       as.DynamicPool,
+			cn:            as.Country == "CN",
+			blocksPrimary: as.Fate == geodb.FateBlocksScanner && week >= as.FateWeek,
+		}
+	}
+	for u := range w.stations {
+		c.blocks[w.geo.BlockOf(u&w.mask)].hasStations = true
+	}
+	w.bc.Store(c)
+	return c
+}
+
+// sweepReject reports whether a datagram to dst (already masked or not;
+// the predicate masks) can be discarded without consulting the DNS
+// handler: true only when handleDNS provably returns no response for any
+// query from vantage v at time t. See the soundness contract above.
+//
+//lint:hotpath per-probe reject predicate; the sweep pays this for ~99% of targets
+func (w *World) sweepReject(u uint32, v Vantage, t Time) bool {
+	return w.sweepClassify(u, v, t, w.blockCache(t.Week)) == classReject
+}
+
+// sweepRejectCached is sweepReject with the week's block table already in
+// hand, so a batch send loads the cache pointer once instead of per probe.
+// c must be w.blockCache(t.Week).
+//
+//lint:hotpath per-probe reject predicate; the sweep pays this for ~99% of targets
+func (w *World) sweepRejectCached(u uint32, v Vantage, t Time, c *rejectCache) bool {
+	return w.sweepClassify(u, v, t, c) == classReject
+}
+
+// sweepClass is the transport fast-path verdict for one destination.
+type sweepClass uint8
+
+const (
+	// classDeliver: something at the address may answer — run the full
+	// pipeline.
+	classDeliver sweepClass = iota
+	// classReject: provably silent for every query; drop the probe.
+	classReject
+	// classCNOnly: empty Chinese address space. Silent for every query
+	// except a GFW-listed A question, which the injector answers — the
+	// transport decides with an alloc-free peek at the question.
+	classCNOnly
+)
+
+// sweepClassify is the fast-path decision, factored so batch sends load
+// the week's block table once. c must be w.blockCache(t.Week). See the
+// soundness contract above; classCNOnly additionally promises that the
+// only possible answerer is the injector.
+//
+//lint:hotpath per-probe reject predicate; the sweep pays this for ~99% of targets
+func (w *World) sweepClassify(u uint32, v Vantage, t Time, c *rejectCache) sweepClass {
+	u &= w.mask
+	// Infrastructure space: only the authoritative and trusted-DNS
+	// ranges answer DNS; every other role is silent on port 53.
+	switch w.infra.roleOf(u) {
+	case RoleNone:
+		// ordinary address space — fall through to the resolver draw
+	case RoleAuthNS, RoleTrustedDNS:
+		return classDeliver
+	default:
+		return classReject
+	}
+	bi := &c.blocks[w.geo.BlockOf(u)]
+	// Networks that black-hole the primary vantage answer nothing there,
+	// stations included (handleDNS checks visibility before profiles).
+	if bi.blocksPrimary && v == VantagePrimary {
+		return classReject
+	}
+	// Rare-behavior stations are always-on resolvers.
+	if bi.hasStations {
+		if _, ok := w.stations[u]; ok {
+			return classDeliver
+		}
+	}
+	// The resolver slot draw, exactly as ResolverAt computes it.
+	d := bi.density
+	if d > 0 && prand.UnitOf(w.cfg.Seed, facetSlot, uint64(u), w.leaseEpochDyn(u, t, bi.dynamic)) < d {
+		return classDeliver
+	}
+	// No resolver lives here. The injector still reacts to queries into
+	// Chinese space, but only to GFW-listed names.
+	if bi.cn {
+		return classCNOnly
+	}
+	return classReject
+}
+
+// cnCouldAnswer reports whether a probe into empty Chinese address space
+// (classCNOnly) could draw an injector response: a port-53, parseable A
+// question for a GFW-listed name is the only stimulus handleDNS answers
+// there. Unparseable headers conservatively return true — the full
+// pipeline stays the authority on malformed input.
+//
+//lint:hotpath per-probe CN injector filter
+func (m *MemTransport) cnCouldAnswer(dstPort uint16, payload []byte) bool {
+	if dstPort != 53 {
+		return false
+	}
+	v := dnswire.GetView()
+	defer dnswire.PutView(v)
+	if err := v.Reset(payload); err != nil {
+		return true
+	}
+	if v.QDCount() == 0 || v.QType() != dnswire.TypeA {
+		return false
+	}
+	return gfwMatchesWire(v.QName())
+}

@@ -1,0 +1,217 @@
+package wildnet
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"goingwild/internal/dnswire"
+)
+
+// referenceCanAnswer recomputes, from the public World API, whether any
+// query toward u could draw a response — the predicate sweepReject must
+// never contradict.
+func referenceCanAnswer(w *World, u uint32, v Vantage, t Time) bool {
+	u = w.Mask(u)
+	switch w.infra.roleOf(u) {
+	case RoleAuthNS, RoleTrustedDNS:
+		return true
+	case RoleNone:
+	default:
+		return false
+	}
+	if !w.VisibleFrom(u, v, t) {
+		return false
+	}
+	if _, ok := w.ProfileAt(u, t); ok {
+		return true
+	}
+	// The injector can answer for empty Chinese space.
+	return w.geo.LookupU32(u).Country == "CN"
+}
+
+// TestSweepRejectSoundness walks the entire order-14 space at several
+// instants and vantages, checking the fast predicate against the defining
+// slow computation: a reject must imply no possible answer, and a
+// non-reject of non-Chinese space must imply an answerer exists (the
+// predicate is exact there; Chinese space is conservatively kept).
+func TestSweepRejectSoundness(t *testing.T) {
+	w := testWorld(t, 14)
+	for _, tm := range []Time{{}, {Week: 5}, {Week: 20, Day: 3, Hour: 7}, {Week: 55}} {
+		for _, v := range []Vantage{VantagePrimary, VantageSecondary} {
+			for u := uint32(0); u < uint32(w.SpaceSize()); u++ {
+				reject := w.sweepReject(u, v, tm)
+				can := referenceCanAnswer(w, u, v, tm)
+				if reject && can {
+					t.Fatalf("week %d vantage %d: %#x fast-rejected but can answer", tm.Week, v, u)
+				}
+				if !reject && !can && w.geo.LookupU32(u).Country != "CN" {
+					t.Fatalf("week %d vantage %d: %#x not rejected yet cannot answer", tm.Week, v, u)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepRejectMatchesHandler fires a real sweep-shaped query at every
+// fast-rejected address of a small world and demands silence from the
+// full handler, plus a second opinion via Send on a transport with the
+// fast path disabled by construction (we call process directly).
+func TestSweepRejectMatchesHandler(t *testing.T) {
+	w := testWorld(t, 14)
+	tr := NewMemTransport(w, VantagePrimary)
+	defer tr.Close()
+	delivered := 0
+	tr.SetReceiver(func(netip.Addr, uint16, uint16, []byte) { delivered++ })
+	ctx := context.Background()
+	now := Time{Week: 9}
+	tr.SetTime(now)
+	checked := 0
+	for u := uint32(0); u < uint32(w.SpaceSize()); u += 3 {
+		if !w.sweepReject(u, VantagePrimary, now) {
+			continue
+		}
+		q := dnswire.NewQuery(uint16(u), "r0af3.00112233.scan.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN)
+		if resps := w.HandleDNS(VantagePrimary, 33000, u, q, now); len(resps) != 0 {
+			t.Fatalf("%#x fast-rejected but HandleDNS answered", u)
+		}
+		// Bypass the fast path: the full transport pipeline must agree.
+		payload, err := q.PackBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.process(ctx, u, 53, 33000, payload, now); err != nil {
+			t.Fatal(err)
+		}
+		checked++
+	}
+	if delivered != 0 {
+		t.Fatalf("full pipeline delivered %d responses for fast-rejected targets", delivered)
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d rejected targets in an order-14 world; predicate suspiciously weak", checked)
+	}
+}
+
+// TestCNFilterMatchesPipeline drives empty-Chinese-space addresses
+// (classCNOnly: no resolver, but the injector might react) through Send —
+// which decides with the alloc-free question peek — and through the
+// bypassed full pipeline, across GFW-listed, unlisted, and non-A
+// questions, and requires byte-identical deliveries.
+func TestCNFilterMatchesPipeline(t *testing.T) {
+	w := testWorld(t, 14)
+	now := Time{Week: 3}
+	bc := w.blockCache(now.Week)
+	queries := []*dnswire.Message{
+		dnswire.NewQuery(0x11, "facebook.com", dnswire.TypeA, dnswire.ClassIN),
+		dnswire.NewQuery(0x12, "FaceBook.COM", dnswire.TypeA, dnswire.ClassIN),
+		dnswire.NewQuery(0x13, "facebook.com", dnswire.TypeTXT, dnswire.ClassIN),
+		dnswire.NewQuery(0x14, "r0af3.00112233.scan.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN),
+		dnswire.NewQuery(0x15, "example.org", dnswire.TypeA, dnswire.ClassIN),
+	}
+	run := func(bypass bool) []string {
+		tr := NewMemTransport(w, VantagePrimary)
+		defer tr.Close()
+		tr.SetTime(now)
+		var got []string
+		tr.SetReceiver(func(src netip.Addr, sp, dp uint16, payload []byte) {
+			got = append(got, src.String()+"|"+string(payload))
+		})
+		ctx := context.Background()
+		cnSeen := 0
+		for u := uint32(0); u < uint32(w.SpaceSize()); u += 7 {
+			if w.sweepClassify(u, VantagePrimary, now, bc) != classCNOnly {
+				continue
+			}
+			cnSeen++
+			for _, q := range queries {
+				payload, err := q.PackBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bypass {
+					if err := tr.process(ctx, u, 53, 34567, payload, now); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := tr.Send(ctx, w.Addr(u), 53, 34567, payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if cnSeen < 100 {
+			t.Fatalf("only %d classCNOnly addresses sampled; world suspiciously un-Chinese", cnSeen)
+		}
+		return got
+	}
+	fast := run(false)
+	full := run(true)
+	if len(fast) != len(full) {
+		t.Fatalf("deliveries differ: %d via Send vs %d via full pipeline", len(fast), len(full))
+	}
+	for i := range fast {
+		if fast[i] != full[i] {
+			t.Fatalf("delivery %d differs:\n fast: %s\n full: %s", i, fast[i], full[i])
+		}
+	}
+	if len(fast) == 0 {
+		t.Fatal("no injector deliveries at all; GFW queries should have drawn answers")
+	}
+}
+
+// TestSendBatchMatchesSend sends the same probe set through SendBatch and
+// through per-probe Send against two equal worlds and requires identical
+// deliveries, byte for byte and in order.
+func TestSendBatchMatchesSend(t *testing.T) {
+	type delivery struct {
+		src     netip.Addr
+		sp, dp  uint16
+		payload string
+	}
+	run := func(batched bool) []delivery {
+		w := testWorld(t, 14)
+		tr := NewMemTransport(w, VantagePrimary)
+		defer tr.Close()
+		var got []delivery
+		tr.SetReceiver(func(src netip.Addr, sp, dp uint16, payload []byte) {
+			got = append(got, delivery{src, sp, dp, string(payload)})
+		})
+		ctx := context.Background()
+		var batch []Probe
+		payloads := make([][]byte, 0, 4096)
+		for u := uint32(1); u <= 4096; u++ {
+			q := dnswire.NewQuery(uint16(u), "r1.c0a80101.scan.dnsstudy.example.edu", dnswire.TypeA, dnswire.ClassIN)
+			payload, err := q.PackBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads = append(payloads, payload)
+			batch = append(batch, Probe{Dst: w.Addr(u), DstPort: 53, SrcPort: 33000, Payload: payload})
+		}
+		if batched {
+			n, err := tr.SendBatch(ctx, batch)
+			if err != nil || n != len(batch) {
+				t.Fatalf("SendBatch = %d, %v", n, err)
+			}
+		} else {
+			for i, p := range batch {
+				if err := tr.Send(ctx, p.Dst, p.DstPort, p.SrcPort, payloads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return got
+	}
+	single := run(false)
+	batch := run(true)
+	if len(single) != len(batch) {
+		t.Fatalf("deliveries differ: %d single vs %d batched", len(single), len(batch))
+	}
+	for i := range single {
+		if single[i] != batch[i] {
+			t.Fatalf("delivery %d differs: %+v vs %+v", i, single[i], batch[i])
+		}
+	}
+	if len(single) == 0 {
+		t.Fatal("no deliveries at all; world suspiciously empty")
+	}
+}

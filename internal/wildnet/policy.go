@@ -154,6 +154,40 @@ func GFWMatches(name string) bool {
 	return false
 }
 
+// gfwMatchesWire is GFWMatches over a wire-view name (raw bytes, original
+// case, no trailing dot — the form unpackName and View.QName share), kept
+// alloc-free for the transport fast path. Equivalent because gfwNames are
+// canonical and CanonicalName only lowercases and strips a trailing dot.
+//
+//lint:hotpath per-probe CN injector filter
+func gfwMatchesWire(name []byte) bool {
+	for _, n := range gfwNames {
+		if len(name) == len(n) && asciiEqualFold(name, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// asciiEqualFold compares equal-length names ASCII case-insensitively.
+//
+//lint:hotpath per-probe CN injector filter
+func asciiEqualFold(b []byte, s string) bool {
+	for i := 0; i < len(s); i++ {
+		c, d := b[i], s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if 'A' <= d && d <= 'Z' {
+			d += 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
+}
+
 // gfwRandomAddr synthesizes the injector's bogus answer, stable per
 // (resolver, domain). The documented poison pool mixes dark addresses
 // with real-but-unrelated hosts, so a substantial share of injected

@@ -37,9 +37,15 @@ func (w *World) rotateProbOf(u uint32) float64 {
 // stabilityOf draws the churn class of an address. The mix depends on the
 // owning network: consumer broadband pools are almost entirely dynamic.
 func (w *World) stabilityOf(u uint32) Stability {
-	as := w.geo.LookupU32(u).AS
+	return w.stabilityOfDyn(u, w.geo.ASOfU32(u).DynamicPool)
+}
+
+// stabilityOfDyn is stabilityOf with the owning network's DynamicPool
+// flag already in hand — the transport fast path carries it in its
+// per-block cache, so the draw skips the registry lookup.
+func (w *World) stabilityOfDyn(u uint32, dynamic bool) Stability {
 	v := prand.UnitOf(w.cfg.Seed, facetStability, uint64(u))
-	if as.DynamicPool {
+	if dynamic {
 		switch {
 		case v < 0.56:
 			return StabilityDaily
@@ -64,15 +70,32 @@ func (w *World) stabilityOf(u uint32) Stability {
 // doubles as the identity key for all behavioral draws, so a host keeps
 // its personality for exactly one lease.
 func (w *World) leaseEpoch(u uint32, t Time) uint64 {
-	switch w.stabilityOf(u) {
+	return w.leaseEpochDyn(u, t, w.geo.ASOfU32(u).DynamicPool)
+}
+
+// leaseEpochDyn is leaseEpoch with the DynamicPool flag supplied by the
+// caller (see stabilityOfDyn).
+func (w *World) leaseEpochDyn(u uint32, t Time, dynamic bool) uint64 {
+	switch w.stabilityOfDyn(u, dynamic) {
 	case StabilityDaily:
 		// Leases expire at a per-host phase within the day, so a
 		// population identified at some hour thins gradually over the
 		// following 24 hours (the cache-snooping study observes this
-		// as its unreachable share, §2.6).
+		// as its unreachable share, §2.6). At hour zero the phase
+		// cannot matter — (0+phase)/24 is 0 for every phase — so the
+		// first census skips the phase draw entirely.
+		if t.AbsHour() == 0 {
+			return 1
+		}
 		phase := int(prand.Hash(w.cfg.Seed, facetSnoopHour, uint64(u)) % 24)
 		return uint64((t.AbsHour()+phase)/24) + 1
 	case StabilityWeekly:
+		// No rotation can have happened before week 1, so the first
+		// census (the hottest caller by far) skips the rotation draws
+		// entirely.
+		if t.Week <= 0 {
+			return 0
+		}
 		// Count rotations up to this week: rotation happens at week k
 		// when the per-(address, week) draw fires.
 		rot := w.rotateProbOf(u)
@@ -89,10 +112,17 @@ func (w *World) leaseEpoch(u uint32, t Time) uint64 {
 }
 
 // densityAt returns the probability that an address hosts a responding
-// resolver at time t, combining the base density, the AS's density
-// multiplier, the country's interpolated decline, and any AS collapse or
-// fate event.
+// resolver at time t. All inputs are per-block, so the value comes from
+// the per-week block cache; densitySlow is the defining computation.
 func (w *World) densityAt(u uint32, t Time) float64 {
+	u &= w.mask
+	return w.blockCache(t.Week).blocks[w.geo.BlockOf(u)].density
+}
+
+// densitySlow combines the base density, the AS's density multiplier, the
+// country's interpolated decline, and any AS collapse or fate event. It
+// only runs when the block cache is (re)built for a week.
+func (w *World) densitySlow(u uint32, t Time) float64 {
 	loc := w.geo.LookupU32(u)
 	d := w.cfg.BaseDensity * loc.AS.DensityMul * geodb.CountryDeclineAt(loc.Country, t.Week)
 	if c := loc.AS.Collapse; c != nil && t.Week >= c.Week {
@@ -143,7 +173,7 @@ func (w *World) identity(u uint32, t Time) uint64 {
 // drop the primary vantage's probes after their fate week but still answer
 // the secondary /8 vantage used by the verification scan (§2.2).
 func (w *World) VisibleFrom(u uint32, v Vantage, t Time) bool {
-	as := w.geo.LookupU32(w.Mask(u)).AS
+	as := w.geo.ASOfU32(w.Mask(u))
 	if as.Fate == geodb.FateBlocksScanner && t.Week >= as.FateWeek && v == VantagePrimary {
 		return false
 	}

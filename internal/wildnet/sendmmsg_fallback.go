@@ -1,0 +1,9 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package wildnet
+
+// writeBatch on platforms without sendmmsg(2) support: one write per
+// frame, same wire behavior, just more syscalls.
+func (u *UDPTransport) writeBatch(frames [][]byte) (int, error) {
+	return u.writeBatchSerial(frames)
+}

@@ -1,0 +1,99 @@
+//go:build linux && (amd64 || arm64)
+
+package wildnet
+
+import (
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// sendmmsg(2) support for the UDP gateway transport: one syscall ships
+// a whole probe batch. The syscall number is per-architecture
+// (sendmmsg_linux_*.go) because the stdlib syscall package predates the
+// call and golang.org/x/sys is out of bounds for this zero-dependency
+// module.
+
+// sendmmsgUnsupported latches after the kernel rejects the syscall
+// (ENOSYS/EOPNOTSUPP/EPERM — seccomp sandboxes show up as the latter
+// two); every later batch takes the serial path without retrying it.
+var sendmmsgUnsupported atomic.Bool
+
+// mmsghdr is struct mmsghdr from <sys/socket.h>: a msghdr plus the
+// kernel-filled per-message byte count. Alignment matches the kernel's
+// (msghdr ends on a pointer-aligned boundary; the trailing pad keeps
+// the array stride a multiple of 8 on LP64).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// writeBatch ships frames with as few sendmmsg calls as the kernel
+// allows, falling back to the serial writer when the syscall is
+// unavailable. Partial progress is preserved across fallback: frames
+// the kernel already accepted are not resent.
+func (u *UDPTransport) writeBatch(frames [][]byte) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	if sendmmsgUnsupported.Load() {
+		return u.writeBatchSerial(frames)
+	}
+	rc, err := u.conn.SyscallConn()
+	if err != nil {
+		return u.writeBatchSerial(frames)
+	}
+
+	var sa syscall.RawSockaddrInet4
+	sa.Family = syscall.AF_INET
+	port := uint16(u.gateway.Port)
+	// sin_port is in network byte order regardless of host endianness.
+	*(*[2]byte)(unsafe.Pointer(&sa.Port)) = [2]byte{byte(port >> 8), byte(port)}
+	copy(sa.Addr[:], u.gateway.IP.To4())
+
+	iovs := make([]syscall.Iovec, len(frames))
+	hdrs := make([]mmsghdr, len(frames))
+	for i, f := range frames {
+		iovs[i].Base = &f[0]
+		iovs[i].SetLen(len(f))
+		hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&sa))
+		hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(sa))
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1 // uint64 on both constrained arches
+	}
+
+	sent := 0
+	var sysErr error
+	// RawConn.Write re-invokes the callback when the socket becomes
+	// writable again, which is exactly the EAGAIN retry we want.
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < len(hdrs) {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(len(hdrs)-sent), 0, 0, 0)
+			switch errno {
+			case 0:
+				sent += int(r1)
+			case syscall.EINTR:
+				// retry immediately
+			case syscall.EAGAIN:
+				return false // wait for writability, then re-enter
+			case syscall.ENOSYS, syscall.EOPNOTSUPP, syscall.EPERM:
+				sendmmsgUnsupported.Store(true)
+				return true
+			default:
+				sysErr = errno
+				return true
+			}
+		}
+		return true
+	})
+	if werr != nil && sysErr == nil {
+		sysErr = werr
+	}
+	if sendmmsgUnsupported.Load() && sent < len(frames) && sysErr == nil {
+		n, err := u.writeBatchSerial(frames[sent:])
+		return sent + n, err
+	}
+	return sent, sysErr
+}

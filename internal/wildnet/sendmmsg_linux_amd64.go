@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package wildnet
+
+// sysSendmmsg is __NR_sendmmsg on x86-64 (arch/x86/entry/syscalls/
+// syscall_64.tbl); the stdlib syscall package has no constant for it.
+const sysSendmmsg = 307

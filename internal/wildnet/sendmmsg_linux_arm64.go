@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package wildnet
+
+// sysSendmmsg is __NR_sendmmsg in the arm64 generic syscall table
+// (include/uapi/asm-generic/unistd.h).
+const sysSendmmsg = 269

@@ -1,0 +1,146 @@
+package wildnet
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+)
+
+// TestUDPGatewayBatchRoundTrip drives the gateway through SendBatch —
+// the sendmmsg path where the platform has it, the serial fallback
+// elsewhere — and checks every probe of the batch gets its response.
+func TestUDPGatewayBatchRoundTrip(t *testing.T) {
+	w := testWorld(t, 16)
+	gw, err := StartGateway(w, VantagePrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	tr, err := DialGateway(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// A batch of queries to honest resolvers, each with a distinct
+	// transaction ID so responses are attributable.
+	var resolvers []uint32
+	for u := uint32(1); u < 1<<16 && len(resolvers) < 24; u++ {
+		p, ok := w.ProfileAt(u, At(0))
+		if ok && p.RCode == RCNoError && p.Manip == ManipHonest && !p.MisSourced && w.VisibleFrom(u, VantagePrimary, At(0)) {
+			resolvers = append(resolvers, u)
+		}
+	}
+	if len(resolvers) < 8 {
+		t.Fatalf("only %d usable resolvers in the test world", len(resolvers))
+	}
+	probes := make([]Probe, len(resolvers))
+	for i, u := range resolvers {
+		q := dnswire.NewQuery(uint16(i+1), domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
+		wire, err := q.PackBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes[i] = Probe{Dst: w.Addr(u), DstPort: 53, SrcPort: 41000, Payload: wire}
+	}
+
+	var mu sync.Mutex
+	got := map[uint16]bool{}
+	done := make(chan struct{})
+	tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte) {
+		m, err := dnswire.Unpack(payload)
+		if err != nil || !m.Header.QR {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		got[m.Header.ID] = true
+		if len(got) == len(probes) {
+			close(done)
+		}
+	})
+
+	n, err := tr.SendBatch(context.Background(), probes)
+	if err != nil {
+		t.Fatalf("SendBatch: %v (after %d probes)", err, n)
+	}
+	if n != len(probes) {
+		t.Fatalf("SendBatch sent %d of %d probes", n, len(probes))
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("only %d/%d batch responses arrived", len(got), len(probes))
+	}
+	for i := range probes {
+		if !got[uint16(i+1)] {
+			t.Errorf("probe %d of the batch got no response", i)
+		}
+	}
+
+	// A cancelled context must refuse the batch before any kernel write.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n, err := tr.SendBatch(ctx, probes); err == nil || n != 0 {
+		t.Errorf("cancelled SendBatch sent %d, err %v", n, err)
+	}
+	// IPv6 destinations are rejected with the index of the bad probe.
+	bad := []Probe{probes[0], {Dst: netip.MustParseAddr("2001:db8::1"), DstPort: 53, Payload: []byte{1}}}
+	if n, err := tr.SendBatch(context.Background(), bad); err == nil || n != 1 {
+		t.Errorf("IPv6 probe accepted (n=%d err=%v)", n, err)
+	}
+}
+
+// TestUDPGatewaySerialFallbackMatchesBatch pins that the serial write
+// path the non-sendmmsg platforms (and latched-unsupported kernels) use
+// delivers the same frames.
+func TestUDPGatewaySerialFallbackMatchesBatch(t *testing.T) {
+	w := testWorld(t, 16)
+	u, _ := findResolver(t, w, At(0), func(p Profile) bool {
+		return p.RCode == RCNoError && p.Manip == ManipHonest && !p.MisSourced
+	})
+	gw, err := StartGateway(w, VantagePrimary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	tr, err := DialGateway(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	responses := make(chan uint16, 8)
+	tr.SetReceiver(func(src netip.Addr, srcPort, dstPort uint16, payload []byte) {
+		if m, err := dnswire.Unpack(payload); err == nil && m.Header.QR {
+			responses <- m.Header.ID
+		}
+	})
+	q := dnswire.NewQuery(99, domains.GroundTruth, dnswire.TypeA, dnswire.ClassIN)
+	wire, _ := q.PackBytes()
+	fr := make([]byte, tunnelHeaderLen+len(wire))
+	a4 := w.Addr(u).As4()
+	copy(fr[0:4], a4[:])
+	fr[4], fr[5] = 0, 53
+	fr[6], fr[7] = 0xA0, 0x28 // src port 41000
+	copy(fr[tunnelHeaderLen:], wire)
+	frames := [][]byte{fr}
+	if n, err := tr.writeBatchSerial(frames); err != nil || n != len(frames) {
+		t.Fatalf("writeBatchSerial = %d, %v", n, err)
+	}
+	select {
+	case id := <-responses:
+		if id != 99 {
+			t.Errorf("response ID %d, want 99", id)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no response via serial fallback")
+	}
+}

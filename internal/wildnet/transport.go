@@ -39,6 +39,32 @@ type Transport interface {
 // ErrTransportClosed is returned by Send after Close.
 var ErrTransportClosed = errors.New("wildnet: transport closed")
 
+// errIPv4Only rejects non-IPv4 destinations on every transport.
+var errIPv4Only = errors.New("wildnet: transport is IPv4-only")
+
+// Probe is one ready-to-send datagram for batched dispatch. Payload is
+// borrowed for the duration of the SendBatch call only: transports must
+// not retain it, mirroring the receiver-side contract.
+type Probe struct {
+	Dst     netip.Addr
+	DstPort uint16
+	SrcPort uint16
+	Payload []byte
+}
+
+// BatchSender is the optional bulk extension of Transport: SendBatch
+// dispatches the probes in order with per-probe semantics identical to
+// calling Send once per probe, but lets the implementation amortize
+// per-packet overhead — the in-memory transport takes its clock lock and
+// receiver load once per batch, the UDP gateway transport hands the
+// kernel the whole batch in one sendmmsg(2). It returns how many probes
+// were processed; on error, probes [0, n) were handled and batch[n] was
+// not. Scan engines type-assert for this interface and fall back to the
+// Send loop when it is absent.
+type BatchSender interface {
+	SendBatch(ctx context.Context, batch []Probe) (int, error)
+}
+
 // MemTransport delivers packets synchronously through the world model.
 // Responses are invoked on the caller's goroutine in delay order, so a
 // scan's concurrency model is exercised without real timers.
@@ -120,10 +146,70 @@ func (m *MemTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPor
 		return ErrTransportClosed
 	}
 	if !dst.Is4() {
-		return errors.New("wildnet: transport is IPv4-only")
+		return errIPv4Only
 	}
 	t := m.Time()
 	u32dst := lfsr.AddrToU32(dst)
+	// Fast reject: when the fault layer is off and the destination
+	// provably answers nothing, skip the hash, the loss draw, and the
+	// parse entirely. Rejected packets have no observable fate — the
+	// loss draw is pure and unmetered — so results are byte-identical.
+	if !m.world.faultsOn {
+		switch m.world.sweepClassify(u32dst, m.vantage, t, m.world.blockCache(t.Week)) {
+		case classReject:
+			return nil
+		case classCNOnly:
+			if !m.cnCouldAnswer(dstPort, payload) {
+				return nil
+			}
+		}
+	}
+	return m.process(ctx, u32dst, dstPort, srcPort, payload, t)
+}
+
+// SendBatch implements BatchSender: per-probe semantics are exactly those
+// of Send, with the clock lock, the receiver load, and the fault-layer
+// gate amortized over the whole batch.
+func (m *MemTransport) SendBatch(ctx context.Context, batch []Probe) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if m.closed.Load() {
+		return 0, ErrTransportClosed
+	}
+	t := m.Time()
+	fastOK := !m.world.faultsOn
+	var bc *rejectCache
+	if fastOK {
+		bc = m.world.blockCache(t.Week)
+	}
+	for i := range batch {
+		p := &batch[i]
+		if !p.Dst.Is4() {
+			return i, errIPv4Only
+		}
+		u32dst := lfsr.AddrToU32(p.Dst)
+		if fastOK {
+			switch m.world.sweepClassify(u32dst, m.vantage, t, bc) {
+			case classReject:
+				continue
+			case classCNOnly:
+				if !m.cnCouldAnswer(p.DstPort, p.Payload) {
+					continue
+				}
+			}
+		}
+		if err := m.process(ctx, u32dst, p.DstPort, p.SrcPort, p.Payload, t); err != nil {
+			return i, err
+		}
+	}
+	return len(batch), nil
+}
+
+// process runs one datagram through the world at simulated time t and
+// delivers the surviving responses. It is the shared tail of Send and
+// SendBatch.
+func (m *MemTransport) process(ctx context.Context, u32dst uint32, dstPort, srcPort uint16, payload []byte, t Time) error {
 	qph := hashBytes(payload)
 	// Independent loss on the query packet.
 	if m.drop(dirQuery, u32dst, dstPort, srcPort, qph, t) {
@@ -171,7 +257,7 @@ func (m *MemTransport) Send(ctx context.Context, dst netip.Addr, dstPort, srcPor
 	if recv == nil {
 		return nil
 	}
-	limit := m.world.UDPPayloadLimit(lfsr.AddrToU32(dst), q, t)
+	limit := m.world.UDPPayloadLimit(u32dst, q, t)
 	ps := packPool.Get().(*packScratch)
 	defer packPool.Put(ps)
 	for _, r := range resps {

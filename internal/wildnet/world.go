@@ -15,6 +15,7 @@ package wildnet
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 
 	"goingwild/internal/geodb"
 	"goingwild/internal/lfsr"
@@ -113,6 +114,10 @@ type World struct {
 	faultsOn bool
 	// fm counts injected faults; all-nil (no-op) without a registry.
 	fm faultMetrics
+	// bc memoizes the per-block facts of the transport fast path for the
+	// most recently queried week (fastpath.go). Pure caching: every value
+	// is a function of (seed, block, week) the slow path would compute.
+	bc atomic.Pointer[rejectCache]
 }
 
 // NewWorld builds a world from cfg.
