@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-escape test test-short race chaos metrics-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
+.PHONY: all build vet lint lint-escape test test-short race chaos metrics-smoke stream-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -56,6 +56,17 @@ metrics-smoke:
 	diff /tmp/wr_nometrics.txt /tmp/wr_withmetrics.txt
 	test -s /tmp/wr_metrics.json
 
+# Streaming epoch guard: the weekly series run incrementally via
+# -epochs (per-week delta batches applied live) must print stdout
+# byte-identical to the batch -weeks run. This is the executable form
+# of the contract that streaming changes when results appear, never
+# what they are.
+stream-smoke:
+	$(GO) build -o /tmp/wildreport_stream ./cmd/wildreport
+	/tmp/wildreport_stream -order 16 -weeks 6 -week 5 > /tmp/wr_batch.txt
+	/tmp/wildreport_stream -order 16 -epochs 6 -week 5 -progress > /tmp/wr_stream.txt 2>/dev/null
+	diff /tmp/wr_batch.txt /tmp/wr_stream.txt
+
 # A few seconds of coverage-guided fuzzing per wire-format fuzz target.
 # `go test -fuzz` accepts one target per invocation, hence five runs.
 fuzz-smoke:
@@ -81,6 +92,7 @@ bench-quick:
 	test "$$(grep -c '"shards":' /tmp/bench_quick.json)" = "4"
 	grep -q '"best_shards":' /tmp/bench_quick.json
 	test "$$(grep -c '"mode":' /tmp/bench_quick.json)" = "2"
+	grep -q '"delta_records_per_sec":' /tmp/bench_quick.json
 
 # One iteration of every table/figure benchmark.
 bench-all:

@@ -56,6 +56,17 @@ type dispatchBench struct {
 	ProbesPerS float64 `json:"probes_per_sec"`
 }
 
+// epochBench measures the streaming weekly series end to end: weekly
+// sweeps expressed as delta batches, pushed through the bounded queue
+// and applied by the epoch engine. Throughput is delta records per
+// second across the whole stream (produce + diff + apply).
+type epochBench struct {
+	Weeks        int     `json:"weeks"`
+	DeltaRecords int     `json:"delta_records"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	RecordsPerS  float64 `json:"delta_records_per_sec"`
+}
+
 type report struct {
 	Sweep sweepBench `json:"sweep"`
 	// SweepShards is the M=1,2,4,8 scaling table; BestShards is the row
@@ -64,6 +75,7 @@ type report struct {
 	SweepShards   []shardRow      `json:"sweep_shards"`
 	BestShards    int             `json:"best_shards"`
 	SweepDispatch []dispatchBench `json:"sweep_dispatch"`
+	EpochStream   epochBench      `json:"epoch_stream"`
 	Cluster       []clusterBench  `json:"cluster"`
 	// ClusterScalingRatio is time(2n)/time(n) for the two cluster sizes:
 	// ~4 for the O(n²) chain, ~6-8 for the old O(n³) scan at these sizes.
@@ -170,6 +182,36 @@ func benchDispatch(s *core.Study, order uint) []dispatchBench {
 	return out
 }
 
+// benchEpochStream times the streaming weekly series on its own study
+// (the epoch count, not the space order, dominates its cost).
+func benchEpochStream(order uint, weeks int) (epochBench, error) {
+	cfg := core.DefaultConfig(order)
+	cfg.Weeks = weeks
+	s, err := core.NewStudy(cfg)
+	if err != nil {
+		return epochBench{}, err
+	}
+	defer s.Close()
+	var records int
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			records = 0
+			if _, err := s.RunWeeklySeriesStream(func(v core.EpochView) {
+				records += len(v.Delta.Deltas)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns := r.NsPerOp()
+	return epochBench{
+		Weeks:        weeks,
+		DeltaRecords: records,
+		NsPerOp:      ns,
+		RecordsPerS:  float64(records) / (float64(ns) / 1e9),
+	}, nil
+}
+
 func benchCluster(n int) clusterBench {
 	var merges int
 	r := testing.Benchmark(func(b *testing.B) {
@@ -204,9 +246,11 @@ func main() {
 
 	sweepOrder := *order
 	clusterSizes := []int{400, 800}
+	epochWeeks := 8
 	if *quick {
 		sweepOrder = 16
 		clusterSizes = []int{200, 400}
+		epochWeeks = 4
 	}
 
 	sw, err := benchSweep(sweepOrder)
@@ -242,6 +286,15 @@ func main() {
 	rep.BestShards = best.Shards
 	fmt.Printf("best shard count: M=%d at %.2fM probes/s\n", best.Shards, best.ProbesPerS/1e6)
 	rep.SweepDispatch = benchDispatch(study, sweepOrder)
+
+	es, err := benchEpochStream(sweepOrder, epochWeeks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscan: epoch stream:", err)
+		os.Exit(1)
+	}
+	rep.EpochStream = es
+	fmt.Printf("epoch stream weeks=%d: %.3fs/op  %d delta records  %.0f records/s\n",
+		es.Weeks, float64(es.NsPerOp)/1e9, es.DeltaRecords, es.RecordsPerS)
 
 	// Clustering is cheap enough for a few iterations; median out noise.
 	if err := flag.Set("test.benchtime", "3x"); err != nil {

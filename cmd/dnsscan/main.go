@@ -34,6 +34,7 @@ func main() {
 		scanSeed    = flag.Uint("scanseed", 0x5EED, "LFSR seed for the target permutation")
 		week        = flag.Int("week", 0, "study week")
 		mode        = flag.String("mode", "sweep", "sweep | chaos | domains")
+		epochs      = flag.Int("epochs", 0, "run N weekly epoch sweeps through the delta layer (per-epoch diffs on stderr; summary reflects the replayed final snapshot)")
 		category    = flag.String("category", "Banking", "domain category for -mode domains")
 		useUDP      = flag.Bool("udp", false, "drive the scan over real UDP sockets (loopback gateway)")
 		rate        = flag.Int("rate", 0, "probe rate limit in packets/s (0 = unlimited)")
@@ -71,6 +72,7 @@ func main() {
 	}
 
 	var tr scanner.Transport
+	var setWeek func(int)
 	settle := scanner.NoSettle
 	if *useUDP {
 		gw, err := wildnet.StartGateway(world, wildnet.VantagePrimary)
@@ -84,6 +86,7 @@ func main() {
 			fatal(err)
 		}
 		tr = udp
+		setWeek = func(w int) { gw.SetTime(wildnet.At(w)) }
 		settle = 200 * time.Millisecond
 		if *rate == 0 {
 			// Loopback sockets drop bursts beyond the buffer; pace
@@ -95,6 +98,7 @@ func main() {
 		mem := wildnet.NewMemTransport(world, wildnet.VantagePrimary)
 		mem.SetTime(wildnet.At(*week))
 		tr = mem
+		setWeek = func(w int) { mem.SetTime(wildnet.At(w)) }
 	}
 	defer tr.Close()
 
@@ -131,9 +135,42 @@ func main() {
 	}
 	defer func() { fmt.Printf("traffic: %s\n", stats.Snapshot()) }()
 	start := time.Now()
-	sweep, err := sc.SweepContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist())
-	if err != nil {
-		fatal(err)
+	var sweep *scanner.SweepResult
+	if *epochs > 0 {
+		// Epoch-streaming mode: one weekly sweep per epoch, expressed as
+		// delta batches and replayed into a running snapshot — the same
+		// diff/apply layer the streaming study engine rides on. Per-epoch
+		// lines go to stderr; the summary below reflects the replayed
+		// final snapshot, which must equal the last sweep exactly.
+		var snapshot, prev []scanner.Responder
+		var probed uint64
+		var records int
+		for epoch := 0; epoch < *epochs; epoch++ {
+			setWeek(epoch)
+			res, err := sc.SweepContext(ctx, *order, uint32(*scanSeed)+uint32(epoch), world.ScanBlacklist())
+			if err != nil {
+				fatal(err)
+			}
+			deltas := scanner.DiffSweepResponders(prev, res.Responders)
+			snapshot, err = scanner.ApplyResponderDeltas(snapshot, deltas)
+			if err != nil {
+				fatal(err)
+			}
+			prev, probed = res.Responders, res.Probed
+			records += len(deltas)
+			fmt.Fprintf(os.Stderr, "dnsscan: epoch %d: %d delta records, %d responders\n",
+				epoch, len(deltas), len(snapshot))
+		}
+		sweep = scanner.SnapshotSweep(probed, snapshot)
+		elapsed := time.Since(start)
+		fmt.Printf("epochs: %d sweeps, %d delta records in %v (%.0f records/s)\n",
+			*epochs, records, elapsed.Round(time.Millisecond), float64(records)/elapsed.Seconds())
+	} else {
+		var err error
+		sweep, err = sc.SweepContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist())
+		if err != nil {
+			fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 	pps := float64(sweep.Probed) / elapsed.Seconds()

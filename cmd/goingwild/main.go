@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"goingwild/internal/analysis"
+	"goingwild/internal/churn"
 	"goingwild/internal/core"
 	"goingwild/internal/dataset"
 	"goingwild/internal/debughttp"
@@ -34,6 +35,7 @@ func main() {
 		order       = flag.Uint("order", 18, "address-space width in bits (14–32)")
 		seed        = flag.Uint64("seed", 0x60176A11D, "world seed")
 		weeks       = flag.Int("weeks", 12, "weekly scans for the longitudinal study")
+		epochs      = flag.Int("epochs", 0, "stream the weekly series incrementally as N weekly epochs (implies -weeks N; 0 = batch); stdout is byte-identical either way")
 		exps        = flag.String("exp", "all", "comma-separated experiments: census,fig1,table1,table2,table3,table4,fig2,util,verify,domains,fig4,cases,pipeline,amp,dnssec,popularity")
 		week        = flag.Int("week", 50, "study week for the point-in-time experiments")
 		export      = flag.String("export", "", "directory to export JSONL datasets into")
@@ -63,6 +65,10 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
+	if *epochs > 0 {
+		cfg.Weeks = *epochs
+		*weeks = *epochs
+	}
 	cfg.Shards = *shards
 	// Metrics are a pure side channel: stdout is byte-identical with and
 	// without a registry attached.
@@ -135,7 +141,22 @@ func main() {
 		fmt.Print(shardio.RenderCensus(res))
 	}
 	if all || want["fig1"] || want["table1"] || want["table2"] {
-		series, err := study.RunWeeklySeriesContext(ctx)
+		// Under -epochs the series runs through the streaming epoch
+		// engine; the rendered tables below are byte-identical to the
+		// batch path, with the live per-epoch view on stderr.
+		var series *churn.Series
+		var err error
+		if *epochs > 0 {
+			var live func(core.EpochView)
+			if *progress {
+				live = func(v core.EpochView) {
+					fmt.Fprint(os.Stderr, analysis.RenderEpochDelta(v.Obs, v.Delta, scale, v.Lag))
+				}
+			}
+			series, err = study.RunWeeklySeriesStreamContext(ctx, live)
+		} else {
+			series, err = study.RunWeeklySeriesContext(ctx)
+		}
 		if err != nil {
 			fail(err)
 		}

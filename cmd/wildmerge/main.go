@@ -17,43 +17,58 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"goingwild/internal/shardio"
 )
 
 func main() {
-	out := flag.String("out", "", "also write the merged census as a 1/1 artifact to this file")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: wildmerge [-out merged.json] shard0.json shard1.json ...")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, merges the
+// named artifacts, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wildmerge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "also write the merged census as a 1/1 artifact to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: wildmerge [-out merged.json] shard0.json shard1.json ...")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	arts := make([]shardio.Artifact, 0, flag.NArg())
-	for _, path := range flag.Args() {
+	if fs.NArg() == 0 {
+		// An empty shard list is a broken invocation (typically a glob
+		// that matched nothing), never a valid scan of zero shards: say
+		// so explicitly rather than printing only the usage text, and
+		// exit non-zero so driving scripts fail loudly.
+		fmt.Fprintln(stderr, "wildmerge: no shard artifact files given (did your glob match anything?)")
+		fs.Usage()
+		return 2
+	}
+	arts := make([]shardio.Artifact, 0, fs.NArg())
+	for _, path := range fs.Args() {
 		a, err := shardio.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "wildmerge:", err)
+			return 1
 		}
 		arts = append(arts, a)
 	}
 	res, prov, err := shardio.Merge(arts)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "wildmerge:", err)
+		return 1
 	}
 	if *out != "" {
 		if err := shardio.WriteFile(*out, shardio.FromSweep(prov, 0, 1, res)); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "wildmerge:", err)
+			return 1
 		}
 	}
-	fmt.Print(shardio.RenderCensus(res))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wildmerge:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, shardio.RenderCensus(res))
+	return 0
 }

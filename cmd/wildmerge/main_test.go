@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goingwild/internal/scanner"
+	"goingwild/internal/shardio"
+)
+
+func TestRunEmptyShardListFailsLoudly(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(nil, &out, &errOut)
+	if code == 0 {
+		t.Fatal("empty shard list exited zero")
+	}
+	if !strings.Contains(errOut.String(), "no shard artifact files") {
+		t.Errorf("diagnostic missing from stderr:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "usage: wildmerge") {
+		t.Errorf("usage missing from stderr:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty: %q", out.String())
+	}
+}
+
+func TestRunUnreadableArtifactFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "wildmerge:") {
+		t.Errorf("diagnostic missing from stderr:\n%s", errOut.String())
+	}
+}
+
+func TestRunMergesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	prov := shardio.Provenance{Order: 8, Seed: 1, ScanSeed: 2, Week: 0}
+	mk := func(shard int, addrs ...uint32) string {
+		res := &scanner.SweepResult{Probed: 4}
+		for _, a := range addrs {
+			res.Responders = append(res.Responders, scanner.Responder{Addr: a, Source: a})
+		}
+		path := filepath.Join(dir, "s"+string(rune('0'+shard))+".json")
+		if err := shardio.WriteFile(path, shardio.FromSweep(prov, shard, 2, res)); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	p0, p1 := mk(0, 1, 3), mk(1, 2, 4)
+	var out, errOut strings.Builder
+	if code := run([]string{p0, p1}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "responders   4") {
+		t.Errorf("census missing merged responder count:\n%s", out.String())
+	}
+}

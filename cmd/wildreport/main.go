@@ -8,6 +8,7 @@
 //	wildreport -order 18 -markdown            # markdown comparison table
 //	wildreport -order 20 -progress            # stage events on stderr
 //	wildreport -order 16 -chaos hostile       # run under injected faults
+//	wildreport -order 16 -epochs 8 -progress  # stream the weekly series, live churn on stderr
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"goingwild/internal/analysis"
+	"goingwild/internal/churn"
 	"goingwild/internal/core"
 	"goingwild/internal/debughttp"
 	"goingwild/internal/domains"
@@ -32,6 +34,7 @@ func main() {
 		order       = flag.Uint("order", 18, "address-space width in bits")
 		seed        = flag.Uint64("seed", 0x60176A11D, "world seed")
 		weeks       = flag.Int("weeks", 55, "weekly scans")
+		epochs      = flag.Int("epochs", 0, "stream the weekly series incrementally as N weekly epochs (implies -weeks N; 0 = batch); stdout is byte-identical either way")
 		week        = flag.Int("week", 50, "week for point-in-time experiments")
 		markdown    = flag.Bool("markdown", false, "emit the markdown comparison table only")
 		progress    = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
@@ -58,6 +61,10 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Weeks = *weeks
+	if *epochs > 0 {
+		cfg.Weeks = *epochs
+		*weeks = *epochs
+	}
 	cfg.Shards = *shards
 	// Metrics are a pure side channel: stdout is byte-identical with and
 	// without a registry attached, so observability costs reproducibility
@@ -100,7 +107,22 @@ func main() {
 	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
-	series, err := study.RunWeeklySeriesContext(ctx)
+	// Under -epochs the weekly series runs through the streaming epoch
+	// engine: per-epoch deltas apply live (rendered to stderr under
+	// -progress), while the resulting series — and therefore every line
+	// of stdout — is byte-identical to the batch path.
+	var series *churn.Series
+	if *epochs > 0 {
+		var live func(core.EpochView)
+		if *progress {
+			live = func(v core.EpochView) {
+				fmt.Fprint(os.Stderr, analysis.RenderEpochDelta(v.Obs, v.Delta, scale, v.Lag))
+			}
+		}
+		series, err = study.RunWeeklySeriesStreamContext(ctx, live)
+	} else {
+		series, err = study.RunWeeklySeriesContext(ctx)
+	}
 	if err != nil {
 		fatal(err)
 	}

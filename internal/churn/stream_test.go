@@ -1,0 +1,176 @@
+package churn
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// streamConfig is the shared study shape for the batch-vs-stream tests.
+var streamConfig = StudyConfig{Order: 16, Seed: 77, Weeks: 6, RetainWeeks: []int{0, 5}}
+
+// runBatch runs RunWeekly on a fresh world.
+func runBatch(t *testing.T) *Series {
+	t.Helper()
+	r := newRig(t, streamConfig.Order)
+	defer r.tr.Close()
+	cfg := streamConfig
+	cfg.Blacklist = r.w.ScanBlacklist()
+	series, err := RunWeekly(context.Background(), r.sc, r.tr, r.locator(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+// runStream runs StreamWeekly into sink on an identically configured
+// fresh world, so the sweeps see the same simulated Internet as the
+// batch run.
+func runStream(t *testing.T, sink func(context.Context, EpochDelta) error) Locator {
+	t.Helper()
+	r := newRig(t, streamConfig.Order)
+	defer r.tr.Close()
+	cfg := streamConfig
+	cfg.Blacklist = r.w.ScanBlacklist()
+	if err := StreamWeekly(context.Background(), r.sc, r.tr, cfg, sink); err != nil {
+		t.Fatal(err)
+	}
+	return r.locator()
+}
+
+// locFromRig builds a locator over a fresh world of the test order —
+// location is a pure function of the address and the deterministic
+// world geometry, so any same-order world agrees.
+func locFromRig(t *testing.T) Locator {
+	t.Helper()
+	r := newRig(t, streamConfig.Order)
+	t.Cleanup(func() { r.tr.Close() })
+	return r.locator()
+}
+
+func TestStreamWeeklyMatchesBatchSeries(t *testing.T) {
+	batch := runBatch(t)
+
+	var deltas []EpochDelta
+	loc := runStream(t, func(_ context.Context, d EpochDelta) error {
+		deltas = append(deltas, d)
+		return nil
+	})
+
+	// The tracker replays the delta stream over the empty snapshot; the
+	// resulting series must be identical to the batch run's, map for map
+	// and responder for responder — the contract that lets the one-shot
+	// binaries stream without changing a byte of output.
+	tr := NewTracker(loc, streamConfig.RetainWeeks)
+	for _, d := range deltas {
+		if _, err := tr.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Series()
+	if !reflect.DeepEqual(got, batch) {
+		for i := range batch.Weeks {
+			if !reflect.DeepEqual(got.Weeks[i], batch.Weeks[i]) {
+				t.Errorf("week %d diverged\ngot  %+v\nwant %+v", i, got.Weeks[i], batch.Weeks[i])
+			}
+		}
+		t.Fatal("streamed series != batch series")
+	}
+
+	// The final snapshot must equal the last week's retained set.
+	if !reflect.DeepEqual(tr.Snapshot(), batch.Last().Responders) {
+		t.Error("final snapshot != last retained responder set")
+	}
+
+	// The tables the binaries print derive from the series alone, so they
+	// match too; render one as a sanity anchor.
+	if !reflect.DeepEqual(got.CountryFluctuation(10), batch.CountryFluctuation(10)) {
+		t.Error("country fluctuation tables diverged")
+	}
+}
+
+func TestTrackerApplyReturnsLiveObservation(t *testing.T) {
+	// Apply's return value is the live per-epoch view the -progress path
+	// renders: the tracker consumes the stream as it arrives, no buffering.
+	tr := NewTracker(locFromRig(t), streamConfig.RetainWeeks)
+	var obs []WeekObservation
+	runStream(t, func(_ context.Context, d EpochDelta) error {
+		o, err := tr.Apply(d)
+		if err != nil {
+			return err
+		}
+		obs = append(obs, *o)
+		return nil
+	})
+	if len(obs) != streamConfig.Weeks {
+		t.Fatalf("observed %d weeks, want %d", len(obs), streamConfig.Weeks)
+	}
+	for i, o := range obs {
+		if o.Week != i || o.Total == 0 {
+			t.Errorf("live observation %d = week %d total %d", i, o.Week, o.Total)
+		}
+	}
+}
+
+func TestTrackerWeekOrderContract(t *testing.T) {
+	loc := locFromRig(t)
+	tr := NewTracker(loc, nil)
+	if _, err := tr.Apply(EpochDelta{Week: 3}); err == nil {
+		t.Error("tracker accepted week 3 as the first epoch")
+	}
+	if _, err := tr.Apply(EpochDelta{Week: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(EpochDelta{Week: 0}); err == nil {
+		t.Error("tracker accepted a repeated week")
+	}
+}
+
+func TestTrackerMergeEqualsUnshardedTracker(t *testing.T) {
+	var deltas []EpochDelta
+	loc := runStream(t, func(_ context.Context, d EpochDelta) error {
+		deltas = append(deltas, d)
+		return nil
+	})
+
+	full := NewTracker(loc, streamConfig.RetainWeeks)
+	even := NewTracker(loc, streamConfig.RetainWeeks)
+	odd := NewTracker(loc, streamConfig.RetainWeeks)
+	for _, d := range deltas {
+		if _, err := full.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		// Shard-local accumulate: split each batch by target parity, the
+		// same disjoint-partition shape the leapfrog shards produce.
+		var evenD, oddD EpochDelta
+		evenD.Week, oddD.Week = d.Week, d.Week
+		for _, dl := range d.Deltas {
+			if dl.Addr()%2 == 0 {
+				evenD.Deltas = append(evenD.Deltas, dl)
+			} else {
+				oddD.Deltas = append(oddD.Deltas, dl)
+			}
+		}
+		if _, err := even.Apply(evenD); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := odd.Apply(oddD); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := even.Merge(odd); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(even.Series(), full.Series()) {
+		t.Fatal("merged shard trackers != unsharded tracker")
+	}
+	if !reflect.DeepEqual(even.Snapshot(), full.Snapshot()) {
+		t.Fatal("merged snapshot != unsharded snapshot")
+	}
+
+	// Overlap detection: merging a tracker with itself shares every target.
+	if err := full.Merge(full); err == nil {
+		t.Error("self-merge accepted despite shared targets")
+	}
+}

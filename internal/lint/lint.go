@@ -165,7 +165,11 @@ func DefaultConfig(modulePath string) Config {
 		ModulePath: modulePath,
 		Deterministic: ip("wildnet", "prand", "lfsr", "cluster", "classify",
 			"analysis", "churn", "scanner", "metrics"),
-		Rendering: ip("analysis", "classify", "snoop", "churn", "scanner"),
+		// core, pipeline, and shardio joined with the streaming epoch
+		// engine: they now carry delta batches into rendered output, so
+		// taintflow must follow results through them too.
+		Rendering: ip("analysis", "classify", "snoop", "churn", "scanner",
+			"core", "pipeline", "shardio"),
 	}
 }
 

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Queue is the epoch stream's backpressure seam: a bounded FIFO of delta
+// batches between a producer (the scanner sweeping epoch after epoch)
+// and a consumer (the stage applying each epoch's deltas). Put blocks
+// while the queue is full, so a producer can run at most `capacity`
+// epochs ahead of the consumer — exactly the bound a long-running
+// service needs to keep scan ingest from outrunning query-side state.
+// Order is preserved, which is what keeps delta application (and hence
+// the replayed snapshot) deterministic even though the two sides run
+// concurrently.
+type Queue[T any] struct {
+	ch     chan T
+	closed atomic.Bool
+}
+
+// NewQueue builds a queue holding at most capacity items (minimum 1).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{ch: make(chan T, capacity)}
+}
+
+// Put enqueues v, blocking while the queue is full. It returns ctx.Err()
+// if the context dies first, and an error if the queue is closed. Only
+// the producer may call Put, and never after Close.
+func (q *Queue[T]) Put(ctx context.Context, v T) error {
+	if q.closed.Load() {
+		return fmt.Errorf("pipeline: Put on closed queue")
+	}
+	select {
+	case q.ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Get dequeues the next item, blocking while the queue is empty. ok is
+// false once the queue is closed and drained; a dead context surfaces as
+// err with ok false.
+func (q *Queue[T]) Get(ctx context.Context) (v T, ok bool, err error) {
+	select {
+	case v, ok = <-q.ch:
+		return v, ok, nil
+	case <-ctx.Done():
+		return v, false, ctx.Err()
+	}
+}
+
+// Close marks the end of the stream. The consumer drains the remaining
+// items, then Get reports ok=false. Close is idempotent.
+func (q *Queue[T]) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		close(q.ch)
+	}
+}
+
+// Len is the number of items currently buffered — the consumer's lag
+// behind the producer in epochs. It is a scheduling-dependent
+// observation: export it only as a Timing-class metric.
+func (q *Queue[T]) Len() int { return len(q.ch) }

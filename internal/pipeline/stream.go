@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+)
+
+// RunEpochs executes the DAG in incremental mode: every stage with a
+// RunEpoch runs once per epoch (epochs 0..epochs-1, stages in the same
+// deterministic topological order within each epoch), and every stage
+// with only a batch Run is a finalizer that executes once after the last
+// epoch — the natural place to freeze a streamed collector into its
+// final snapshot. Determinism is the batch engine's: within an epoch the
+// stage order is a pure function of Add order, epochs run in ascending
+// order, and the observer remains a side channel.
+//
+// Failure semantics mirror Run. A Required failure (or a dead context)
+// aborts the whole stream — the remaining stages of the current epoch
+// and the finalizers are announced as skipped once, not once per unrun
+// epoch. A BestEffort failure degrades that stage for that epoch only:
+// the same stage still runs in later epochs, since an epoch engine that
+// drops a stage forever after one bad epoch could never ride over a
+// transient fault.
+//
+// The trace records one StageResult per (stage, epoch) pair, with
+// finalizers at BatchEpoch, so Counts() concatenates the full epoch
+// history in execution order.
+func (e *Engine) RunEpochs(ctx context.Context, epochs int) (*Trace, error) {
+	order, err := e.order()
+	if err != nil {
+		return &Trace{}, err
+	}
+	if epochs < 0 {
+		return &Trace{}, fmt.Errorf("pipeline: RunEpochs(%d): negative epoch count", epochs)
+	}
+	var incremental, finalizers []int
+	for _, i := range order {
+		if e.stages[i].RunEpoch != nil {
+			incremental = append(incremental, i)
+		} else {
+			finalizers = append(finalizers, i)
+		}
+	}
+	trace := &Trace{Stages: make([]StageResult, 0, len(incremental)*epochs+len(finalizers))}
+	for epoch := 0; epoch < epochs; epoch++ {
+		for k, i := range incremental {
+			st := e.stages[i]
+			// Cancellation checkpoint between stages, as in batch mode.
+			if err := ctx.Err(); err != nil {
+				e.skipRemaining(trace, incremental[k:])
+				e.skipRemaining(trace, finalizers)
+				return trace, err
+			}
+			run := func(ctx context.Context) ([]Count, error) { return st.RunEpoch(ctx, epoch) }
+			if err := e.runStage(ctx, trace, st, epoch, run); err != nil {
+				if isDegraded(err) {
+					continue
+				}
+				e.skipRemaining(trace, incremental[k+1:])
+				e.skipRemaining(trace, finalizers)
+				return trace, err
+			}
+		}
+	}
+	for k, i := range finalizers {
+		st := e.stages[i]
+		if err := ctx.Err(); err != nil {
+			e.skipRemaining(trace, finalizers[k:])
+			return trace, err
+		}
+		if err := e.runStage(ctx, trace, st, BatchEpoch, st.Run); err != nil {
+			if isDegraded(err) {
+				continue
+			}
+			e.skipRemaining(trace, finalizers[k+1:])
+			return trace, err
+		}
+	}
+	return trace, nil
+}

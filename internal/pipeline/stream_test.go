@@ -1,0 +1,229 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// epochStage logs "name@epoch" per epoch.
+func epochStage(name string, needs []string, log *[]string) Stage {
+	return Stage{Name: name, Needs: needs, RunEpoch: func(ctx context.Context, epoch int) ([]Count, error) {
+		*log = append(*log, fmt.Sprintf("%s@%d", name, epoch))
+		return []Count{{Name: name + " items", Value: epoch}}, nil
+	}}
+}
+
+func TestRunEpochsOrderAndFinalizers(t *testing.T) {
+	var log []string
+	e := New(newFakeClock(), nil)
+	// Finalizer added first: it still runs last, after every epoch.
+	e.MustAdd(Stage{Name: "final", Needs: []string{"apply"}, Run: func(ctx context.Context) ([]Count, error) {
+		log = append(log, "final")
+		return []Count{{Name: "total", Value: 9}}, nil
+	}})
+	e.MustAdd(epochStage("produce", nil, &log))
+	e.MustAdd(epochStage("apply", []string{"produce"}, &log))
+	trace, err := e.RunEpochs(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "produce@0,apply@0,produce@1,apply@1,produce@2,apply@2,final"
+	if got := strings.Join(log, ","); got != want {
+		t.Fatalf("execution order %s, want %s", got, want)
+	}
+	if len(trace.Stages) != 7 {
+		t.Fatalf("trace has %d results, want 7: %+v", len(trace.Stages), trace.Stages)
+	}
+	if trace.Stages[0].Epoch != 0 || trace.Stages[5].Epoch != 2 {
+		t.Errorf("epoch tags wrong: %+v", trace.Stages)
+	}
+	if last := trace.Stages[6]; last.Name != "final" || last.Epoch != BatchEpoch {
+		t.Errorf("finalizer recorded as %+v, want final at BatchEpoch", last)
+	}
+	// Counts concatenate the full epoch history in execution order.
+	counts := trace.Counts()
+	if len(counts) != 7 || counts[6] != (Count{"total", 9}) {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestRunEpochsZeroEpochsRunsOnlyFinalizers(t *testing.T) {
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(epochStage("stream", nil, &log))
+	e.MustAdd(Stage{Name: "final", Run: func(ctx context.Context) ([]Count, error) {
+		log = append(log, "final")
+		return nil, nil
+	}})
+	if _, err := e.RunEpochs(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(log, ",") != "final" {
+		t.Errorf("ran %v, want only the finalizer", log)
+	}
+	if _, err := e.RunEpochs(context.Background(), -1); err == nil {
+		t.Error("negative epoch count accepted")
+	}
+}
+
+func TestBatchRunRejectsEpochOnlyStage(t *testing.T) {
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(epochStage("stream", nil, &log))
+	if _, err := e.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "epoch-only") {
+		t.Errorf("batch Run over an epoch-only stage: err = %v, want epoch-only rejection", err)
+	}
+}
+
+func TestRunEpochsRequiredFailureAbortsStream(t *testing.T) {
+	boom := errors.New("boom")
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(Stage{Name: "bad", RunEpoch: func(ctx context.Context, epoch int) ([]Count, error) {
+		log = append(log, fmt.Sprintf("bad@%d", epoch))
+		if epoch == 1 {
+			return nil, boom
+		}
+		return nil, nil
+	}})
+	e.MustAdd(epochStage("after", []string{"bad"}, &log))
+	e.MustAdd(Stage{Name: "final", Needs: []string{"after"}, Run: func(ctx context.Context) ([]Count, error) {
+		log = append(log, "final")
+		return nil, nil
+	}})
+	trace, err := e.RunEpochs(context.Background(), 4)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := strings.Join(log, ","); got != "bad@0,after@0,bad@1" {
+		t.Errorf("ran %s, want the stream to die at bad@1", got)
+	}
+	// The epoch-1 survivors and the finalizer are skipped exactly once.
+	if strings.Join(trace.Skipped, ",") != "after,final" {
+		t.Errorf("skipped = %v, want [after final]", trace.Skipped)
+	}
+}
+
+func TestRunEpochsBestEffortDegradesPerEpoch(t *testing.T) {
+	soft := errors.New("soft")
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(Stage{Name: "flaky", Policy: BestEffort, RunEpoch: func(ctx context.Context, epoch int) ([]Count, error) {
+		if epoch == 1 {
+			return nil, soft
+		}
+		log = append(log, fmt.Sprintf("flaky@%d", epoch))
+		return nil, nil
+	}})
+	e.MustAdd(epochStage("apply", []string{"flaky"}, &log))
+	trace, err := e.RunEpochs(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("best-effort epoch failure aborted the stream: %v", err)
+	}
+	// flaky degrades in epoch 1 only and comes back in epoch 2: a
+	// transient fault must not drop the stage for the rest of the stream.
+	want := "flaky@0,apply@0,apply@1,flaky@2,apply@2"
+	if got := strings.Join(log, ","); got != want {
+		t.Errorf("ran %s, want %s", got, want)
+	}
+	deg := trace.Degraded()
+	if len(deg) != 1 || deg[0].Name != "flaky" || deg[0].Epoch != 1 {
+		t.Errorf("Degraded() = %+v, want flaky at epoch 1", deg)
+	}
+}
+
+func TestRunEpochsCancellationSkipsRest(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var log []string
+	e := New(newFakeClock(), nil)
+	e.MustAdd(Stage{Name: "stream", RunEpoch: func(ctx context.Context, epoch int) ([]Count, error) {
+		log = append(log, fmt.Sprintf("stream@%d", epoch))
+		if epoch == 1 {
+			cancel()
+		}
+		return nil, nil
+	}})
+	e.MustAdd(Stage{Name: "final", Run: func(ctx context.Context) ([]Count, error) {
+		log = append(log, "final")
+		return nil, nil
+	}})
+	_, err := e.RunEpochs(ctx, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := strings.Join(log, ","); got != "stream@0,stream@1" {
+		t.Errorf("ran %s, want cancellation after stream@1", got)
+	}
+}
+
+func TestQueueBackpressureAndOrder(t *testing.T) {
+	q := NewQueue[int](2)
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer q.Close()
+		for i := 0; i < 10; i++ {
+			if err := q.Put(ctx, i); err != nil {
+				t.Errorf("Put(%d): %v", i, err)
+				return
+			}
+		}
+	}()
+	// The producer can run at most 2 items ahead; drain slowly and check
+	// FIFO order survives the blocking handoffs.
+	var got []int
+	for {
+		v, ok, err := q.Get(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, v)
+		if lag := q.Len(); lag > 2 {
+			t.Fatalf("queue lag %d exceeds capacity 2", lag)
+		}
+	}
+	<-done
+	if len(got) != 10 {
+		t.Fatalf("drained %d items, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d; order not preserved", i, v)
+		}
+	}
+	// Closed and drained: Get reports the end of the stream.
+	if _, ok, err := q.Get(ctx); ok || err != nil {
+		t.Errorf("Get after close = ok=%v err=%v, want stream end", ok, err)
+	}
+	if err := q.Put(ctx, 99); err == nil {
+		t.Error("Put after Close accepted")
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueHonorsContext(t *testing.T) {
+	q := NewQueue[int](1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := q.Put(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: the next Put must unblock on the dead context.
+	if err := q.Put(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("blocked Put err = %v, want deadline", err)
+	}
+	if _, _, err := q.Get(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := q.Get(ctx); ok || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("blocked Get = ok=%v err=%v, want deadline", ok, err)
+	}
+}

@@ -138,8 +138,7 @@ func Merge(arts []Artifact) (*scanner.SweepResult, Provenance, error) {
 		return nil, p, fmt.Errorf("shardio: scan has %d shards, got %d artifacts", of, len(arts))
 	}
 	seen := make([]bool, of)
-	res := &scanner.SweepResult{ByRCode: map[dnswire.RCode]int{}}
-	addrs := map[uint32]bool{}
+	parts := make([]*scanner.SweepResult, 0, of)
 	for _, a := range arts {
 		if (Provenance{Order: a.Order, Seed: a.Seed, ScanSeed: a.ScanSeed, Week: a.Week}) != p || a.Of != of {
 			return nil, p, fmt.Errorf("shardio: shard %d/%d is from a different scan (order %d seed %#x scan-seed %#x week %d)",
@@ -149,7 +148,7 @@ func Merge(arts []Artifact) (*scanner.SweepResult, Provenance, error) {
 			return nil, p, fmt.Errorf("shardio: shard %d/%d supplied twice", a.Shard, of)
 		}
 		seen[a.Shard] = true
-		res.Probed += a.Probed
+		part := &scanner.SweepResult{Probed: a.Probed, Responders: make([]scanner.Responder, 0, len(a.Responders))}
 		for _, r := range a.Responders {
 			addr, err := parseIP4(r.Addr)
 			if err != nil {
@@ -159,27 +158,25 @@ func Merge(arts []Artifact) (*scanner.SweepResult, Provenance, error) {
 			if err != nil {
 				return nil, p, err
 			}
-			if addrs[addr] {
-				return nil, p, fmt.Errorf("shardio: target %s reported by two shards", r.Addr)
-			}
-			addrs[addr] = true
-			rc := dnswire.RCode(r.RCode)
-			res.Responders = append(res.Responders, scanner.Responder{
-				Addr: addr, Source: src, RCode: rc, Answered: r.Answered,
+			part.Responders = append(part.Responders, scanner.Responder{
+				Addr: addr, Source: src, RCode: dnswire.RCode(r.RCode), Answered: r.Answered,
 			})
-			res.ByRCode[rc]++
 		}
+		parts = append(parts, part)
 	}
 	for i, ok := range seen {
 		if !ok {
 			return nil, p, fmt.Errorf("shardio: shard %d/%d missing", i, of)
 		}
 	}
-	// The same sort the unsharded collector applies, so downstream
-	// renderings are byte-identical.
-	sort.Slice(res.Responders, func(i, j int) bool {
-		return res.Responders[i].Addr < res.Responders[j].Addr
-	})
+	// The deterministic shard-collector combine: concatenation plus the
+	// same sort the unsharded collector applies, so downstream renderings
+	// are byte-identical. A duplicate target means the artifacts do not
+	// come from one coherent sharded scan.
+	res, err := scanner.MergeSweepResults(parts)
+	if err != nil {
+		return nil, p, fmt.Errorf("shardio: target reported by two shards: %w", err)
+	}
 	return res, p, nil
 }
 
