@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-escape test test-short race chaos metrics-smoke stream-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
+.PHONY: all build vet lint lint-escape test test-short race chaos crash metrics-smoke stream-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -14,8 +14,8 @@ vet:
 
 # Project-specific static analysis (internal/lint): the six syntactic
 # rules (determinism, maporder, gohygiene, errdrop, ctxhygiene,
-# sleepcall) and the four flow-sensitive ones (lockcheck, atomichygiene,
-# hotpath, taintflow). Exits nonzero on any finding.
+# sleepcall) and the five flow-sensitive ones (lockcheck, atomichygiene,
+# hotpath, taintflow, fsynccheck). Exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/wildlint ./...
 
@@ -45,6 +45,14 @@ race:
 chaos:
 	$(GO) test -run TestChaosMatrix -count=1 -v ./internal/core
 
+# Crash-injection matrix: SIGKILL a real goingwild run at seeded-random
+# points, resume from its checkpoint directory (flipping GOMAXPROCS
+# across attempts), and require byte-identical stdout versus an
+# uninterrupted run — plus torn-checkpoint fallback and the two-phase
+# SIGINT contract. Forks and kills real processes; takes minutes.
+crash:
+	CRASHTEST=1 $(GO) test -run 'TestCrashResumeByteIdentity|TestTornCheckpointFallsBack|TestInterruptCheckpointsAndResumes' -count=1 -v -timeout 15m ./internal/crashtest
+
 # Metrics side-channel guard: an order-16 report must print byte-identical
 # stdout with and without -metrics, and the snapshot it writes must be
 # non-empty. This is the executable form of the contract that attaching
@@ -68,13 +76,14 @@ stream-smoke:
 	diff /tmp/wr_batch.txt /tmp/wr_stream.txt
 
 # A few seconds of coverage-guided fuzzing per wire-format fuzz target.
-# `go test -fuzz` accepts one target per invocation, hence five runs.
+# `go test -fuzz` accepts one target per invocation, hence six runs.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnpack -fuzztime=5s ./internal/dnswire
 	$(GO) test -fuzz=FuzzView -fuzztime=5s ./internal/dnswire
 	$(GO) test -fuzz=FuzzDecodeTargetQName -fuzztime=5s ./internal/dnswire
 	$(GO) test -fuzz=FuzzHandleDNS -fuzztime=5s ./internal/wildnet
 	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/zonefile
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=5s ./internal/checkpoint
 
 # Hot-path benchmark: order-20 sweep throughput/allocations and the
 # clustering scaling curve, written to BENCH_scan.json (the committed

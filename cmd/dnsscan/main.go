@@ -12,12 +12,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"time"
 
+	"goingwild/internal/checkpoint"
 	"goingwild/internal/debughttp"
 	"goingwild/internal/dnswire"
 	"goingwild/internal/domains"
@@ -39,16 +41,47 @@ func main() {
 		useUDP      = flag.Bool("udp", false, "drive the scan over real UDP sockets (loopback gateway)")
 		rate        = flag.Int("rate", 0, "probe rate limit in packets/s (0 = unlimited)")
 		chaos       = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
+		ckptDir     = flag.String("checkpoint", "", "directory for crash-safe sweep checkpoints (in-memory transport only)")
+		resume      = flag.Bool("resume", false, "resume the sweep from the newest checkpoint in -checkpoint")
 		progress    = flag.Bool("progress", false, "print a periodic progress line to stderr (implies a metrics registry)")
 		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	// SIGINT cancels the sweep within one send batch; the partial tally
-	// still prints, so an interrupted scan reports what it saw.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *ckptDir != "" && (*useUDP || *epochs > 0) {
+		// The resumable sweep replays the in-memory world's deterministic
+		// fault draws; real sockets and the epoch demo have no such replay.
+		fatal(fmt.Errorf("-checkpoint supports only the in-memory transport without -epochs"))
+	}
+
+	// The checkpoint fingerprint covers every flag that shapes the sweep,
+	// so a resume under different flags is refused.
+	var runner *checkpoint.Runner
+	var ctx context.Context
+	if *ckptDir != "" {
+		fingerprint := fmt.Sprintf("dnsscan order=%d seed=%#x scanseed=%#x week=%d chaos=%s", *order, *seed, *scanSeed, *week, *chaos)
+		r, err := checkpoint.OpenRun(*ckptDir, *resume, fingerprint, os.Stdout, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		runner = r
+		// Two-phase interrupts: first SIGINT checkpoints at the next
+		// rendezvous and exits 3, the second cancels hard.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(context.Background())
+		defer cancel()
+		defer runner.InstallSignals(cancel)()
+	} else {
+		// SIGINT cancels the sweep within one send batch; the partial
+		// tally still prints, so an interrupted scan reports what it saw.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+	}
 
 	wcfg := wildnet.DefaultConfig(*order)
 	wcfg.Seed = *seed
@@ -165,6 +198,29 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Printf("epochs: %d sweeps, %d delta records in %v (%.0f records/s)\n",
 			*epochs, records, elapsed.Round(time.Millisecond), float64(records)/elapsed.Seconds())
+	} else if runner != nil {
+		// Crash-safe sweep: progress lands in the checkpoint directory at
+		// every rendezvous; a killed run resumes mid-sweep and reproduces
+		// the uninterrupted responder set exactly.
+		rc := &scanner.ResumeControl{
+			Save: func(ck *scanner.SweepCheckpoint) error {
+				if err := runner.Update("sweep", ck); err != nil {
+					return err
+				}
+				return runner.CheckStop()
+			},
+		}
+		var prev scanner.SweepCheckpoint
+		if ok, err := runner.Fetch("sweep", &prev); err != nil {
+			fatal(err)
+		} else if ok {
+			rc.Prev = &prev
+		}
+		var err error
+		sweep, err = sc.SweepResumeContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist(), rc)
+		if err != nil {
+			fatal(err)
+		}
 	} else {
 		var err error
 		sweep, err = sc.SweepContext(ctx, *order, uint32(*scanSeed), world.ScanBlacklist())
@@ -225,6 +281,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, checkpoint.ErrStopped) {
+		fmt.Fprintln(os.Stderr, "dnsscan: checkpoint saved; resume with -resume")
+		os.Exit(3)
+	}
 	fmt.Fprintln(os.Stderr, "dnsscan:", err)
 	os.Exit(1)
 }

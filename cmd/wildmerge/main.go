@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +55,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		a, err := shardio.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(stderr, "wildmerge:", err)
+			if errors.Is(err, shardio.ErrCorrupt) {
+				// A truncated or garbled artifact is a transfer problem,
+				// not a scan problem: exit 2 so driving scripts can
+				// re-fetch the file instead of re-running the shard.
+				return 2
+			}
 			return 1
 		}
 		arts = append(arts, a)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -57,5 +58,37 @@ func TestRunMergesArtifacts(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "responders   4") {
 		t.Errorf("census missing merged responder count:\n%s", out.String())
+	}
+}
+
+// TestRunTruncatedArtifactExitsTwo pins the transfer-vs-scan exit-code
+// split: a mid-file truncation (half-copied artifact) is diagnosed with
+// its byte offset and exits 2, distinct from both semantic merge
+// failures (1) and success (0).
+func TestRunTruncatedArtifactExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	prov := shardio.Provenance{Order: 8, Seed: 1, ScanSeed: 2, Week: 0}
+	res := &scanner.SweepResult{Probed: 4, Responders: []scanner.Responder{{Addr: 1, Source: 1}, {Addr: 2, Source: 2}}}
+	whole := filepath.Join(dir, "s0.json")
+	if err := shardio.WriteFile(whole, shardio.FromSweep(prov, 0, 1, res)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{torn}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "truncated at byte") {
+		t.Errorf("diagnostic does not name the truncation offset:\n%s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty: %q", out.String())
 	}
 }

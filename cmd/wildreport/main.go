@@ -9,17 +9,27 @@
 //	wildreport -order 20 -progress            # stage events on stderr
 //	wildreport -order 16 -chaos hostile       # run under injected faults
 //	wildreport -order 16 -epochs 8 -progress  # stream the weekly series, live churn on stderr
+//	wildreport -order 20 -checkpoint run.ckpt # crash-safe; resume with -resume
+//
+// With -checkpoint, every completed report section is journaled and the
+// weekly series checkpoints per committed epoch (and mid-sweep at scan
+// rendezvous); a killed run restarted with -resume produces stdout
+// byte-identical to an uninterrupted run. The first SIGINT checkpoints
+// at the next safe point and exits 3; a second aborts hard.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
 
 	"goingwild/internal/analysis"
+	"goingwild/internal/checkpoint"
 	"goingwild/internal/churn"
 	"goingwild/internal/core"
 	"goingwild/internal/debughttp"
@@ -40,16 +50,47 @@ func main() {
 		progress    = flag.Bool("progress", false, "print per-stage pipeline events to stderr")
 		chaosProf   = flag.String("chaos", "", "fault-injection profile (clean, lossy, hostile, flaky); empty injects nothing")
 		shards      = flag.Int("shards", 0, "run every sweep as N in-process leapfrog shard workers (0/1 = unsharded; stdout is byte-identical)")
+		ckptDir     = flag.String("checkpoint", "", "directory for crash-safe checkpoints; progress is saved there at every safe point")
+		resume      = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint instead of starting over")
 		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar/pprof/metrics over HTTP on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	// SIGINT cancels the context; every study checkpoint honors it, so a
-	// Ctrl-C lands between stages (or mid-sweep) instead of being ignored
-	// for the rest of an order-24 run.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *ckptDir != "" && *markdown {
+		// The markdown table is one atomic render at the very end; there
+		// is no incremental output to journal, so the combination would
+		// only feign crash safety.
+		fatal(fmt.Errorf("-checkpoint and -markdown are mutually exclusive"))
+	}
+
+	fingerprint := fmt.Sprintf("wildreport order=%d seed=%#x weeks=%d epochs=%d week=%d chaos=%s shards=%d",
+		*order, *seed, *weeks, *epochs, *week, *chaosProf, *shards)
+	var runner *checkpoint.Runner
+	var ctx context.Context
+	if *ckptDir != "" {
+		r, err := checkpoint.OpenRun(*ckptDir, *resume, fingerprint, os.Stdout, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		runner = r
+		// Two-phase interrupts: first SIGINT checkpoints and stops, the
+		// second cancels hard.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(context.Background())
+		defer cancel()
+		defer runner.InstallSignals(cancel)()
+	} else {
+		// SIGINT cancels the context; every study checkpoint honors it, so
+		// a Ctrl-C lands between stages (or mid-sweep) instead of being
+		// ignored for the rest of an order-24 run.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+	}
 
 	cfg := core.DefaultConfig(*order)
 	if *chaosProf != "" {
@@ -107,60 +148,66 @@ func main() {
 	}
 	scale := analysis.Scale(study.World.ScaleFactor())
 
-	// Under -epochs the weekly series runs through the streaming epoch
-	// engine: per-epoch deltas apply live (rendered to stderr under
-	// -progress), while the resulting series — and therefore every line
-	// of stdout — is byte-identical to the batch path.
-	var series *churn.Series
-	if *epochs > 0 {
+	// The weekly series: batch or streamed without -checkpoint (stdout is
+	// byte-identical either way), resumable epoch stream with it.
+	runSeries := func() (*churn.Series, error) {
 		var live func(core.EpochView)
 		if *progress {
 			live = func(v core.EpochView) {
 				fmt.Fprint(os.Stderr, analysis.RenderEpochDelta(v.Obs, v.Delta, scale, v.Lag))
 			}
 		}
-		series, err = study.RunWeeklySeriesStreamContext(ctx, live)
-	} else {
-		series, err = study.RunWeeklySeriesContext(ctx)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	chaos, _, err := study.RunChaosContext(ctx, *week)
-	if err != nil {
-		fatal(err)
-	}
-	dev, err := study.RunDevicesContext(ctx, *week)
-	if err != nil {
-		fatal(err)
-	}
-	cohort, err := study.RunCohortStudyContext(ctx, *weeks)
-	if err != nil {
-		fatal(err)
-	}
-	cohort.ConcentrateSurvivors(study.World.ASNOf)
-	util, err := study.RunUtilizationContext(ctx, *week)
-	if err != nil {
-		fatal(err)
-	}
-	dom, err := study.RunDomainStudyContext(ctx, *week, nil)
-	if err != nil {
-		fatal(err)
-	}
-	race, err := study.RunDNSSECRaceContext(ctx, *week, "CN", "wikileaks.org")
-	if err != nil {
-		fatal(err)
-	}
-	amp, ampScanned, err := study.RunAmplificationContext(ctx, *week, "chase.com")
-	if err != nil {
-		fatal(err)
-	}
-	pop, err := study.RunPopularityContext(ctx, *week)
-	if err != nil {
-		fatal(err)
+		switch {
+		case runner != nil:
+			return study.RunWeeklySeriesResumeContext(ctx, runner, live)
+		case *epochs > 0:
+			return study.RunWeeklySeriesStreamContext(ctx, live)
+		default:
+			return study.RunWeeklySeriesContext(ctx)
+		}
 	}
 
 	if *markdown {
+		// The comparison table needs every result at once; compute them in
+		// the canonical order, then render the single markdown artifact.
+		series, err := runSeries()
+		if err != nil {
+			fatal(err)
+		}
+		chaos, _, err := study.RunChaosContext(ctx, *week)
+		if err != nil {
+			fatal(err)
+		}
+		dev, err := study.RunDevicesContext(ctx, *week)
+		if err != nil {
+			fatal(err)
+		}
+		cohort, err := study.RunCohortStudyContext(ctx, *weeks)
+		if err != nil {
+			fatal(err)
+		}
+		cohort.ConcentrateSurvivors(study.World.ASNOf)
+		util, err := study.RunUtilizationContext(ctx, *week)
+		if err != nil {
+			fatal(err)
+		}
+		dom, err := study.RunDomainStudyContext(ctx, *week, nil)
+		if err != nil {
+			fatal(err)
+		}
+		race, err := study.RunDNSSECRaceContext(ctx, *week, "CN", "wikileaks.org")
+		if err != nil {
+			fatal(err)
+		}
+		amp, ampScanned, err := study.RunAmplificationContext(ctx, *week, "chase.com")
+		if err != nil {
+			fatal(err)
+		}
+		pop, err := study.RunPopularityContext(ctx, *week)
+		if err != nil {
+			fatal(err)
+		}
+		_ = ampScanned
 		var rows []analysis.Row
 		rows = append(rows, analysis.CompareFigure1(series, scale)...)
 		rows = append(rows, analysis.CompareTables12(series, scale)...)
@@ -174,41 +221,164 @@ func main() {
 		return
 	}
 
-	fmt.Println(analysis.RenderFigure1(series, scale))
-	fmt.Println(analysis.RenderTable1(series, scale, 10))
-	fmt.Println(analysis.RenderTable2(series, scale))
-	fmt.Println(analysis.RenderTable3(chaos, 10))
-	fmt.Println(analysis.RenderTable4(dev))
-	fmt.Println(analysis.RenderFigure2(cohort))
-	fmt.Println(analysis.RenderUtilization(util))
-	fmt.Println("Processing chain (Figure 3):")
-	for _, st := range dom.StageTrace {
-		fmt.Printf("  %-26s %d\n", st.Stage, st.Count)
+	// The full report runs as named sections — each computes its study
+	// piece and renders it, in the same order the monolithic path did, so
+	// stdout is byte-identical. Under -checkpoint every section journals
+	// its output; a resume replays finished sections and re-runs only the
+	// one the crash interrupted (each section re-seats the world clock
+	// before touching the network, so section-granularity replay is
+	// exact).
+	run := sectioned(runner, study)
+	sections := []struct {
+		name string
+		fn   func(w io.Writer) error
+	}{
+		{"series", func(w io.Writer) error {
+			series, err := runSeries()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderFigure1(series, scale))
+			fmt.Fprintln(w, analysis.RenderTable1(series, scale, 10))
+			fmt.Fprintln(w, analysis.RenderTable2(series, scale))
+			return nil
+		}},
+		{"table3", func(w io.Writer) error {
+			chaos, _, err := study.RunChaosContext(ctx, *week)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderTable3(chaos, 10))
+			return nil
+		}},
+		{"table4", func(w io.Writer) error {
+			dev, err := study.RunDevicesContext(ctx, *week)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderTable4(dev))
+			return nil
+		}},
+		{"fig2", func(w io.Writer) error {
+			cohort, err := study.RunCohortStudyContext(ctx, *weeks)
+			if err != nil {
+				return err
+			}
+			cohort.ConcentrateSurvivors(study.World.ASNOf)
+			fmt.Fprintln(w, analysis.RenderFigure2(cohort))
+			return nil
+		}},
+		{"util", func(w io.Writer) error {
+			util, err := study.RunUtilizationContext(ctx, *week)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderUtilization(util))
+			return nil
+		}},
+		{"domains", func(w io.Writer) error {
+			dom, err := study.RunDomainStudyContext(ctx, *week, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Processing chain (Figure 3):")
+			for _, st := range dom.StageTrace {
+				fmt.Fprintf(w, "  %-26s %d\n", st.Stage, st.Count)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, analysis.RenderPrefilter(dom.Pre))
+			fmt.Fprintln(w, analysis.RenderTable5(dom.Report.Table5, domains.AllCategories))
+			fmt.Fprintln(w, analysis.RenderFigure4(dom.Fig4))
+			fmt.Fprintln(w, analysis.RenderCaseStudies(&dom.Report.Cases, scale))
+			return nil
+		}},
+		{"dnssec", func(w io.Writer) error {
+			race, err := study.RunDNSSECRaceContext(ctx, *week, "CN", "wikileaks.org")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderDNSSECRace(race))
+			return nil
+		}},
+		{"amp", func(w io.Writer) error {
+			amp, ampScanned, err := study.RunAmplificationContext(ctx, *week, "chase.com")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderAmplification(amp, ampScanned))
+			return nil
+		}},
+		{"popularity", func(w io.Writer) error {
+			pop, err := study.RunPopularityContext(ctx, *week)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, analysis.RenderPopularity(pop, 10))
+			return nil
+		}},
+		{"netalyzr", func(w io.Writer) error {
+			fmt.Fprintln(w, analysis.RenderNetalyzr(study.RunNetalyzr(*week, 400)))
+			return nil
+		}},
+		{"degraded", func(w io.Writer) error {
+			printDegraded(w, study)
+			return nil
+		}},
 	}
-	fmt.Println()
-	fmt.Println(analysis.RenderPrefilter(dom.Pre))
-	fmt.Println(analysis.RenderTable5(dom.Report.Table5, domains.AllCategories))
-	fmt.Println(analysis.RenderFigure4(dom.Fig4))
-	fmt.Println(analysis.RenderCaseStudies(&dom.Report.Cases, scale))
-	fmt.Println(analysis.RenderDNSSECRace(race))
-	fmt.Println(analysis.RenderAmplification(amp, ampScanned))
-	fmt.Println(analysis.RenderPopularity(pop, 10))
-	fmt.Println(analysis.RenderNetalyzr(study.RunNetalyzr(*week, 400)))
-	printDegraded(study)
+	for _, s := range sections {
+		if err := run(s.name, s.fn); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// sectioned returns the seam every stdout block goes through: direct
+// execution without -checkpoint, journaled crash-safe sections with it.
+// Each checkpointed section also persists the degradation entries it
+// contributed, so a resumed run's final "Degraded stages" block matches
+// the uninterrupted run even when the degrading section is replayed
+// from the journal instead of re-executed.
+func sectioned(runner *checkpoint.Runner, study *core.Study) func(name string, fn func(w io.Writer) error) error {
+	if runner == nil {
+		return func(name string, fn func(w io.Writer) error) error { return fn(os.Stdout) }
+	}
+	return func(name string, fn func(w io.Writer) error) error {
+		doc := "degraded:" + name
+		if runner.Done(name) {
+			var recs []core.DegradedStage
+			if ok, err := runner.Fetch(doc, &recs); err != nil {
+				return err
+			} else if ok {
+				study.Degraded = append(study.Degraded, recs...)
+			}
+			return runner.Section(name, fn)
+		}
+		base := len(study.Degraded)
+		return runner.Section(name, func(w io.Writer) error {
+			if err := fn(w); err != nil {
+				return err
+			}
+			// Overwriting the same value makes a crash-retry idempotent.
+			if delta := study.Degraded[base:]; len(delta) > 0 {
+				return runner.Update(doc, delta)
+			}
+			return nil
+		})
+	}
 }
 
 // printDegraded reports the best-effort stages whose failures the
 // pipeline absorbed. A clean run prints nothing, keeping stdout
 // byte-identical to a build without degradation support.
-func printDegraded(study *core.Study) {
+func printDegraded(w io.Writer, study *core.Study) {
 	if len(study.Degraded) == 0 {
 		return
 	}
-	fmt.Println("Degraded stages (best-effort failures absorbed):")
+	fmt.Fprintln(w, "Degraded stages (best-effort failures absorbed):")
 	for _, d := range study.Degraded {
-		fmt.Printf("  %-26s %s\n", d.Stage, d.Err)
+		fmt.Fprintf(w, "  %-26s %s\n", d.Stage, d.Err)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // stageProgress renders pipeline events as one stderr line per edge.
@@ -254,6 +424,10 @@ func writeMetricsSnapshot(path string, reg *metrics.Registry) error {
 }
 
 func fatal(err error) {
+	if errors.Is(err, checkpoint.ErrStopped) {
+		fmt.Fprintln(os.Stderr, "wildreport: checkpoint saved; resume with -resume")
+		os.Exit(3)
+	}
 	fmt.Fprintln(os.Stderr, "wildreport:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,44 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+)
+
+// OpenRun wires the -checkpoint/-resume command-line contract into a
+// Runner. A fresh run (resume=false) clears any stale generations so a
+// later -resume cannot trip over another invocation's state. A resume
+// loads the newest decodable generation — torn or corrupt files fall
+// back to the previous one with a diagnostic on warn — and insists the
+// saved fingerprint (the output-affecting flags of the original run)
+// matches this invocation's; resuming under different flags would
+// silently splice two different studies together. A resume that finds
+// no usable checkpoint starts fresh with a note rather than failing:
+// the caller asked for "continue if possible", and an empty directory
+// is the degenerate case of that.
+func OpenRun(dir string, resume bool, fingerprint string, out, warn io.Writer) (*Runner, error) {
+	store, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !resume {
+		if err := store.Clear(); err != nil {
+			return nil, err
+		}
+		return NewRunner(store, NewState(fingerprint), out), nil
+	}
+	st, diags, err := store.Load()
+	for _, d := range diags {
+		fmt.Fprintln(warn, "checkpoint:", d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		fmt.Fprintf(warn, "checkpoint: nothing to resume in %s; starting fresh\n", dir)
+		st = NewState(fingerprint)
+	} else if st.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("checkpoint: flag mismatch: saved run was %q, this invocation is %q (resume with matching flags or use a fresh -checkpoint dir)", st.Fingerprint, fingerprint)
+	}
+	return NewRunner(store, st, out), nil
+}

@@ -1,0 +1,78 @@
+// Package checkpoint implements crash-safe run state: a versioned,
+// checksummed on-disk snapshot format written atomically (temp file +
+// fsync + rename), a generational store that falls back past torn or
+// corrupt files to the last good snapshot, and a section journal that
+// lets the report commands resume an interrupted run and still print
+// byte-identical output.
+//
+// The package is deliberately a leaf: it knows nothing about scans or
+// studies. Callers store their resumable state as named JSON documents
+// inside a State and decide what those documents mean.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The envelope layout is fixed:
+//
+//	magic (8 bytes) | payload length (uint32 BE) | payload | SHA-256(payload)
+//
+// The trailing checksum covers only the payload, so a torn write — a
+// crash between the temp-file write and the fsync — is detected either
+// by the length field (short file) or by the digest (bit rot, partial
+// page). Decode never guesses: anything that is not a complete,
+// checksum-clean envelope is an error, and the store falls back to the
+// previous generation.
+
+// magic identifies a checkpoint envelope; the trailing digit is the
+// envelope format version (bump it for incompatible layout changes).
+const magic = "GWCKPT1\n"
+
+const (
+	headerLen = len(magic) + 4
+	sumLen    = sha256.Size
+)
+
+// ErrCorrupt wraps every decoding failure, so callers can distinguish
+// "file is damaged" from I/O errors with errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt envelope")
+
+// Encode wraps payload in the checksummed envelope.
+func Encode(payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload)+sumLen)
+	out = append(out, magic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	sum := sha256.Sum256(payload)
+	return append(out, sum[:]...)
+}
+
+// Decode validates an envelope and returns its payload. Every failure
+// mode — truncation, bad magic, length mismatch, checksum mismatch,
+// trailing garbage — is reported as an error wrapping ErrCorrupt;
+// Decode never panics and never returns unverified bytes.
+func Decode(b []byte) ([]byte, error) {
+	if len(b) < headerLen+sumLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than an empty envelope", ErrCorrupt, len(b))
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:len(magic)])
+	}
+	n := binary.BigEndian.Uint32(b[len(magic):headerLen])
+	rest := b[headerLen:]
+	if uint64(n) != uint64(len(rest)-sumLen) {
+		return nil, fmt.Errorf("%w: header claims %d payload bytes, file carries %d", ErrCorrupt, n, len(rest)-sumLen)
+	}
+	payload, sum := rest[:n], rest[n:]
+	want := sha256.Sum256(payload)
+	for i := range want {
+		if sum[i] != want[i] {
+			return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+	}
+	return payload, nil
+}

@@ -1,0 +1,34 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes through the envelope
+// decoder. The contract under fuzzing: never panic, never return a
+// payload from an input whose checksum does not verify, and round-trip
+// any payload we encode ourselves.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(Encode(nil))
+	f.Add(Encode([]byte(`{"version":1,"sections":[{"name":"a","output":"x\n"}]}`)))
+	bad := Encode([]byte("payload"))
+	bad[len(bad)-1] ^= 0xff
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("Decode returned both payload and error %v", err)
+			}
+			return
+		}
+		// A successful decode means data IS a well-formed envelope:
+		// re-encoding the payload must reproduce it exactly.
+		if re := Encode(payload); !bytes.Equal(re, data) {
+			t.Fatalf("Decode accepted %d bytes that Encode(payload) does not reproduce", len(data))
+		}
+	})
+}

@@ -50,6 +50,18 @@ type StudyConfig struct {
 	Blacklist *lfsr.Blacklist
 	// RetainWeeks lists week indices whose responder lists are kept.
 	RetainWeeks []int
+	// StartWeek is the first week StreamWeekly scans (resume support):
+	// weeks before it are assumed already applied downstream. The zero
+	// value streams the whole study. RunWeekly ignores it.
+	StartWeek int
+	// Prev is the responder snapshot of week StartWeek-1, needed to
+	// diff the first streamed week against when resuming mid-series.
+	Prev []scanner.Responder
+	// Sweep, when set, replaces the weekly SweepContext call — the seam
+	// through which a checkpointing orchestrator injects resumable
+	// sweeps. It must produce exactly what SweepContext(ctx, Order,
+	// Seed+week, Blacklist) produces. RunWeekly ignores it.
+	Sweep func(ctx context.Context, week int) (*scanner.SweepResult, error)
 }
 
 // RunWeekly performs cfg.Weeks weekly scans, advancing the clock before

@@ -1,0 +1,61 @@
+package churn
+
+import (
+	"sort"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/geodb"
+	"goingwild/internal/scanner"
+)
+
+// TrackerState is a Tracker frozen for checkpointing: everything the
+// incremental collector has accumulated, as plain serializable data.
+// Restoring it with ResumeTracker and feeding the remaining weeks
+// produces the same Series an uninterrupted tracker produces.
+type TrackerState struct {
+	RetainWeeks []int                 `json:"retain_weeks,omitempty"`
+	Snapshot    []scanner.Responder   `json:"snapshot,omitempty"`
+	ByRCode     map[dnswire.RCode]int `json:"by_rcode,omitempty"`
+	ByCountry   map[string]int        `json:"by_country,omitempty"`
+	ByRIR       map[geodb.RIR]int     `json:"by_rir,omitempty"`
+	Weeks       []WeekObservation     `json:"weeks,omitempty"`
+}
+
+// State freezes the tracker. Top-level mutable structures are copied;
+// past WeekObservations are shared, which is safe because the tracker
+// never mutates an appended observation and callers of State only
+// serialize it.
+func (t *Tracker) State() TrackerState {
+	st := TrackerState{
+		Snapshot:  append([]scanner.Responder(nil), t.snapshot...),
+		ByRCode:   copyMap(t.byRCode),
+		ByCountry: copyMap(t.byCountry),
+		ByRIR:     copyMap(t.byRIR),
+		Weeks:     append([]WeekObservation(nil), t.series.Weeks...),
+	}
+	for w := range t.retain {
+		st.RetainWeeks = append(st.RetainWeeks, w)
+	}
+	// Map iteration order would leak into the serialized checkpoint.
+	sort.Ints(st.RetainWeeks)
+	return st
+}
+
+// ResumeTracker rebuilds a tracker from a frozen state. The locator is
+// supplied fresh — functions do not serialize — and must be the one the
+// original tracker used, or the aggregates will drift.
+func ResumeTracker(loc Locator, st TrackerState) *Tracker {
+	t := NewTracker(loc, st.RetainWeeks)
+	t.snapshot = st.Snapshot
+	if st.ByRCode != nil {
+		t.byRCode = st.ByRCode
+	}
+	if st.ByCountry != nil {
+		t.byCountry = st.ByCountry
+	}
+	if st.ByRIR != nil {
+		t.byRIR = st.ByRIR
+	}
+	t.series.Weeks = st.Weeks
+	return t
+}

@@ -30,13 +30,19 @@ type EpochDelta struct {
 // run only as far ahead as the sink allows. A sink error (including a
 // closed queue's) aborts the stream.
 func StreamWeekly(ctx context.Context, sc *scanner.Scanner, clock Clock, cfg StudyConfig, sink func(context.Context, EpochDelta) error) error {
-	var prev []scanner.Responder
-	for week := 0; week < cfg.Weeks; week++ {
+	prev := cfg.Prev
+	for week := cfg.StartWeek; week < cfg.Weeks; week++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		clock.SetTime(wildnet.At(week))
-		res, err := sc.SweepContext(ctx, cfg.Order, cfg.Seed+uint32(week), cfg.Blacklist)
+		var res *scanner.SweepResult
+		var err error
+		if cfg.Sweep != nil {
+			res, err = cfg.Sweep(ctx, week)
+		} else {
+			res, err = sc.SweepContext(ctx, cfg.Order, cfg.Seed+uint32(week), cfg.Blacklist)
+		}
 		if err != nil {
 			return err
 		}

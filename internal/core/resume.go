@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/pipeline"
+	"goingwild/internal/scanner"
+)
+
+// SeriesStore is the persistence seam between the study and the
+// checkpoint layer: the study records progress documents through it and
+// polls it for orderly-stop requests, without importing the on-disk
+// format. checkpoint.Runner satisfies it; tests use in-memory fakes.
+type SeriesStore interface {
+	// Update stores v as the named document and persists a checkpoint
+	// generation. It is called from scan workers mid-sweep, so it must
+	// be safe under concurrency.
+	Update(name string, v any) error
+	// Fetch decodes the named document into v (ok=false when absent).
+	Fetch(name string, v any) (bool, error)
+	// Drop removes the named document from the state; the removal
+	// reaches disk with the next persisted generation.
+	Drop(name string)
+	// CheckStop returns checkpoint.ErrStopped when an orderly stop has
+	// been requested; scan code calls it right after a successful save
+	// so the run unwinds with the just-saved state intact.
+	CheckStop() error
+}
+
+// Checkpoint document names used by the resumable series. One store may
+// back several studies only if their sections never run concurrently.
+const (
+	seriesDocName = "series"
+	sweepDocName  = "series-sweep"
+)
+
+// SeriesCheckpoint is the committed cursor of a resumable weekly
+// series: every epoch before Cursor is applied into Tracker, and the
+// next sweep to run is week Cursor. It is saved by the stream's
+// EpochCommit hook, so a crash between commits re-runs at most one
+// week's apply (and the sweep itself resumes from sweepDocName).
+type SeriesCheckpoint struct {
+	Cursor  int                `json:"cursor"`
+	Tracker churn.TrackerState `json:"tracker"`
+}
+
+// weekSweepState tags a scanner sweep checkpoint with the week it
+// belongs to, so a resume can tell an in-flight week's progress from a
+// stale document left by a crash racing the cursor commit.
+type weekSweepState struct {
+	Week int                     `json:"week"`
+	Ck   scanner.SweepCheckpoint `json:"ck"`
+}
+
+// SweepAtResumeContext is SweepAtContext with crash-safe resume: same
+// week clock, same seed schedule, same result, but sweep progress flows
+// through rc (see scanner.SweepResumeContext). A nil rc degrades to the
+// plain sweep.
+func (s *Study) SweepAtResumeContext(ctx context.Context, week int, rc *scanner.ResumeControl) (*scanner.SweepResult, error) {
+	s.SetWeek(week)
+	return s.Scanner.SweepResumeContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week)*7919, s.World.ScanBlacklist(), rc)
+}
+
+// RunWeeklySeriesResumeContext is the crash-safe twin of
+// RunWeeklySeriesStreamContext: the identical epoch stream — same clock
+// advance, same per-week seed schedule, same stage names, same applied
+// deltas — threaded through a SeriesStore so the run can be killed at
+// any instant and resumed to the exact same Series.
+//
+// Progress is recorded at two granularities. Mid-sweep, the scanner's
+// rendezvous checkpoints land in sweepDocName (tagged with the week);
+// after each epoch's deltas are applied, the EpochCommit hook persists
+// the cursor and the tracker's frozen state in seriesDocName. On entry,
+// the store is consulted: a committed cursor skips the finished weeks
+// entirely (the tracker resumes from its frozen aggregates, and
+// RunEpochsFrom re-enters the stream at the cursor), and a sweep
+// document for the in-flight week resumes that sweep from its last
+// rendezvous. A sweep document for an already-committed week — a crash
+// landed between the epoch commit and the next generation — is simply
+// ignored: replaying a week's sweep from scratch is deterministic, so
+// dropped progress costs time, never bytes.
+//
+// A nil store degrades to RunWeeklySeriesStreamContext.
+func (s *Study) RunWeeklySeriesResumeContext(ctx context.Context, store SeriesStore, live func(EpochView)) (*churn.Series, error) {
+	if store == nil {
+		return s.RunWeeklySeriesStreamContext(ctx, live)
+	}
+	var ck SeriesCheckpoint
+	resumed, err := store.Fetch(seriesDocName, &ck)
+	if err != nil {
+		return nil, err
+	}
+	var tracker *churn.Tracker
+	if resumed {
+		if ck.Cursor < 0 || ck.Cursor > s.Cfg.Weeks {
+			return nil, fmt.Errorf("core: series checkpoint cursor %d out of range for %d weeks", ck.Cursor, s.Cfg.Weeks)
+		}
+		tracker = churn.ResumeTracker(s.locator(), ck.Tracker)
+	} else {
+		tracker = churn.NewTracker(s.locator(), []int{0, s.Cfg.Weeks - 1})
+	}
+	cursor := ck.Cursor
+
+	var ws weekSweepState
+	var prevSweep *scanner.SweepCheckpoint
+	if ok, err := store.Fetch(sweepDocName, &ws); err != nil {
+		return nil, err
+	} else if ok && ws.Week == cursor {
+		prevSweep = &ws.Ck
+	}
+
+	em := pipeline.NewEpochMetrics(s.Cfg.Metrics)
+	q := pipeline.NewQueue[churn.EpochDelta](epochQueueDepth)
+
+	// The producer owns the queue, exactly as in the plain stream; its
+	// Sweep closure routes each week through the resumable sweep so the
+	// rendezvous checkpoints reach the store mid-week.
+	prodCtx, cancelProd := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancelProd()
+	var prodErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer q.Close()
+		prodErr = churn.StreamWeekly(prodCtx, s.Scanner, s.Transport, churn.StudyConfig{
+			Order:     s.Cfg.Order,
+			Seed:      s.Cfg.ScanSeed,
+			Weeks:     s.Cfg.Weeks,
+			Blacklist: s.World.ScanBlacklist(),
+			StartWeek: cursor,
+			Prev:      tracker.Snapshot(),
+			Sweep: func(ctx context.Context, week int) (*scanner.SweepResult, error) {
+				rc := &scanner.ResumeControl{
+					Save: func(sck *scanner.SweepCheckpoint) error {
+						if err := store.Update(sweepDocName, weekSweepState{Week: week, Ck: *sck}); err != nil {
+							return err
+						}
+						return store.CheckStop()
+					},
+				}
+				if week == cursor {
+					rc.Prev = prevSweep
+				}
+				return s.Scanner.SweepResumeContext(ctx, s.Cfg.Order, s.Cfg.ScanSeed+uint32(week), s.World.ScanBlacklist(), rc)
+			},
+		}, func(ctx context.Context, d churn.EpochDelta) error {
+			return q.Put(ctx, d)
+		})
+	}()
+
+	eng := s.engine()
+	eng.MustAdd(pipeline.Stage{
+		Name: "epoch-apply",
+		RunEpoch: func(ctx context.Context, epoch int) ([]pipeline.Count, error) {
+			d, ok, err := q.Get(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				if prodErr != nil {
+					return nil, prodErr
+				}
+				return nil, fmt.Errorf("core: epoch stream ended before epoch %d", epoch)
+			}
+			lag := q.Len()
+			em.Lag.Set(int64(lag))
+			em.DeltaSize.Observe(int64(len(d.Deltas)))
+			obs, err := tracker.Apply(d)
+			if err != nil {
+				return nil, err
+			}
+			em.Epochs.Inc()
+			if live != nil {
+				live(EpochView{Obs: obs, Delta: d, Lag: lag})
+			}
+			return []pipeline.Count{
+				{Name: "epoch deltas", Value: len(d.Deltas)},
+				{Name: "week responders", Value: obs.Total},
+			}, nil
+		},
+	})
+	eng.MustAdd(pipeline.Stage{
+		Name:  "series-final",
+		Needs: []string{"epoch-apply"},
+		Run: func(ctx context.Context) ([]pipeline.Count, error) {
+			wg.Wait()
+			if prodErr != nil {
+				return nil, prodErr
+			}
+			// The producer is done, so no in-flight sweep save can race
+			// this removal; it reaches disk with the caller's next
+			// generation (typically the owning section's completion).
+			store.Drop(sweepDocName)
+			series := tracker.Series()
+			counts := []pipeline.Count{{Name: "weeks scanned", Value: len(series.Weeks)}}
+			if len(series.Weeks) > 0 {
+				counts = append(counts, pipeline.Count{Name: "final-week responders", Value: series.Last().Total})
+			}
+			return counts, nil
+		},
+	})
+	// Commit the cursor after each applied epoch: everything up to and
+	// including this week is now derivable from the store alone. The
+	// stop check runs after the save, so a first-interrupt run exits
+	// with exactly this state on disk.
+	eng.EpochCommit = func(ctx context.Context, epoch int) error {
+		if err := store.Update(seriesDocName, SeriesCheckpoint{Cursor: epoch + 1, Tracker: tracker.State()}); err != nil {
+			return err
+		}
+		return store.CheckStop()
+	}
+	if _, err := s.runEngineEpochsFrom(ctx, eng, cursor, s.Cfg.Weeks); err != nil {
+		return nil, err
+	}
+	return tracker.Series(), nil
+}

@@ -138,7 +138,13 @@ func (s *Study) RunWeeklySeriesStreamContext(ctx context.Context, live func(Epoc
 // in epoch mode and folds its degradation record into the study-wide
 // Degraded list before handing the trace back.
 func (s *Study) runEngineEpochs(ctx context.Context, eng *pipeline.Engine, epochs int) (*pipeline.Trace, error) {
-	trace, err := eng.RunEpochs(ctx, epochs)
+	return s.runEngineEpochsFrom(ctx, eng, 0, epochs)
+}
+
+// runEngineEpochsFrom is runEngineEpochs entering the stream at a
+// resumed epoch cursor.
+func (s *Study) runEngineEpochsFrom(ctx context.Context, eng *pipeline.Engine, first, epochs int) (*pipeline.Trace, error) {
+	trace, err := eng.RunEpochsFrom(ctx, first, epochs)
 	for _, st := range trace.Degraded() {
 		s.Degraded = append(s.Degraded, DegradedStage{Stage: st.Name, Err: st.Err.Error()})
 	}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFsyncCheck enforces write-durability discipline in the packages
+// that publish files by write-then-rename (Config.Durable — the
+// checkpoint store). The whole crash-safety story rests on two facts
+// the compiler cannot check: the bytes are on disk before the rename
+// publishes them, and a failed close is observed rather than swallowed.
+// Two halves:
+//
+//   - flow: an os.Rename call that no (*os.File).Sync() precedes on any
+//     path through the function publishes a file the kernel may still
+//     hold in its page cache — a crash right after the rename leaves
+//     the new name pointing at torn or empty contents, which is exactly
+//     the torn-snapshot state the rename was supposed to prevent. This
+//     is a may-analysis: one synced inbound path is enough, because the
+//     usual error-handling shape (`if _, err = f.Write(b); err == nil {
+//     err = f.Sync() }` followed by an early return on err) filters the
+//     unsynced paths through a value test the lattice cannot see. The
+//     bug it catches — no Sync call before the rename at all — is the
+//     one people actually write. A rename that legitimately needs no
+//     sync (moving a file some other process made durable) takes a
+//     //lint:allow.
+//   - syntactic: a bare `f.Close()` statement — expression or defer —
+//     on an *os.File discards the error that delivers deferred
+//     write-back failures. For a written file that error is the last
+//     chance to learn the data never hit the disk; check it, or
+//     //lint:allow the call for read-only handles with nothing
+//     buffered to lose.
+func checkFsyncCheck(p *Package, cfg *Config, emit func(token.Pos, string, string)) {
+	if !contains(cfg.Durable, p.Path) {
+		return
+	}
+	for _, fs := range funcScopes(p) {
+		checkFsyncFlow(p, fs, emit)
+	}
+	checkBareClose(p, emit)
+}
+
+// fsyncBits is the per-path possibility set: whether a Sync has (not)
+// executed on some path into the current point.
+type fsyncBits uint8
+
+const (
+	fsUnsynced fsyncBits = 1 << iota
+	fsSynced
+)
+
+func fsyncJoin(a, b flowState) flowState { return a.(fsyncBits) | b.(fsyncBits) }
+func fsyncEqual(a, b flowState) bool     { return a.(fsyncBits) == b.(fsyncBits) }
+
+// checkFsyncFlow runs the sync-before-rename dataflow over one function.
+func checkFsyncFlow(p *Package, fs funcScope, emit func(token.Pos, string, string)) {
+	// Fast path: a function that never renames needs no analysis.
+	if !mentionsRename(p, fs.body) {
+		return
+	}
+	g := BuildCFG(fs.body)
+
+	// The finding triggers on the ABSENCE of the synced bit, which is
+	// not monotone under joins: an early solver iteration can see a
+	// rename before the synced path has merged in. So the solve itself
+	// is silent, and a final replay over the fixpoint in-states does
+	// the reporting.
+	transfer := func(report func(token.Pos)) func(b *Block, in flowState) flowState {
+		return func(b *Block, in flowState) flowState {
+			st := in.(fsyncBits)
+			for _, n := range b.Nodes {
+				walkBlockNode(n, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false // closures are analyzed as their own functions
+					}
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if isOSFileMethod(p, call, "Sync") {
+						st = fsSynced
+						return true
+					}
+					if _, name, ok := pkgFuncCall(p, call, "os"); ok && name == "Rename" {
+						if st&fsSynced == 0 && report != nil {
+							report(call.Pos())
+						}
+					}
+					return true
+				})
+			}
+			return st
+		}
+	}
+
+	in := solveForward(flowProblem{
+		cfg:      g,
+		entry:    fsUnsynced,
+		transfer: transfer(nil),
+		join:     fsyncJoin,
+		equal:    fsyncEqual,
+	})
+
+	reported := map[token.Pos]bool{}
+	replay := transfer(func(pos token.Pos) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		emit(pos, RuleFsyncCheck,
+			"os.Rename publishes a file with no preceding (*os.File).Sync() on any path; an unflushed rename can surface as a torn file after a crash — fsync before renaming")
+	})
+	for _, b := range g.Blocks {
+		if st, ok := in[b]; ok {
+			replay(b, st)
+		}
+	}
+}
+
+// mentionsRename is the cheap pre-filter.
+func mentionsRename(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, name, ok := pkgFuncCall(p, call, "os"); ok && name == "Rename" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkBareClose flags (*os.File).Close() calls whose error result is
+// discarded: bare expression statements and defers.
+func checkBareClose(p *Package, emit func(token.Pos, string, string)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			}
+			if call == nil || !isOSFileMethod(p, call, "Close") {
+				return true
+			}
+			sel := call.Fun.(*ast.SelectorExpr)
+			emit(call.Pos(), RuleFsyncCheck,
+				exprText(sel.X)+".Close() discards its error; Close delivers deferred write-back failures, so an unchecked Close can silently publish lost writes — check it")
+			return true
+		})
+	}
+}
+
+// isOSFileMethod reports whether call invokes the named method on an
+// os.File receiver (directly or through a pointer).
+func isOSFileMethod(p *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedIn(sig.Recv().Type(), "os", "File")
+}

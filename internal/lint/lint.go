@@ -1,6 +1,6 @@
-// Package lint is the project's static-analysis pass: ten analyzers
+// Package lint is the project's static-analysis pass: eleven analyzers
 // that enforce the correctness contracts the measurement pipeline relies
-// on but the compiler cannot check. Six are syntactic; four are
+// on but the compiler cannot check. Six are syntactic; five are
 // flow-sensitive, built on the CFG and dataflow core in cfg.go/flow.go.
 //
 // The wildnet substitution (DESIGN.md) makes every table and figure a
@@ -50,6 +50,11 @@
 //     derived from map iteration (including through helper returns and
 //     callback parameters) must not reach an output sink on any path
 //     without a sort in between.
+//   - fsynccheck: write-durability discipline in the packages that
+//     publish files by write-then-rename (the checkpoint store): an
+//     os.Rename with no (*os.File).Sync() preceding it on any path can
+//     publish a torn file after a crash, and a bare f.Close() discards
+//     the error that delivers deferred write-back failures.
 //
 // Intentional exceptions are annotated in the source:
 //
@@ -84,6 +89,7 @@ const (
 	RuleAtomicHygiene = "atomichygiene"
 	RuleHotPath       = "hotpath"
 	RuleTaintFlow     = "taintflow"
+	RuleFsyncCheck    = "fsynccheck"
 	// RuleAllow tags problems with //lint:allow comments themselves:
 	// malformed, unknown rule, or stale (covering nothing).
 	RuleAllow = "allow"
@@ -94,7 +100,7 @@ const (
 var AllRules = []string{
 	RuleDeterminism, RuleMapOrder, RuleGoHygiene, RuleErrDrop,
 	RuleCtxHygiene, RuleSleepCall, RuleLockCheck, RuleAtomicHygiene,
-	RuleHotPath, RuleTaintFlow,
+	RuleHotPath, RuleTaintFlow, RuleFsyncCheck,
 }
 
 func knownRule(name string) bool {
@@ -136,6 +142,9 @@ type Config struct {
 	// Rendering lists the packages that produce tables, reports, and
 	// result sets; the maporder and taintflow rules apply here.
 	Rendering []string
+	// Durable lists the packages that publish files by atomic
+	// write-then-rename; the fsynccheck rule applies here.
+	Durable []string
 	// Rules restricts analysis to the named rules; nil or empty means
 	// all. Stale-allow detection only considers allows naming enabled
 	// rules, so filtering cannot manufacture false staleness.
@@ -170,6 +179,9 @@ func DefaultConfig(modulePath string) Config {
 		// taintflow must follow results through them too.
 		Rendering: ip("analysis", "classify", "snoop", "churn", "scanner",
 			"core", "pipeline", "shardio"),
+		// The checkpoint store is where a missed fsync turns a crash
+		// into a torn snapshot.
+		Durable: ip("checkpoint"),
 	}
 }
 
@@ -210,6 +222,7 @@ var checkers = []struct {
 	{RuleAtomicHygiene, checkAtomicHygiene},
 	{RuleHotPath, checkHotPath},
 	{RuleTaintFlow, checkTaintFlow},
+	{RuleFsyncCheck, checkFsyncCheck},
 }
 
 // AnalyzeAll runs the enabled analyzers and returns every finding,

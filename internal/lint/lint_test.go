@@ -42,6 +42,8 @@ var corpusTests = []struct {
 		rules: []string{RuleHotPath, RuleAllow}},
 	{rule: RuleTaintFlow, importPath: "goingwild/internal/analysis",
 		rules: []string{RuleTaintFlow, RuleAllow}},
+	{rule: RuleFsyncCheck, importPath: "goingwild/internal/checkpoint",
+		rules: []string{RuleFsyncCheck, RuleAllow}},
 }
 
 // loadCorpus type-checks testdata/<rule> as though it were the package

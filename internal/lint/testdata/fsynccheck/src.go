@@ -1,0 +1,138 @@
+// Corpus for the fsynccheck rule: sync-before-rename discipline and
+// checked (*os.File).Close errors, scoped to the durable-store packages.
+package corpus
+
+import (
+	"io"
+	"os"
+)
+
+// OKSaveShape is the canonical atomic-publish sequence: write, sync,
+// checked close, rename. The early return on err filters the unsynced
+// Write-failure path through a value test the lattice cannot see; the
+// may-analysis stays quiet because a synced path reaches the rename.
+func OKSaveShape(dir, dst string, blob []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err = f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// BadRenameNoSync publishes bytes the kernel may still be buffering.
+func BadRenameNoSync(dir, dst string, blob []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(blob)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	return os.Rename(tmp, dst) // want fsynccheck: no Sync on any path
+}
+
+// BadSyncAfterRename flushes only after the name is already public.
+func BadSyncAfterRename(f *os.File, tmp, dst string) error {
+	if err := os.Rename(tmp, dst); err != nil { // want fsynccheck
+		return err
+	}
+	return f.Sync()
+}
+
+// OKSyncedEveryPath syncs unconditionally before the rename.
+func OKSyncedEveryPath(f *os.File, tmp, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// OKSyncInLoopBody syncs inside the loop that also renames; the
+// back-edge carries the synced state.
+func OKSyncInLoopBody(fs []*os.File, names []string) error {
+	for i, f := range fs {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := os.Rename(names[i]+".tmp", names[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllowedRenameOnly moves a file some other process made durable; the
+// allow documents why no sync is needed here.
+func AllowedRenameOnly(tmp, dst string) error {
+	//lint:allow fsynccheck the payload was fsynced by the producer; this only renames
+	return os.Rename(tmp, dst)
+}
+
+// BadBareClose drops the error that reports deferred write-back
+// failures.
+func BadBareClose(f *os.File, blob []byte) {
+	f.Write(blob)
+	f.Close() // want fsynccheck: discarded close error
+}
+
+// BadDeferClose discards the error just as thoroughly, one line up.
+func BadDeferClose(f *os.File, blob []byte) error {
+	defer f.Close() // want fsynccheck
+	_, err := f.Write(blob)
+	return err
+}
+
+// OKCheckedClose observes the error.
+func OKCheckedClose(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OKReturnedClose propagates the error.
+func OKReturnedClose(f *os.File) error {
+	return f.Close()
+}
+
+// AllowedReadOnlyClose is the directory-handle shape: nothing buffered,
+// nothing to lose.
+func AllowedReadOnlyClose(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	//lint:allow fsynccheck read-only directory handle; nothing buffered to lose
+	d.Close()
+}
+
+// notAFile is a closer that is not an *os.File; the rule must not
+// confuse it with one.
+type notAFile struct{ rc io.ReadCloser }
+
+func (n *notAFile) Close() error { return n.rc.Close() }
+
+// OKOtherCloser closes a non-os.File; out of scope.
+func OKOtherCloser(n *notAFile) {
+	n.Close()
+}

@@ -219,6 +219,15 @@ type Engine struct {
 	observer Observer
 	stages   []Stage
 	index    map[string]int
+
+	// EpochCommit, when set, runs after each epoch's incremental stages
+	// succeed in RunEpochs/RunEpochsFrom — the hook a checkpointing
+	// orchestrator uses to persist "epoch k is fully applied" at the
+	// exact moment that becomes true. An error aborts the stream like a
+	// Required stage failure (remaining epochs and finalizers are
+	// skipped); in particular a deliberate stop signal propagates out
+	// with the just-committed state intact.
+	EpochCommit func(ctx context.Context, epoch int) error
 }
 
 // New builds an engine. A nil clock defaults to scanner.SystemClock; a

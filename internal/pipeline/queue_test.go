@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestQueueCloseUnblocksPut pins the shutdown contract: a producer
+// blocked on a full queue must unblock with ErrQueueClosed when the
+// consumer closes the queue — no panic, no hang — and the items that
+// made it in before the close still drain through Get.
+func TestQueueCloseUnblocksPut(t *testing.T) {
+	q := NewQueue[int](1)
+	ctx := context.Background()
+	if err := q.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- q.Put(ctx, 2) }() // queue full: must block
+	select {
+	case err := <-blocked:
+		t.Fatalf("Put on a full queue returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Close()
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, ErrQueueClosed) {
+			t.Fatalf("blocked Put unblocked with %v, want ErrQueueClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Put did not unblock on Close")
+	}
+	// The pre-close item survives the shutdown.
+	if v, ok, err := q.Get(ctx); !ok || err != nil || v != 1 {
+		t.Fatalf("Get after Close = (%d, %v, %v), want the buffered 1", v, ok, err)
+	}
+	if _, ok, err := q.Get(ctx); ok || err != nil {
+		t.Fatalf("drained queue still yields items (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestQueueClosePutRace hammers the Put/Close race that used to be a
+// send-on-closed-channel panic: producers putting full tilt while the
+// consumer closes. Every Put must return nil or ErrQueueClosed, and
+// every successfully-Put item must come out of Get exactly once.
+func TestQueueClosePutRace(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		q := NewQueue[int](2)
+		ctx := context.Background()
+		put := make(chan int, 1)
+		go func() {
+			n := 0
+			for {
+				if err := q.Put(ctx, n); err != nil {
+					if !errors.Is(err, ErrQueueClosed) {
+						t.Errorf("Put: %v", err)
+					}
+					put <- n
+					return
+				}
+				n++
+			}
+		}()
+		// Consume a few, then close mid-stream.
+		for i := 0; i < 3; i++ {
+			if v, ok, err := q.Get(ctx); !ok || err != nil || v != i {
+				t.Fatalf("Get = (%d, %v, %v), want (%d, true, nil)", v, ok, err, i)
+			}
+		}
+		q.Close()
+		accepted := <-put
+		// Drain: items 3..accepted-1 in order, except possibly the very
+		// last Put, which may have raced the close and lost.
+		next := 3
+		for {
+			v, ok, err := q.Get(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if v != next {
+				t.Fatalf("drained %d, want %d", v, next)
+			}
+			next++
+		}
+		if next != accepted {
+			t.Fatalf("accepted %d items but drained up to %d", accepted, next)
+		}
+	}
+}
+
+// TestRunEpochsFromSkipsCommitted checks the resume entry point: epochs
+// before `first` never run, the rest see their true epoch numbers, and
+// EpochCommit fires once per executed epoch.
+func TestRunEpochsFromSkipsCommitted(t *testing.T) {
+	e := New(nil, nil)
+	var ran, committed []int
+	if err := e.Add(Stage{
+		Name:     "apply",
+		Run:      func(context.Context) ([]Count, error) { return nil, nil },
+		RunEpoch: func(_ context.Context, epoch int) ([]Count, error) { ran = append(ran, epoch); return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final := 0
+	if err := e.Add(Stage{
+		Name: "finalize",
+		Run:  func(context.Context) ([]Count, error) { final++; return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.EpochCommit = func(_ context.Context, epoch int) error { committed = append(committed, epoch); return nil }
+	if _, err := e.RunEpochsFrom(context.Background(), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 4}
+	if len(ran) != 3 || ran[0] != 2 || ran[2] != 4 {
+		t.Errorf("epochs ran: %v, want %v", ran, want)
+	}
+	if len(committed) != 3 || committed[0] != 2 || committed[2] != 4 {
+		t.Errorf("epochs committed: %v, want %v", committed, want)
+	}
+	if final != 1 {
+		t.Errorf("finalizer ran %d times, want 1", final)
+	}
+
+	// Resume-after-completion: no epochs, finalizers only.
+	ran, committed, final = nil, nil, 0
+	if _, err := e.RunEpochsFrom(context.Background(), 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 0 || len(committed) != 0 || final != 1 {
+		t.Errorf("first==epochs ran %v/%v/final=%d, want nothing but the finalizer", ran, committed, final)
+	}
+}
+
+// TestEpochCommitErrorAborts pins the failure contract: a commit error
+// stops the stream before later epochs and skips the finalizers.
+func TestEpochCommitErrorAborts(t *testing.T) {
+	e := New(nil, nil)
+	var ran []int
+	if err := e.Add(Stage{
+		Name:     "apply",
+		Run:      func(context.Context) ([]Count, error) { return nil, nil },
+		RunEpoch: func(_ context.Context, epoch int) ([]Count, error) { ran = append(ran, epoch); return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final := 0
+	if err := e.Add(Stage{
+		Name: "finalize",
+		Run:  func(context.Context) ([]Count, error) { final++; return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := errors.New("stop")
+	e.EpochCommit = func(_ context.Context, epoch int) error {
+		if epoch == 1 {
+			return stop
+		}
+		return nil
+	}
+	if _, err := e.RunEpochs(context.Background(), 4); !errors.Is(err, stop) {
+		t.Fatalf("RunEpochs = %v, want the commit error", err)
+	}
+	if len(ran) != 2 {
+		t.Errorf("epochs ran: %v, want [0 1]", ran)
+	}
+	if final != 0 {
+		t.Errorf("finalizer ran despite aborted stream")
+	}
+}

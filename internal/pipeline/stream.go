@@ -26,12 +26,25 @@ import (
 // finalizers at BatchEpoch, so Counts() concatenates the full epoch
 // history in execution order.
 func (e *Engine) RunEpochs(ctx context.Context, epochs int) (*Trace, error) {
+	return e.RunEpochsFrom(ctx, 0, epochs)
+}
+
+// RunEpochsFrom is RunEpochs starting at epoch `first` instead of 0: a
+// resumed run re-enters the stream exactly where its checkpoint left
+// off, skipping the epochs already committed. Incremental stages see
+// the same epoch numbers they would in a full run; finalizers run as
+// usual after epoch epochs-1. first == epochs runs no epochs and goes
+// straight to the finalizers (the resumed-after-completion case).
+func (e *Engine) RunEpochsFrom(ctx context.Context, first, epochs int) (*Trace, error) {
 	order, err := e.order()
 	if err != nil {
 		return &Trace{}, err
 	}
 	if epochs < 0 {
 		return &Trace{}, fmt.Errorf("pipeline: RunEpochs(%d): negative epoch count", epochs)
+	}
+	if first < 0 || first > epochs {
+		return &Trace{}, fmt.Errorf("pipeline: RunEpochsFrom(%d, %d): start epoch out of range", first, epochs)
 	}
 	var incremental, finalizers []int
 	for _, i := range order {
@@ -41,8 +54,8 @@ func (e *Engine) RunEpochs(ctx context.Context, epochs int) (*Trace, error) {
 			finalizers = append(finalizers, i)
 		}
 	}
-	trace := &Trace{Stages: make([]StageResult, 0, len(incremental)*epochs+len(finalizers))}
-	for epoch := 0; epoch < epochs; epoch++ {
+	trace := &Trace{Stages: make([]StageResult, 0, len(incremental)*(epochs-first)+len(finalizers))}
+	for epoch := first; epoch < epochs; epoch++ {
 		for k, i := range incremental {
 			st := e.stages[i]
 			// Cancellation checkpoint between stages, as in batch mode.
@@ -57,6 +70,12 @@ func (e *Engine) RunEpochs(ctx context.Context, epochs int) (*Trace, error) {
 					continue
 				}
 				e.skipRemaining(trace, incremental[k+1:])
+				e.skipRemaining(trace, finalizers)
+				return trace, err
+			}
+		}
+		if e.EpochCommit != nil {
+			if err := e.EpochCommit(ctx, epoch); err != nil {
 				e.skipRemaining(trace, finalizers)
 				return trace, err
 			}

@@ -15,6 +15,7 @@ package shardio
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -97,10 +98,33 @@ func WriteFile(path string, a Artifact) error {
 	return f.Close()
 }
 
-// Read parses one artifact.
+// ErrCorrupt marks an artifact whose bytes cannot be decoded — a
+// truncated copy, a torn write, or garbage. Callers (cmd/wildmerge)
+// distinguish it from semantic merge failures with errors.Is and map it
+// to its own exit status, because the fix is different: re-transfer or
+// re-run the shard, don't debug the scan.
+var ErrCorrupt = errors.New("unreadable shard artifact")
+
+// Read parses one artifact. A short or corrupt document is diagnosed
+// with the byte offset where decoding failed and wrapped in ErrCorrupt,
+// so a half-copied artifact names itself instead of surfacing as a
+// vague unmarshal error.
 func Read(r io.Reader) (Artifact, error) {
 	var a Artifact
-	if err := json.NewDecoder(r).Decode(&a); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.Is(err, io.EOF):
+			return Artifact{}, fmt.Errorf("shardio: empty artifact (no JSON document): %w", ErrCorrupt)
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return Artifact{}, fmt.Errorf("shardio: artifact truncated at byte %d: %w", dec.InputOffset(), ErrCorrupt)
+		case errors.As(err, &syn):
+			return Artifact{}, fmt.Errorf("shardio: corrupt artifact at byte %d: %v: %w", syn.Offset, err, ErrCorrupt)
+		case errors.As(err, &typ):
+			return Artifact{}, fmt.Errorf("shardio: corrupt artifact at byte %d: field %q: %v: %w", typ.Offset, typ.Field, err, ErrCorrupt)
+		}
 		return Artifact{}, fmt.Errorf("shardio: %w", err)
 	}
 	if a.Of < 1 || a.Shard < 0 || a.Shard >= a.Of {

@@ -2,6 +2,7 @@ package shardio
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -133,5 +134,43 @@ func TestFileRoundTripAndRenderStability(t *testing.T) {
 	}
 	if strings.Contains(RenderCensus(res), "shard") {
 		t.Error("census render mentions shards")
+	}
+}
+
+// TestReadDiagnosesTruncation pins the corrupt-artifact contract: every
+// strict prefix of a valid artifact fails with ErrCorrupt (never a
+// silent partial decode, never a panic), and mid-file truncations name
+// the byte offset so the operator knows the copy — not the scan — is
+// broken.
+func TestReadDiagnosesTruncation(t *testing.T) {
+	a := FromSweep(prov, 0, 2, shardResult(5, 9, 12, 0x01020304))
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole)-1; cut++ {
+		_, err := Read(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded cleanly", cut, len(whole))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at byte %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+		if cut > 0 && !strings.Contains(err.Error(), "byte") {
+			t.Fatalf("truncation at byte %d: diagnostic %q names no offset", cut, err)
+		}
+	}
+}
+
+// TestReadDiagnosesGarbage covers non-truncation corruption: a flipped
+// byte that breaks JSON syntax, and a type-level mismatch, both with
+// offsets and ErrCorrupt.
+func TestReadDiagnosesGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"order": 16, "of": }`)); !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "byte") {
+		t.Errorf("syntax corruption: %v", err)
+	}
+	if _, err := Read(strings.NewReader(`{"order": "sixteen", "shard": 0, "of": 1}`)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("type corruption: %v", err)
 	}
 }

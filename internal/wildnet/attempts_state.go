@@ -1,0 +1,57 @@
+package wildnet
+
+import "sort"
+
+// AttemptRecord is one retransmission counter entry: the world has seen
+// N transmissions of the payload hashing to PayloadHash toward Addr at
+// the current simulated instant. Checkpoints persist these records so a
+// resumed run's fault draws see the same attempt numbers the
+// uninterrupted run would.
+type AttemptRecord struct {
+	Addr        uint32 `json:"addr"`
+	PayloadHash uint64 `json:"ph"`
+	N           uint64 `json:"n"`
+}
+
+// AttemptsState snapshots the retransmission counters in deterministic
+// (Addr, PayloadHash) order. It returns nil when the fault layer is off
+// (the counter does not exist) or when every counter is zero. Callers
+// must quiesce senders first: the snapshot locks one stripe at a time,
+// so it is only a consistent cut when nothing is transmitting.
+func (m *MemTransport) AttemptsState() []AttemptRecord {
+	if m.attempts == nil {
+		return nil
+	}
+	var recs []AttemptRecord
+	for i := range m.attempts.shards {
+		s := &m.attempts.shards[i]
+		s.mu.Lock()
+		for k, n := range s.m {
+			recs = append(recs, AttemptRecord{Addr: k.addr, PayloadHash: k.ph, N: n})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Addr != recs[j].Addr {
+			return recs[i].Addr < recs[j].Addr
+		}
+		return recs[i].PayloadHash < recs[j].PayloadHash
+	})
+	return recs
+}
+
+// RestoreAttempts resets the retransmission counters and replays recs
+// into them, recreating the transport state a checkpoint captured. A
+// no-op when the fault layer is off.
+func (m *MemTransport) RestoreAttempts(recs []AttemptRecord) {
+	if m.attempts == nil {
+		return
+	}
+	m.attempts.reset()
+	for _, r := range recs {
+		s := &m.attempts.shards[r.PayloadHash%attemptShards]
+		s.mu.Lock()
+		s.m[attemptKey{addr: r.Addr, ph: r.PayloadHash}] = r.N
+		s.mu.Unlock()
+	}
+}

@@ -50,7 +50,10 @@ type FaultConfig struct {
 	// DupProb duplicates a delivered response (the second copy arrives
 	// back-to-back, as after a retransmitting middlebox).
 	DupProb float64
-	// GarbleProb corrupts a few bytes of a response in flight.
+	// GarbleProb corrupts a few bytes of a response before delivery,
+	// modeling broken responders that mangle the answers they build
+	// (true in-flight damage dies at the UDP checksum). The transaction
+	// ID and echoed question name are preserved — see faultGarble.
 	// Receivers must treat the result like any malformed datagram:
 	// parse failures vanish, they never panic.
 	GarbleProb float64
@@ -299,6 +302,19 @@ func (w *World) faultAdjustResponses(resps []QueryResponse, t Time, fc faultCtx)
 // garble draw fires. The buffer is pooled transport scratch, so in-place
 // mutation is free; the receiver sees the corruption like any malformed
 // datagram from the real Internet.
+//
+// The transaction ID (bytes 0–1) and the echoed question name are never
+// corrupted. On a real network, in-flight bit damage is caught by the
+// UDP checksum and the datagram never reaches the scanner, so a
+// garbled-but-delivered response models a broken responder mangling the
+// answer it builds — and a responder that answers at all echoes the ID
+// and question from the query it is holding. Operationally this
+// protection is what keeps scans schedule-independent: those bytes
+// carry the probe identifier (txid plus 0x20 casing, §3.3), and a
+// corrupted identifier would route the response into another probe's
+// accounting concurrently with that probe's own answer, making the
+// recorded winner a matter of goroutine timing rather than of the
+// seed.
 func (w *World) faultGarble(wire []byte, src uint32, rph uint64, t Time, attempt uint64) {
 	f := &w.cfg.Faults
 	if f.GarbleProb <= 0 || len(wire) == 0 {
@@ -309,12 +325,47 @@ func (w *World) faultGarble(wire []byte, src uint32, rph uint64, t Time, attempt
 	if prand.Float64(h) >= f.GarbleProb {
 		return
 	}
+	qs, qe := garbleProtectedRange(wire)
+	eligible := len(wire) - 2 - (qe - qs)
+	if eligible <= 0 {
+		return
+	}
 	w.fm.garbled.Inc()
 	n := 1 + prand.IntN(h>>8, 3)
 	for k := 0; k < n; k++ {
-		pos := prand.IntN(prand.Hash(h, uint64(k)), len(wire))
+		pos := 2 + prand.IntN(prand.Hash(h, uint64(k)), eligible)
+		if pos >= qs {
+			pos += qe - qs
+		}
 		wire[pos] ^= byte(prand.Hash(h, uint64(k), 0xFF)) | 1
 	}
+}
+
+// garbleProtectedRange returns the half-open byte range of the first
+// question's name (empty when the packet carries no parsable question),
+// which faultGarble must leave intact along with the transaction ID.
+func garbleProtectedRange(wire []byte) (qs, qe int) {
+	const hdr = 12
+	if len(wire) < hdr+1 || wire[4] == 0 && wire[5] == 0 {
+		return hdr, hdr // no question section
+	}
+	off := hdr
+	for off < len(wire) {
+		l := int(wire[off])
+		if l == 0 {
+			off++
+			break
+		}
+		if l >= 0xC0 { // compression pointer terminates the name
+			off += 2
+			break
+		}
+		off += 1 + l
+	}
+	if off > len(wire) {
+		off = len(wire)
+	}
+	return hdr, off
 }
 
 // faultDup reports whether a delivered response is duplicated.
