@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-escape test test-short race chaos crash metrics-smoke stream-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
+.PHONY: all build vet lint lint-escape test test-short race chaos crash metrics-smoke stream-smoke serve-smoke fuzz-smoke bench bench-quick bench-all report markdown examples clean
 
 all: build vet lint test
 
@@ -37,7 +37,7 @@ test-short:
 # Race-detector pass over the concurrent subsystems (the stress tests in
 # scanner and wildnet exist for this target).
 race:
-	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns ./internal/pipeline ./internal/metrics .
+	$(GO) test -race ./internal/scanner ./internal/wildnet ./internal/authdns ./internal/pipeline ./internal/metrics ./internal/resolvesvc ./internal/debughttp .
 
 # Chaos matrix: the full pipeline under every fault profile (clean,
 # lossy, hostile, flaky), checking determinism across runs and
@@ -75,6 +75,14 @@ stream-smoke:
 	/tmp/wildreport_stream -order 16 -epochs 6 -week 5 -progress > /tmp/wr_stream.txt 2>/dev/null
 	diff /tmp/wr_batch.txt /tmp/wr_stream.txt
 
+# Service smoke: run wildsvc's built-in self-check — three epochs at
+# order 16, then query the HTTP API for a known responder and a known
+# miss over a real socket, assert the JSON shape, and require the
+# hit/miss/coalesced counters to have moved. Exits nonzero on any
+# assertion failure; the last stdout line is "wildsvc smoke: PASS".
+serve-smoke:
+	$(GO) run ./cmd/wildsvc -smoke
+
 # A few seconds of coverage-guided fuzzing per wire-format fuzz target.
 # `go test -fuzz` accepts one target per invocation, hence six runs.
 fuzz-smoke:
@@ -102,6 +110,12 @@ bench-quick:
 	grep -q '"best_shards":' /tmp/bench_quick.json
 	test "$$(grep -c '"mode":' /tmp/bench_quick.json)" = "2"
 	grep -q '"delta_records_per_sec":' /tmp/bench_quick.json
+	$(GO) run ./cmd/wildsvc -loadgen -epochs 4 -loadgen-lookups 200000 -bench-out /tmp/bench_serve_quick.json 2>/dev/null
+	grep -q '"lookups_per_sec":' /tmp/bench_serve_quick.json
+	grep -q '"p99_ns":' /tmp/bench_serve_quick.json
+	grep -q '"hits":' /tmp/bench_serve_quick.json
+	grep -q '"coalesced":' /tmp/bench_serve_quick.json
+	grep -q '"probes":' /tmp/bench_serve_quick.json
 
 # One iteration of every table/figure benchmark.
 bench-all:

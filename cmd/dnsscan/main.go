@@ -150,7 +150,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer stopDebug()
+		defer func() {
+			if err := stopDebug(); err != nil {
+				fmt.Fprintln(os.Stderr, "dnsscan: debug endpoint:", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "dnsscan: debug endpoint on http://%s\n", addr)
 	}
 	if *metricsPath != "" {

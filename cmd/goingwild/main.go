@@ -138,7 +138,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer stopDebug()
+		defer func() {
+			if err := stopDebug(); err != nil {
+				fmt.Fprintln(os.Stderr, "goingwild: debug endpoint:", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "goingwild: debug endpoint on http://%s\n", addr)
 	}
 	if *metricsPath != "" {

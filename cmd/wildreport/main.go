@@ -125,7 +125,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer stopDebug()
+		defer func() {
+			if err := stopDebug(); err != nil {
+				fmt.Fprintln(os.Stderr, "wildreport: debug endpoint:", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "wildreport: debug endpoint on http://%s\n", addr)
 	}
 	if *metricsPath != "" {

@@ -142,3 +142,27 @@ func TestBarClamps(t *testing.T) {
 		t.Error("overflow bar not clamped")
 	}
 }
+
+// TestEmptySeriesRendersWithoutPanic covers the -weeks 0 path end to
+// end through the renderers and the markdown comparison: an empty
+// weekly series must degrade to header-only tables and zero comparison
+// rows instead of panicking on Series.First()/Last().
+func TestEmptySeriesRendersWithoutPanic(t *testing.T) {
+	empty := &churn.Series{}
+	scale := Scale(1)
+	if out := RenderFigure1(empty, scale); !strings.Contains(out, "Figure 1") {
+		t.Errorf("RenderFigure1 lost its header on empty series:\n%s", out)
+	}
+	if out := RenderTable1(empty, scale, 10); !strings.Contains(out, "Table 1") {
+		t.Errorf("RenderTable1 lost its header on empty series:\n%s", out)
+	}
+	if out := RenderTable2(empty, scale); !strings.Contains(out, "Table 2") {
+		t.Errorf("RenderTable2 lost its header on empty series:\n%s", out)
+	}
+	if rows := CompareFigure1(empty, scale); len(rows) != 0 {
+		t.Errorf("CompareFigure1 on empty series = %v, want none", rows)
+	}
+	if rows := CompareTables12(empty, scale); len(rows) != 0 {
+		t.Errorf("CompareTables12 on empty series = %v, want none", rows)
+	}
+}

@@ -32,6 +32,10 @@ func Markdown(rows []Row) string {
 // CompareFigure1 builds E1's comparison rows.
 func CompareFigure1(series *churn.Series, scale Scale) []Row {
 	first, last := series.First(), series.Last()
+	if first == nil {
+		// An empty series (a -weeks 0 run) has no endpoints to compare.
+		return nil
+	}
 	return []Row{
 		{"E1/Fig1", "NOERROR resolvers, first scan", "26.8M",
 			human(scale.Extrapolate(first.ByRCode[dnswire.RCodeNoError]))},

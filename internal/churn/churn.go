@@ -102,11 +102,25 @@ func RunWeekly(ctx context.Context, sc *scanner.Scanner, clock Clock, loc Locato
 	return series, nil
 }
 
-// First and Last return the series endpoints.
-func (s *Series) First() *WeekObservation { return &s.Weeks[0] }
+// First returns the series' opening observation, or nil when no weeks
+// were scanned. An empty series is reachable (a -weeks 0 run, a
+// zero-epoch resume), and this used to panic on s.Weeks[0]; callers
+// must treat nil as "no data", which every renderer now does.
+func (s *Series) First() *WeekObservation {
+	if len(s.Weeks) == 0 {
+		return nil
+	}
+	return &s.Weeks[0]
+}
 
-// Last returns the final weekly observation.
-func (s *Series) Last() *WeekObservation { return &s.Weeks[len(s.Weeks)-1] }
+// Last returns the final weekly observation, or nil when the series is
+// empty (see First).
+func (s *Series) Last() *WeekObservation {
+	if len(s.Weeks) == 0 {
+		return nil
+	}
+	return &s.Weeks[len(s.Weeks)-1]
+}
 
 // FluctuationRow is one row of Table 1 / Table 2.
 type FluctuationRow struct {
@@ -120,6 +134,9 @@ type FluctuationRow struct {
 // responder count, with their end-of-study fluctuation.
 func (s *Series) CountryFluctuation(topN int) []FluctuationRow {
 	first, last := s.First(), s.Last()
+	if first == nil {
+		return nil
+	}
 	rows := make([]FluctuationRow, 0, len(first.ByCountry))
 	for c, n := range first.ByCountry {
 		e := last.ByCountry[c]
@@ -145,6 +162,9 @@ func (s *Series) CountryFluctuation(topN int) []FluctuationRow {
 // RIRFluctuation builds Table 2.
 func (s *Series) RIRFluctuation() []FluctuationRow {
 	first, last := s.First(), s.Last()
+	if first == nil {
+		return nil
+	}
 	rows := make([]FluctuationRow, 0, len(geodb.AllRIRs))
 	for _, rir := range geodb.AllRIRs {
 		n, e := first.ByRIR[rir], last.ByRIR[rir]

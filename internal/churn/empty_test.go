@@ -1,0 +1,36 @@
+package churn
+
+import "testing"
+
+// TestEmptySeriesEndpoints is the regression test for the empty-series
+// panic: First/Last used to index s.Weeks[0] unconditionally, so a
+// zero-week study (-weeks 0, or a zero-epoch resume) crashed any caller
+// touching the endpoints. They now return nil, and the fluctuation
+// tables degrade to no rows.
+func TestEmptySeriesEndpoints(t *testing.T) {
+	var s Series
+	if got := s.First(); got != nil {
+		t.Errorf("First() on empty series = %v, want nil", got)
+	}
+	if got := s.Last(); got != nil {
+		t.Errorf("Last() on empty series = %v, want nil", got)
+	}
+	if rows := s.CountryFluctuation(10); rows != nil {
+		t.Errorf("CountryFluctuation on empty series = %v, want nil", rows)
+	}
+	if rows := s.RIRFluctuation(); rows != nil {
+		t.Errorf("RIRFluctuation on empty series = %v, want nil", rows)
+	}
+}
+
+// TestSingleWeekSeriesEndpoints pins the boundary just above empty:
+// both endpoints are the same (and only) observation.
+func TestSingleWeekSeriesEndpoints(t *testing.T) {
+	s := Series{Weeks: []WeekObservation{{Week: 0, Total: 3}}}
+	if f := s.First(); f == nil || f.Total != 3 {
+		t.Errorf("First() = %v, want the single week", f)
+	}
+	if l := s.Last(); l == nil || l.Total != 3 {
+		t.Errorf("Last() = %v, want the single week", l)
+	}
+}

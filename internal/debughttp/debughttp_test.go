@@ -34,7 +34,11 @@ func TestServeRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stop()
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
 	base := "http://" + addr
 
 	if body := get(t, base+"/metrics"); !strings.Contains(body, "scanner_sweep_sent 42") {
@@ -55,5 +59,93 @@ func TestServeRoutes(t *testing.T) {
 	reg.Counter("scanner.sweep.sent").Add(8)
 	if body := get(t, base+"/metrics"); !strings.Contains(body, "scanner_sweep_sent 50") {
 		t.Errorf("/metrics not live:\n%s", body)
+	}
+}
+
+// TestServeSecondRegistry is the regression test for the registry
+// pinning bug: publishOnce used to capture the first Serve's registry
+// in the expvar closure forever, so a second Serve with a different
+// registry kept exposing the stale registry's snapshot under
+// /debug/vars.
+func TestServeSecondRegistry(t *testing.T) {
+	reg1 := metrics.New()
+	reg1.Counter("first.registry.marker").Add(1)
+	addr1, stop1, err := Serve("127.0.0.1:0", reg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := get(t, "http://"+addr1+"/debug/vars"); !strings.Contains(body, "first.registry.marker") {
+		t.Fatalf("/debug/vars missing first registry's counter:\n%s", body)
+	}
+	if err := stop1(); err != nil {
+		t.Fatalf("stop1: %v", err)
+	}
+
+	reg2 := metrics.New()
+	reg2.Counter("second.registry.marker").Add(7)
+	addr2, stop2, err := Serve("127.0.0.1:0", reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop2(); err != nil {
+			t.Errorf("stop2: %v", err)
+		}
+	}()
+	body := get(t, "http://"+addr2+"/debug/vars")
+	if !strings.Contains(body, "second.registry.marker") {
+		t.Errorf("/debug/vars still pinned to the first registry:\n%s", body)
+	}
+	if strings.Contains(body, "first.registry.marker") {
+		t.Errorf("/debug/vars leaks the stale first registry:\n%s", body)
+	}
+}
+
+// TestServeExtraRoutes proves the Route seam a service mounts its query
+// API on.
+func TestServeExtraRoutes(t *testing.T) {
+	reg := metrics.New()
+	addr, stop, err := Serve("127.0.0.1:0", reg, Route{
+		Pattern: "/hello",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, "svc-route-ok")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+	if body := get(t, "http://"+addr+"/hello"); body != "svc-route-ok" {
+		t.Errorf("extra route body = %q", body)
+	}
+	// The built-in routes still serve alongside the extras.
+	if body := get(t, "http://"+addr+"/metrics.json"); !strings.Contains(body, "{") {
+		t.Errorf("/metrics.json broken with extra routes:\n%s", body)
+	}
+}
+
+// TestServeTimeoutsConfigured asserts the long-running hardening is in
+// place: stop is graceful (in-flight request finishes) and idempotent
+// resources are released (the address becomes bindable again).
+func TestServeStopReleasesListener(t *testing.T) {
+	reg := metrics.New()
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// The port is free again: a fresh Serve can bind the exact address.
+	_, stop2, err := Serve(addr, reg)
+	if err != nil {
+		t.Fatalf("rebind %s after stop: %v", addr, err)
+	}
+	if err := stop2(); err != nil {
+		t.Errorf("stop2: %v", err)
 	}
 }

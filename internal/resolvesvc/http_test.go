@@ -1,0 +1,159 @@
+package resolvesvc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/metrics"
+	"goingwild/internal/scanner"
+)
+
+// newHTTPRig builds a service with a hand-populated store, an instant
+// injected prober, and all API routes mounted on an httptest server —
+// exactly how cmd/wildsvc mounts them on debughttp's mux.
+func newHTTPRig(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Config{Order: 12, BatchWindow: time.Millisecond}, Deps{
+		Locator: testLoc,
+		Metrics: metrics.New(),
+	})
+	svc.probeFn = func(_ context.Context, addr uint32) (Record, error) {
+		return svc.store.RecordProbe(addr, svc.store.Epoch(), false, 0, false, testLoc), nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go svc.coalesce(ctx)
+
+	if err := svc.store.ApplyEpoch(0, []scanner.ResponderDelta{
+		add(5, dnswire.RCodeNoError),
+		add(9, dnswire.RCodeRefused),
+	}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.store.ApplyEpoch(1, []scanner.ResponderDelta{remove(9)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	for _, r := range svc.APIRoutes() {
+		mux.Handle(r.Pattern, r.Handler)
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func getStatus(t *testing.T, url string, want int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func TestHTTPResolverKnownOpen(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	ip := lfsr.U32ToAddr(5).String()
+	var got LookupResponse
+	getStatus(t, srv.URL+"/resolver?ip="+ip, http.StatusOK, &got)
+	want := LookupResponse{
+		IP: ip, Known: true, Open: true, RCode: "NOERROR", Answered: true,
+		Country: "US", RIR: "ARIN",
+		FirstSeenEpoch: 0, LastSeenEpoch: 0, Flaps: 0,
+		Epoch: 1, Source: "store",
+	}
+	if got != want {
+		t.Fatalf("GET /resolver = %+v, want %+v", got, want)
+	}
+}
+
+func TestHTTPResolverClosedOmitsRCode(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	var got LookupResponse
+	getStatus(t, srv.URL+"/resolver?ip="+lfsr.U32ToAddr(9).String(), http.StatusOK, &got)
+	if got.Open || got.RCode != "" {
+		t.Fatalf("closed resolver response: %+v", got)
+	}
+	// LastSeen means last seen *open*: the epoch-1 removal stamps
+	// Checked, not LastSeen.
+	if got.FirstSeenEpoch != 0 || got.LastSeenEpoch != 0 {
+		t.Fatalf("closed resolver seen range: %+v", got)
+	}
+}
+
+func TestHTTPResolverMissProbes(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	ip := lfsr.U32ToAddr(77).String()
+	var got LookupResponse
+	getStatus(t, srv.URL+"/resolver?ip="+ip, http.StatusOK, &got)
+	if got.Source != "probe" || got.Open || got.FirstSeenEpoch != NeverSeen {
+		t.Fatalf("miss response: %+v", got)
+	}
+}
+
+func TestHTTPResolverBadRequests(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	for _, q := range []string{"", "?ip=", "?ip=not-an-ip", "?ip=2001:db8::1"} {
+		var e map[string]string
+		getStatus(t, srv.URL+"/resolver"+q, http.StatusBadRequest, &e)
+		if e["error"] == "" {
+			t.Fatalf("bad request %q: no error field", q)
+		}
+	}
+}
+
+func TestHTTPResolversListAndFilters(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	var all []LookupResponse
+	getStatus(t, srv.URL+"/resolvers", http.StatusOK, &all)
+	if len(all) != 2 {
+		t.Fatalf("/resolvers returned %d records, want 2", len(all))
+	}
+	var open []LookupResponse
+	getStatus(t, srv.URL+"/resolvers?open=1", http.StatusOK, &open)
+	if len(open) != 1 || !open[0].Open {
+		t.Fatalf("/resolvers?open=1 = %+v", open)
+	}
+	var limited []LookupResponse
+	getStatus(t, srv.URL+"/resolvers?limit=1", http.StatusOK, &limited)
+	if len(limited) != 1 {
+		t.Fatalf("/resolvers?limit=1 returned %d records", len(limited))
+	}
+	getStatus(t, srv.URL+"/resolvers?limit=-2", http.StatusBadRequest, nil)
+}
+
+func TestHTTPStatus(t *testing.T) {
+	svc, srv := newHTTPRig(t)
+	var st StatusResponse
+	getStatus(t, srv.URL+"/svc/status", http.StatusOK, &st)
+	want := StatusResponse{
+		Epoch:   svc.Store().Epoch(),
+		Records: svc.Store().Records(),
+		Open:    svc.Store().OpenCount(),
+		Pending: 0,
+	}
+	if st != want {
+		t.Fatalf("/svc/status = %+v, want %+v", st, want)
+	}
+	if st.Epoch != 1 || st.Records != 2 || st.Open != 1 {
+		t.Fatalf("/svc/status values: %+v", st)
+	}
+}

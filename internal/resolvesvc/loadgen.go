@@ -1,0 +1,199 @@
+package resolvesvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LoadGenConfig parameterizes the deterministic lookup storm.
+type LoadGenConfig struct {
+	// Workers is the number of concurrent lookup goroutines (default 8).
+	Workers int
+	// Lookups is the total timed lookups across workers (default 2M).
+	Lookups int
+	// ColdTargets is how many never-seen addresses the coalescing burst
+	// hammers (default 8); ColdFanout is how many concurrent lookups
+	// land on each (default 8), so the burst proves misses coalesce.
+	ColdTargets int
+	// ColdFanout is the concurrent lookups per cold target.
+	ColdFanout int
+}
+
+func (c *LoadGenConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Lookups <= 0 {
+		c.Lookups = 2_000_000
+	}
+	if c.ColdTargets <= 0 {
+		c.ColdTargets = 8
+	}
+	if c.ColdFanout <= 0 {
+		c.ColdFanout = 8
+	}
+}
+
+// BenchServeReport is BENCH_serve.json's shape: the serving-path
+// throughput and tail-latency evidence. Counts are deterministic for a
+// given storm; the timing fields are wall-clock measurements.
+type BenchServeReport struct {
+	Order       uint    `json:"order"`
+	Epochs      int     `json:"epochs"`
+	Records     int     `json:"records"`
+	OpenCount   int     `json:"open"`
+	Workers     int     `json:"workers"`
+	Lookups     int     `json:"lookups"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Refreshes   uint64  `json:"refreshes"`
+	Coalesced   uint64  `json:"coalesced"`
+	Probes      uint64  `json:"probes"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	LookupsPerS float64 `json:"lookups_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MaxNs       int64   `json:"max_ns"`
+}
+
+// RunLoadGen measures the serving path after the epoch loop has
+// committed its final epoch. Three phases:
+//
+//  1. Warmup: every store record (plus nothing else) is looked up once
+//     sequentially, so churn-triggered refresh probes all happen before
+//     the clock starts and the timed storm exercises the pure in-memory
+//     path.
+//  2. Storm: Workers goroutines issue Lookups total lookups over a
+//     deterministic per-worker address sequence (a seeded LCG over the
+//     record pool), timing each call.
+//  3. Cold burst: ColdFanout concurrent lookups land on each of
+//     ColdTargets never-seen addresses, proving misses coalesce into
+//     single demand probes.
+//
+// The address mix is a pure function of (worker, index), so two storms
+// over the same store issue identical lookup sequences; only the timing
+// fields vary run to run.
+func (s *Service) RunLoadGen(ctx context.Context, cfg LoadGenConfig) (*BenchServeReport, error) {
+	cfg.fill()
+	clock := s.deps.WallClock
+	records := s.store.List(false, 0)
+	if len(records) == 0 {
+		return nil, errors.New("resolvesvc: loadgen needs a populated store (run epochs first)")
+	}
+	pool := make([]uint32, len(records))
+	for i, r := range records {
+		pool[i] = r.Addr
+	}
+
+	// Phase 1: warmup.
+	for _, a := range pool {
+		if _, err := s.Lookup(ctx, a); err != nil {
+			return nil, fmt.Errorf("resolvesvc: warmup lookup %08x: %w", a, err)
+		}
+	}
+
+	// Phase 2: the timed hit storm.
+	hit0, refresh0 := s.m.hit.Value(), s.m.refresh.Value()
+	perWorker := cfg.Lookups / cfg.Workers
+	total := perWorker * cfg.Workers
+	lat := make([][]int64, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := clock.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ds := make([]int64, perWorker)
+			seq := uint64(w)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < perWorker; i++ {
+				seq = seq*6364136223846793005 + 1442695040888963407
+				addr := pool[seq%uint64(len(pool))]
+				t0 := clock.Now()
+				if _, err := s.Lookup(ctx, addr); err != nil {
+					errs[w] = err
+					return
+				}
+				ds[i] = clock.Now().Sub(t0).Nanoseconds()
+			}
+			lat[w] = ds
+		}(w)
+	}
+	wg.Wait()
+	elapsed := clock.Now().Sub(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("resolvesvc: storm lookup: %w", err)
+		}
+	}
+
+	// Phase 3: the coalescing burst on never-seen targets. The burst's
+	// counters are windowed so the report's miss/coalesced/probe fields
+	// describe this phase alone.
+	hits := s.m.hit.Value() - hit0
+	refreshes := s.m.refresh.Value() - refresh0
+	miss0, coal0, probe0 := s.m.miss.Value(), s.m.coalesced.Value(), s.m.probes.Value()
+	cold := s.coldTargets(cfg.ColdTargets)
+	for _, a := range cold {
+		var bw sync.WaitGroup
+		burstErrs := make([]error, cfg.ColdFanout)
+		for f := 0; f < cfg.ColdFanout; f++ {
+			bw.Add(1)
+			go func(f int) {
+				defer bw.Done()
+				_, burstErrs[f] = s.Lookup(ctx, a)
+			}(f)
+		}
+		bw.Wait()
+		for _, err := range burstErrs {
+			if err != nil {
+				return nil, fmt.Errorf("resolvesvc: cold burst lookup %08x: %w", a, err)
+			}
+		}
+	}
+
+	all := make([]int64, 0, total)
+	for _, ds := range lat {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := &BenchServeReport{
+		Order:     s.cfg.Order,
+		Epochs:    s.cfg.Epochs,
+		Records:   s.store.Records(),
+		OpenCount: s.store.OpenCount(),
+		Workers:   cfg.Workers,
+		Lookups:   total,
+		Hits:      hits,
+		Refreshes: refreshes,
+		Misses:    s.m.miss.Value() - miss0,
+		Coalesced: s.m.coalesced.Value() - coal0,
+		Probes:    s.m.probes.Value() - probe0,
+		ElapsedNs: elapsed.Nanoseconds(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.LookupsPerS = float64(total) / sec
+	}
+	if len(all) > 0 {
+		rep.P50Ns = all[len(all)/2]
+		rep.P99Ns = all[len(all)*99/100]
+		rep.MaxNs = all[len(all)-1]
+	}
+	return rep, nil
+}
+
+// coldTargets picks n in-space addresses the store has never heard of,
+// scanning upward from address 1 (deterministic for a given store).
+func (s *Service) coldTargets(n int) []uint32 {
+	out := make([]uint32, 0, n)
+	space := uint32(1) << s.cfg.Order
+	for a := uint32(1); a < space && len(out) < n; a++ {
+		if _, ok := s.store.Get(a); !ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,402 @@
+package resolvesvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/domains"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/metrics"
+	"goingwild/internal/pipeline"
+	"goingwild/internal/scanner"
+	"goingwild/internal/wildnet"
+)
+
+// Config parameterizes the service's continuous epoch loop.
+type Config struct {
+	// Order and ScanSeed select the target space and the per-epoch seed
+	// schedule, exactly as the one-shot studies do.
+	Order    uint
+	ScanSeed uint32
+	// Epochs is how many weekly sweeps the producer runs before the
+	// stream ends (a daemon passes a large horizon; tests pass a few).
+	Epochs int
+	// QueueDepth bounds how many committed-but-unapplied epoch deltas
+	// may buffer between the producer and the store (default 2) — the
+	// same backpressure seam the streaming engine uses.
+	QueueDepth int
+	// TTLBase seeds the churn-aware refresh TTL (see Store.Fresh);
+	// <= 0 selects DefaultTTLBase.
+	TTLBase int
+	// BatchWindow is how long the coalescer lingers after the first
+	// cache miss of a tick so concurrent misses for the same targets
+	// pile into one probe batch. Zero probes immediately.
+	BatchWindow time.Duration
+	// Blacklist is excluded from sweeps, as everywhere else.
+	Blacklist *lfsr.Blacklist
+	// OnEpoch, when set, observes each committed epoch (live logging;
+	// pure side channel).
+	OnEpoch func(EpochStatus)
+}
+
+// Deps are the service's collaborators. The sweep scanner and the
+// prober MUST ride separate transports: scanner.ProbeContext installs
+// its own receiver on its transport, so a demand probe sharing the
+// sweep's transport would steal the sweep's receiver mid-epoch. The
+// world itself is immutable after construction, so two MemTransports
+// over it observe identical resolver behavior.
+type Deps struct {
+	// Scanner runs the weekly sweeps (the epoch producer).
+	Scanner *scanner.Scanner
+	// SweepClock advances the producer transport's simulated time.
+	SweepClock churn.Clock
+	// Prober sends demand probes for cache misses on its own transport.
+	Prober *scanner.Scanner
+	// ProbeClock pins the prober transport to the last committed epoch,
+	// so demand probes observe the same world state the store serves.
+	ProbeClock churn.Clock
+	// Locator maps addresses to country/RIR for new records.
+	Locator churn.Locator
+	// Metrics receives the service counters; nil disables them.
+	Metrics *metrics.Registry
+	// WallClock paces the coalescer's batch window and the load
+	// generator's latency measurements (default scanner.SystemClock).
+	WallClock scanner.Clock
+}
+
+// EpochStatus is the live per-epoch observation handed to OnEpoch.
+type EpochStatus struct {
+	Epoch   int
+	Probed  uint64
+	Deltas  int
+	Records int
+	Open    int
+	Lag     int
+}
+
+// Result is one lookup's answer.
+type Result struct {
+	Record Record
+	// Epoch is the committed epoch the answer was served at.
+	Epoch int
+	// Source is "store" for a fresh-record hit, "probe" when the answer
+	// came from a (possibly coalesced) demand probe.
+	Source string
+}
+
+// ErrStopped is returned by lookups whose demand probe was abandoned
+// because the service is shutting down.
+var ErrStopped = errors.New("resolvesvc: service stopped")
+
+// svcMetrics bundles the service's registry handles (all nil-safe).
+type svcMetrics struct {
+	// Request-path counters are Timing class: how many lookups hit,
+	// miss, refresh, or coalesce depends on request arrival relative to
+	// epoch commits — schedule, not seed.
+	hit       *metrics.Counter
+	miss      *metrics.Counter
+	refresh   *metrics.Counter
+	coalesced *metrics.Counter
+	probes    *metrics.Counter
+	// Epoch-side state is Deterministic: after epoch k the committed
+	// count and the sweep-born store shape are a pure function of
+	// (order, seed) — the same contract the streaming engine keeps.
+	epochs  *metrics.Counter
+	records *metrics.Gauge
+	open    *metrics.Gauge
+	// lag is the producer's lead over the applier in buffered epochs,
+	// a scheduling observation (Timing, like pipeline queue depths).
+	lag *metrics.Gauge
+}
+
+func newSvcMetrics(reg *metrics.Registry) svcMetrics {
+	if reg == nil {
+		return svcMetrics{}
+	}
+	return svcMetrics{
+		hit:       reg.TimingCounter("svc.lookup.hit"),
+		miss:      reg.TimingCounter("svc.lookup.miss"),
+		refresh:   reg.TimingCounter("svc.lookup.refresh"),
+		coalesced: reg.TimingCounter("svc.lookup.coalesced"),
+		probes:    reg.TimingCounter("svc.probe.done"),
+		epochs:    reg.Counter("svc.epoch.done"),
+		records:   reg.Gauge("svc.store.records"),
+		open:      reg.Gauge("svc.store.open"),
+		lag:       reg.TimingGauge("svc.epoch.lag"),
+	}
+}
+
+// inflight is one in-progress demand probe; every lookup coalesced onto
+// it waits for done and reads rec/err.
+type inflight struct {
+	done chan struct{}
+	rec  Record
+	err  error
+}
+
+// Service is the resolver-intelligence daemon core: a continuously
+// refreshed store plus a coalescing demand-prober.
+type Service struct {
+	cfg   Config
+	deps  Deps
+	store *Store
+
+	// tracker mirrors the epoch stream's aggregates (per-rcode, country,
+	// RIR) so status endpoints can serve live churn tables.
+	trackerMu sync.Mutex
+	tracker   *churn.Tracker
+
+	// pending holds the cache misses awaiting the next probe tick,
+	// keyed by target; wake (capacity 1) nudges the coalescer.
+	mu      sync.Mutex
+	pending map[uint32]*inflight
+	wake    chan struct{}
+
+	// probeFn performs one demand probe and records it in the store.
+	// It defaults to demandProbe; tests inject deterministic stand-ins.
+	probeFn func(ctx context.Context, addr uint32) (Record, error)
+
+	m svcMetrics
+}
+
+// New builds a service. It does not start anything; Run does.
+func New(cfg Config, deps Deps) *Service {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 2
+	}
+	if deps.WallClock == nil {
+		deps.WallClock = scanner.SystemClock
+	}
+	s := &Service{
+		cfg:     cfg,
+		deps:    deps,
+		store:   NewStore(cfg.TTLBase),
+		tracker: churn.NewTracker(deps.Locator, nil),
+		pending: map[uint32]*inflight{},
+		wake:    make(chan struct{}, 1),
+		m:       newSvcMetrics(deps.Metrics),
+	}
+	s.probeFn = s.demandProbe
+	return s
+}
+
+// Store exposes the result store (read-side consumers: HTTP handlers,
+// load generator, tests).
+func (s *Service) Store() *Store { return s.store }
+
+// Series returns a point-in-time copy of the tracker's weekly series —
+// the same aggregates the batch study would have produced so far.
+func (s *Service) Series() churn.Series {
+	s.trackerMu.Lock()
+	defer s.trackerMu.Unlock()
+	ser := s.tracker.Series()
+	out := churn.Series{Weeks: make([]churn.WeekObservation, len(ser.Weeks))}
+	copy(out.Weeks, ser.Weeks)
+	return out
+}
+
+// Run drives the epoch loop: the producer re-sweeps the space epoch
+// after epoch behind a bounded queue, and the applier commits each
+// delta batch to the tracker and the store. Run returns once all
+// cfg.Epochs have been applied (or ctx dies, or the stream breaks its
+// contract). The coalescer keeps serving demand probes until ctx is
+// cancelled — a daemon cancels on shutdown, which fails any still-
+// waiting lookups with ErrStopped.
+func (s *Service) Run(ctx context.Context) error {
+	q := pipeline.NewQueue[churn.EpochDelta](s.cfg.QueueDepth)
+	prodErr := make(chan error, 1)
+	prodCtx, cancelProd := context.WithCancel(ctx)
+	defer cancelProd()
+	go func() {
+		err := churn.StreamWeekly(prodCtx, s.deps.Scanner, s.deps.SweepClock, churn.StudyConfig{
+			Order:     s.cfg.Order,
+			Seed:      s.cfg.ScanSeed,
+			Weeks:     s.cfg.Epochs,
+			Blacklist: s.cfg.Blacklist,
+		}, q.Put)
+		q.Close()
+		prodErr <- err
+	}()
+	go s.coalesce(ctx)
+
+	for {
+		d, ok, err := q.Get(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		lag := q.Len()
+		s.trackerMu.Lock()
+		_, err = s.tracker.Apply(d)
+		s.trackerMu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := s.store.ApplyEpoch(d.Week, d.Deltas, s.deps.Locator); err != nil {
+			return err
+		}
+		// Demand probes now observe the world at the committed epoch's
+		// time, matching what the store just published.
+		if s.deps.ProbeClock != nil {
+			s.deps.ProbeClock.SetTime(wildnet.At(d.Week))
+		}
+		s.m.epochs.Inc()
+		s.m.lag.Set(int64(lag))
+		s.m.records.Set(int64(s.store.Records()))
+		s.m.open.Set(int64(s.store.OpenCount()))
+		if s.cfg.OnEpoch != nil {
+			s.cfg.OnEpoch(EpochStatus{
+				Epoch:   d.Week,
+				Probed:  d.Probed,
+				Deltas:  len(d.Deltas),
+				Records: s.store.Records(),
+				Open:    s.store.OpenCount(),
+				Lag:     lag,
+			})
+		}
+	}
+	return <-prodErr
+}
+
+// Lookup answers "what do we know about this IP". A record the store
+// can vouch for (present and fresh at the committed epoch) is a pure
+// in-memory hit. Anything else — absent record, or a flappy record past
+// its refresh TTL — funnels into the coalescer: the first lookup per
+// target enqueues a demand probe, concurrent lookups for the same
+// target coalesce onto it, and everyone wakes with the probe's answer.
+func (s *Service) Lookup(ctx context.Context, addr uint32) (Result, error) {
+	epoch := s.store.Epoch()
+	if r, ok := s.store.Get(addr); ok {
+		if s.store.Fresh(r, epoch) {
+			s.m.hit.Inc()
+			return Result{Record: r, Epoch: epoch, Source: "store"}, nil
+		}
+		s.m.refresh.Inc()
+	} else {
+		s.m.miss.Inc()
+	}
+	return s.await(ctx, addr)
+}
+
+// await joins (or opens) the in-flight probe for addr and waits it out.
+func (s *Service) await(ctx context.Context, addr uint32) (Result, error) {
+	s.mu.Lock()
+	fl, ok := s.pending[addr]
+	if ok {
+		s.m.coalesced.Inc()
+	} else {
+		fl = &inflight{done: make(chan struct{})}
+		s.pending[addr] = fl
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return Result{}, fl.err
+		}
+		return Result{Record: fl.rec, Epoch: s.store.Epoch(), Source: "probe"}, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// coalesce is the demand-probe loop: each wake-up lingers BatchWindow
+// (so a burst of concurrent misses lands in one tick), swaps out the
+// pending set, and probes it in address order. It runs until ctx dies,
+// then fails whatever is still queued.
+func (s *Service) coalesce(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			s.failPending()
+			return
+		case <-s.wake:
+		}
+		if w := s.cfg.BatchWindow; w > 0 {
+			if sleepCtx(ctx, s.deps.WallClock, w) != nil {
+				s.failPending()
+				return
+			}
+		}
+		s.mu.Lock()
+		batch := s.pending
+		s.pending = map[uint32]*inflight{}
+		s.mu.Unlock()
+		addrs := make([]uint32, 0, len(batch))
+		for a := range batch {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			fl := batch[a]
+			fl.rec, fl.err = s.probeFn(ctx, a)
+			s.m.probes.Inc()
+			close(fl.done)
+		}
+	}
+}
+
+// failPending wakes every queued lookup with ErrStopped.
+func (s *Service) failPending() {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = map[uint32]*inflight{}
+	s.mu.Unlock()
+	for _, fl := range batch {
+		fl.err = ErrStopped
+		close(fl.done)
+	}
+}
+
+// demandProbe sends one on-demand query at addr through the prober
+// transport and folds the observation into the store. The qname prefix
+// ("q"+hex) differs from the sweep's ("r"+hex) and the alive-probe's
+// ("c"+hex), so a demand probe is a distinct packet identity with its
+// own fault draws — it can never perturb the sweep's loss schedule.
+func (s *Service) demandProbe(ctx context.Context, addr uint32) (Record, error) {
+	name := dnswire.EncodeTargetQName(fmt.Sprintf("q%x", addr&0xFFFF), lfsr.U32ToAddr(addr), domains.ScanBase)
+	msgs, err := s.deps.Prober.ProbeContext(ctx, addr, name, dnswire.TypeA, dnswire.ClassIN)
+	if err != nil && len(msgs) == 0 {
+		return Record{}, err
+	}
+	open := len(msgs) > 0
+	var rcode dnswire.RCode
+	var answered bool
+	if open {
+		m := msgs[0]
+		rcode = m.Header.RCode
+		for _, rr := range m.Answers {
+			if rr.Type() == dnswire.TypeA {
+				answered = true
+				break
+			}
+		}
+	}
+	return s.store.RecordProbe(addr, s.store.Epoch(), open, rcode, answered, s.deps.Locator), nil
+}
+
+// sleepCtx sleeps d on the clock, cut short by ctx. Clocks implementing
+// scanner.ContextSleeper (the system clock does) get the cancellation
+// handed to them; plain fake clocks sleep directly.
+func sleepCtx(ctx context.Context, c scanner.Clock, d time.Duration) error {
+	if cs, ok := c.(scanner.ContextSleeper); ok {
+		return cs.SleepContext(ctx, d)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Sleep(d)
+	return ctx.Err()
+}

@@ -1,0 +1,433 @@
+package resolvesvc
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"goingwild/internal/churn"
+	"goingwild/internal/dnswire"
+	"goingwild/internal/geodb"
+	"goingwild/internal/lfsr"
+	"goingwild/internal/metrics"
+	"goingwild/internal/scanner"
+	"goingwild/internal/wildnet"
+)
+
+// testWorld bundles one simulated world with the service's two
+// transports (sweep + prober) and its locator.
+type testWorld struct {
+	world   *wildnet.World
+	sweepTr *wildnet.MemTransport
+	probeTr *wildnet.MemTransport
+	deps    Deps
+	bl      *lfsr.Blacklist
+}
+
+func newTestWorld(t *testing.T, order uint, reg *metrics.Registry) *testWorld {
+	t.Helper()
+	wcfg := wildnet.DefaultConfig(order)
+	wcfg.Seed = 0x60176A11D
+	wcfg.Loss = 0.002
+	w, err := wildnet.NewWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepTr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
+	probeTr := wildnet.NewMemTransport(w, wildnet.VantagePrimary)
+	t.Cleanup(func() {
+		sweepTr.Close()
+		probeTr.Close()
+	})
+	opts := scanner.Options{Workers: 4, SettleDelay: scanner.NoSettle, Metrics: reg}
+	loc := func(u uint32) (string, geodb.RIR) {
+		l := w.Geo().LookupU32(u)
+		return l.Country, l.RIR
+	}
+	return &testWorld{
+		world:   w,
+		sweepTr: sweepTr,
+		probeTr: probeTr,
+		bl:      w.ScanBlacklist(),
+		deps: Deps{
+			Scanner:    scanner.New(sweepTr, opts),
+			SweepClock: sweepTr,
+			Prober:     scanner.New(probeTr, scanner.Options{Workers: 2, SettleDelay: scanner.NoSettle, Metrics: reg}),
+			ProbeClock: probeTr,
+			Locator:    loc,
+			Metrics:    reg,
+			WallClock:  scanner.SystemClock,
+		},
+	}
+}
+
+func runService(t *testing.T, order uint, epochs int, reg *metrics.Registry) (*Service, *testWorld) {
+	t.Helper()
+	tw := newTestWorld(t, order, reg)
+	svc := New(Config{Order: order, ScanSeed: 0x5EED, Epochs: epochs, Blacklist: tw.bl}, tw.deps)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := svc.Run(ctx); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return svc, tw
+}
+
+// TestServiceStoreMatchesBatchStudy is the end-to-end parity proof: the
+// service's store after N streamed epochs must agree, record for
+// record, with the batch weekly study over an identical world — same
+// responder set, same rcodes, and aggregate totals equal to the
+// tracker's (and therefore the batch series') final week.
+func TestServiceStoreMatchesBatchStudy(t *testing.T) {
+	const order, epochs = 14, 4
+	svc, _ := runService(t, order, epochs, nil)
+	store := svc.Store()
+
+	// An identical world, measured by the batch path.
+	wcfg := wildnet.DefaultConfig(order)
+	wcfg.Seed = 0x60176A11D
+	wcfg.Loss = 0.002
+	w2, err := wildnet.NewWorld(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := wildnet.NewMemTransport(w2, wildnet.VantagePrimary)
+	defer tr2.Close()
+	sc2 := scanner.New(tr2, scanner.Options{Workers: 4, SettleDelay: scanner.NoSettle})
+	loc2 := func(u uint32) (string, geodb.RIR) {
+		l := w2.Geo().LookupU32(u)
+		return l.Country, l.RIR
+	}
+	series, err := churn.RunWeekly(context.Background(), sc2, tr2, loc2, churn.StudyConfig{
+		Order: order, Seed: 0x5EED, Weeks: epochs,
+		Blacklist:   w2.ScanBlacklist(),
+		RetainWeeks: []int{epochs - 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := series.Last()
+	if store.OpenCount() != last.Total {
+		t.Fatalf("store open = %d, batch final week total = %d", store.OpenCount(), last.Total)
+	}
+	for _, resp := range last.Responders {
+		r, ok := store.Get(resp.Addr)
+		if !ok || !r.Open {
+			t.Fatalf("batch responder %08x missing/closed in store: %+v", resp.Addr, r)
+		}
+		if r.RCode != resp.RCode || r.Answered != resp.Answered {
+			t.Fatalf("store record %08x = %+v, batch responder = %+v", resp.Addr, r, resp)
+		}
+		// Deltas only touch records on change, so a stably-open record
+		// keeps LastSeen at its add epoch — it just can't postdate the
+		// committed epoch.
+		if r.LastSeen < r.FirstSeen || r.LastSeen > epochs-1 {
+			t.Fatalf("store record %08x seen range [%d,%d] out of bounds", resp.Addr, r.FirstSeen, r.LastSeen)
+		}
+	}
+	// And the tracker mirrors the batch series week for week.
+	got := svc.Series()
+	if len(got.Weeks) != epochs {
+		t.Fatalf("tracker series has %d weeks, want %d", len(got.Weeks), epochs)
+	}
+	for i := range got.Weeks {
+		if got.Weeks[i].Total != series.Weeks[i].Total {
+			t.Fatalf("week %d: tracker total %d, batch total %d", i, got.Weeks[i].Total, series.Weeks[i].Total)
+		}
+	}
+	if store.Epoch() != epochs-1 {
+		t.Fatalf("store epoch = %d, want %d", store.Epoch(), epochs-1)
+	}
+}
+
+func TestServiceLookupHitThenProbeThenHit(t *testing.T) {
+	reg := metrics.New()
+	svc, _ := runService(t, 14, 3, reg)
+	ctx := context.Background()
+
+	open := svc.Store().List(true, 1)
+	if len(open) == 0 {
+		t.Fatal("no open resolvers after 3 epochs")
+	}
+	res, err := svc.Lookup(ctx, open[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "store" || !res.Record.Open || res.Epoch != 2 {
+		t.Fatalf("known-record lookup: %+v", res)
+	}
+	if reg.Snapshot().Counter("svc.lookup.hit") != 1 {
+		t.Fatalf("hit counter = %d, want 1", reg.Snapshot().Counter("svc.lookup.hit"))
+	}
+
+	// A never-swept address goes through the demand probe and is cached.
+	var missAddr uint32
+	for a := uint32(1); a < 1<<14; a++ {
+		if _, ok := svc.Store().Get(a); !ok {
+			missAddr = a
+			break
+		}
+	}
+	res, err = svc.Lookup(ctx, missAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "probe" || res.Record.FirstSeen != NeverSeen || !res.Record.Probed {
+		t.Fatalf("miss lookup: %+v", res)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("svc.lookup.miss") != 1 || snap.Counter("svc.probe.done") != 1 {
+		t.Fatalf("miss=%d probes=%d, want 1/1", snap.Counter("svc.lookup.miss"), snap.Counter("svc.probe.done"))
+	}
+	// The probe-born record now serves from memory.
+	res, err = svc.Lookup(ctx, missAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "store" {
+		t.Fatalf("second lookup of probed target: %+v", res)
+	}
+	if snap := reg.Snapshot(); snap.Counter("svc.probe.done") != 1 {
+		t.Fatalf("probe re-sent for cached target: %d", snap.Counter("svc.probe.done"))
+	}
+}
+
+// gateClock blocks every Sleep until the test releases it, making the
+// coalescer's batch window a deterministic rendezvous.
+type gateClock struct {
+	release chan struct{}
+}
+
+func (g *gateClock) Now() time.Time        { return time.Unix(0, 0) }
+func (g *gateClock) Sleep(_ time.Duration) { <-g.release }
+
+// TestServiceCoalescing pins the singleflight contract deterministically:
+// 8 concurrent lookups for one cold target must produce exactly one
+// probe, with the other 7 coalescing onto it. The gate clock holds the
+// coalescer's batch window open until every request has joined.
+func TestServiceCoalescing(t *testing.T) {
+	reg := metrics.New()
+	gate := &gateClock{release: make(chan struct{})}
+	svc := New(Config{Order: 12, BatchWindow: time.Millisecond}, Deps{
+		Locator:   testLoc,
+		Metrics:   reg,
+		WallClock: gate,
+	})
+	var probes int
+	var probeMu sync.Mutex
+	svc.probeFn = func(_ context.Context, addr uint32) (Record, error) {
+		probeMu.Lock()
+		probes++
+		probeMu.Unlock()
+		return svc.store.RecordProbe(addr, 0, true, dnswire.RCodeNoError, true, testLoc), nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go svc.coalesce(ctx)
+
+	const fanout = 8
+	const target = 42
+	results := make([]Result, fanout)
+	errs := make([]error, fanout)
+	var wg sync.WaitGroup
+	for i := 0; i < fanout; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = svc.Lookup(ctx, target)
+		}(i)
+	}
+	// Wait until all 8 are parked on the single inflight entry, then
+	// release the batch window.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counter("svc.lookup.coalesced") != fanout-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want %d", reg.Snapshot().Counter("svc.lookup.coalesced"), fanout-1)
+		}
+	}
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < fanout; i++ {
+		if errs[i] != nil {
+			t.Fatalf("lookup %d: %v", i, errs[i])
+		}
+		if results[i].Source != "probe" || !results[i].Record.Open {
+			t.Fatalf("lookup %d result: %+v", i, results[i])
+		}
+	}
+	if probes != 1 {
+		t.Fatalf("probe ran %d times, want 1 (singleflight)", probes)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("svc.lookup.miss") != fanout {
+		t.Errorf("miss = %d, want %d (every burst lookup found no record)", snap.Counter("svc.lookup.miss"), fanout)
+	}
+	if snap.Counter("svc.probe.done") != 1 {
+		t.Errorf("probe.done = %d, want 1", snap.Counter("svc.probe.done"))
+	}
+}
+
+// TestServiceStaleRecordRefreshes pins the churn-aware TTL: a flappy
+// record past its refresh window is re-confirmed by a demand probe
+// instead of served stale, and the refreshed record then hits.
+func TestServiceStaleRecordRefreshes(t *testing.T) {
+	reg := metrics.New()
+	svc := New(Config{Order: 12, TTLBase: 4}, Deps{
+		Locator:   testLoc,
+		Metrics:   reg,
+		WallClock: scanner.SystemClock,
+	})
+	svc.probeFn = func(_ context.Context, addr uint32) (Record, error) {
+		return svc.store.RecordProbe(addr, svc.store.Epoch(), true, dnswire.RCodeNoError, true, testLoc), nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go svc.coalesce(ctx)
+
+	// Epoch history: target 7 appears, vanishes, reappears (one flap,
+	// TTL 4>>1 = 2), then the world stays quiet long past its TTL.
+	st := svc.store
+	mustApply := func(e int, ds ...scanner.ResponderDelta) {
+		t.Helper()
+		if err := st.ApplyEpoch(e, ds, testLoc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustApply(0, add(7, dnswire.RCodeNoError))
+	mustApply(1, remove(7))
+	mustApply(2, add(7, dnswire.RCodeNoError))
+	mustApply(3)
+	mustApply(4)
+
+	res, err := svc.Lookup(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "probe" {
+		t.Fatalf("stale flappy record served from store: %+v", res)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("svc.lookup.refresh") != 1 || snap.Counter("svc.lookup.hit") != 0 {
+		t.Fatalf("refresh=%d hit=%d after stale lookup", snap.Counter("svc.lookup.refresh"), snap.Counter("svc.lookup.hit"))
+	}
+	// The probe stamped fresh evidence: the next lookup hits.
+	res, err = svc.Lookup(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "store" {
+		t.Fatalf("refreshed record still stale: %+v", res)
+	}
+	// A stable record (no flaps) never refreshes no matter the age.
+	mustApply(5, add(9, dnswire.RCodeNoError))
+	for e := 6; e < 20; e++ {
+		mustApply(e)
+	}
+	res, err = svc.Lookup(ctx, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "store" {
+		t.Fatalf("stable record refreshed: %+v", res)
+	}
+}
+
+// TestServiceZeroEpochs is the service-level empty-series regression: a
+// zero-epoch run must come up serving (probe-only), not panic on the
+// empty weekly series.
+func TestServiceZeroEpochs(t *testing.T) {
+	reg := metrics.New()
+	tw := newTestWorld(t, 14, reg)
+	svc := New(Config{Order: 14, ScanSeed: 0x5EED, Epochs: 0, Blacklist: tw.bl}, tw.deps)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Run(ctx); err != nil {
+		t.Fatalf("zero-epoch Run: %v", err)
+	}
+	if svc.Store().Epoch() != -1 || svc.Store().Records() != 0 {
+		t.Fatalf("zero-epoch store: epoch=%d records=%d", svc.Store().Epoch(), svc.Store().Records())
+	}
+	ser := svc.Series()
+	if ser.First() != nil || ser.Last() != nil {
+		t.Fatal("zero-epoch series has endpoints")
+	}
+	// Lookups still work: everything is a demand probe.
+	res, err := svc.Lookup(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "probe" || res.Epoch != -1 {
+		t.Fatalf("zero-epoch lookup: %+v", res)
+	}
+}
+
+// TestServiceDeterministicMetrics pins the StripTiming contract: two
+// identical runs (same world seed, same epochs, same sequential lookup
+// script) must export byte-identical deterministic-class snapshots,
+// with every request-path counter confined to the Timing class.
+func TestServiceDeterministicMetrics(t *testing.T) {
+	stripped := func() []byte {
+		reg := metrics.New()
+		svc, _ := runService(t, 14, 3, reg)
+		ctx := context.Background()
+		// A deterministic lookup script: every store record once.
+		for _, r := range svc.Store().List(false, 0) {
+			if _, err := svc.Lookup(ctx, r.Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().StripTiming().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := stripped(), stripped()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic snapshots differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	// The request-path counters must be Timing class (stripped), since
+	// their values depend on request arrival vs epoch commits.
+	if bytes.Contains(a, []byte("svc.lookup.hit")) || bytes.Contains(a, []byte("svc.epoch.lag")) {
+		t.Fatal("request-path metrics leaked into the deterministic snapshot")
+	}
+	// The epoch-side state must be present and deterministic.
+	for _, name := range []string{"svc.epoch.done", "svc.store.records", "svc.store.open"} {
+		if !bytes.Contains(a, []byte(name)) {
+			t.Fatalf("deterministic snapshot missing %s:\n%s", name, a)
+		}
+	}
+}
+
+// TestServiceLookupCancelled proves a lookup parked on the coalescer
+// honors its context instead of hanging when no probe ever completes.
+func TestServiceLookupCancelled(t *testing.T) {
+	gate := &gateClock{release: make(chan struct{})}
+	defer close(gate.release)
+	svc := New(Config{Order: 12, BatchWindow: time.Millisecond}, Deps{
+		Locator:   testLoc,
+		WallClock: gate,
+	})
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	go svc.coalesce(runCtx)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Lookup(ctx, 42)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled lookup returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled lookup hung")
+	}
+}

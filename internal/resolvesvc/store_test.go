@@ -1,0 +1,338 @@
+package resolvesvc
+
+import (
+	"sync"
+	"testing"
+
+	"goingwild/internal/dnswire"
+	"goingwild/internal/geodb"
+	"goingwild/internal/scanner"
+)
+
+func testLoc(u uint32) (string, geodb.RIR) { return "US", geodb.ARIN }
+
+func add(addr uint32, rcode dnswire.RCode) scanner.ResponderDelta {
+	return scanner.ResponderDelta{Op: scanner.DeltaAdd, Responder: scanner.Responder{Addr: addr, Source: addr, RCode: rcode, Answered: true}}
+}
+
+func update(addr uint32, rcode dnswire.RCode) scanner.ResponderDelta {
+	return scanner.ResponderDelta{Op: scanner.DeltaUpdate, Responder: scanner.Responder{Addr: addr, Source: addr, RCode: rcode, Answered: true}}
+}
+
+func remove(addr uint32) scanner.ResponderDelta {
+	return scanner.ResponderDelta{Op: scanner.DeltaRemove, Responder: scanner.Responder{Addr: addr, Source: addr}}
+}
+
+func TestStoreApplyEpochLifecycle(t *testing.T) {
+	s := NewStore(8)
+	if s.Epoch() != -1 {
+		t.Fatalf("fresh store epoch = %d, want -1", s.Epoch())
+	}
+
+	// Epoch 0: two targets appear.
+	if err := s.ApplyEpoch(0, []scanner.ResponderDelta{add(10, dnswire.RCodeNoError), add(20, dnswire.RCodeRefused)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 0 || s.Records() != 2 || s.OpenCount() != 2 {
+		t.Fatalf("after epoch 0: epoch=%d records=%d open=%d", s.Epoch(), s.Records(), s.OpenCount())
+	}
+	r, ok := s.Get(10)
+	if !ok || !r.Open || r.FirstSeen != 0 || r.LastSeen != 0 || r.Flaps != 0 || r.Country != "US" {
+		t.Fatalf("record 10 after epoch 0: %+v", r)
+	}
+
+	// Epoch 1: 10 changes rcode, 20 vanishes.
+	if err := s.ApplyEpoch(1, []scanner.ResponderDelta{update(10, dnswire.RCodeRefused), remove(20)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	if s.Records() != 2 || s.OpenCount() != 1 {
+		t.Fatalf("after epoch 1: records=%d open=%d", s.Records(), s.OpenCount())
+	}
+	r, _ = s.Get(10)
+	if r.RCode != dnswire.RCodeRefused || r.LastSeen != 1 {
+		t.Fatalf("record 10 after update: %+v", r)
+	}
+	r, _ = s.Get(20)
+	if r.Open || r.LastSeen != 0 || r.Checked != 1 {
+		t.Fatalf("record 20 after remove: %+v", r)
+	}
+
+	// Epoch 2: 20 reappears — that's one flap.
+	if err := s.ApplyEpoch(2, []scanner.ResponderDelta{add(20, dnswire.RCodeNoError)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = s.Get(20)
+	if !r.Open || r.Flaps != 1 || r.FirstSeen != 0 || r.LastSeen != 2 {
+		t.Fatalf("record 20 after flap: %+v", r)
+	}
+	if s.OpenCount() != 2 {
+		t.Fatalf("open after flap = %d, want 2", s.OpenCount())
+	}
+}
+
+func TestStoreApplyEpochContractViolations(t *testing.T) {
+	s := NewStore(0)
+	if err := s.ApplyEpoch(0, []scanner.ResponderDelta{add(5, dnswire.RCodeNoError)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	// Add of a present open target is producer drift.
+	if err := s.ApplyEpoch(1, []scanner.ResponderDelta{add(5, dnswire.RCodeNoError)}, testLoc); err == nil {
+		t.Error("add of present open target did not error")
+	}
+	// Update/remove of unknown targets likewise.
+	if err := s.ApplyEpoch(1, []scanner.ResponderDelta{update(99, dnswire.RCodeNoError)}, testLoc); err == nil {
+		t.Error("update of unknown target did not error")
+	}
+	if err := s.ApplyEpoch(1, []scanner.ResponderDelta{remove(99)}, testLoc); err == nil {
+		t.Error("remove of unknown target did not error")
+	}
+}
+
+func TestStoreRecordProbe(t *testing.T) {
+	s := NewStore(8)
+	if err := s.ApplyEpoch(0, []scanner.ResponderDelta{add(10, dnswire.RCodeNoError)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A probe-born record for a never-swept target.
+	r := s.RecordProbe(77, 0, false, 0, false, testLoc)
+	if r.FirstSeen != NeverSeen || r.Open || !r.Probed || r.ProbedAt != 0 {
+		t.Fatalf("probe-born record: %+v", r)
+	}
+	if s.Records() != 2 || s.OpenCount() != 1 {
+		t.Fatalf("after probe-born record: records=%d open=%d", s.Records(), s.OpenCount())
+	}
+
+	// A probe refreshing a sweep record keeps the longitudinal fields.
+	r = s.RecordProbe(10, 3, true, dnswire.RCodeRefused, false, testLoc)
+	if r.FirstSeen != 0 || r.LastSeen != 0 || r.ProbedAt != 3 || !r.Probed || r.RCode != dnswire.RCodeRefused {
+		t.Fatalf("probe-refreshed record: %+v", r)
+	}
+
+	// A probe observing a sweep-open target gone dark flips the open count.
+	r = s.RecordProbe(10, 4, false, 0, false, testLoc)
+	if r.Open || s.OpenCount() != 0 {
+		t.Fatalf("probe-darkened record: %+v open=%d", r, s.OpenCount())
+	}
+
+	// The next sweep add of the probe-darkened target is legal (the probe
+	// overlay does not count as sweep presence) and counts the flap... no:
+	// the target never left the sweep view, so an update is what arrives.
+	if err := s.ApplyEpoch(1, []scanner.ResponderDelta{update(10, dnswire.RCodeNoError)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = s.Get(10)
+	if !r.Open || r.Probed || r.Flaps != 0 {
+		t.Fatalf("sweep-reconfirmed record: %+v", r)
+	}
+}
+
+func TestStoreFreshTTL(t *testing.T) {
+	s := NewStore(8)
+	stable := Record{Flaps: 0, Checked: 0}
+	if !s.Fresh(stable, 1000) {
+		t.Error("stable record went stale")
+	}
+	// One flap: TTL 8>>1 = 4 epochs since last evidence.
+	flappy := Record{Flaps: 1, Checked: 10, ProbedAt: NeverSeen}
+	if !s.Fresh(flappy, 13) {
+		t.Error("once-flapped record stale within TTL")
+	}
+	if s.Fresh(flappy, 14) {
+		t.Error("once-flapped record fresh past TTL")
+	}
+	// A demand probe is evidence too.
+	flappy.ProbedAt = 12
+	if !s.Fresh(flappy, 15) {
+		t.Error("probe-refreshed record stale within TTL")
+	}
+	// Heavy flappers expire after one epoch (TTL floor).
+	thrash := Record{Flaps: 9, Checked: 10}
+	if !s.Fresh(thrash, 10) || s.Fresh(thrash, 11) {
+		t.Error("heavy flapper TTL floor broken")
+	}
+}
+
+// TestStoreConcurrentLookupsVsEpochApply is the race-stress test: readers
+// hammer Get/List while a writer commits epoch after epoch. Under
+// -race this proves the per-stripe transactions keep lookups and
+// epoch-apply from touching records unsynchronized; the assertions prove
+// no reader ever observes a torn record (a record newer than the
+// published epoch floor is legal; an inconsistent one is not).
+func TestStoreConcurrentLookupsVsEpochApply(t *testing.T) {
+	const (
+		targets = 512
+		epochs  = 50
+		readers = 4
+	)
+	s := NewStore(8)
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				addr := uint32(i%targets + 1)
+				if rec, ok := s.Get(addr); ok {
+					// Torn-record check: sweep evidence must be coherent.
+					if rec.Addr != addr {
+						t.Errorf("record for %d carries addr %d", addr, rec.Addr)
+						return
+					}
+					if rec.FirstSeen > rec.LastSeen || rec.Checked < rec.LastSeen {
+						t.Errorf("incoherent record: %+v", rec)
+						return
+					}
+				}
+				if i%64 == 0 {
+					s.List(true, 8)
+				}
+			}
+		}(r)
+	}
+
+	// The writer: even epochs add/update everything, odd epochs remove
+	// half, exercising every delta op against live readers.
+	for e := 0; e < epochs; e++ {
+		var deltas []scanner.ResponderDelta
+		for a := uint32(1); a <= targets; a++ {
+			switch {
+			case e == 0:
+				deltas = append(deltas, add(a, dnswire.RCodeNoError))
+			case e%2 == 1 && a%2 == 0:
+				deltas = append(deltas, remove(a))
+			case e%2 == 0 && a%2 == 0:
+				deltas = append(deltas, add(a, dnswire.RCodeNoError))
+			case a%2 == 1:
+				deltas = append(deltas, update(a, dnswire.RCodeRefused))
+			}
+		}
+		if err := s.ApplyEpoch(e, deltas, testLoc); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	close(stopCh)
+	wg.Wait()
+
+	if s.Epoch() != epochs-1 {
+		t.Fatalf("final epoch = %d, want %d", s.Epoch(), epochs-1)
+	}
+	if s.Records() != targets {
+		t.Fatalf("records = %d, want %d", s.Records(), targets)
+	}
+	// Odd-addressed targets flapped never; even-addressed ones flapped
+	// every other epoch.
+	r, _ := s.Get(1)
+	if r.Flaps != 0 {
+		t.Errorf("stable target flaps = %d, want 0", r.Flaps)
+	}
+	r, _ = s.Get(2)
+	if want := (epochs - 1) / 2; r.Flaps != want {
+		t.Errorf("flappy target flaps = %d, want %d", r.Flaps, want)
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	s := NewStore(0)
+	var deltas []scanner.ResponderDelta
+	for a := uint32(1); a <= 20; a++ {
+		deltas = append(deltas, add(a, dnswire.RCodeNoError))
+	}
+	if err := s.ApplyEpoch(0, deltas, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyEpoch(1, []scanner.ResponderDelta{remove(5), remove(6)}, testLoc); err != nil {
+		t.Fatal(err)
+	}
+	all := s.List(false, 0)
+	if len(all) != 20 {
+		t.Fatalf("List(all) = %d records, want 20", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Addr >= all[i].Addr {
+			t.Fatalf("List not sorted at %d: %v >= %v", i, all[i-1].Addr, all[i].Addr)
+		}
+	}
+	open := s.List(true, 0)
+	if len(open) != 18 {
+		t.Fatalf("List(open) = %d records, want 18", len(open))
+	}
+	if lim := s.List(false, 7); len(lim) != 7 {
+		t.Fatalf("List(limit 7) = %d records", len(lim))
+	}
+}
+
+func TestShardOfSpread(t *testing.T) {
+	// The multiplicative hash must spread sequential addresses across
+	// stripes (sequential keys all landing in one stripe would serialize
+	// the hot path).
+	seen := map[uint32]int{}
+	for a := uint32(0); a < 4096; a++ {
+		si := shardOf(a)
+		if si >= nShards {
+			t.Fatalf("shardOf(%d) = %d out of range", a, si)
+		}
+		seen[si]++
+	}
+	if len(seen) < nShards/2 {
+		t.Errorf("sequential addresses hit only %d/%d stripes", len(seen), nShards)
+	}
+	for si, n := range seen {
+		if n > 4096/nShards*4 {
+			t.Errorf("stripe %d got %d of 4096 sequential keys", si, n)
+		}
+	}
+}
+
+func TestStoreEpochPublishOrder(t *testing.T) {
+	// Epoch() is a floor: it must not advance before all stripes commit.
+	// Serial proof: after ApplyEpoch returns, every delta is visible at
+	// the published epoch.
+	s := NewStore(0)
+	for e := 0; e < 5; e++ {
+		var deltas []scanner.ResponderDelta
+		for a := uint32(1); a <= 64; a++ {
+			if e == 0 {
+				deltas = append(deltas, add(a, dnswire.RCodeNoError))
+			} else {
+				deltas = append(deltas, update(a, dnswire.RCodeNoError))
+			}
+		}
+		if err := s.ApplyEpoch(e, deltas, testLoc); err != nil {
+			t.Fatal(err)
+		}
+		for a := uint32(1); a <= 64; a++ {
+			r, ok := s.Get(a)
+			if !ok || r.Checked != s.Epoch() {
+				t.Fatalf("epoch %d: record %d not at published epoch: %+v", e, a, r)
+			}
+		}
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore(0)
+	var deltas []scanner.ResponderDelta
+	for a := uint32(1); a <= 4096; a++ {
+		deltas = append(deltas, add(a, dnswire.RCodeNoError))
+	}
+	if err := s.ApplyEpoch(0, deltas, testLoc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint32
+		for pb.Next() {
+			i++
+			if _, ok := s.Get(i%4096 + 1); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
